@@ -1,0 +1,187 @@
+// Regenerates Fig. 10: optimizer scalability on synthetic hypergraphs.
+//  (a) runtime vs number of artifacts n (m = 2 alternatives), reported as
+//      [n, avg-max-path-length] pairs, for HYPPO-STACK, HYPPO-PRIORITY,
+//      and COLLAB-E, next to the theoretical curves O(m^n) and O(m^{f*l}).
+//  (b) runtime vs number of alternatives m at fixed n.
+// All three methods find the same optimal cost (verified per row).
+
+#include <cmath>
+
+#include "baselines/collab_e.h"
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/string_util.h"
+#include "workload/synthetic_hypergraph.h"
+
+namespace {
+
+using namespace hyppo;
+using namespace hyppo::bench;
+using namespace hyppo::workload;
+
+struct Measurement {
+  double seconds = 0.0;
+  double cost = 0.0;
+  bool ok = false;
+};
+
+Measurement TimeStrategy(const core::Augmentation& aug,
+                         core::PlanGenerator::Strategy strategy) {
+  core::PlanGenerator generator;
+  core::PlanGenerator::Options options;
+  options.strategy = strategy;
+  options.max_expansions = 80'000'000;
+  WallClock clock;
+  Stopwatch watch(clock);
+  auto plan = generator.Optimize(aug, options);
+  Measurement m;
+  m.seconds = watch.Elapsed();
+  if (plan.ok()) {
+    m.cost = plan->cost;
+    m.ok = true;
+  }
+  return m;
+}
+
+Measurement TimeCollabE(const core::Augmentation& aug, int64_t budget) {
+  WallClock clock;
+  Stopwatch watch(clock);
+  auto plan = baselines::CollabEOptimize(aug, budget);
+  Measurement m;
+  m.seconds = watch.Elapsed();
+  if (plan.ok()) {
+    m.cost = plan->cost;
+    m.ok = true;
+  }
+  return m;
+}
+
+std::string Cell(const Measurement& m) {
+  return m.ok ? FormatSeconds(m.seconds) : "timeout";
+}
+
+}  // namespace
+
+int main() {
+  Banner("Optimizer scalability on synthetic hypergraphs", "Fig. 10(a)+(b)");
+  const bool full = FullScale();
+  const int repetitions = full ? 10 : 3;
+
+  // (a) vary n at m = 2.
+  std::printf("\n(a) varying #artifacts n (m = 2):\n");
+  const std::vector<int> n_sweep = full
+                                       ? std::vector<int>{6, 10, 14, 18, 22}
+                                       : std::vector<int>{6, 10, 14, 18};
+  Table table_a({"[n, l]", "HYPPO-STACK", "HYPPO-PRIORITY", "COLLAB-E",
+                 "agree", "O(m^n)", "O(m^{f*l})"});
+  double anchor_stack = -1.0;
+  double anchor_collab = -1.0;
+  double anchor_n = 0.0;
+  double anchor_l = 0.0;
+  for (int n : n_sweep) {
+    Measurement stack;
+    Measurement priority;
+    Measurement collab_e;
+    double avg_l = 0.0;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      SyntheticConfig config;
+      config.num_artifacts = n;
+      config.alternatives = 2;
+      config.seed = 1000 + static_cast<uint64_t>(rep);
+      auto synthetic = GenerateSyntheticHypergraph(config);
+      synthetic.status().Abort("generate");
+      avg_l += synthetic->avg_max_path_length;
+      Measurement s =
+          TimeStrategy(synthetic->aug, core::PlanGenerator::Strategy::kStack);
+      Measurement p = TimeStrategy(synthetic->aug,
+                                   core::PlanGenerator::Strategy::kPriority);
+      Measurement c = TimeCollabE(synthetic->aug, full ? 50'000'000
+                                                       : 2'000'000);
+      stack.seconds += s.seconds;
+      priority.seconds += p.seconds;
+      collab_e.seconds += c.seconds;
+      stack.ok = s.ok;
+      priority.ok = p.ok;
+      collab_e.ok = collab_e.ok || c.ok;
+      stack.cost = s.cost;
+      priority.cost = p.cost;
+      collab_e.cost = c.cost;
+    }
+    stack.seconds /= repetitions;
+    priority.seconds /= repetitions;
+    collab_e.seconds /= repetitions;
+    avg_l /= repetitions;
+    const bool agree =
+        stack.ok && priority.ok &&
+        std::fabs(stack.cost - priority.cost) < 1e-9 &&
+        (!collab_e.ok || std::fabs(stack.cost - collab_e.cost) < 1e-9);
+    if (anchor_stack < 0.0 && stack.ok && collab_e.ok) {
+      anchor_stack = stack.seconds;
+      anchor_collab = collab_e.seconds;
+      anchor_n = n;
+      anchor_l = avg_l;
+    }
+    // Theoretical curves anchored at the first row (as in the paper).
+    const double theory_exhaustive =
+        anchor_collab * std::pow(2.0, n - anchor_n);
+    const double theory_optimize =
+        anchor_stack * std::pow(2.0, 2.0 * (avg_l - anchor_l));
+    table_a.AddRow({"[" + std::to_string(n) + ", " +
+                        FormatDouble(avg_l, 1) + "]",
+                    Cell(stack), Cell(priority), Cell(collab_e),
+                    agree ? "yes" : "NO",
+                    FormatSeconds(theory_exhaustive),
+                    FormatSeconds(theory_optimize)});
+  }
+  table_a.Print();
+
+  // (b) vary m at fixed n.
+  const int fixed_n = full ? 10 : 8;
+  std::printf("\n(b) varying #alternatives m (n = %d):\n", fixed_n);
+  const std::vector<int> m_sweep =
+      full ? std::vector<int>{2, 3, 4, 5, 6} : std::vector<int>{2, 3, 4};
+  Table table_b({"m", "HYPPO-STACK", "HYPPO-PRIORITY", "COLLAB-E", "agree"});
+  for (int m : m_sweep) {
+    Measurement stack;
+    Measurement priority;
+    Measurement collab_e;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      SyntheticConfig config;
+      config.num_artifacts = fixed_n;
+      config.alternatives = m;
+      config.seed = 2000 + static_cast<uint64_t>(rep);
+      auto synthetic = GenerateSyntheticHypergraph(config);
+      synthetic.status().Abort("generate");
+      Measurement s =
+          TimeStrategy(synthetic->aug, core::PlanGenerator::Strategy::kStack);
+      Measurement p = TimeStrategy(synthetic->aug,
+                                   core::PlanGenerator::Strategy::kPriority);
+      Measurement c = TimeCollabE(synthetic->aug, full ? 50'000'000
+                                                       : 2'000'000);
+      stack.seconds += s.seconds;
+      priority.seconds += p.seconds;
+      collab_e.seconds += c.seconds;
+      stack.ok = s.ok;
+      priority.ok = p.ok;
+      collab_e.ok = c.ok;
+      stack.cost = s.cost;
+      priority.cost = p.cost;
+      collab_e.cost = c.cost;
+    }
+    stack.seconds /= repetitions;
+    priority.seconds /= repetitions;
+    collab_e.seconds /= repetitions;
+    const bool agree =
+        stack.ok && priority.ok &&
+        std::fabs(stack.cost - priority.cost) < 1e-9 &&
+        (!collab_e.ok || std::fabs(stack.cost - collab_e.cost) < 1e-9);
+    table_b.AddRow({std::to_string(m), Cell(stack), Cell(priority),
+                    Cell(collab_e), agree ? "yes" : "NO"});
+  }
+  table_b.Print();
+  std::printf(
+      "\nExpected shape (paper): COLLAB-E blows up exponentially in n and\n"
+      "m; the HYPPO variants stay far cheaper, with HYPPO-PRIORITY the most\n"
+      "scalable; all methods return the same optimal plan cost.\n");
+  return 0;
+}

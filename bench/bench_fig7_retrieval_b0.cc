@@ -1,0 +1,77 @@
+// Regenerates Fig. 7: retrieval time of k artifacts / k fitted models from
+// a steady-state history, with storage budget B = 0 (materialization
+// disabled). With nothing stored, the gap between methods isolates the
+// benefit of equivalence-aware planning: Collab degenerates to Sharing
+// while HYPPO exploits alternative derivations.
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace hyppo;
+using namespace hyppo::bench;
+using namespace hyppo::workload;
+
+void Sweep(const UseCase& use_case, bool models_only, int history_pipelines,
+           double multiplier, const std::vector<int>& request_sizes,
+           double budget_factor) {
+  std::printf("\n--- %s, requesting %s (B=%s) ---\n", use_case.name.c_str(),
+              models_only ? "models" : "artifacts",
+              FormatDouble(budget_factor, 2).c_str());
+  const std::pair<const char*, MethodFactory> methods[] = {
+      {"Sharing", MakeSharingFactory()},
+      {"Collab", MakeCollabFactory()},
+      {"HYPPO", MakeHyppoFactory()},
+  };
+  Table table({"#requested", "method", "mean retrieval (s)", "speedup",
+               "stored frac"});
+  for (int request_size : request_sizes) {
+    double baseline = 0.0;
+    for (const auto& [name, factory] : methods) {
+      RetrievalConfig config;
+      config.use_case = use_case;
+      config.history_pipelines = history_pipelines;
+      config.budget_factor = budget_factor;
+      config.dataset_multiplier = multiplier;
+      config.seed = 42;
+      config.simulate = true;
+      config.request_size = request_size;
+      config.num_requests = FullScale() ? 200 : 30;
+      config.models_only = models_only;
+      auto result = RunRetrievalScenario(factory, config);
+      result.status().Abort(name);
+      if (std::string(name) == "Sharing") {
+        baseline = result->mean_request_seconds;
+      }
+      table.AddRow({std::to_string(request_size), name,
+                    FormatDouble(result->mean_request_seconds, 4),
+                    Speedup(baseline, result->mean_request_seconds),
+                    FormatDouble(100.0 * result->stored_fraction, 1) + "%"});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  Banner("Artifact and model retrieval, zero storage", "Fig. 7");
+  const bool full = FullScale();
+  const int history = full ? 50 : 20;
+  const double multiplier = full ? 0.1 : 0.01;
+  const std::vector<int> request_sizes =
+      full ? std::vector<int>{1, 2, 4, 8, 16} : std::vector<int>{1, 2, 4, 8};
+  for (const UseCase& use_case : {UseCase::Higgs(), UseCase::Taxi()}) {
+    Sweep(use_case, /*models_only=*/false, history, multiplier,
+          request_sizes, /*budget_factor=*/0.0);
+    Sweep(use_case, /*models_only=*/true, history, multiplier, request_sizes,
+          /*budget_factor=*/0.0);
+  }
+  std::printf(
+      "\nExpected shape (paper): with B=0, Collab ~ Sharing (1.2-1.5x at\n"
+      "best) while HYPPO reaches ~3-4x via equivalent alternative plans;\n"
+      "gains shrink when only (expensive, unshared) models are requested.\n");
+  return 0;
+}

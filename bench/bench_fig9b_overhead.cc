@@ -1,0 +1,92 @@
+// Regenerates Fig. 9(b): optimization overhead — the wall time the
+// planner itself takes — for various <#pipelines, #history nodes> pairs,
+// HYPPO vs Collab. The history is grown by running pipelines; then a
+// fresh pipeline is planned repeatedly and the planning time is measured.
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace hyppo;
+using namespace hyppo::bench;
+using namespace hyppo::workload;
+
+struct Overhead {
+  double plan_seconds = 0.0;
+  int history_nodes = 0;
+};
+
+Overhead MeasureOverhead(const MethodFactory& factory, int history_pipelines,
+                         double multiplier) {
+  core::RuntimeOptions options;
+  options.storage_budget_bytes = 64ll << 20;
+  options.simulate = true;
+  core::Runtime runtime(options);
+  const UseCase use_case = UseCase::Higgs();
+  runtime.RegisterDatasetGenerator(
+      use_case.DatasetId(multiplier),
+      [use_case, multiplier]() {
+        return GenerateUseCase(use_case, multiplier, 42);
+      });
+  std::unique_ptr<core::Method> method = factory(&runtime);
+  PipelineGenerator generator(use_case, multiplier, 42);
+  for (int i = 0; i < history_pipelines; ++i) {
+    auto pipeline = generator.Next();
+    pipeline.status().Abort("generate");
+    auto planned = method->PlanPipeline(*pipeline);
+    planned.status().Abort("plan");
+    auto record =
+        runtime.ExecuteAndRecord(*pipeline, planned->aug, planned->plan);
+    record.status().Abort("execute");
+    method->AfterExecution(*pipeline, *planned, *record).Abort("mat");
+  }
+  // Measure planning time of fresh pipelines (5 repetitions averaged).
+  Overhead overhead;
+  overhead.history_nodes = runtime.history().num_artifacts();
+  const int repetitions = 5;
+  for (int i = 0; i < repetitions; ++i) {
+    auto pipeline = generator.Next();
+    pipeline.status().Abort("generate");
+    auto planned = method->PlanPipeline(*pipeline);
+    planned.status().Abort("plan");
+    overhead.plan_seconds += planned->optimize_seconds;
+    // Execute + record so the history keeps growing realistically.
+    auto record =
+        runtime.ExecuteAndRecord(*pipeline, planned->aug, planned->plan);
+    record.status().Abort("execute");
+    method->AfterExecution(*pipeline, *planned, *record).Abort("mat");
+  }
+  overhead.plan_seconds /= repetitions;
+  return overhead;
+}
+
+}  // namespace
+
+int main() {
+  Banner("Optimization overhead vs history size", "Fig. 9(b)");
+  const bool full = FullScale();
+  const std::vector<int> histories =
+      full ? std::vector<int>{10, 25, 50, 100, 200}
+           : std::vector<int>{5, 10, 20, 40};
+  const double multiplier = 0.01;
+  Table table({"#pipelines in H", "#H nodes", "method", "plan time"});
+  for (int history : histories) {
+    for (const auto& [name, factory] :
+         {std::pair<const char*, MethodFactory>{"Collab",
+                                                MakeCollabFactory()},
+          std::pair<const char*, MethodFactory>{"HYPPO",
+                                                MakeHyppoFactory()}}) {
+      Overhead overhead = MeasureOverhead(factory, history, multiplier);
+      table.AddRow({std::to_string(history),
+                    std::to_string(overhead.history_nodes), name,
+                    FormatSeconds(overhead.plan_seconds)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): HYPPO's planner stays in the milliseconds\n"
+      "and scales gracefully with history size.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Regenerates Table I: the two Kaggle use cases with team counts and
+// dataset shapes, plus verification that our synthetic generators deliver
+// the declared shapes at paper scale factors.
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "workload/datagen.h"
+
+int main() {
+  using namespace hyppo;
+  using namespace hyppo::bench;
+  using namespace hyppo::workload;
+
+  Banner("Use cases", "Table I");
+  Table table({"Usecase", "T", "S (rows, cols)", "task", "metric",
+               "description"});
+  for (const UseCase& use_case : {UseCase::Higgs(), UseCase::Taxi()}) {
+    table.AddRow({use_case.name, std::to_string(use_case.teams),
+                  "(" + std::to_string(use_case.paper_rows) + ", " +
+                      std::to_string(use_case.paper_cols) + ")",
+                  use_case.classification ? "classification" : "regression",
+                  use_case.default_metric, use_case.description});
+  }
+  table.Print();
+
+  const double multiplier = FullScale() ? 0.2 : 0.01;
+  std::printf("\ngenerator check at dataset_multiplier=%s:\n",
+              FormatDouble(multiplier, 3).c_str());
+  Table check({"dataset", "rows", "cols", "bytes", "target"});
+  for (const UseCase& use_case : {UseCase::Higgs(), UseCase::Taxi()}) {
+    auto data = GenerateUseCase(use_case, multiplier, 42);
+    data.status().Abort("generate");
+    check.AddRow({use_case.DatasetId(multiplier),
+                  std::to_string((*data)->rows()),
+                  std::to_string((*data)->cols()),
+                  FormatBytes(static_cast<double>((*data)->SizeBytes())),
+                  (*data)->has_target() ? "yes" : "no"});
+  }
+  check.Print();
+  return 0;
+}

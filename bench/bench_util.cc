@@ -1,0 +1,67 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace hyppo::bench {
+
+bool FullScale() {
+  const char* scale = std::getenv("HYPPO_BENCH_SCALE");
+  return scale != nullptr && std::strcmp(scale, "full") == 0;
+}
+
+void Banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s   [scale: %s]\n", paper_ref.c_str(),
+              FullScale() ? "full (paper)" : "reduced (default)");
+  std::printf("================================================================\n");
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::printf("%-*s  ", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule.append(widths[c], '-');
+    rule.append("  ");
+  }
+  std::printf("%s\n", rule.c_str());
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string Speedup(double baseline, double value) {
+  if (value <= 0.0) {
+    return "-";
+  }
+  return FormatDouble(baseline / value, 2) + "x";
+}
+
+}  // namespace hyppo::bench

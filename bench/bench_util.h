@@ -1,0 +1,36 @@
+#ifndef HYPPO_BENCH_BENCH_UTIL_H_
+#define HYPPO_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hyppo::bench {
+
+/// True when HYPPO_BENCH_SCALE=full: paper-scale parameters (much slower).
+/// Default benches run reduced configurations so the whole suite finishes
+/// in minutes while preserving the figures' shapes.
+bool FullScale();
+
+/// Prints a banner naming the experiment and which paper artifact it
+/// regenerates.
+void Banner(const std::string& title, const std::string& paper_ref);
+
+/// Fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a speed-up factor ("12.3x").
+std::string Speedup(double baseline, double value);
+
+}  // namespace hyppo::bench
+
+#endif  // HYPPO_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,106 @@
+// Across-experiments reuse (paper §I): in large organizations multiple
+// data scientists work on the same data. Session 1 explores, then saves
+// its catalog (history + materialized artifacts) to disk. Session 2 — a
+// different process, a different user — loads the catalog and submits its
+// own pipeline: artifacts computed by session 1 come back from storage,
+// and session 1's recorded derivations serve as equivalent alternatives.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/string_util.h"
+#include "core/hyppo.h"
+#include "workload/datagen.h"
+
+namespace {
+
+constexpr char kSession1Code[] = R"(
+data        = load("shared", rows=4000, cols=10)
+train, test = sk.TrainTestSplit.split(data)
+imp         = sk.SimpleImputer.fit(train, strategy=mean)
+train_i     = imp.transform(train)
+test_i      = imp.transform(test)
+scaler      = sk.StandardScaler.fit(train_i)
+train_s     = scaler.transform(train_i)
+test_s      = scaler.transform(test_i)
+model       = sk.RandomForestClassifier.fit(train_s, n_estimators=10, max_depth=6)
+preds       = model.predict(test_s)
+score       = evaluate(preds, test_s, metric="accuracy")
+)";
+
+// Session 2's analyst prefers TensorFlow-flavoured preprocessing and asks
+// a different question (F1 instead of accuracy) — everything upstream is
+// *equivalent* to session 1's work.
+constexpr char kSession2Code[] = R"(
+data        = load("shared", rows=4000, cols=10)
+train, test = tf.TrainTestSplit.split(data)
+imp         = tf.SimpleImputer.fit(train, strategy=mean)
+train_i     = imp.transform(train)
+test_i      = imp.transform(test)
+scaler      = tf.StandardScaler.fit(train_i)
+train_s     = scaler.transform(train_i)
+test_s      = scaler.transform(test_i)
+model       = sk.RandomForestClassifier.fit(train_s, n_estimators=10, max_depth=6)
+preds       = model.predict(test_s)
+f1          = evaluate(preds, test_s, metric="f1")
+)";
+
+}  // namespace
+
+int main() {
+  using hyppo::core::HyppoSystem;
+
+  const std::string catalog_dir =
+      (std::filesystem::temp_directory_path() / "hyppo_shared_catalog")
+          .string();
+  std::filesystem::remove_all(catalog_dir);
+  auto dataset = hyppo::workload::GenerateHiggs(4000, 10, /*seed=*/42);
+  dataset.status().Abort("generate");
+
+  // ---- Session 1: explore and save the catalog.
+  {
+    HyppoSystem::Options options;
+    options.runtime.storage_budget_bytes = 4ll << 20;
+    HyppoSystem session(options);
+    session.RegisterDataset("shared", *dataset);
+    auto report = session.RunCode(kSession1Code, "alice-1");
+    report.status().Abort("session 1");
+    std::printf("session 1 (alice): %d tasks in %s\n",
+                report->tasks_executed,
+                hyppo::FormatSeconds(report->execute_seconds).c_str());
+    session.runtime().SaveCatalog(catalog_dir).Abort("save catalog");
+    std::printf("catalog saved to %s (%zu artifacts materialized)\n\n",
+                catalog_dir.c_str(),
+                session.runtime().store().num_entries());
+  }
+
+  // ---- Session 2: a fresh process loads the catalog and benefits.
+  {
+    HyppoSystem::Options options;
+    options.runtime.storage_budget_bytes = 4ll << 20;
+    HyppoSystem session(options);
+    session.RegisterDataset("shared", *dataset);
+    session.runtime().LoadCatalog(catalog_dir).Abort("load catalog");
+    std::printf("session 2 (bob) loaded: %d artifacts, %d tasks in H\n",
+                session.runtime().history().num_artifacts(),
+                session.runtime().history().num_tasks());
+    auto report = session.RunCode(kSession2Code, "bob-1");
+    report.status().Abort("session 2");
+    std::printf(
+        "session 2 pipeline (tfl preprocessing, new metric): %d tasks in "
+        "%s\n",
+        report->tasks_executed,
+        hyppo::FormatSeconds(report->execute_seconds).c_str());
+    for (const auto& [name, payload] : report->target_payloads) {
+      if (const double* value = std::get_if<double>(&payload)) {
+        std::printf("  f1 = %.4f\n", *value);
+      }
+    }
+    std::printf(
+        "\nBob's tfl split/imputer/scaler were recognized as equivalent to\n"
+        "Alice's skl ones; the model and transformed data came back from\n"
+        "the shared catalog instead of being recomputed.\n");
+  }
+  std::filesystem::remove_all(catalog_dir);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Visualization: emits Graphviz DOT for the paper's Fig. 1 pipeline, its
+// augmentation against a warmed-up history, and the chosen optimal plan.
+// Pipe any of the sections into `dot -Tsvg` to render:
+//
+//   ./visualize pipeline | dot -Tsvg > pipeline.svg
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/hyppo.h"
+#include "workload/datagen.h"
+
+namespace {
+
+constexpr char kCode[] = R"(
+data        = load("viz", rows=2000, cols=8)
+train, test = sk.TrainTestSplit.split(data)
+imp         = sk.SimpleImputer.fit(train, strategy=mean)
+train_i     = imp.transform(train)
+test_i      = imp.transform(test)
+scaler      = sk.StandardScaler.fit(train_i)
+train_s     = scaler.transform(train_i)
+test_s      = scaler.transform(test_i)
+model       = sk.DecisionTreeClassifier.fit(train_s, max_depth=5)
+preds       = model.predict(test_s)
+score       = evaluate(preds, test_s, metric="accuracy")
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hyppo;
+  const std::string what = argc > 1 ? argv[1] : "all";
+
+  core::HyppoSystem system;
+  auto data = workload::GenerateHiggs(2000, 8, 42);
+  data.status().Abort("generate");
+  system.RegisterDataset("viz", *data);
+
+  // Warm the history so the augmentation has something to splice.
+  auto warmup = system.RunCode(kCode, "viz-warmup");
+  warmup.status().Abort("warmup");
+
+  auto pipeline = system.Parse(kCode, "viz");
+  pipeline.status().Abort("parse");
+
+  if (what == "pipeline" || what == "all") {
+    std::printf("%s\n", pipeline->graph.ToDot("pipeline_P").c_str());
+  }
+
+  auto planned = system.method().PlanPipeline(*pipeline);
+  planned.status().Abort("plan");
+  if (what == "augmentation" || what == "all") {
+    std::printf("%s\n", planned->aug.graph.ToDot("augmentation_A").c_str());
+  }
+  if (what == "plan" || what == "all") {
+    // Render the plan as the sub-hypergraph it selects.
+    core::PipelineGraph plan_graph;
+    for (EdgeId e : planned->plan.edges) {
+      std::vector<NodeId> tails;
+      for (NodeId t : planned->aug.graph.ordered_tail(e)) {
+        tails.push_back(t == planned->aug.graph.source()
+                            ? plan_graph.source()
+                            : plan_graph.GetOrAddArtifact(
+                                  planned->aug.graph.artifact(t)));
+      }
+      std::vector<NodeId> heads;
+      for (NodeId h : planned->aug.graph.ordered_head(e)) {
+        heads.push_back(
+            plan_graph.GetOrAddArtifact(planned->aug.graph.artifact(h)));
+      }
+      plan_graph.AddTask(planned->aug.graph.task(e), tails, heads)
+          .status()
+          .Abort("plan graph");
+    }
+    std::printf("%s\n", plan_graph.ToDot("optimal_plan").c_str());
+  }
+  std::fprintf(stderr,
+               "pipeline: %d tasks | augmentation: %d tasks | plan: %zu "
+               "tasks (cost %.3fs)\n",
+               pipeline->graph.num_tasks(), planned->aug.graph.num_tasks(),
+               planned->plan.edges.size(), planned->plan.cost);
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "baselines/binary_energy.h"
+
+#include "baselines/flow.h"
+
+namespace hyppo::baselines {
+
+BinaryEnergy::BinaryEnergy(int32_t num_variables)
+    : num_variables_(num_variables),
+      unary_(static_cast<size_t>(num_variables)) {}
+
+void BinaryEnergy::AddUnaryIfOne(int32_t v, double cost) {
+  unary_[static_cast<size_t>(v)].if_one += cost;
+}
+
+void BinaryEnergy::AddUnaryIfZero(int32_t v, double cost) {
+  unary_[static_cast<size_t>(v)].if_zero += cost;
+}
+
+void BinaryEnergy::AddPairwiseOneZero(int32_t a, int32_t b, double cost) {
+  pairwise_.push_back(Pairwise{a, b, cost});
+}
+
+Result<BinaryEnergy::Solution> BinaryEnergy::Minimize() {
+  // Graph layout: node 0 = source (label 1 side), node 1 = sink (label 0
+  // side), variable v -> node v + 2.
+  const int32_t source = 0;
+  const int32_t sink = 1;
+  MaxFlow flow(num_variables_ + 2);
+  for (int32_t v = 0; v < num_variables_; ++v) {
+    const Unary& u = unary_[static_cast<size_t>(v)];
+    if (u.if_one > 0.0) {
+      // Paying when labelled 1 == edge to sink is cut when v is on the
+      // source side.
+      flow.AddEdge(v + 2, sink, u.if_one);
+    }
+    if (u.if_zero > 0.0) {
+      flow.AddEdge(source, v + 2, u.if_zero);
+    }
+  }
+  for (const Pairwise& p : pairwise_) {
+    if (p.cost > 0.0) {
+      // Cut when a ∈ source side (1) and b ∈ sink side (0).
+      flow.AddEdge(p.a + 2, p.b + 2, p.cost);
+    }
+  }
+  const double energy = flow.Compute(source, sink);
+  if (energy >= kHardConstraint / 2) {
+    return Status::FailedPrecondition(
+        "binary energy has no labeling satisfying the hard constraints");
+  }
+  const std::vector<bool> reachable = flow.SourceSide(source);
+  Solution solution;
+  solution.energy = energy;
+  solution.labels.resize(static_cast<size_t>(num_variables_));
+  for (int32_t v = 0; v < num_variables_; ++v) {
+    solution.labels[static_cast<size_t>(v)] =
+        reachable[static_cast<size_t>(v + 2)];
+  }
+  return solution;
+}
+
+}  // namespace hyppo::baselines

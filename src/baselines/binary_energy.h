@@ -1,0 +1,62 @@
+#ifndef HYPPO_BASELINES_BINARY_ENERGY_H_
+#define HYPPO_BASELINES_BINARY_ENERGY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hyppo::baselines {
+
+/// \brief Exact minimization of submodular binary pairwise energies via
+/// s-t minimum cut (Kolmogorov–Zabih construction).
+///
+/// Energy over binary variables x_i ∈ {0,1}:
+///   E(x) = Σ_i  θ_i(x_i)  +  Σ_{ij} θ_ij(x_i, x_j)
+/// where every pairwise term here has the restricted form
+/// θ_ij(1, 0) = c ≥ 0 and 0 otherwise — which is submodular and therefore
+/// graph-representable. This is exactly the structure of Helix's
+/// project-selection reuse problem: "compute x ⟹ inputs available" and
+/// "available but not computed ⟹ pay the load cost".
+class BinaryEnergy {
+ public:
+  explicit BinaryEnergy(int32_t num_variables);
+
+  /// Charges `cost` when variable `v` takes label 1.
+  void AddUnaryIfOne(int32_t v, double cost);
+  /// Charges `cost` when variable `v` takes label 0.
+  void AddUnaryIfZero(int32_t v, double cost);
+  /// Charges `cost` when `a` is 1 and `b` is 0 (cost ≥ 0; use
+  /// kHardConstraint for implications).
+  void AddPairwiseOneZero(int32_t a, int32_t b, double cost);
+
+  /// Effectively-infinite capacity for hard constraints.
+  static constexpr double kHardConstraint = 1e18;
+
+  struct Solution {
+    std::vector<bool> labels;  // true = 1
+    double energy = 0.0;
+  };
+
+  /// Solves for the labeling of minimum energy. Returns
+  /// FailedPrecondition if even the optimum violates a hard constraint.
+  Result<Solution> Minimize();
+
+ private:
+  int32_t num_variables_;
+  struct Unary {
+    double if_one = 0.0;
+    double if_zero = 0.0;
+  };
+  struct Pairwise {
+    int32_t a;
+    int32_t b;
+    double cost;
+  };
+  std::vector<Unary> unary_;
+  std::vector<Pairwise> pairwise_;
+};
+
+}  // namespace hyppo::baselines
+
+#endif  // HYPPO_BASELINES_BINARY_ENERGY_H_

@@ -1,0 +1,243 @@
+#include "baselines/collab.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <set>
+
+#include "baselines/dag_reuse.h"
+#include "common/clock.h"
+#include "core/materializer.h"
+#include "hypergraph/algorithms.h"
+
+namespace hyppo::baselines {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Result<core::Plan> CollabMethod::LinearReuse(
+    const core::Augmentation& aug, const std::vector<NodeId>& targets) {
+  const Hypergraph& graph = aug.graph.hypergraph();
+  const NodeId source = aug.graph.source();
+  const std::vector<EdgeId> chosen = OriginalDerivations(aug);
+  const std::vector<EdgeId> loads = LoadEdges(aug);
+
+  // Forward pass in B-topological order over the original-derivation
+  // edges: each node's cost-to-obtain is the min of loading it and
+  // computing it from its (already finalized) inputs. The Σ over inputs
+  // double-counts shared sub-derivations — Collab's documented
+  // suboptimality.
+  std::vector<EdgeId> original_edges;
+  for (NodeId v = 1; v < graph.num_nodes(); ++v) {
+    if (chosen[static_cast<size_t>(v)] != kInvalidEdge) {
+      original_edges.push_back(chosen[static_cast<size_t>(v)]);
+    }
+    if (loads[static_cast<size_t>(v)] != kInvalidEdge) {
+      original_edges.push_back(loads[static_cast<size_t>(v)]);
+    }
+  }
+  std::sort(original_edges.begin(), original_edges.end());
+  original_edges.erase(
+      std::unique(original_edges.begin(), original_edges.end()),
+      original_edges.end());
+  HYPPO_ASSIGN_OR_RETURN(
+      std::vector<EdgeId> order,
+      BTopologicalEdgeOrder(graph, original_edges, {source}));
+
+  std::vector<double> cost(static_cast<size_t>(graph.num_nodes()), kInf);
+  // pick[v]: the edge the backward pass should follow for v.
+  std::vector<EdgeId> pick(static_cast<size_t>(graph.num_nodes()),
+                           kInvalidEdge);
+  cost[static_cast<size_t>(source)] = 0.0;
+  for (EdgeId e : order) {
+    double tail_sum = 0.0;
+    for (NodeId u : graph.edge(e).tail) {
+      if (u == source) {
+        continue;
+      }
+      if (cost[static_cast<size_t>(u)] == kInf) {
+        tail_sum = kInf;
+        break;
+      }
+      tail_sum += cost[static_cast<size_t>(u)];
+    }
+    if (tail_sum == kInf) {
+      continue;
+    }
+    const double through =
+        aug.edge_weight[static_cast<size_t>(e)] + tail_sum;
+    for (NodeId h : graph.edge(e).head) {
+      if (through < cost[static_cast<size_t>(h)]) {
+        cost[static_cast<size_t>(h)] = through;
+        pick[static_cast<size_t>(h)] = e;
+      }
+    }
+  }
+
+  // Backward extraction from the targets.
+  core::Plan plan;
+  std::vector<bool> in_plan(static_cast<size_t>(graph.num_edge_slots()),
+                            false);
+  std::vector<bool> visited(static_cast<size_t>(graph.num_nodes()), false);
+  std::deque<NodeId> queue;
+  for (NodeId t : targets) {
+    if (cost[static_cast<size_t>(t)] == kInf) {
+      return Status::FailedPrecondition(
+          "collab reuse: a target cannot be derived");
+    }
+    if (!visited[static_cast<size_t>(t)]) {
+      visited[static_cast<size_t>(t)] = true;
+      queue.push_back(t);
+    }
+  }
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    const EdgeId e = pick[static_cast<size_t>(v)];
+    if (e == kInvalidEdge) {
+      return Status::Internal("collab reuse: missing derivation pick");
+    }
+    if (!in_plan[static_cast<size_t>(e)]) {
+      in_plan[static_cast<size_t>(e)] = true;
+      plan.edges.push_back(e);
+      plan.cost += aug.edge_weight[static_cast<size_t>(e)];
+      plan.seconds += aug.edge_seconds[static_cast<size_t>(e)];
+    }
+    for (NodeId u : graph.edge(e).tail) {
+      if (u != source && !visited[static_cast<size_t>(u)]) {
+        visited[static_cast<size_t>(u)] = true;
+        queue.push_back(u);
+      }
+    }
+  }
+  return plan;
+}
+
+Result<core::Method::Planned> CollabMethod::PlanPipeline(
+    const core::Pipeline& pipeline) {
+  WallClock clock;
+  Stopwatch stopwatch(clock);
+  core::Augmenter::Options options;
+  options.use_equivalences = false;
+  options.use_history = false;
+  options.use_materialized = true;
+  options.objective = runtime_->options().objective;
+  HYPPO_ASSIGN_OR_RETURN(
+      core::Augmentation aug,
+      runtime_->augmenter().Augment(pipeline, runtime_->history(), options));
+  HYPPO_ASSIGN_OR_RETURN(core::Plan plan, LinearReuse(aug, aug.targets));
+  Planned planned;
+  planned.aug = std::move(aug);
+  planned.plan = std::move(plan);
+  planned.optimize_seconds = stopwatch.Elapsed();
+  return planned;
+}
+
+Result<core::Method::Planned> CollabMethod::PlanRetrieval(
+    const std::vector<std::string>& artifact_names) {
+  WallClock clock;
+  Stopwatch stopwatch(clock);
+  core::Augmenter::Options options;
+  options.use_equivalences = false;
+  options.use_materialized = true;
+  options.objective = runtime_->options().objective;
+  HYPPO_ASSIGN_OR_RETURN(core::Augmentation aug,
+                         runtime_->augmenter().AugmentForRetrieval(
+                             runtime_->history(), artifact_names, options));
+  HYPPO_ASSIGN_OR_RETURN(core::Plan plan, LinearReuse(aug, aug.targets));
+  Planned planned;
+  planned.aug = std::move(aug);
+  planned.plan = std::move(plan);
+  planned.optimize_seconds = stopwatch.Elapsed();
+  return planned;
+}
+
+Status CollabMethod::AfterExecution(
+    const core::Pipeline& /*pipeline*/, const Planned& /*planned*/,
+    const core::Runtime::ExecutionRecord& record) {
+  core::History& history = runtime_->history();
+  const storage::StorageTier local = storage::StorageTier::Local();
+  // Experiment-graph-wide candidates: everything materialized already plus
+  // everything whose payload is currently available.
+  struct Candidate {
+    NodeId node;
+    double utility;
+    int64_t size;
+  };
+  std::set<std::string> storable;
+  for (const auto& [name, payload] : record.payloads_by_name) {
+    storable.insert(name);
+  }
+  // Collab's experiment-graph utility: recreation cost x frequency per
+  // byte. Recreation cost is the chain estimate over the experiment
+  // graph, like HYPPO's (the policies differ in the load-time vs size
+  // normalization and the plan-locality weighting HYPPO adds).
+  const core::Materializer scorer(&runtime_->augmenter());
+  const std::vector<double> recompute = scorer.RecomputeCosts(history);
+  std::vector<Candidate> candidates;
+  for (NodeId v = 1; v < history.graph().num_artifacts(); ++v) {
+    const core::ArtifactInfo& info = history.graph().artifact(v);
+    if (info.kind == core::ArtifactKind::kRaw ||
+        info.kind == core::ArtifactKind::kSource || info.size_bytes <= 0) {
+      continue;
+    }
+    const bool already = history.IsMaterialized(v);
+    if (!already && storable.count(info.name) == 0) {
+      continue;
+    }
+    const core::ArtifactRecord& rec = history.record(v);
+    double compute = recompute[static_cast<size_t>(v)];
+    if (std::isinf(compute) || compute <= 0.0) {
+      compute = rec.compute_seconds;
+    }
+    if (compute <= 0.0) {
+      continue;
+    }
+    const double load = local.LoadSeconds(info.size_bytes);
+    if (compute <= load) {
+      continue;  // loading is no better than recomputing
+    }
+    const double freq =
+        std::max<double>(1.0, static_cast<double>(rec.access_count));
+    candidates.push_back(Candidate{
+        v, freq * compute / static_cast<double>(info.size_bytes),
+        info.size_bytes});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.utility != b.utility) {
+                return a.utility > b.utility;
+              }
+              return a.node < b.node;
+            });
+  core::Materializer::Decision decision;
+  int64_t used = 0;
+  const int64_t budget = runtime_->options().storage_budget_bytes;
+  std::set<NodeId> selected;
+  for (const Candidate& c : candidates) {
+    if (used + c.size > budget) {
+      continue;
+    }
+    selected.insert(c.node);
+    used += c.size;
+  }
+  for (NodeId v : history.MaterializedArtifacts()) {
+    if (selected.count(v) == 0) {
+      decision.to_evict.push_back(v);
+    }
+  }
+  for (NodeId v : selected) {
+    if (!history.IsMaterialized(v)) {
+      decision.to_store.push_back(v);
+    }
+  }
+  decision.selected_bytes = used;
+  std::map<std::string, core::ArtifactPayload> available(
+      record.payloads_by_name.begin(), record.payloads_by_name.end());
+  return core::Materializer::Apply(history, runtime_->store(), decision,
+                                   available);
+}
+
+}  // namespace hyppo::baselines

@@ -1,0 +1,43 @@
+#ifndef HYPPO_BASELINES_COLLAB_H_
+#define HYPPO_BASELINES_COLLAB_H_
+
+#include <string>
+#include <vector>
+
+#include "core/method.h"
+
+namespace hyppo::baselines {
+
+/// \brief Reimplementation of Collab's policies (paper §II and §V-A):
+///
+///  - Reuse: a linear-time heuristic — a single forward pass computes
+///    cost-to-obtain(v) = min(load(v), task(v) + Σ cost-to-obtain(inputs))
+///    in topological order, then a backward pass extracts the plan.
+///    Summing shared sub-derivation costs over-counts, so the result can
+///    be suboptimal ("good enough plans"), unlike Helix's exact min-cut.
+///  - Materialization: experiment-graph wide — candidates from *all*
+///    prior pipelines, scored by utility freq × recompute / size, greedy
+///    under the budget.
+class CollabMethod final : public core::Method {
+ public:
+  explicit CollabMethod(core::Runtime* runtime) : core::Method(runtime) {}
+
+  std::string name() const override { return "Collab"; }
+
+  Result<Planned> PlanPipeline(const core::Pipeline& pipeline) override;
+  Result<Planned> PlanRetrieval(
+      const std::vector<std::string>& artifact_names) override;
+  Status AfterExecution(const core::Pipeline& pipeline,
+                        const Planned& planned,
+                        const core::Runtime::ExecutionRecord& record) override;
+
+  /// The linear reuse heuristic over an augmentation restricted to the
+  /// original derivation per artifact (exposed for tests and for the
+  /// optimization-overhead bench, Fig. 9(b)).
+  static Result<core::Plan> LinearReuse(const core::Augmentation& aug,
+                                        const std::vector<NodeId>& targets);
+};
+
+}  // namespace hyppo::baselines
+
+#endif  // HYPPO_BASELINES_COLLAB_H_

@@ -1,0 +1,74 @@
+#include "baselines/collab_e.h"
+
+#include <vector>
+
+#include "baselines/dag_reuse.h"
+#include "core/task.h"
+
+namespace hyppo::baselines {
+
+Result<core::Plan> CollabEOptimize(const core::Augmentation& aug,
+                                   int64_t max_combinations,
+                                   CollabEStats* stats) {
+  const Hypergraph& graph = aug.graph.hypergraph();
+  // Per node: the list of compute alternatives.
+  std::vector<std::vector<EdgeId>> alternatives(
+      static_cast<size_t>(graph.num_nodes()));
+  std::vector<NodeId> varying;  // nodes with >= 1 compute alternative
+  for (NodeId v = 1; v < graph.num_nodes(); ++v) {
+    for (EdgeId e : graph.bstar(v)) {
+      if (aug.graph.task(e).type != core::TaskType::kLoad) {
+        alternatives[static_cast<size_t>(v)].push_back(e);
+      }
+    }
+    if (!alternatives[static_cast<size_t>(v)].empty()) {
+      varying.push_back(v);
+    }
+  }
+  CollabEStats local;
+  CollabEStats& st = stats != nullptr ? *stats : local;
+  std::vector<size_t> index(varying.size(), 0);
+  std::vector<EdgeId> chosen(static_cast<size_t>(graph.num_nodes()),
+                             kInvalidEdge);
+  core::Plan best;
+  bool found = false;
+  while (true) {
+    if (++st.combinations > max_combinations) {
+      return Status::ResourceExhausted(
+          "COLLAB-E exceeded the combination budget");
+    }
+    for (size_t i = 0; i < varying.size(); ++i) {
+      chosen[static_cast<size_t>(varying[i])] =
+          alternatives[static_cast<size_t>(varying[i])][index[i]];
+    }
+    Result<core::Plan> plan = SolveDagReuse(aug, chosen, aug.targets);
+    if (plan.ok()) {
+      ++st.feasible;
+      if (!found || plan->cost < best.cost) {
+        best = std::move(*plan);
+        found = true;
+      }
+    }
+    // Advance the odometer over alternative combinations.
+    size_t pos = 0;
+    while (pos < varying.size() &&
+           ++index[pos] ==
+               alternatives[static_cast<size_t>(varying[pos])].size()) {
+      index[pos] = 0;
+      ++pos;
+    }
+    if (pos == varying.size()) {
+      break;
+    }
+    if (varying.empty()) {
+      break;
+    }
+  }
+  if (!found) {
+    return Status::FailedPrecondition(
+        "COLLAB-E found no feasible alternative combination");
+  }
+  return best;
+}
+
+}  // namespace hyppo::baselines

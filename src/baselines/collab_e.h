@@ -1,0 +1,32 @@
+#ifndef HYPPO_BASELINES_COLLAB_E_H_
+#define HYPPO_BASELINES_COLLAB_E_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/optimizer.h"
+
+namespace hyppo::baselines {
+
+/// \brief COLLAB-E (paper §V-B5): the exhaustive equivalence-aware
+/// baseline of the scalability study. For each combination of
+/// alternatives — one compute hyperedge chosen per artifact — it builds
+/// the induced DAG and solves optimal reuse on it, returning the best
+/// plan over all combinations.
+///
+/// Exponential in the number of artifacts with alternatives (O(m^n), the
+/// curve of Fig. 10); per-DAG reuse uses the exact min-cut solver, so the
+/// returned plan is optimal under equivalences, matching what the HYPPO
+/// variants find.
+struct CollabEStats {
+  int64_t combinations = 0;
+  int64_t feasible = 0;
+};
+
+Result<core::Plan> CollabEOptimize(const core::Augmentation& aug,
+                                   int64_t max_combinations = 100'000'000,
+                                   CollabEStats* stats = nullptr);
+
+}  // namespace hyppo::baselines
+
+#endif  // HYPPO_BASELINES_COLLAB_E_H_

@@ -1,0 +1,136 @@
+#include "baselines/dag_reuse.h"
+
+#include <map>
+
+#include "baselines/binary_energy.h"
+#include "core/task.h"
+
+namespace hyppo::baselines {
+
+using core::ArtifactKind;
+using core::Augmentation;
+using core::Plan;
+using core::TaskType;
+
+std::vector<EdgeId> OriginalDerivations(const Augmentation& aug) {
+  const Hypergraph& graph = aug.graph.hypergraph();
+  std::vector<EdgeId> chosen(static_cast<size_t>(graph.num_nodes()),
+                             kInvalidEdge);
+  for (NodeId v = 1; v < graph.num_nodes(); ++v) {
+    for (EdgeId e : graph.bstar(v)) {
+      if (aug.graph.task(e).type == TaskType::kLoad) {
+        continue;
+      }
+      if (chosen[static_cast<size_t>(v)] == kInvalidEdge ||
+          e < chosen[static_cast<size_t>(v)]) {
+        chosen[static_cast<size_t>(v)] = e;
+      }
+    }
+  }
+  return chosen;
+}
+
+std::vector<EdgeId> LoadEdges(const Augmentation& aug) {
+  const Hypergraph& graph = aug.graph.hypergraph();
+  std::vector<EdgeId> loads(static_cast<size_t>(graph.num_nodes()),
+                            kInvalidEdge);
+  for (NodeId v = 1; v < graph.num_nodes(); ++v) {
+    for (EdgeId e : graph.bstar(v)) {
+      if (aug.graph.task(e).type == TaskType::kLoad) {
+        loads[static_cast<size_t>(v)] = e;
+        break;
+      }
+    }
+  }
+  return loads;
+}
+
+Result<Plan> SolveDagReuse(const Augmentation& aug,
+                           const std::vector<EdgeId>& chosen_compute,
+                           const std::vector<NodeId>& targets) {
+  const Hypergraph& graph = aug.graph.hypergraph();
+  const NodeId source = aug.graph.source();
+  const std::vector<EdgeId> loads = LoadEdges(aug);
+
+  // Variable layout: avail_v per non-source node, then comp_e per distinct
+  // chosen compute edge.
+  std::map<EdgeId, int32_t> comp_var;
+  for (NodeId v = 1; v < graph.num_nodes(); ++v) {
+    const EdgeId e = chosen_compute[static_cast<size_t>(v)];
+    if (e != kInvalidEdge && comp_var.count(e) == 0) {
+      const int32_t index =
+          graph.num_nodes() - 1 + static_cast<int32_t>(comp_var.size());
+      comp_var.emplace(e, index);
+    }
+  }
+  auto avail_var = [](NodeId v) { return static_cast<int32_t>(v) - 1; };
+
+  BinaryEnergy energy(graph.num_nodes() - 1 +
+                      static_cast<int32_t>(comp_var.size()));
+  // Targets must be available.
+  for (NodeId t : targets) {
+    energy.AddUnaryIfZero(avail_var(t), BinaryEnergy::kHardConstraint);
+  }
+  // Compute costs, input-availability implications.
+  for (const auto& [e, var] : comp_var) {
+    energy.AddUnaryIfOne(var, aug.edge_weight[static_cast<size_t>(e)]);
+    for (NodeId u : graph.edge(e).tail) {
+      if (u != source) {
+        energy.AddPairwiseOneZero(var, avail_var(u),
+                                  BinaryEnergy::kHardConstraint);
+      }
+    }
+  }
+  // Load charges: available-but-not-computed pays the load weight
+  // (infeasible when the node has no load edge).
+  for (NodeId v = 1; v < graph.num_nodes(); ++v) {
+    const EdgeId ce = chosen_compute[static_cast<size_t>(v)];
+    const EdgeId le = loads[static_cast<size_t>(v)];
+    const double load_cost =
+        le != kInvalidEdge ? aug.edge_weight[static_cast<size_t>(le)]
+                           : BinaryEnergy::kHardConstraint;
+    if (ce == kInvalidEdge) {
+      energy.AddUnaryIfOne(avail_var(v), load_cost);
+    } else {
+      energy.AddPairwiseOneZero(avail_var(v), comp_var.at(ce), load_cost);
+    }
+  }
+  HYPPO_ASSIGN_OR_RETURN(BinaryEnergy::Solution solution, energy.Minimize());
+
+  Plan plan;
+  std::vector<bool> in_plan(static_cast<size_t>(graph.num_edge_slots()),
+                            false);
+  auto add_edge = [&](EdgeId e) {
+    if (!in_plan[static_cast<size_t>(e)]) {
+      in_plan[static_cast<size_t>(e)] = true;
+      plan.edges.push_back(e);
+      plan.cost += aug.edge_weight[static_cast<size_t>(e)];
+      plan.seconds += aug.edge_seconds[static_cast<size_t>(e)];
+    }
+  };
+  for (const auto& [e, var] : comp_var) {
+    if (solution.labels[static_cast<size_t>(var)]) {
+      add_edge(e);
+    }
+  }
+  for (NodeId v = 1; v < graph.num_nodes(); ++v) {
+    if (!solution.labels[static_cast<size_t>(avail_var(v))]) {
+      continue;
+    }
+    const EdgeId ce = chosen_compute[static_cast<size_t>(v)];
+    const bool computed =
+        ce != kInvalidEdge && solution.labels[static_cast<size_t>(
+                                  comp_var.at(ce))];
+    if (!computed) {
+      const EdgeId le = loads[static_cast<size_t>(v)];
+      if (le == kInvalidEdge) {
+        return Status::Internal(
+            "reuse solver marked an unloadable artifact as loaded");
+      }
+      add_edge(le);
+    }
+  }
+  return plan;
+}
+
+}  // namespace hyppo::baselines

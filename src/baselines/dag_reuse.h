@@ -1,0 +1,39 @@
+#ifndef HYPPO_BASELINES_DAG_REUSE_H_
+#define HYPPO_BASELINES_DAG_REUSE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/optimizer.h"
+
+namespace hyppo::baselines {
+
+/// \brief Exact optimal load-vs-compute ("reuse") decisions on a DAG —
+/// the polynomial special case Helix solves via project selection / max
+/// flow (paper §II: "Helix tackles the optimal reuse plan as a solvable
+/// project selection problem").
+///
+/// The graph is an augmentation in which every non-source artifact has at
+/// most one *chosen* compute hyperedge (`chosen_compute[v]`, kInvalidEdge
+/// when the node can only be loaded) plus optionally a 'load' hyperedge.
+/// The solver chooses, for every artifact needed by `targets`, whether to
+/// load it (paying its load weight) or compute it (paying the task weight
+/// once, and requiring all task inputs to be available), pruning
+/// un-needed ancestors. Encoded as a submodular binary energy and solved
+/// with a single min-cut (see binary_energy.h).
+Result<core::Plan> SolveDagReuse(const core::Augmentation& aug,
+                                 const std::vector<EdgeId>& chosen_compute,
+                                 const std::vector<NodeId>& targets);
+
+/// Returns, per node, the first (lowest edge id) non-load incoming edge —
+/// the "original derivation" selection used by the baselines, which treat
+/// parallel equivalent derivations as invisible.
+std::vector<EdgeId> OriginalDerivations(const core::Augmentation& aug);
+
+/// Returns, per node, its 'load' hyperedge if present (kInvalidEdge
+/// otherwise).
+std::vector<EdgeId> LoadEdges(const core::Augmentation& aug);
+
+}  // namespace hyppo::baselines
+
+#endif  // HYPPO_BASELINES_DAG_REUSE_H_

@@ -1,0 +1,108 @@
+#include "baselines/flow.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace hyppo::baselines {
+
+namespace {
+constexpr double kEps = 1e-12;
+}  // namespace
+
+MaxFlow::MaxFlow(int32_t num_nodes)
+    : adjacency_(static_cast<size_t>(num_nodes)),
+      head_(static_cast<size_t>(num_nodes), 0),
+      level_(static_cast<size_t>(num_nodes), -1) {}
+
+int32_t MaxFlow::AddEdge(int32_t from, int32_t to, double capacity) {
+  Edge forward{to, capacity,
+               static_cast<int32_t>(adjacency_[static_cast<size_t>(to)].size())};
+  Edge backward{
+      from, 0.0,
+      static_cast<int32_t>(adjacency_[static_cast<size_t>(from)].size())};
+  adjacency_[static_cast<size_t>(from)].push_back(forward);
+  adjacency_[static_cast<size_t>(to)].push_back(backward);
+  return static_cast<int32_t>(adjacency_[static_cast<size_t>(from)].size()) -
+         1;
+}
+
+bool MaxFlow::Bfs(int32_t source, int32_t sink) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::deque<int32_t> queue;
+  level_[static_cast<size_t>(source)] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    int32_t node = queue.front();
+    queue.pop_front();
+    for (const Edge& edge : adjacency_[static_cast<size_t>(node)]) {
+      if (edge.capacity > kEps && level_[static_cast<size_t>(edge.to)] < 0) {
+        level_[static_cast<size_t>(edge.to)] =
+            level_[static_cast<size_t>(node)] + 1;
+        queue.push_back(edge.to);
+      }
+    }
+  }
+  return level_[static_cast<size_t>(sink)] >= 0;
+}
+
+double MaxFlow::Dfs(int32_t node, int32_t sink, double pushed) {
+  if (node == sink || pushed <= kEps) {
+    return pushed;
+  }
+  for (int32_t& i = head_[static_cast<size_t>(node)];
+       i < static_cast<int32_t>(adjacency_[static_cast<size_t>(node)].size());
+       ++i) {
+    Edge& edge = adjacency_[static_cast<size_t>(node)][static_cast<size_t>(i)];
+    if (edge.capacity <= kEps ||
+        level_[static_cast<size_t>(edge.to)] !=
+            level_[static_cast<size_t>(node)] + 1) {
+      continue;
+    }
+    const double flow = Dfs(edge.to, sink, std::min(pushed, edge.capacity));
+    if (flow > kEps) {
+      edge.capacity -= flow;
+      adjacency_[static_cast<size_t>(edge.to)][static_cast<size_t>(
+          edge.reverse)]
+          .capacity += flow;
+      return flow;
+    }
+  }
+  return 0.0;
+}
+
+double MaxFlow::Compute(int32_t source, int32_t sink) {
+  double total = 0.0;
+  while (Bfs(source, sink)) {
+    std::fill(head_.begin(), head_.end(), 0);
+    while (true) {
+      const double flow =
+          Dfs(source, sink, std::numeric_limits<double>::infinity());
+      if (flow <= kEps) {
+        break;
+      }
+      total += flow;
+    }
+  }
+  return total;
+}
+
+std::vector<bool> MaxFlow::SourceSide(int32_t source) const {
+  std::vector<bool> reachable(adjacency_.size(), false);
+  std::deque<int32_t> queue;
+  reachable[static_cast<size_t>(source)] = true;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    int32_t node = queue.front();
+    queue.pop_front();
+    for (const Edge& edge : adjacency_[static_cast<size_t>(node)]) {
+      if (edge.capacity > kEps && !reachable[static_cast<size_t>(edge.to)]) {
+        reachable[static_cast<size_t>(edge.to)] = true;
+        queue.push_back(edge.to);
+      }
+    }
+  }
+  return reachable;
+}
+
+}  // namespace hyppo::baselines

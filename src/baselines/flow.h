@@ -1,0 +1,46 @@
+#ifndef HYPPO_BASELINES_FLOW_H_
+#define HYPPO_BASELINES_FLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hyppo::baselines {
+
+/// \brief Dinic's max-flow, the substrate of Helix's project-selection
+/// reuse optimizer (Helix reduces optimal reuse to MAX-FLOW / min-cut;
+/// see baselines/helix.h and binary_energy.h).
+class MaxFlow {
+ public:
+  explicit MaxFlow(int32_t num_nodes);
+
+  /// Adds a directed edge with the given capacity (plus a zero-capacity
+  /// reverse edge). Returns the edge index.
+  int32_t AddEdge(int32_t from, int32_t to, double capacity);
+
+  /// Computes the maximum s-t flow.
+  double Compute(int32_t source, int32_t sink);
+
+  /// After Compute: nodes reachable from the source in the residual graph
+  /// (the source side of a minimum cut).
+  std::vector<bool> SourceSide(int32_t source) const;
+
+  int32_t num_nodes() const { return static_cast<int32_t>(head_.size()); }
+
+ private:
+  struct Edge {
+    int32_t to;
+    double capacity;
+    int32_t reverse;  // index of the reverse edge in adjacency_[to]
+  };
+
+  bool Bfs(int32_t source, int32_t sink);
+  double Dfs(int32_t node, int32_t sink, double pushed);
+
+  std::vector<std::vector<Edge>> adjacency_;
+  std::vector<int32_t> head_;   // per-node DFS iterator
+  std::vector<int32_t> level_;  // BFS levels
+};
+
+}  // namespace hyppo::baselines
+
+#endif  // HYPPO_BASELINES_FLOW_H_

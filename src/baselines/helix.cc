@@ -1,0 +1,105 @@
+#include "baselines/helix.h"
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/dag_reuse.h"
+#include "common/clock.h"
+#include "core/materializer.h"
+
+namespace hyppo::baselines {
+
+Result<core::Method::Planned> HelixMethod::PlanPipeline(
+    const core::Pipeline& pipeline) {
+  WallClock clock;
+  Stopwatch stopwatch(clock);
+  core::Augmenter::Options options;
+  options.use_equivalences = false;
+  options.use_history = false;      // identical reuse only, via loads
+  options.use_materialized = true;  // materialized identical artifacts
+  options.objective = runtime_->options().objective;
+  HYPPO_ASSIGN_OR_RETURN(
+      core::Augmentation aug,
+      runtime_->augmenter().Augment(pipeline, runtime_->history(), options));
+  const std::vector<EdgeId> chosen = OriginalDerivations(aug);
+  HYPPO_ASSIGN_OR_RETURN(core::Plan plan,
+                         SolveDagReuse(aug, chosen, aug.targets));
+  Planned planned;
+  planned.aug = std::move(aug);
+  planned.plan = std::move(plan);
+  planned.optimize_seconds = stopwatch.Elapsed();
+  return planned;
+}
+
+Status HelixMethod::AfterExecution(
+    const core::Pipeline& /*pipeline*/, const Planned& /*planned*/,
+    const core::Runtime::ExecutionRecord& record) {
+  core::History& history = runtime_->history();
+  const storage::StorageTier local = storage::StorageTier::Local();
+
+  // Candidates: artifacts of the just-executed pipeline only.
+  struct Candidate {
+    NodeId node;
+    double benefit;
+    int64_t size;
+  };
+  std::vector<Candidate> candidates;
+  std::set<NodeId> current;
+  for (const auto& [name, payload] : record.payloads_by_name) {
+    Result<NodeId> node = history.graph().FindArtifact(name);
+    if (!node.ok()) {
+      continue;
+    }
+    current.insert(*node);
+    const core::ArtifactInfo& info = history.graph().artifact(*node);
+    if (info.kind == core::ArtifactKind::kRaw || info.size_bytes <= 0) {
+      continue;
+    }
+    const double compute = history.record(*node).compute_seconds;
+    const double load_store =
+        local.LoadSeconds(info.size_bytes) + local.StoreSeconds(info.size_bytes);
+    // Helix's heuristic: store when recomputation costs more than twice
+    // the (load + store) round trip.
+    if (compute > 2.0 * load_store) {
+      candidates.push_back(
+          Candidate{*node, compute / load_store, info.size_bytes});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.benefit != b.benefit) {
+                return a.benefit > b.benefit;
+              }
+              return a.node < b.node;
+            });
+  core::Materializer::Decision decision;
+  int64_t used = 0;
+  const int64_t budget = runtime_->options().storage_budget_bytes;
+  std::set<NodeId> selected;
+  for (const Candidate& c : candidates) {
+    if (used + c.size > budget) {
+      continue;
+    }
+    selected.insert(c.node);
+    used += c.size;
+  }
+  // Evict everything not selected — including artifacts of older
+  // pipelines (no history beyond the previous iteration).
+  for (NodeId v : history.MaterializedArtifacts()) {
+    if (selected.count(v) == 0) {
+      decision.to_evict.push_back(v);
+    }
+  }
+  for (NodeId v : selected) {
+    if (!history.IsMaterialized(v)) {
+      decision.to_store.push_back(v);
+    }
+  }
+  decision.selected_bytes = used;
+  std::map<std::string, core::ArtifactPayload> available(
+      record.payloads_by_name.begin(), record.payloads_by_name.end());
+  return core::Materializer::Apply(history, runtime_->store(), decision,
+                                   available);
+}
+
+}  // namespace hyppo::baselines

@@ -1,0 +1,34 @@
+#ifndef HYPPO_BASELINES_HELIX_H_
+#define HYPPO_BASELINES_HELIX_H_
+
+#include <string>
+
+#include "core/method.h"
+
+namespace hyppo::baselines {
+
+/// \brief Reimplementation of Helix's policies (paper §II and §V-A):
+///
+///  - Reuse: per pipeline, the *optimal* load-vs-compute decision over the
+///    pipeline DAG with materialized identical artifacts, solved exactly
+///    via project selection / min-cut (baselines/dag_reuse.h). No
+///    equivalences: only identical artifacts are reused.
+///  - Materialization: restricted to the artifacts of the immediately
+///    preceding pipeline (Helix "does not keep history beyond the
+///    previous iteration"); an artifact is worth storing when recomputing
+///    it costs more than twice its load time, greedily under the budget.
+class HelixMethod final : public core::Method {
+ public:
+  explicit HelixMethod(core::Runtime* runtime) : core::Method(runtime) {}
+
+  std::string name() const override { return "Helix"; }
+
+  Result<Planned> PlanPipeline(const core::Pipeline& pipeline) override;
+  Status AfterExecution(const core::Pipeline& pipeline,
+                        const Planned& planned,
+                        const core::Runtime::ExecutionRecord& record) override;
+};
+
+}  // namespace hyppo::baselines
+
+#endif  // HYPPO_BASELINES_HELIX_H_

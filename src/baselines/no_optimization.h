@@ -1,0 +1,31 @@
+#ifndef HYPPO_BASELINES_NO_OPTIMIZATION_H_
+#define HYPPO_BASELINES_NO_OPTIMIZATION_H_
+
+#include <string>
+
+#include "core/method.h"
+
+namespace hyppo::baselines {
+
+/// \brief The paper's straw man: executes every pipeline exactly as
+/// written — no reuse, no materialization, no equivalences.
+class NoOptimizationMethod final : public core::Method {
+ public:
+  explicit NoOptimizationMethod(core::Runtime* runtime)
+      : core::Method(runtime) {}
+
+  std::string name() const override { return "NoOptimization"; }
+
+  Result<Planned> PlanPipeline(const core::Pipeline& pipeline) override;
+
+  Status AfterExecution(const core::Pipeline& /*pipeline*/,
+                        const Planned& /*planned*/,
+                        const core::Runtime::ExecutionRecord& /*record*/)
+      override {
+    return Status::OK();  // never materializes
+  }
+};
+
+}  // namespace hyppo::baselines
+
+#endif  // HYPPO_BASELINES_NO_OPTIMIZATION_H_

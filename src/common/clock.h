@@ -1,0 +1,59 @@
+#ifndef HYPPO_COMMON_CLOCK_H_
+#define HYPPO_COMMON_CLOCK_H_
+
+#include <chrono>
+
+namespace hyppo {
+
+/// \brief Time source abstraction.
+///
+/// Scenario experiments execute tasks for real and charge wall-clock time;
+/// planner-scalability experiments charge analytic task costs against a
+/// VirtualClock so runs are deterministic (DESIGN.md §4.3).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in seconds since an arbitrary epoch.
+  virtual double Now() const = 0;
+  /// Advances the clock by `seconds` (no-op for real clocks).
+  virtual void Advance(double seconds) = 0;
+};
+
+/// Monotonic wall clock. Advance() is ignored.
+class WallClock final : public Clock {
+ public:
+  double Now() const override {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  void Advance(double /*seconds*/) override {}
+};
+
+/// Deterministic simulated clock; time moves only via Advance().
+class VirtualClock final : public Clock {
+ public:
+  double Now() const override { return now_; }
+  void Advance(double seconds) override { now_ += seconds; }
+  void Reset(double now = 0.0) { now_ = now; }
+
+ private:
+  double now_ = 0.0;
+};
+
+/// RAII stopwatch over a Clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock& clock) : clock_(clock), start_(clock.Now()) {}
+  /// Seconds elapsed since construction or the last Restart().
+  double Elapsed() const { return clock_.Now() - start_; }
+  void Restart() { start_ = clock_.Now(); }
+
+ private:
+  const Clock& clock_;
+  double start_;
+};
+
+}  // namespace hyppo
+
+#endif  // HYPPO_COMMON_CLOCK_H_

@@ -1,0 +1,38 @@
+#include "common/hash.h"
+
+#include <array>
+
+namespace hyppo {
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    hash ^= static_cast<uint64_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+std::string HashToHex(uint64_t hash) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::array<char, 16> buf;
+  for (int i = 15; i >= 0; --i) {
+    buf[static_cast<size_t>(i)] = kDigits[hash & 0xf];
+    hash >>= 4;
+  }
+  return std::string(buf.data(), buf.size());
+}
+
+}  // namespace hyppo

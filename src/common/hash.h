@@ -1,0 +1,28 @@
+#ifndef HYPPO_COMMON_HASH_H_
+#define HYPPO_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hyppo {
+
+/// \brief 64-bit FNV-1a hash of a byte string.
+///
+/// Canonical artifact names (see core/parser.h) are fixed-size hashes of
+/// lineage strings; FNV-1a is stable across platforms and runs, which makes
+/// equivalence keys reproducible between sessions.
+uint64_t Fnv1a64(std::string_view data);
+
+/// \brief Mixes a new 64-bit value into an existing hash (splitmix64 finalizer).
+uint64_t HashCombine(uint64_t seed, uint64_t value);
+
+/// \brief splitmix64 finalizer; good avalanche for single integers.
+uint64_t Mix64(uint64_t x);
+
+/// \brief Renders a 64-bit hash as a 16-character lower-case hex string.
+std::string HashToHex(uint64_t hash);
+
+}  // namespace hyppo
+
+#endif  // HYPPO_COMMON_HASH_H_

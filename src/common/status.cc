@@ -1,0 +1,55 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hyppo {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kParseError:
+      return "ParseError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string result(StatusCodeToString(code_));
+  result += ": ";
+  result += message_;
+  return result;
+}
+
+void Status::Abort(const char* context) const {
+  if (ok()) {
+    return;
+  }
+  std::fprintf(stderr, "HYPPO fatal: %s%s%s\n", context ? context : "",
+               context ? ": " : "", ToString().c_str());
+  std::abort();
+}
+
+}  // namespace hyppo

@@ -1,0 +1,103 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace hyppo {
+
+std::vector<std::string> StrSplit(std::string_view input, char delim) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(input.substr(start));
+      break;
+    }
+    parts.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      result += sep;
+    }
+    result += parts[i];
+  }
+  return result;
+}
+
+std::string_view StripWhitespace(std::string_view input) {
+  size_t begin = 0;
+  while (begin < input.size() &&
+         std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  size_t end = input.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view input, std::string_view prefix) {
+  return input.size() >= prefix.size() &&
+         input.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view input, std::string_view suffix) {
+  return input.size() >= suffix.size() &&
+         input.substr(input.size() - suffix.size()) == suffix;
+}
+
+std::string ToLower(std::string_view input) {
+  std::string result(input);
+  for (char& c : result) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return result;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    size_t last = s.find_last_not_of('0');
+    if (s[last] == '.') {
+      --last;
+    }
+    s.erase(last + 1);
+  }
+  return s;
+}
+
+std::string FormatBytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int unit = 0;
+  double value = bytes;
+  while (std::fabs(value) >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  return FormatDouble(value, 2) + " " + kUnits[unit];
+}
+
+std::string FormatSeconds(double seconds) {
+  if (std::fabs(seconds) < 1e-3) {
+    return FormatDouble(seconds * 1e6, 2) + " us";
+  }
+  if (std::fabs(seconds) < 1.0) {
+    return FormatDouble(seconds * 1e3, 2) + " ms";
+  }
+  return FormatDouble(seconds, 3) + " s";
+}
+
+}  // namespace hyppo

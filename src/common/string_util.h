@@ -1,0 +1,42 @@
+#ifndef HYPPO_COMMON_STRING_UTIL_H_
+#define HYPPO_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hyppo {
+
+/// Splits `input` on `delim`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view input, char delim);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view input);
+
+/// True if `input` begins with `prefix`.
+bool StartsWith(std::string_view input, std::string_view prefix);
+
+/// True if `input` ends with `suffix`.
+bool EndsWith(std::string_view input, std::string_view suffix);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view input);
+
+/// Formats a double with `precision` significant-looking decimals, trimming
+/// trailing zeros ("1.25", "3", "0.001").
+std::string FormatDouble(double value, int precision = 6);
+
+/// Formats a byte count with binary units ("1.5 MiB").
+std::string FormatBytes(double bytes);
+
+/// Formats a duration given in seconds with an adaptive unit
+/// ("12.3 ms", "4.56 s").
+std::string FormatSeconds(double seconds);
+
+}  // namespace hyppo
+
+#endif  // HYPPO_COMMON_STRING_UTIL_H_

@@ -1,0 +1,51 @@
+#ifndef HYPPO_COMMON_THREAD_POOL_H_
+#define HYPPO_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hyppo {
+
+/// \brief Fixed-size worker pool for executing independent tasks.
+///
+/// Used by the parallel plan executor: hyperedges whose inputs are all
+/// available form a wave and run concurrently. Submit() enqueues work;
+/// Wait() blocks until every submitted task has finished. The pool is not
+/// re-entrant (tasks must not Submit).
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is drained and all workers are idle.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int64_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace hyppo
+
+#endif  // HYPPO_COMMON_THREAD_POOL_H_

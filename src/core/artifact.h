@@ -1,0 +1,55 @@
+#ifndef HYPPO_CORE_ARTIFACT_H_
+#define HYPPO_CORE_ARTIFACT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "storage/artifact_store.h"
+
+namespace hyppo::core {
+
+/// \brief Artifact kinds tracked by HYPPO (paper §III-A and Fig. 5's
+/// artifact-type study).
+///
+/// `kRaw` is the original dataset; `kTrain`/`kTest` are split partitions
+/// (MBytes-scale); `kOpState` is a fitted operator state (KBytes-scale);
+/// `kPredictions` is a per-row prediction vector; `kValue` is a scalar
+/// metric (Bytes-scale). `kSource` labels only the special node s.
+enum class ArtifactKind {
+  kSource = 0,
+  kRaw,
+  kTrain,
+  kTest,
+  kData,  ///< derived feature data not tagged train/test
+  kOpState,
+  kPredictions,
+  kValue,
+};
+
+const char* ArtifactKindToString(ArtifactKind kind);
+
+/// \brief Node label of the pipeline/history hypergraphs.
+///
+/// `name` is the canonical lineage hash (core/naming.h): equivalent
+/// artifacts — produced by equivalent tasks on the same inputs — share the
+/// same name by construction, which is how the augmenter discovers
+/// equivalences (paper §IV-C).
+struct ArtifactInfo {
+  std::string name;
+  ArtifactKind kind = ArtifactKind::kData;
+  /// Human-readable label for debugging ("train", "scaler_state", ...).
+  std::string display;
+  /// Size estimate in bytes (observed after execution; propagated
+  /// statically during parsing before that).
+  int64_t size_bytes = 0;
+  /// Shape estimate, used by the cost estimator for task cost prediction.
+  int64_t rows = 0;
+  int64_t cols = 0;
+};
+
+using storage::ArtifactPayload;
+
+}  // namespace hyppo::core
+
+#endif  // HYPPO_CORE_ARTIFACT_H_

@@ -1,0 +1,61 @@
+#include "core/dictionary.h"
+
+#include <algorithm>
+
+namespace hyppo::core {
+
+Dictionary Dictionary::FromRegistry(const ml::OperatorRegistry& registry) {
+  Dictionary dictionary;
+  static constexpr TaskType kTypes[] = {TaskType::kSplit, TaskType::kFit,
+                                        TaskType::kTransform,
+                                        TaskType::kPredict,
+                                        TaskType::kEvaluate};
+  for (const std::string& lop : registry.LogicalOps()) {
+    for (const ml::PhysicalOperator* op : registry.ImplsFor(lop)) {
+      for (TaskType type : kTypes) {
+        Result<ml::MlTask> ml_task = ToMlTask(type);
+        if (!ml_task.ok()) {
+          continue;
+        }
+        if (op->SupportsTask(*ml_task)) {
+          dictionary.Register(lop, type, op->impl_name())
+              .Abort("Dictionary::FromRegistry");
+        }
+      }
+    }
+  }
+  return dictionary;
+}
+
+Status Dictionary::Register(const std::string& logical_op, TaskType type,
+                            const std::string& impl) {
+  std::vector<std::string>& impls = entries_[Key(logical_op, type)];
+  if (std::find(impls.begin(), impls.end(), impl) != impls.end()) {
+    return Status::AlreadyExists("impl '" + impl + "' already registered for " +
+                                 Key(logical_op, type));
+  }
+  impls.push_back(impl);
+  return Status::OK();
+}
+
+const std::vector<std::string>& Dictionary::ImplsFor(
+    const std::string& logical_op, TaskType type) const {
+  static const std::vector<std::string> kEmpty;
+  auto it = entries_.find(Key(logical_op, type));
+  return it == entries_.end() ? kEmpty : it->second;
+}
+
+bool Dictionary::Knows(const std::string& logical_op, TaskType type) const {
+  return entries_.count(Key(logical_op, type)) > 0;
+}
+
+std::vector<std::string> Dictionary::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, impls] : entries_) {
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+}  // namespace hyppo::core

@@ -1,0 +1,60 @@
+#ifndef HYPPO_CORE_DICTIONARY_H_
+#define HYPPO_CORE_DICTIONARY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/task.h"
+#include "ml/registry.h"
+
+namespace hyppo::core {
+
+/// \brief The task dictionary D (paper §IV-B): maps `lop.tasktype` to the
+/// list of equivalent physical implementations.
+///
+/// Entries are keyed by logical operator + task type; each value is an
+/// ordered list of implementation names resolvable in the ML operator
+/// registry. Logical operators with multiple implementations are the
+/// candidates for equivalence-based optimization. Unknown operators are
+/// treated as having the single implementation the user provided
+/// (paper §IV-C).
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Builds the default dictionary from every operator in `registry`,
+  /// grouping implementations by logical operator and supported task
+  /// types. This yields the paper's "40 operators" catalog (logical op ×
+  /// task type entries over the built-in operator set).
+  static Dictionary FromRegistry(const ml::OperatorRegistry& registry);
+
+  /// Registers one implementation for `lop.tasktype`.
+  Status Register(const std::string& logical_op, TaskType type,
+                  const std::string& impl);
+
+  /// Implementations of `lop.tasktype` (empty if unknown).
+  const std::vector<std::string>& ImplsFor(const std::string& logical_op,
+                                           TaskType type) const;
+
+  /// True if the logical operator is known for this task type.
+  bool Knows(const std::string& logical_op, TaskType type) const;
+
+  /// Number of dictionary entries (lop × tasktype pairs).
+  size_t num_entries() const { return entries_.size(); }
+
+  /// All entry keys, "lop.tasktype", sorted.
+  std::vector<std::string> Keys() const;
+
+ private:
+  static std::string Key(const std::string& logical_op, TaskType type) {
+    return logical_op + "." + TaskTypeToString(type);
+  }
+
+  std::map<std::string, std::vector<std::string>> entries_;
+};
+
+}  // namespace hyppo::core
+
+#endif  // HYPPO_CORE_DICTIONARY_H_

@@ -1,0 +1,292 @@
+#include "core/executor.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/thread_pool.h"
+#include "hypergraph/algorithms.h"
+
+namespace hyppo::core {
+
+namespace {
+
+// Splits input payloads by kind in declaration order.
+Result<ml::TaskInputs> BindInputs(
+    const PipelineGraph& graph, EdgeId edge,
+    const std::map<NodeId, ArtifactPayload>& payloads) {
+  ml::TaskInputs inputs;
+  for (NodeId in : graph.ordered_tail(edge)) {
+    if (in == graph.source()) {
+      continue;
+    }
+    auto it = payloads.find(in);
+    if (it == payloads.end()) {
+      return Status::Internal("input artifact '" +
+                              graph.artifact(in).display +
+                              "' has no payload; plan order is broken");
+    }
+    const ArtifactPayload& payload = it->second;
+    if (const auto* dataset = std::get_if<ml::DatasetPtr>(&payload)) {
+      inputs.datasets.push_back(*dataset);
+    } else if (const auto* state = std::get_if<ml::OpStatePtr>(&payload)) {
+      inputs.states.push_back(*state);
+    } else if (const auto* preds =
+                   std::get_if<ml::PredictionsPtr>(&payload)) {
+      inputs.predictions.push_back(*preds);
+    } else {
+      return Status::Internal("unsupported input payload kind for task " +
+                              graph.task(edge).logical_op);
+    }
+  }
+  return inputs;
+}
+
+// Primary data shape of a task's inputs, for monitoring.
+void InputShape(const PipelineGraph& graph, EdgeId edge, int64_t* rows,
+                int64_t* cols) {
+  *rows = 1;
+  *cols = 1;
+  for (NodeId in : graph.ordered_tail(edge)) {
+    const ArtifactInfo& a = graph.artifact(in);
+    if (a.kind != ArtifactKind::kOpState && a.kind != ArtifactKind::kSource) {
+      *rows = a.rows;
+      *cols = a.cols;
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Result<double> Executor::RunLoadTask(
+    const PipelineGraph& graph, EdgeId edge,
+    const std::map<NodeId, ArtifactPayload>& /*inputs*/,
+    std::map<NodeId, ArtifactPayload>* outputs, bool simulate) const {
+  const NodeId head = graph.ordered_head(edge)[0];
+  const ArtifactInfo& artifact = graph.artifact(head);
+  if (simulate) {
+    (*outputs)[head] = std::monostate{};
+    const bool raw = artifact.kind == ArtifactKind::kRaw;
+    const storage::StorageTier tier = raw ? storage::StorageTier::Remote()
+                                          : store_->tier();
+    return tier.LoadSeconds(artifact.size_bytes);
+  }
+  if (artifact.kind == ArtifactKind::kRaw) {
+    if (!resolver_) {
+      return Status::FailedPrecondition(
+          "no dataset resolver registered for raw load of '" +
+          artifact.display + "'");
+    }
+    HYPPO_ASSIGN_OR_RETURN(ml::DatasetPtr dataset, resolver_(artifact.display));
+    const int64_t bytes = dataset->SizeBytes();
+    (*outputs)[head] = dataset;
+    return storage::StorageTier::Remote().LoadSeconds(bytes);
+  }
+  HYPPO_ASSIGN_OR_RETURN(ArtifactPayload payload,
+                         store_->Get(artifact.name));
+  const int64_t bytes = storage::PayloadSizeBytes(payload);
+  (*outputs)[head] = std::move(payload);
+  return store_->LoadSeconds(bytes);
+}
+
+Result<double> Executor::RunComputeTask(
+    const PipelineGraph& graph, EdgeId edge,
+    const std::map<NodeId, ArtifactPayload>& inputs,
+    std::map<NodeId, ArtifactPayload>* outputs) const {
+  const TaskInfo& task = graph.task(edge);
+  HYPPO_ASSIGN_OR_RETURN(const ml::PhysicalOperator* op,
+                         registry_->Get(task.impl));
+  HYPPO_ASSIGN_OR_RETURN(ml::MlTask ml_task, ToMlTask(task.type));
+  HYPPO_ASSIGN_OR_RETURN(ml::TaskInputs bound,
+                         BindInputs(graph, edge, inputs));
+  WallClock clock;
+  Stopwatch stopwatch(clock);
+  HYPPO_ASSIGN_OR_RETURN(ml::TaskOutputs produced,
+                         op->Execute(ml_task, bound, task.config));
+  const double seconds = stopwatch.Elapsed();
+  // Bind outputs to head nodes: flattened in (datasets, states,
+  // predictions, values) order, which matches head declaration order for
+  // every operator in the catalog (each task type emits one kind).
+  std::vector<ArtifactPayload> flat;
+  for (auto& dataset : produced.datasets) {
+    flat.emplace_back(std::move(dataset));
+  }
+  for (auto& state : produced.states) {
+    flat.emplace_back(std::move(state));
+  }
+  for (auto& preds : produced.predictions) {
+    flat.emplace_back(std::move(preds));
+  }
+  for (double value : produced.values) {
+    flat.emplace_back(value);
+  }
+  const std::vector<NodeId>& heads = graph.ordered_head(edge);
+  if (flat.size() != heads.size()) {
+    return Status::Internal(
+        task.impl + "." + TaskTypeToString(task.type) + " produced " +
+        std::to_string(flat.size()) + " outputs for " +
+        std::to_string(heads.size()) + " declared artifacts");
+  }
+  for (size_t i = 0; i < heads.size(); ++i) {
+    (*outputs)[heads[i]] = std::move(flat[i]);
+  }
+  return seconds;
+}
+
+Result<Executor::ExecutionResult> Executor::ExecuteSerial(
+    const Augmentation& aug, const Plan& plan,
+    const Options& options) const {
+  const PipelineGraph& graph = aug.graph;
+  HYPPO_ASSIGN_OR_RETURN(
+      std::vector<EdgeId> order,
+      BTopologicalEdgeOrder(graph.hypergraph(), plan.edges,
+                            {graph.source()}));
+  ExecutionResult result;
+  for (EdgeId edge : order) {
+    const TaskInfo& task = graph.task(edge);
+    double seconds = 0.0;
+    if (options.simulate) {
+      if (task.type == TaskType::kLoad) {
+        HYPPO_ASSIGN_OR_RETURN(
+            seconds, RunLoadTask(graph, edge, result.payloads,
+                                 &result.payloads, true));
+      } else {
+        seconds = aug.edge_seconds[static_cast<size_t>(edge)];
+        for (NodeId head : graph.ordered_head(edge)) {
+          result.payloads[head] = std::monostate{};
+        }
+      }
+    } else if (task.type == TaskType::kLoad) {
+      HYPPO_ASSIGN_OR_RETURN(
+          seconds,
+          RunLoadTask(graph, edge, result.payloads, &result.payloads, false));
+    } else {
+      HYPPO_ASSIGN_OR_RETURN(
+          seconds,
+          RunComputeTask(graph, edge, result.payloads, &result.payloads));
+    }
+    result.total_seconds += seconds;
+    result.task_runs.push_back(TaskRun{edge, seconds});
+    if (monitor_ != nullptr) {
+      int64_t rows = 1;
+      int64_t cols = 1;
+      InputShape(graph, edge, &rows, &cols);
+      monitor_->RecordTask(task.impl, task.type, rows, cols, seconds);
+    }
+  }
+  result.critical_path_seconds = result.total_seconds;
+  return result;
+}
+
+Result<Executor::ExecutionResult> Executor::ExecuteParallel(
+    const Augmentation& aug, const Plan& plan,
+    const Options& options) const {
+  const PipelineGraph& graph = aug.graph;
+  const Hypergraph& hg = graph.hypergraph();
+  // Validate executability up front (same check the serial path performs).
+  HYPPO_RETURN_NOT_OK(
+      BTopologicalEdgeOrder(hg, plan.edges, {graph.source()}).status());
+
+  std::vector<bool> in_plan(static_cast<size_t>(hg.num_edge_slots()), false);
+  std::vector<int32_t> missing_tail(static_cast<size_t>(hg.num_edge_slots()),
+                                    0);
+  for (EdgeId e : plan.edges) {
+    in_plan[static_cast<size_t>(e)] = true;
+    missing_tail[static_cast<size_t>(e)] =
+        static_cast<int32_t>(hg.edge(e).tail.size());
+  }
+  std::vector<bool> available(static_cast<size_t>(hg.num_nodes()), false);
+  std::vector<bool> fired(static_cast<size_t>(hg.num_edge_slots()), false);
+  std::deque<EdgeId> ready;
+  auto mark_available = [&](NodeId node) {
+    if (available[static_cast<size_t>(node)]) {
+      return;
+    }
+    available[static_cast<size_t>(node)] = true;
+    for (EdgeId e : hg.fstar(node)) {
+      if (in_plan[static_cast<size_t>(e)] &&
+          --missing_tail[static_cast<size_t>(e)] == 0) {
+        ready.push_back(e);
+      }
+    }
+  };
+  available[static_cast<size_t>(graph.source())] = true;
+  for (EdgeId e : hg.fstar(graph.source())) {
+    if (in_plan[static_cast<size_t>(e)] &&
+        --missing_tail[static_cast<size_t>(e)] == 0) {
+      ready.push_back(e);
+    }
+  }
+  for (EdgeId e : plan.edges) {
+    if (hg.edge(e).tail.empty() && !fired[static_cast<size_t>(e)]) {
+      ready.push_back(e);
+    }
+  }
+
+  ExecutionResult result;
+  ThreadPool pool(options.parallelism);
+  struct WaveOutcome {
+    EdgeId edge = kInvalidEdge;
+    Result<double> seconds = Status::Internal("not run");
+    std::map<NodeId, ArtifactPayload> outputs;
+  };
+  while (!ready.empty()) {
+    // One wave: everything currently ready runs concurrently against the
+    // frozen payload map; outputs merge afterwards.
+    std::vector<EdgeId> wave(ready.begin(), ready.end());
+    ready.clear();
+    std::vector<WaveOutcome> outcomes(wave.size());
+    for (size_t i = 0; i < wave.size(); ++i) {
+      outcomes[i].edge = wave[i];
+      fired[static_cast<size_t>(wave[i])] = true;
+      pool.Submit([this, &graph, &result, &outcomes, i]() {
+        WaveOutcome& outcome = outcomes[i];
+        const TaskInfo& task = graph.task(outcome.edge);
+        if (task.type == TaskType::kLoad) {
+          outcome.seconds = RunLoadTask(graph, outcome.edge, result.payloads,
+                                        &outcome.outputs, false);
+        } else {
+          outcome.seconds = RunComputeTask(graph, outcome.edge,
+                                           result.payloads, &outcome.outputs);
+        }
+      });
+    }
+    pool.Wait();
+    double wave_max = 0.0;
+    for (WaveOutcome& outcome : outcomes) {
+      HYPPO_ASSIGN_OR_RETURN(double seconds, std::move(outcome.seconds));
+      result.total_seconds += seconds;
+      wave_max = std::max(wave_max, seconds);
+      result.task_runs.push_back(TaskRun{outcome.edge, seconds});
+      if (monitor_ != nullptr) {
+        int64_t rows = 1;
+        int64_t cols = 1;
+        InputShape(graph, outcome.edge, &rows, &cols);
+        monitor_->RecordTask(graph.task(outcome.edge).impl,
+                             graph.task(outcome.edge).type, rows, cols,
+                             seconds);
+      }
+      for (auto& [node, payload] : outcome.outputs) {
+        result.payloads[node] = std::move(payload);
+      }
+    }
+    result.critical_path_seconds += wave_max;
+    for (const WaveOutcome& outcome : outcomes) {
+      for (NodeId head : graph.ordered_head(outcome.edge)) {
+        mark_available(head);
+      }
+    }
+  }
+  return result;
+}
+
+Result<Executor::ExecutionResult> Executor::Execute(
+    const Augmentation& aug, const Plan& plan,
+    const Options& options) const {
+  if (!options.simulate && options.parallelism > 1) {
+    return ExecuteParallel(aug, plan, options);
+  }
+  return ExecuteSerial(aug, plan, options);
+}
+
+}  // namespace hyppo::core

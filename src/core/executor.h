@@ -1,0 +1,102 @@
+#ifndef HYPPO_CORE_EXECUTOR_H_
+#define HYPPO_CORE_EXECUTOR_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "core/monitor.h"
+#include "core/optimizer.h"
+#include "ml/registry.h"
+#include "storage/artifact_store.h"
+
+namespace hyppo::core {
+
+/// Resolves a raw dataset id (the artifact's display name) to its data —
+/// the stand-in for the paper's remote storage locations. Called once per
+/// raw-load task in real execution mode.
+using DatasetResolver =
+    std::function<Result<ml::DatasetPtr>(const std::string& dataset_id)>;
+
+/// \brief Executes plans: topologically orders the plan's tasks, binds
+/// artifact payloads to task inputs, runs physical operators (or simulates
+/// them), and reports per-task timings for the monitor and the history.
+class Executor {
+ public:
+  struct Options {
+    /// Simulation mode: no operator runs; each task charges its estimated
+    /// duration (augmentation edge_seconds) and produces placeholder
+    /// payloads. Used by the planner-scalability experiments and the
+    /// paper-scale scenario sweeps.
+    bool simulate = false;
+    /// Worker threads for real execution. With > 1, independent plan
+    /// branches (hyperedges whose inputs are all available) run
+    /// concurrently in waves. `total_seconds` semantics are unchanged
+    /// (sum of per-task times — the billable compute the cost model
+    /// prices); `critical_path_seconds` reports the parallel wall time.
+    /// Ignored in simulation mode.
+    int parallelism = 1;
+  };
+
+  struct TaskRun {
+    EdgeId edge = kInvalidEdge;
+    double seconds = 0.0;
+  };
+
+  struct ExecutionResult {
+    /// Total charged time: wall-clock for computes, storage-model time for
+    /// loads (estimates everywhere in simulation mode).
+    double total_seconds = 0.0;
+    /// Wall time along the parallel schedule (== total_seconds for serial
+    /// execution).
+    double critical_path_seconds = 0.0;
+    std::vector<TaskRun> task_runs;
+    /// Payload per produced/loaded artifact node.
+    std::map<NodeId, ArtifactPayload> payloads;
+  };
+
+  Executor(storage::ArtifactStore* store, DatasetResolver resolver,
+           Monitor* monitor,
+           const ml::OperatorRegistry* registry =
+               &ml::OperatorRegistry::Global())
+      : store_(store),
+        resolver_(std::move(resolver)),
+        monitor_(monitor),
+        registry_(registry) {}
+
+  /// Executes `plan` over the augmentation it was derived from.
+  Result<ExecutionResult> Execute(const Augmentation& aug, const Plan& plan,
+                                  const Options& options) const;
+
+ private:
+  /// Runs one task reading inputs from `inputs` and writing produced
+  /// payloads into `outputs` (which may alias `inputs` in serial mode;
+  /// parallel waves use private output fragments merged afterwards).
+  Result<double> RunLoadTask(const PipelineGraph& graph, EdgeId edge,
+                             const std::map<NodeId, ArtifactPayload>& inputs,
+                             std::map<NodeId, ArtifactPayload>* outputs,
+                             bool simulate) const;
+  Result<double> RunComputeTask(
+      const PipelineGraph& graph, EdgeId edge,
+      const std::map<NodeId, ArtifactPayload>& inputs,
+      std::map<NodeId, ArtifactPayload>* outputs) const;
+
+  Result<ExecutionResult> ExecuteSerial(const Augmentation& aug,
+                                        const Plan& plan,
+                                        const Options& options) const;
+  Result<ExecutionResult> ExecuteParallel(const Augmentation& aug,
+                                          const Plan& plan,
+                                          const Options& options) const;
+
+  storage::ArtifactStore* store_;
+  DatasetResolver resolver_;
+  Monitor* monitor_;
+  const ml::OperatorRegistry* registry_;
+};
+
+}  // namespace hyppo::core
+
+#endif  // HYPPO_CORE_EXECUTOR_H_

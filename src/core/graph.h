@@ -1,0 +1,114 @@
+#ifndef HYPPO_CORE_GRAPH_H_
+#define HYPPO_CORE_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/artifact.h"
+#include "core/task.h"
+#include "hypergraph/hypergraph.h"
+
+namespace hyppo::core {
+
+/// \brief A labelled directed hypergraph over artifacts and tasks — the
+/// representation shared by pipelines, augmentations, and the history
+/// (paper §III-C).
+///
+/// Node 0 is always the special source node `s` standing for all storage
+/// locations. Nodes are indexed by canonical artifact name; tasks keep
+/// their tails/heads in *declaration order* (the structural Hypergraph
+/// sorts them, but executor input binding needs the semantic order, e.g.
+/// ensemble base models must line up with their declared impls).
+class PipelineGraph {
+ public:
+  PipelineGraph();
+
+  PipelineGraph(const PipelineGraph&) = default;
+  PipelineGraph& operator=(const PipelineGraph&) = default;
+  PipelineGraph(PipelineGraph&&) noexcept = default;
+  PipelineGraph& operator=(PipelineGraph&&) noexcept = default;
+
+  NodeId source() const { return 0; }
+
+  /// Adds an artifact node; fails if the name already exists.
+  Result<NodeId> AddArtifact(ArtifactInfo info);
+
+  /// Returns the node with this name, adding it if absent.
+  NodeId GetOrAddArtifact(const ArtifactInfo& info);
+
+  /// Adds a task hyperedge with ordered tails/heads (node ids must exist).
+  Result<EdgeId> AddTask(TaskInfo info, std::vector<NodeId> tails,
+                         std::vector<NodeId> heads);
+
+  /// Adds a load task s -> node (the node becomes retrievable from
+  /// storage). Returns the edge id.
+  Result<EdgeId> AddLoadTask(NodeId node);
+
+  /// Removes a task edge (used for load-edge eviction in the history).
+  Status RemoveTask(EdgeId edge);
+
+  const Hypergraph& hypergraph() const { return graph_; }
+
+  int32_t num_artifacts() const { return graph_.num_nodes(); }
+  int32_t num_tasks() const { return graph_.num_edges(); }
+
+  const ArtifactInfo& artifact(NodeId node) const {
+    return artifacts_[static_cast<size_t>(node)];
+  }
+  ArtifactInfo& artifact(NodeId node) {
+    return artifacts_[static_cast<size_t>(node)];
+  }
+
+  const TaskInfo& task(EdgeId edge) const {
+    return tasks_[static_cast<size_t>(edge)];
+  }
+  TaskInfo& task(EdgeId edge) { return tasks_[static_cast<size_t>(edge)]; }
+
+  /// Ordered (declaration-order) tail/head node lists of a task.
+  const std::vector<NodeId>& ordered_tail(EdgeId edge) const {
+    return ordered_tails_[static_cast<size_t>(edge)];
+  }
+  const std::vector<NodeId>& ordered_head(EdgeId edge) const {
+    return ordered_heads_[static_cast<size_t>(edge)];
+  }
+
+  /// Looks up an artifact node by canonical name.
+  Result<NodeId> FindArtifact(const std::string& name) const;
+  bool HasArtifact(const std::string& name) const {
+    return by_name_.count(name) > 0;
+  }
+
+  /// Sink artifacts: non-source nodes with an empty forward star — the
+  /// default targets of a pipeline (paper §III-C5).
+  std::vector<NodeId> SinkArtifacts() const;
+
+  /// A stable signature of a task edge (logical op, type, config, tail and
+  /// head names) used to deduplicate edges during augmentation.
+  std::string TaskSignature(EdgeId edge) const;
+
+  /// Graphviz dump with artifact/task labels.
+  std::string ToDot(const std::string& name) const;
+
+ private:
+  Hypergraph graph_;
+  std::vector<ArtifactInfo> artifacts_;
+  std::vector<TaskInfo> tasks_;
+  std::vector<std::vector<NodeId>> ordered_tails_;
+  std::vector<std::vector<NodeId>> ordered_heads_;
+  std::map<std::string, NodeId> by_name_;
+};
+
+/// \brief A parsed ML pipeline: a labelled hypergraph plus its requested
+/// target artifacts.
+struct Pipeline {
+  PipelineGraph graph;
+  std::vector<NodeId> targets;
+  /// Identifier used in experiment logs.
+  std::string id;
+};
+
+}  // namespace hyppo::core
+
+#endif  // HYPPO_CORE_GRAPH_H_

@@ -1,0 +1,168 @@
+#include "core/history.h"
+
+namespace hyppo::core {
+
+NodeId History::Observe(const ArtifactInfo& info) {
+  Result<NodeId> existing = graph_.FindArtifact(info.name);
+  if (existing.ok()) {
+    // Refresh metadata with the latest (typically observed) values.
+    ArtifactInfo& stored = graph_.artifact(*existing);
+    if (info.size_bytes > 0) {
+      stored.size_bytes = info.size_bytes;
+    }
+    if (info.rows > 0) {
+      stored.rows = info.rows;
+      stored.cols = info.cols;
+    }
+    return *existing;
+  }
+  NodeId node = graph_.AddArtifact(info).ValueOrDie();
+  EnsureRecords();
+  return node;
+}
+
+Result<EdgeId> History::ObserveTask(const TaskInfo& info,
+                                    const std::vector<NodeId>& tails,
+                                    const std::vector<NodeId>& heads,
+                                    double seconds) {
+  // Deduplicate by signature: the same task re-executed does not add a
+  // parallel edge.
+  TaskInfo copy = info;
+  std::string signature = copy.logical_op;
+  signature += '|';
+  signature += TaskTypeToString(copy.type);
+  signature += '|';
+  signature += copy.config.ToString();
+  signature += '|';
+  signature += copy.impl;
+  signature += '|';
+  for (NodeId t : tails) {
+    signature += graph_.artifact(t).name;
+    signature += ',';
+  }
+  signature += "->";
+  for (NodeId h : heads) {
+    signature += graph_.artifact(h).name;
+    signature += ',';
+  }
+  EdgeId edge = kInvalidEdge;
+  auto it = edge_by_signature_.find(signature);
+  if (it != edge_by_signature_.end()) {
+    edge = it->second;
+  } else {
+    HYPPO_ASSIGN_OR_RETURN(edge, graph_.AddTask(std::move(copy), tails, heads));
+    edge_by_signature_.emplace(std::move(signature), edge);
+    EnsureEdgeStats();
+  }
+  if (seconds >= 0.0) {
+    EdgeStats& stats = edge_stats_[static_cast<size_t>(edge)];
+    stats.total_seconds += seconds;
+    ++stats.count;
+  }
+  return edge;
+}
+
+Result<EdgeId> History::RegisterSourceData(NodeId node) {
+  EnsureRecords();
+  ArtifactRecord& rec = record(node);
+  if (rec.load_edge != kInvalidEdge) {
+    return rec.load_edge;
+  }
+  HYPPO_ASSIGN_OR_RETURN(EdgeId edge, graph_.AddLoadTask(node));
+  EnsureEdgeStats();
+  rec.load_edge = edge;
+  rec.materialized = true;  // retrievable from its source location
+  return edge;
+}
+
+void History::RecordAccess(NodeId node, double now_seconds) {
+  EnsureRecords();
+  ArtifactRecord& rec = record(node);
+  ++rec.access_count;
+  rec.last_access_seconds = now_seconds;
+}
+
+void History::RecordComputeSeconds(NodeId node, double seconds) {
+  EnsureRecords();
+  ArtifactRecord& rec = record(node);
+  rec.compute_seconds =
+      (rec.compute_seconds * static_cast<double>(rec.compute_observations) +
+       seconds) /
+      static_cast<double>(rec.compute_observations + 1);
+  ++rec.compute_observations;
+}
+
+Status History::MarkMaterialized(NodeId node) {
+  EnsureRecords();
+  ArtifactRecord& rec = record(node);
+  if (rec.materialized) {
+    return Status::OK();
+  }
+  HYPPO_ASSIGN_OR_RETURN(EdgeId edge, graph_.AddLoadTask(node));
+  EnsureEdgeStats();
+  rec.load_edge = edge;
+  rec.materialized = true;
+  return Status::OK();
+}
+
+Status History::EvictMaterialized(NodeId node) {
+  EnsureRecords();
+  if (IsSourceData(node)) {
+    return Status::FailedPrecondition(
+        "data sources are not candidates for eviction");
+  }
+  ArtifactRecord& rec = record(node);
+  if (!rec.materialized) {
+    return Status::FailedPrecondition("artifact is not materialized");
+  }
+  HYPPO_RETURN_NOT_OK(graph_.RemoveTask(rec.load_edge));
+  rec.load_edge = kInvalidEdge;
+  rec.materialized = false;
+  ++rec.version;
+  return Status::OK();
+}
+
+std::vector<NodeId> History::MaterializedArtifacts() const {
+  std::vector<NodeId> nodes;
+  for (NodeId v = 1; v < graph_.num_artifacts(); ++v) {
+    if (static_cast<size_t>(v) < records_.size() && record(v).materialized &&
+        !IsSourceData(v)) {
+      nodes.push_back(v);
+    }
+  }
+  return nodes;
+}
+
+int64_t History::MaterializedBytes() const {
+  int64_t bytes = 0;
+  for (NodeId v : MaterializedArtifacts()) {
+    bytes += graph_.artifact(v).size_bytes;
+  }
+  return bytes;
+}
+
+double History::ObservedTaskSeconds(EdgeId edge, double fallback) const {
+  if (static_cast<size_t>(edge) >= edge_stats_.size()) {
+    return fallback;
+  }
+  const EdgeStats& stats = edge_stats_[static_cast<size_t>(edge)];
+  if (stats.count == 0) {
+    return fallback;
+  }
+  return stats.total_seconds / static_cast<double>(stats.count);
+}
+
+bool History::HasTaskObservation(EdgeId edge) const {
+  return static_cast<size_t>(edge) < edge_stats_.size() &&
+         edge_stats_[static_cast<size_t>(edge)].count > 0;
+}
+
+std::pair<double, int64_t> History::TaskObservation(EdgeId edge) const {
+  if (static_cast<size_t>(edge) >= edge_stats_.size()) {
+    return {0.0, 0};
+  }
+  const EdgeStats& stats = edge_stats_[static_cast<size_t>(edge)];
+  return {stats.total_seconds, stats.count};
+}
+
+}  // namespace hyppo::core

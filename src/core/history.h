@@ -1,0 +1,127 @@
+#ifndef HYPPO_CORE_HISTORY_H_
+#define HYPPO_CORE_HISTORY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/graph.h"
+
+namespace hyppo::core {
+
+/// \brief Per-artifact execution statistics kept in the history
+/// (paper §III-C4: cost, size, access frequency, version).
+struct ArtifactRecord {
+  /// Mean observed wall time of tasks that produced this artifact.
+  double compute_seconds = 0.0;
+  int64_t compute_observations = 0;
+  /// How often pipelines requested (used) this artifact.
+  int64_t access_count = 0;
+  double last_access_seconds = 0.0;
+  int64_t version = 1;
+  /// Materialization state; a materialized artifact has a live 'load'
+  /// hyperedge from the source s.
+  bool materialized = false;
+  EdgeId load_edge = kInvalidEdge;
+};
+
+/// \brief The history H: a labelled hypergraph archiving all artifacts and
+/// tasks observed across pipeline executions, plus their statistics — the
+/// "dual cache" of §III-C4.
+///
+/// Artifacts are deduplicated by canonical name and tasks by signature, so
+/// re-running a pipeline does not grow the graph; it only updates
+/// statistics. Raw datasets keep a permanent 'load' edge from s (data
+/// sources are never evicted); derived artifacts gain a 'load' edge when
+/// materialized and lose it when evicted (§IV-H).
+class History {
+ public:
+  History() = default;
+
+  const PipelineGraph& graph() const { return graph_; }
+  PipelineGraph& graph() { return graph_; }
+
+  /// Finds or creates the artifact node for `info`, updating its metadata
+  /// with the (possibly more precise) sizes in `info`.
+  NodeId Observe(const ArtifactInfo& info);
+
+  /// Finds or creates the task edge; updates its observed duration.
+  /// Tail/head nodes must already exist in the history.
+  Result<EdgeId> ObserveTask(const TaskInfo& info,
+                             const std::vector<NodeId>& tails,
+                             const std::vector<NodeId>& heads,
+                             double seconds);
+
+  /// Marks the artifact as retrievable from raw storage (used for dataset
+  /// sources). Idempotent. The load edge is permanent.
+  Result<EdgeId> RegisterSourceData(NodeId node);
+
+  /// Records that a pipeline accessed (required) this artifact.
+  void RecordAccess(NodeId node, double now_seconds);
+
+  /// Records the observed compute duration for an artifact's production.
+  void RecordComputeSeconds(NodeId node, double seconds);
+
+  /// Adds a load edge for a newly materialized artifact.
+  Status MarkMaterialized(NodeId node);
+
+  /// Removes the load edge of an evicted artifact (the node and all other
+  /// incident hyperedges are kept). Fails for data sources.
+  Status EvictMaterialized(NodeId node);
+
+  bool IsMaterialized(NodeId node) const {
+    return record(node).materialized;
+  }
+  bool IsSourceData(NodeId node) const {
+    return graph_.artifact(node).kind == ArtifactKind::kRaw;
+  }
+
+  const ArtifactRecord& record(NodeId node) const {
+    return records_[static_cast<size_t>(node)];
+  }
+  ArtifactRecord& record(NodeId node) {
+    return records_[static_cast<size_t>(node)];
+  }
+
+  /// All currently materialized (non-source) artifacts.
+  std::vector<NodeId> MaterializedArtifacts() const;
+
+  /// Total bytes of materialized (non-source) artifacts.
+  int64_t MaterializedBytes() const;
+
+  /// Mean observed duration of a task edge; falls back to `fallback` when
+  /// never observed.
+  double ObservedTaskSeconds(EdgeId edge, double fallback) const;
+  bool HasTaskObservation(EdgeId edge) const;
+
+  /// Raw (total seconds, observation count) of a task edge — used by the
+  /// catalog persistence layer (core/history_io.h).
+  std::pair<double, int64_t> TaskObservation(EdgeId edge) const;
+
+  /// Number of artifacts excluding the source node.
+  int32_t num_artifacts() const { return graph_.num_artifacts() - 1; }
+  int32_t num_tasks() const { return graph_.num_tasks(); }
+
+ private:
+  struct EdgeStats {
+    double total_seconds = 0.0;
+    int64_t count = 0;
+  };
+
+  void EnsureRecords() {
+    records_.resize(static_cast<size_t>(graph_.num_artifacts()));
+  }
+  void EnsureEdgeStats() {
+    edge_stats_.resize(static_cast<size_t>(graph_.hypergraph().num_edge_slots()));
+  }
+
+  PipelineGraph graph_;
+  std::vector<ArtifactRecord> records_;
+  std::vector<EdgeStats> edge_stats_;
+  std::map<std::string, EdgeId> edge_by_signature_;
+};
+
+}  // namespace hyppo::core
+
+#endif  // HYPPO_CORE_HISTORY_H_

@@ -1,0 +1,45 @@
+#ifndef HYPPO_CORE_HISTORY_IO_H_
+#define HYPPO_CORE_HISTORY_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/history.h"
+#include "storage/artifact_store.h"
+
+namespace hyppo::core {
+
+/// \brief Catalog persistence: saving and restoring the history H together
+/// with the materialized-artifact store.
+///
+/// This is what turns HYPPO's history into the paper's *across-experiments*
+/// cache (§I): one data scientist's session can be saved and another
+/// session — or another user working on the same data — loads it and
+/// immediately reuses recorded derivations and materialized artifacts.
+///
+/// Layout: `<directory>/history.hyppo` holds the labelled hypergraph and
+/// all statistics (binary, see storage/serialization.h for the encoding
+/// primitives); each materialized payload lives in
+/// `<directory>/artifacts/<canonical-name>.bin`.
+
+/// Serializes the history graph + statistics to a byte buffer.
+Result<std::string> SerializeHistory(const History& history);
+
+/// Reconstructs a history from SerializeHistory output. Load edges for
+/// materialized artifacts and source-data registrations are rebuilt.
+Result<History> DeserializeHistory(const std::string& bytes);
+
+/// Saves history + store under `directory` (created if needed).
+Status SaveCatalog(const History& history,
+                   const storage::ArtifactStore& store,
+                   const std::string& directory);
+
+/// Loads history + store from `directory`. Artifacts recorded as
+/// materialized whose payload file is missing are evicted on load (the
+/// history stays consistent with the store).
+Status LoadCatalog(const std::string& directory, History* history,
+                   storage::ArtifactStore* store);
+
+}  // namespace hyppo::core
+
+#endif  // HYPPO_CORE_HISTORY_IO_H_

@@ -1,0 +1,107 @@
+#ifndef HYPPO_CORE_HYPPO_H_
+#define HYPPO_CORE_HYPPO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/materializer.h"
+#include "core/method.h"
+#include "core/parser.h"
+
+namespace hyppo::core {
+
+/// \brief The HYPPO method (paper §IV): augments each pipeline with
+/// equivalences, reuse opportunities, and materialized-artifact loads;
+/// searches the augmentation for the minimum-cost plan; and materializes
+/// artifacts by SPF gain under the storage budget.
+class HyppoMethod final : public Method {
+ public:
+  struct Options {
+    PlanGenerator::Options search;
+    Materializer::Options materialization;
+    Augmenter::Options augment;
+  };
+
+  explicit HyppoMethod(Runtime* runtime);
+  HyppoMethod(Runtime* runtime, Options options);
+
+  std::string name() const override { return "HYPPO"; }
+
+  Result<Planned> PlanPipeline(const Pipeline& pipeline) override;
+  Status AfterExecution(const Pipeline& pipeline, const Planned& planned,
+                        const Runtime::ExecutionRecord& record) override;
+  Result<Planned> PlanRetrieval(
+      const std::vector<std::string>& artifact_names) override;
+
+  const PlanGenerator::SearchStats& last_search_stats() const {
+    return last_stats_;
+  }
+
+ private:
+  Result<Planned> PlanAugmentation(Augmentation aug);
+
+  Options options_;
+  PlanGenerator generator_;
+  Materializer materializer_;
+  PlanGenerator::SearchStats last_stats_;
+};
+
+/// \brief User-facing facade: owns a Runtime and a HyppoMethod and exposes
+/// the paper's end-to-end loop — submit code, get an optimized plan, run
+/// it, and let the history manager materialize artifacts.
+class HyppoSystem {
+ public:
+  struct Options {
+    RuntimeOptions runtime;
+    HyppoMethod::Options method;
+  };
+
+  HyppoSystem();
+  explicit HyppoSystem(Options options);
+
+  /// Parses pipeline DSL code (see core/parser.h).
+  Result<Pipeline> Parse(const std::string& code, const std::string& id);
+
+  struct RunReport {
+    Plan plan;
+    /// Charged execution time of the optimized plan, in seconds.
+    double execute_seconds = 0.0;
+    /// Planning overhead in seconds.
+    double optimize_seconds = 0.0;
+    /// Estimated time the un-optimized pipeline would have taken.
+    double baseline_seconds = 0.0;
+    /// Number of tasks in the executed plan.
+    int32_t tasks_executed = 0;
+    /// Payloads of the pipeline's targets, by canonical name.
+    std::map<std::string, ArtifactPayload> target_payloads;
+  };
+
+  /// Optimizes, executes, records, and materializes one pipeline.
+  Result<RunReport> RunPipeline(const Pipeline& pipeline);
+
+  /// Convenience: parse + run.
+  Result<RunReport> RunCode(const std::string& code, const std::string& id);
+
+  /// Scenario-2 style retrieval: derive previously recorded artifacts at
+  /// minimum cost.
+  Result<RunReport> RetrieveArtifacts(
+      const std::vector<std::string>& artifact_names);
+
+  Runtime& runtime() { return *runtime_; }
+  HyppoMethod& method() { return *method_; }
+
+  /// Registers a raw dataset source.
+  void RegisterDataset(const std::string& dataset_id, ml::DatasetPtr data) {
+    runtime_->RegisterDataset(dataset_id, data);
+  }
+
+ private:
+  std::unique_ptr<Runtime> runtime_;
+  std::unique_ptr<HyppoMethod> method_;
+};
+
+}  // namespace hyppo::core
+
+#endif  // HYPPO_CORE_HYPPO_H_

@@ -1,0 +1,60 @@
+#ifndef HYPPO_CORE_METHOD_H_
+#define HYPPO_CORE_METHOD_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/optimizer.h"
+#include "core/runtime.h"
+
+namespace hyppo::core {
+
+/// \brief Interface of one optimization method in the experimental
+/// comparison: HYPPO and the baselines (NoOptimization, Sharing, Helix,
+/// Collab) all implement it against a shared Runtime.
+///
+/// The scenario runner drives the paper's workload loop:
+///   for each pipeline p:
+///     planned = method.PlanPipeline(p)       // reuse/equivalence decisions
+///     record  = runtime.ExecuteAndRecord(p, planned.aug, planned.plan)
+///     method.AfterExecution(p, planned, record)  // materialization policy
+class Method {
+ public:
+  struct Planned {
+    Augmentation aug;
+    Plan plan;
+    /// Wall time spent planning (the paper's "optimization overhead",
+    /// Fig. 9(b)).
+    double optimize_seconds = 0.0;
+  };
+
+  explicit Method(Runtime* runtime) : runtime_(runtime) {}
+  virtual ~Method() = default;
+
+  Method(const Method&) = delete;
+  Method& operator=(const Method&) = delete;
+
+  virtual std::string name() const = 0;
+
+  /// Derives the execution plan for one pipeline.
+  virtual Result<Planned> PlanPipeline(const Pipeline& pipeline) = 0;
+
+  /// Applies the method's materialization policy after execution.
+  virtual Status AfterExecution(const Pipeline& pipeline,
+                                const Planned& planned,
+                                const Runtime::ExecutionRecord& record) = 0;
+
+  /// Plans a retrieval request for artifacts already recorded in the
+  /// history (scenario 2). Default: NotImplemented.
+  virtual Result<Planned> PlanRetrieval(
+      const std::vector<std::string>& artifact_names);
+
+  Runtime& runtime() { return *runtime_; }
+
+ protected:
+  Runtime* runtime_;
+};
+
+}  // namespace hyppo::core
+
+#endif  // HYPPO_CORE_METHOD_H_

@@ -1,0 +1,24 @@
+#include "core/monitor.h"
+
+namespace hyppo::core {
+
+void Monitor::RecordTask(const std::string& impl, TaskType type, int64_t rows,
+                         int64_t cols, double seconds) {
+  Aggregate& agg = by_task_type_[type];
+  agg.total_seconds += seconds;
+  ++agg.count;
+  ++num_task_records_;
+  if (estimator_ != nullptr && type != TaskType::kLoad && !impl.empty()) {
+    estimator_->Observe(impl, type, rows, cols, seconds);
+  }
+}
+
+void Monitor::RecordArtifact(ArtifactKind kind, int64_t size_bytes,
+                             double compute_seconds) {
+  Aggregate& agg = by_artifact_kind_[kind];
+  agg.total_seconds += compute_seconds;
+  agg.total_bytes += size_bytes;
+  ++agg.count;
+}
+
+}  // namespace hyppo::core

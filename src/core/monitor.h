@@ -1,0 +1,64 @@
+#ifndef HYPPO_CORE_MONITOR_H_
+#define HYPPO_CORE_MONITOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/artifact.h"
+#include "core/cost_model.h"
+#include "core/task.h"
+
+namespace hyppo::core {
+
+/// \brief Execution monitor (paper §IV-F): collects task traces, feeds the
+/// cost estimator, and aggregates the per-task-type / per-artifact-kind
+/// statistics reported in the paper's Fig. 5 study.
+class Monitor {
+ public:
+  explicit Monitor(CostEstimator* estimator = nullptr)
+      : estimator_(estimator) {}
+
+  struct Aggregate {
+    double total_seconds = 0.0;
+    int64_t total_bytes = 0;
+    int64_t count = 0;
+
+    double MeanSeconds() const {
+      return count > 0 ? total_seconds / static_cast<double>(count) : 0.0;
+    }
+    double MeanBytes() const {
+      return count > 0
+                 ? static_cast<double>(total_bytes) / static_cast<double>(count)
+                 : 0.0;
+    }
+  };
+
+  /// Records one executed task; forwards the observation to the cost
+  /// estimator when attached.
+  void RecordTask(const std::string& impl, TaskType type, int64_t rows,
+                  int64_t cols, double seconds);
+
+  /// Records one produced artifact with its observed size and the compute
+  /// time attributed to it.
+  void RecordArtifact(ArtifactKind kind, int64_t size_bytes,
+                      double compute_seconds);
+
+  const std::map<TaskType, Aggregate>& by_task_type() const {
+    return by_task_type_;
+  }
+  const std::map<ArtifactKind, Aggregate>& by_artifact_kind() const {
+    return by_artifact_kind_;
+  }
+  int64_t num_task_records() const { return num_task_records_; }
+
+ private:
+  CostEstimator* estimator_;
+  std::map<TaskType, Aggregate> by_task_type_;
+  std::map<ArtifactKind, Aggregate> by_artifact_kind_;
+  int64_t num_task_records_ = 0;
+};
+
+}  // namespace hyppo::core
+
+#endif  // HYPPO_CORE_MONITOR_H_

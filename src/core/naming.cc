@@ -1,0 +1,34 @@
+#include "core/naming.h"
+
+#include "common/hash.h"
+
+namespace hyppo::core {
+
+std::string SourceArtifactName(const std::string& dataset_id) {
+  return HashToHex(Fnv1a64("source:" + dataset_id));
+}
+
+std::vector<std::string> TaskOutputNames(
+    const TaskInfo& task, const std::vector<std::string>& input_names,
+    int num_outputs) {
+  std::string lineage = task.logical_op;
+  lineage += '|';
+  lineage += TaskTypeToString(task.type);
+  lineage += '|';
+  lineage += task.config.ToString();
+  lineage += '|';
+  for (const std::string& input : input_names) {
+    lineage += input;
+    lineage += ';';
+  }
+  const uint64_t base = Fnv1a64(lineage);
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(num_outputs));
+  for (int i = 0; i < num_outputs; ++i) {
+    names.push_back(
+        HashToHex(HashCombine(base, static_cast<uint64_t>(i + 1))));
+  }
+  return names;
+}
+
+}  // namespace hyppo::core

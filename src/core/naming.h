@@ -1,0 +1,34 @@
+#ifndef HYPPO_CORE_NAMING_H_
+#define HYPPO_CORE_NAMING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/task.h"
+
+namespace hyppo::core {
+
+/// \brief Canonical artifact naming (paper §IV-C).
+///
+/// An artifact's name encodes its backward star recursively: the logical
+/// operator, task type, and configuration of the producing task, the names
+/// of its ordered inputs, and the output position. Names are 64-bit hashes
+/// rendered as fixed-size hex strings. Crucially the *physical
+/// implementation is excluded*, so artifacts produced by equivalent tasks
+/// (different implementations of the same logical operator on the same
+/// inputs) collide by construction — equivalence discovery reduces to name
+/// lookup in the history.
+
+/// Name of a raw dataset artifact identified by `dataset_id`
+/// (e.g. "higgs@1.0").
+std::string SourceArtifactName(const std::string& dataset_id);
+
+/// Names for the `num_outputs` outputs of a task applied to inputs with
+/// the given canonical names (in declaration order).
+std::vector<std::string> TaskOutputNames(
+    const TaskInfo& task, const std::vector<std::string>& input_names,
+    int num_outputs);
+
+}  // namespace hyppo::core
+
+#endif  // HYPPO_CORE_NAMING_H_

@@ -1,0 +1,517 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <queue>
+
+#include "common/hash.h"
+#include "hypergraph/algorithms.h"
+
+namespace hyppo::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// An incomplete plan (paper: Π with cost, visited, frontier, plan edges).
+struct Partial {
+  double cost = 0.0;
+  double priority = 0.0;  // cost + heuristic (A*), else cost
+  std::vector<uint64_t> visited;  // bitset over augmentation nodes
+  std::vector<NodeId> frontier;   // sorted; never contains the source
+  std::vector<EdgeId> edges;
+};
+
+bool TestBit(const std::vector<uint64_t>& bits, NodeId node) {
+  return (bits[static_cast<size_t>(node) >> 6] >>
+          (static_cast<size_t>(node) & 63)) &
+         1;
+}
+
+void SetBit(std::vector<uint64_t>& bits, NodeId node) {
+  bits[static_cast<size_t>(node) >> 6] |=
+      uint64_t{1} << (static_cast<size_t>(node) & 63);
+}
+
+uint64_t StateSignature(const Partial& partial) {
+  uint64_t hash = 0x9e3779b97f4a7c15ULL;
+  for (uint64_t word : partial.visited) {
+    hash = HashCombine(hash, word);
+  }
+  for (NodeId v : partial.frontier) {
+    hash = HashCombine(hash, static_cast<uint64_t>(v) + 1);
+  }
+  return hash;
+}
+
+// Admissible lower bound on the cost of completing a partial plan:
+// dist(v) = min over incoming edges e of w(e) + max over non-source tail
+// nodes of dist(u). Any plan deriving v pays at least dist(v); a partial
+// plan must still derive every frontier node, and the max over them is a
+// valid joint lower bound (shared sub-derivations prevent summing).
+std::vector<double> ComputeLowerBounds(const Augmentation& aug) {
+  const Hypergraph& graph = aug.graph.hypergraph();
+  const NodeId source = aug.graph.source();
+  std::vector<double> dist(static_cast<size_t>(graph.num_nodes()), kInf);
+  dist[static_cast<size_t>(source)] = 0.0;
+  // Fixed-point iteration; converges in at most the longest-path length.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (EdgeId e = 0; e < graph.num_edge_slots(); ++e) {
+      if (!graph.IsLiveEdge(e)) {
+        continue;
+      }
+      double tail_max = 0.0;
+      for (NodeId u : graph.edge(e).tail) {
+        if (u == source) {
+          continue;
+        }
+        tail_max = std::max(tail_max, dist[static_cast<size_t>(u)]);
+        if (tail_max == kInf) {
+          break;
+        }
+      }
+      if (tail_max == kInf) {
+        continue;
+      }
+      const double through = aug.edge_weight[static_cast<size_t>(e)] + tail_max;
+      for (NodeId h : graph.edge(e).head) {
+        if (through < dist[static_cast<size_t>(h)]) {
+          dist[static_cast<size_t>(h)] = through;
+          changed = true;
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+double HeuristicFor(const Partial& partial,
+                    const std::vector<double>& lower_bounds) {
+  double h = 0.0;
+  for (NodeId v : partial.frontier) {
+    h = std::max(h, lower_bounds[static_cast<size_t>(v)]);
+  }
+  return h == kInf ? 0.0 : h;
+}
+
+// Applies one move (a set of hyperedges, one per frontier node) to a
+// partial plan — the body of EXPAND (Algorithm 2, lines 6-14).
+Partial ApplyMove(const Augmentation& aug, const Partial& base,
+                  const std::vector<EdgeId>& move, NodeId source) {
+  Partial next;
+  next.cost = base.cost;
+  next.visited = base.visited;
+  next.edges = base.edges;
+  const Hypergraph& graph = aug.graph.hypergraph();
+  std::vector<NodeId> frontier_candidates;
+  for (EdgeId e : move) {
+    const Hyperedge& edge = graph.edge(e);
+    bool contributes = false;
+    for (NodeId h : edge.head) {
+      if (!TestBit(next.visited, h)) {
+        contributes = true;
+        break;
+      }
+    }
+    if (!contributes) {
+      continue;  // everything this edge produces is already planned
+    }
+    next.cost += aug.edge_weight[static_cast<size_t>(e)];
+    for (NodeId h : edge.head) {
+      SetBit(next.visited, h);
+    }
+    next.edges.push_back(e);
+    for (NodeId u : edge.tail) {
+      if (u != source && !TestBit(next.visited, u)) {
+        frontier_candidates.push_back(u);
+      }
+    }
+  }
+  // Candidates may have become visited by a later edge in the same move.
+  for (NodeId u : frontier_candidates) {
+    if (!TestBit(next.visited, u)) {
+      next.frontier.push_back(u);
+    }
+  }
+  std::sort(next.frontier.begin(), next.frontier.end());
+  next.frontier.erase(
+      std::unique(next.frontier.begin(), next.frontier.end()),
+      next.frontier.end());
+  return next;
+}
+
+// Enumerates the cross product of backward-star options over the frontier
+// (Algorithm 2, lines 2-5) and invokes `emit` per move.
+template <typename Emit>
+bool ForEachMove(const Augmentation& aug, const Partial& partial,
+                 int64_t* budget, const Emit& emit) {
+  const Hypergraph& graph = aug.graph.hypergraph();
+  const size_t k = partial.frontier.size();
+  std::vector<const std::vector<EdgeId>*> options(k);
+  for (size_t i = 0; i < k; ++i) {
+    options[i] = &graph.bstar(partial.frontier[i]);
+    if (options[i]->empty()) {
+      return true;  // dead end: some frontier node cannot be derived
+    }
+  }
+  std::vector<size_t> index(k, 0);
+  std::vector<EdgeId> move;
+  while (true) {
+    if (--(*budget) < 0) {
+      return false;
+    }
+    move.clear();
+    for (size_t i = 0; i < k; ++i) {
+      move.push_back((*options[i])[index[i]]);
+    }
+    std::sort(move.begin(), move.end());
+    move.erase(std::unique(move.begin(), move.end()), move.end());
+    emit(move);
+    // Advance the odometer.
+    size_t pos = 0;
+    while (pos < k && ++index[pos] == options[pos]->size()) {
+      index[pos] = 0;
+      ++pos;
+    }
+    if (pos == k) {
+      return true;
+    }
+  }
+}
+
+Partial MakeInitialPartial(const Augmentation& aug,
+                           const PlanGenerator::Options& options) {
+  const Hypergraph& graph = aug.graph.hypergraph();
+  const NodeId source = aug.graph.source();
+  Partial initial;
+  initial.visited.assign(
+      (static_cast<size_t>(graph.num_nodes()) + 63) / 64, 0);
+  for (NodeId t : aug.targets) {
+    initial.frontier.push_back(t);
+  }
+  // Exploration mode: force mo = ceil(#new_tasks * c_exp) new tasks into
+  // the initial plan (§IV-E).
+  if (options.exploration > 0.0 && !aug.new_tasks.empty()) {
+    const int64_t mo = static_cast<int64_t>(
+        std::ceil(static_cast<double>(aug.new_tasks.size()) *
+                  std::min(1.0, options.exploration)));
+    for (int64_t i = 0; i < mo; ++i) {
+      const EdgeId e = aug.new_tasks[static_cast<size_t>(i)];
+      const Hyperedge& edge = graph.edge(e);
+      bool contributes = false;
+      for (NodeId h : edge.head) {
+        if (!TestBit(initial.visited, h)) {
+          contributes = true;
+        }
+      }
+      if (!contributes) {
+        continue;
+      }
+      initial.cost += aug.edge_weight[static_cast<size_t>(e)];
+      initial.edges.push_back(e);
+      for (NodeId h : edge.head) {
+        SetBit(initial.visited, h);
+      }
+      for (NodeId u : edge.tail) {
+        if (u != source) {
+          initial.frontier.push_back(u);
+        }
+      }
+    }
+  }
+  std::sort(initial.frontier.begin(), initial.frontier.end());
+  initial.frontier.erase(
+      std::unique(initial.frontier.begin(), initial.frontier.end()),
+      initial.frontier.end());
+  // Frontier nodes already produced by forced tasks need no derivation.
+  std::vector<NodeId> frontier;
+  for (NodeId v : initial.frontier) {
+    if (!TestBit(initial.visited, v)) {
+      frontier.push_back(v);
+    }
+  }
+  initial.frontier = std::move(frontier);
+  return initial;
+}
+
+}  // namespace
+
+const char* PlanGenerator::StrategyToString(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kStack:
+      return "HYPPO-STACK";
+    case Strategy::kPriority:
+      return "HYPPO-PRIORITY";
+    case Strategy::kGreedy:
+      return "HYPPO-GREEDY";
+    case Strategy::kAStar:
+      return "HYPPO-ASTAR";
+  }
+  return "unknown";
+}
+
+Result<Plan> PlanGenerator::Optimize(const Augmentation& aug,
+                                     const Options& options,
+                                     SearchStats* stats) const {
+  return OptimizeForTargets(aug, aug.targets, options, stats);
+}
+
+Result<Plan> PlanGenerator::OptimizeForTargets(
+    const Augmentation& aug, const std::vector<NodeId>& targets,
+    const Options& options, SearchStats* stats) const {
+  if (targets.empty()) {
+    return Status::InvalidArgument("no target artifacts");
+  }
+  const Hypergraph& graph = aug.graph.hypergraph();
+  const NodeId source = aug.graph.source();
+  for (NodeId t : targets) {
+    if (!graph.IsValidNode(t) || t == source) {
+      return Status::InvalidArgument("invalid target node");
+    }
+  }
+  SearchStats local_stats;
+  SearchStats& st = stats != nullptr ? *stats : local_stats;
+
+  Augmentation const* aug_ptr = &aug;
+  Partial initial;
+  {
+    Augmentation targeted;  // only used to reuse MakeInitialPartial
+    PlanGenerator::Options init_options = options;
+    if (&targets != &aug.targets) {
+      // Build the initial partial from the requested targets.
+      Partial p;
+      p.visited.assign((static_cast<size_t>(graph.num_nodes()) + 63) / 64, 0);
+      p.frontier = targets;
+      std::sort(p.frontier.begin(), p.frontier.end());
+      p.frontier.erase(std::unique(p.frontier.begin(), p.frontier.end()),
+                       p.frontier.end());
+      initial = std::move(p);
+    } else {
+      initial = MakeInitialPartial(aug, init_options);
+    }
+    (void)targeted;
+  }
+
+  std::vector<double> lower_bounds;
+  if (options.strategy == Strategy::kAStar) {
+    lower_bounds = ComputeLowerBounds(aug);
+    initial.priority = initial.cost + HeuristicFor(initial, lower_bounds);
+  } else {
+    initial.priority = initial.cost;
+  }
+
+  // Greedy variant: follow the minimum-weight edge per frontier node;
+  // each node is expanded at most once (linear time).
+  if (options.strategy == Strategy::kGreedy) {
+    Partial current = std::move(initial);
+    while (!current.frontier.empty()) {
+      std::vector<EdgeId> move;
+      for (NodeId v : current.frontier) {
+        const std::vector<EdgeId>& choices = graph.bstar(v);
+        if (choices.empty()) {
+          return Status::FailedPrecondition(
+              "greedy search: artifact cannot be derived");
+        }
+        EdgeId best = choices[0];
+        for (EdgeId e : choices) {
+          if (aug.edge_weight[static_cast<size_t>(e)] <
+              aug.edge_weight[static_cast<size_t>(best)]) {
+            best = e;
+          }
+        }
+        move.push_back(best);
+      }
+      std::sort(move.begin(), move.end());
+      move.erase(std::unique(move.begin(), move.end()), move.end());
+      Partial next = ApplyMove(*aug_ptr, current, move, source);
+      ++st.expansions;
+      if (next.frontier == current.frontier) {
+        return Status::Internal("greedy search made no progress");
+      }
+      current = std::move(next);
+    }
+    Plan plan;
+    plan.edges = std::move(current.edges);
+    plan.cost = current.cost;
+    for (EdgeId e : plan.edges) {
+      plan.seconds += aug.edge_seconds[static_cast<size_t>(e)];
+    }
+    return plan;
+  }
+
+  double best_cost = kInf;
+  Partial best_plan;
+  bool found = false;
+  int64_t budget = options.max_expansions;
+  std::map<uint64_t, double> dominance;
+  // With dominance pruning on, states are also filtered at insertion time;
+  // this bounds the frontier containers' memory, which would otherwise
+  // balloon on alternative-rich augmentations before the expansion budget
+  // triggers.
+  auto dominated_at_push = [&](const Partial& p) {
+    if (!options.dominance_pruning) {
+      return false;
+    }
+    const uint64_t signature = StateSignature(p);
+    auto [it, inserted] = dominance.emplace(signature, p.cost);
+    if (!inserted) {
+      if (it->second <= p.cost) {
+        ++st.pruned_by_dominance;
+        return true;
+      }
+      it->second = p.cost;
+    }
+    return false;
+  };
+
+  auto is_complete = [](const Partial& p) { return p.frontier.empty(); };
+  auto consider_complete = [&](const Partial& p) {
+    // Guard: accept only executable plans (cycle-safety; see DESIGN.md).
+    if (p.cost < best_cost &&
+        IsValidPlan(graph, p.edges, {source}, targets)) {
+      best_cost = p.cost;
+      best_plan = p;
+      found = true;
+    }
+  };
+
+  if (options.strategy == Strategy::kStack) {
+    std::vector<Partial> stack;
+    stack.push_back(std::move(initial));
+    while (!stack.empty()) {
+      Partial current = std::move(stack.back());
+      stack.pop_back();
+      ++st.plans_examined;
+      if (current.cost >= best_cost) {
+        ++st.pruned_by_bound;
+        continue;
+      }
+      if (is_complete(current)) {
+        consider_complete(current);
+        continue;
+      }
+      if (options.dominance_pruning) {
+        // A strictly better same-signature state was pushed since.
+        auto it = dominance.find(StateSignature(current));
+        if (it != dominance.end() && it->second < current.cost - 1e-15) {
+          ++st.pruned_by_dominance;
+          continue;
+        }
+      }
+      ++st.expansions;
+      const bool within_budget = ForEachMove(
+          aug, current, &budget, [&](const std::vector<EdgeId>& move) {
+            Partial next = ApplyMove(*aug_ptr, current, move, source);
+            if (next.cost >= best_cost) {
+              ++st.pruned_by_bound;
+            } else if (!dominated_at_push(next)) {
+              stack.push_back(std::move(next));
+            }
+          });
+      if (!within_budget) {
+        return Status::ResourceExhausted(
+            "plan search exceeded the expansion budget");
+      }
+    }
+  } else {  // kPriority / kAStar
+    auto by_priority = [](const Partial& a, const Partial& b) {
+      return a.priority > b.priority;
+    };
+    std::priority_queue<Partial, std::vector<Partial>, decltype(by_priority)>
+        queue(by_priority);
+    queue.push(std::move(initial));
+    while (!queue.empty()) {
+      Partial current = queue.top();
+      queue.pop();
+      ++st.plans_examined;
+      if (current.priority >= best_cost) {
+        // Everything left is at least as expensive: done.
+        break;
+      }
+      if (is_complete(current)) {
+        consider_complete(current);
+        continue;
+      }
+      if (options.dominance_pruning) {
+        // A strictly better same-signature state was pushed since.
+        auto it = dominance.find(StateSignature(current));
+        if (it != dominance.end() && it->second < current.cost - 1e-15) {
+          ++st.pruned_by_dominance;
+          continue;
+        }
+      }
+      ++st.expansions;
+      const bool within_budget = ForEachMove(
+          aug, current, &budget, [&](const std::vector<EdgeId>& move) {
+            Partial next = ApplyMove(*aug_ptr, current, move, source);
+            next.priority =
+                options.strategy == Strategy::kAStar
+                    ? next.cost + HeuristicFor(next, lower_bounds)
+                    : next.cost;
+            if (next.priority >= best_cost) {
+              ++st.pruned_by_bound;
+            } else if (!dominated_at_push(next)) {
+              queue.push(std::move(next));
+            }
+          });
+      if (!within_budget) {
+        return Status::ResourceExhausted(
+            "plan search exceeded the expansion budget");
+      }
+    }
+  }
+
+  if (!found) {
+    return Status::FailedPrecondition(
+        "no executable plan connects the source to the targets");
+  }
+  Plan plan;
+  plan.edges = std::move(best_plan.edges);
+  plan.cost = best_plan.cost;
+  for (EdgeId e : plan.edges) {
+    plan.seconds += aug.edge_seconds[static_cast<size_t>(e)];
+  }
+  return plan;
+}
+
+Result<Plan> PlanGenerator::OptimizePerTarget(const Augmentation& aug,
+                                              const Options& options,
+                                              SearchStats* stats) const {
+  if (aug.targets.empty()) {
+    return Status::InvalidArgument("no target artifacts");
+  }
+  Plan combined;
+  std::vector<bool> in_plan(
+      static_cast<size_t>(aug.graph.hypergraph().num_edge_slots()), false);
+  for (NodeId target : aug.targets) {
+    HYPPO_ASSIGN_OR_RETURN(
+        Plan single, OptimizeForTargets(aug, {target}, options, stats));
+    for (EdgeId e : single.edges) {
+      if (!in_plan[static_cast<size_t>(e)]) {
+        in_plan[static_cast<size_t>(e)] = true;
+        combined.edges.push_back(e);
+        combined.cost += aug.edge_weight[static_cast<size_t>(e)];
+        combined.seconds += aug.edge_seconds[static_cast<size_t>(e)];
+      }
+    }
+  }
+  return combined;
+}
+
+Result<Plan> PlanGenerator::BruteForce(const Augmentation& aug) const {
+  Options options;
+  options.strategy = Strategy::kStack;
+  options.dominance_pruning = false;
+  options.max_expansions = std::numeric_limits<int64_t>::max();
+  // Disable bound pruning by running the stack search but with pruning
+  // against best kept — pruning against the best bound does not change the
+  // returned optimum, so the standard stack search already IS exhaustive
+  // up to bound pruning; use it directly.
+  return Optimize(aug, options);
+}
+
+}  // namespace hyppo::core

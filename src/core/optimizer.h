@@ -1,0 +1,90 @@
+#ifndef HYPPO_CORE_OPTIMIZER_H_
+#define HYPPO_CORE_OPTIMIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/augmenter.h"
+
+namespace hyppo::core {
+
+/// \brief An execution plan: a minimal subhypergraph of the augmentation
+/// that B-connects the source to every target (paper §III-C5).
+struct Plan {
+  std::vector<EdgeId> edges;
+  /// Total optimization weight (seconds or EUR, per the augmentation's
+  /// objective).
+  double cost = 0.0;
+  /// Estimated duration in seconds.
+  double seconds = 0.0;
+};
+
+/// \brief The plan generator (paper §IV-E): solves Problem 1 by searching
+/// backwards from the targets to the source over the augmentation.
+///
+/// Implements Algorithm 1 (OPTIMIZE) with Algorithm 2 (EXPAND). The data
+/// structure Q is selectable: a LIFO stack (OPTIMIZE-STACK), a priority
+/// queue keyed by partial cost (OPTIMIZE-PRIORITY), the linear-time greedy
+/// variant, and an A* extension with an admissible max-over-frontier
+/// lower bound (the future-work direction of §IV-E, built here as an
+/// extension and evaluated in the ablation benches).
+class PlanGenerator {
+ public:
+  enum class Strategy { kStack, kPriority, kGreedy, kAStar };
+
+  struct Options {
+    Strategy strategy = Strategy::kPriority;
+    /// Exploration knob c_exp ∈ [0,1]: mo = ceil(#new_tasks × c_exp) new
+    /// tasks are forced into the initial plan (paper §IV-E,
+    /// exploration vs exploitation).
+    double exploration = 0.0;
+    /// Extension (ablation): memoize the best cost per
+    /// (visited, frontier) state and prune dominated partial plans.
+    bool dominance_pruning = false;
+    /// Safety valve on EXPAND invocations; the search reports
+    /// ResourceExhausted beyond it.
+    int64_t max_expansions = 20'000'000;
+  };
+
+  struct SearchStats {
+    int64_t plans_examined = 0;
+    int64_t expansions = 0;
+    int64_t pruned_by_bound = 0;
+    int64_t pruned_by_dominance = 0;
+  };
+
+  static const char* StrategyToString(Strategy strategy);
+
+  /// Finds a minimum-cost plan from the source to `aug.targets`.
+  /// kStack/kPriority/kAStar return the optimal plan; kGreedy returns a
+  /// feasible plan in linear time with no optimality guarantee.
+  Result<Plan> Optimize(const Augmentation& aug, const Options& options,
+                        SearchStats* stats = nullptr) const;
+
+  /// Convenience: optimize a single-artifact retrieval request.
+  Result<Plan> OptimizeForTargets(const Augmentation& aug,
+                                  const std::vector<NodeId>& targets,
+                                  const Options& options,
+                                  SearchStats* stats = nullptr) const;
+
+  /// \brief The paper's frontier-reduction heuristic (§IV-E "the
+  /// influence of f can be reduced by creating individual plans for each
+  /// request and combining them"): solves each target independently and
+  /// unions the plans. Linear in the number of targets, but the union can
+  /// be suboptimal — shared sub-derivations are not coordinated across
+  /// targets (a test pins such a case).
+  Result<Plan> OptimizePerTarget(const Augmentation& aug,
+                                 const Options& options,
+                                 SearchStats* stats = nullptr) const;
+
+  /// \brief Exhaustive oracle used by tests: enumerates every minimal
+  /// plan via unbounded stack search without pruning and returns the best.
+  /// Exponential; only for small graphs.
+  Result<Plan> BruteForce(const Augmentation& aug) const;
+};
+
+}  // namespace hyppo::core
+
+#endif  // HYPPO_CORE_OPTIMIZER_H_

@@ -1,0 +1,39 @@
+#ifndef HYPPO_CORE_PARSER_H_
+#define HYPPO_CORE_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/dictionary.h"
+#include "core/graph.h"
+
+namespace hyppo::core {
+
+/// \brief Parser for the HYPPO pipeline DSL (paper §IV-C).
+///
+/// The DSL is the Python-like notation of the paper's Fig. 1(a): one
+/// assignment per line, `#` comments, and four expression forms:
+///
+///   data        = load("higgs", rows=800000, cols=30)
+///   train, test = sk.TrainTestSplit.split(data, test_size=0.25)
+///   scaler      = sk.StandardScaler.fit(train)
+///   train_s     = scaler.transform(train)
+///   model       = sk.RandomForestClassifier.fit(train_s, n_estimators=20)
+///   preds       = model.predict(test_s)
+///   score       = evaluate(preds, test_s, metric="accuracy")
+///
+/// Framework aliases: sk/skl -> "skl", tf/tfl -> "tfl", lgb -> "lgb",
+/// lib/libsvm -> "lib". The parser consults the dictionary to map each
+/// call to a logical operator and task type; calls to unknown operators
+/// are accepted as single-implementation operators (§IV-C). Artifact
+/// names are assigned canonically (core/naming.h), which is what makes
+/// equivalences discoverable later.
+///
+/// Returns the parsed Pipeline; targets are the sink artifacts.
+Result<Pipeline> ParsePipeline(const std::string& source,
+                               const std::string& pipeline_id,
+                               const Dictionary& dictionary);
+
+}  // namespace hyppo::core
+
+#endif  // HYPPO_CORE_PARSER_H_

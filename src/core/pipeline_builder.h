@@ -1,0 +1,96 @@
+#ifndef HYPPO_CORE_PIPELINE_BUILDER_H_
+#define HYPPO_CORE_PIPELINE_BUILDER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/graph.h"
+#include "core/naming.h"
+
+namespace hyppo::core {
+
+/// \brief Programmatic construction of Pipeline hypergraphs with canonical
+/// naming and static shape/size propagation.
+///
+/// The builder mirrors what the DSL parser produces: every applied task
+/// names its outputs from its logical operator, task type, configuration,
+/// and input lineage (core/naming.h), and estimates output shapes so the
+/// cost estimator can price tasks before anything has executed.
+///
+/// Example (the paper's Fig. 1(a) pipeline):
+///
+///   PipelineBuilder b("fig1");
+///   NodeId data = *b.LoadDataset("higgs", 800000, 30);
+///   auto [train, test] = *b.Split(data, {{"test_size", "0.25"}});
+///   NodeId scaler = *b.Fit("StandardScaler", "skl.StandardScaler", train);
+///   NodeId test_s = *b.Transform(scaler, test);
+///   NodeId model = *b.Fit("RandomForestClassifier",
+///                         "skl.RandomForestClassifier", train);
+///   NodeId preds = *b.Predict(model, test_s);
+///   Pipeline p = *std::move(b).Build();
+class PipelineBuilder {
+ public:
+  explicit PipelineBuilder(std::string pipeline_id);
+
+  /// Declares a raw dataset retrievable from the source s. `size_bytes`
+  /// defaults to rows*cols*8 (+ target) when 0.
+  Result<NodeId> LoadDataset(const std::string& dataset_id, int64_t rows,
+                             int64_t cols, int64_t size_bytes = 0);
+
+  /// Applies a task with explicit inputs and output count; returns the
+  /// output nodes. This is the general form used by the parser and the
+  /// workload generator; the helpers below cover the common shapes.
+  Result<std::vector<NodeId>> ApplyTask(const TaskInfo& task,
+                                        const std::vector<NodeId>& inputs,
+                                        int num_outputs);
+
+  /// data -> (train, test).
+  Result<std::pair<NodeId, NodeId>> Split(
+      NodeId data, const ml::Config& config = {},
+      const std::string& impl = "skl.TrainTestSplit");
+
+  /// data -> op-state. `logical_op` is looked up implicitly from the impl
+  /// name's suffix if empty.
+  Result<NodeId> Fit(const std::string& logical_op, const std::string& impl,
+                     NodeId data, const ml::Config& config = {});
+
+  /// Ensemble fit: base op-states (+ optional train data) -> op-state.
+  Result<NodeId> FitEnsemble(const std::string& logical_op,
+                             const std::string& impl,
+                             const std::vector<NodeId>& base_states,
+                             NodeId train_or_invalid,
+                             const ml::Config& config = {});
+
+  /// (op-state, data) -> data. Operator identity is taken from the state's
+  /// producing task.
+  Result<NodeId> Transform(NodeId state, NodeId data);
+
+  /// (op-state, data) -> predictions.
+  Result<NodeId> Predict(NodeId state, NodeId data);
+
+  /// (predictions, data-with-target) -> value.
+  Result<NodeId> Evaluate(NodeId predictions, NodeId data,
+                          const std::string& metric);
+
+  const PipelineGraph& graph() const { return graph_; }
+
+  /// Finalizes: targets are the sink artifacts.
+  Result<Pipeline> Build() &&;
+
+ private:
+  /// Infers the kind/shape/size labels of the outputs of `task`.
+  std::vector<ArtifactInfo> InferOutputs(const TaskInfo& task,
+                                         const std::vector<NodeId>& inputs,
+                                         int num_outputs) const;
+  /// Finds the task that produced `state` (for transform/predict identity).
+  Result<TaskInfo> ProducerOf(NodeId state) const;
+
+  std::string id_;
+  PipelineGraph graph_;
+};
+
+}  // namespace hyppo::core
+
+#endif  // HYPPO_CORE_PIPELINE_BUILDER_H_

@@ -1,0 +1,173 @@
+#include "core/runtime.h"
+
+#include "core/history_io.h"
+
+namespace hyppo::core {
+
+Runtime::Runtime(RuntimeOptions options, Dictionary dictionary)
+    : options_(options),
+      dictionary_(std::move(dictionary)),
+      estimator_(&ml::OperatorRegistry::Global()),
+      monitor_(&estimator_),
+      store_(storage::StorageTier::Local()),
+      augmenter_(&dictionary_, &estimator_, storage::StorageTier::Local(),
+                 storage::StorageTier::Remote(), options.pricing) {
+  executor_ = std::make_unique<Executor>(
+      &store_,
+      [this](const std::string& dataset_id) -> Result<ml::DatasetPtr> {
+        std::lock_guard<std::mutex> lock(sources_mutex_);
+        auto cached = resolved_sources_.find(dataset_id);
+        if (cached != resolved_sources_.end()) {
+          return cached->second;
+        }
+        auto it = sources_.find(dataset_id);
+        if (it == sources_.end()) {
+          return Status::NotFound("no registered dataset '" + dataset_id +
+                                  "'");
+        }
+        HYPPO_ASSIGN_OR_RETURN(ml::DatasetPtr data, it->second());
+        resolved_sources_.emplace(dataset_id, data);
+        return data;
+      },
+      &monitor_);
+}
+
+void Runtime::RegisterDataset(const std::string& dataset_id,
+                              ml::DatasetPtr data) {
+  sources_[dataset_id] = [data]() -> Result<ml::DatasetPtr> { return data; };
+}
+
+void Runtime::RegisterDatasetGenerator(
+    const std::string& dataset_id,
+    std::function<Result<ml::DatasetPtr>()> generator) {
+  sources_[dataset_id] = std::move(generator);
+}
+
+Result<Runtime::ExecutionRecord> Runtime::ExecuteInternal(
+    const Augmentation& aug, const Plan& plan) {
+  Executor::Options exec_options;
+  exec_options.simulate = options_.simulate;
+  exec_options.parallelism = options_.parallelism;
+  HYPPO_ASSIGN_OR_RETURN(Executor::ExecutionResult result,
+                         executor_->Execute(aug, plan, exec_options));
+
+  ExecutionRecord record;
+  record.seconds = result.total_seconds;
+  cumulative_seconds_ += result.total_seconds;
+
+  // Refresh artifact metadata with observed payload sizes, then record
+  // artifacts, tasks, and durations into the history.
+  const PipelineGraph& graph = aug.graph;
+  std::map<NodeId, NodeId> to_history;
+  for (const auto& [node, payload] : result.payloads) {
+    ArtifactInfo info = graph.artifact(node);
+    const int64_t observed = storage::PayloadSizeBytes(payload);
+    if (observed > 0) {
+      info.size_bytes = observed;
+      if (const auto* dataset = std::get_if<ml::DatasetPtr>(&payload)) {
+        info.rows = (*dataset)->rows();
+        info.cols = (*dataset)->cols();
+      }
+    }
+    const NodeId h_node = history_.Observe(info);
+    to_history[node] = h_node;
+    history_.RecordAccess(h_node, cumulative_seconds_);
+    if (info.kind == ArtifactKind::kRaw) {
+      HYPPO_RETURN_NOT_OK(history_.RegisterSourceData(h_node).status());
+    }
+    record.payloads_by_name[info.name] = payload;
+  }
+  for (const Executor::TaskRun& run : result.task_runs) {
+    const TaskInfo& task = graph.task(run.edge);
+    if (task.type == TaskType::kLoad) {
+      continue;  // load edges are managed by materialization state
+    }
+    std::vector<NodeId> tails;
+    for (NodeId t : graph.ordered_tail(run.edge)) {
+      if (t == graph.source()) {
+        continue;
+      }
+      auto it = to_history.find(t);
+      if (it == to_history.end()) {
+        to_history[t] = history_.Observe(graph.artifact(t));
+        it = to_history.find(t);
+      }
+      tails.push_back(it->second);
+    }
+    std::vector<NodeId> heads;
+    for (NodeId h : graph.ordered_head(run.edge)) {
+      auto it = to_history.find(h);
+      if (it == to_history.end()) {
+        to_history[h] = history_.Observe(graph.artifact(h));
+        it = to_history.find(h);
+      }
+      heads.push_back(it->second);
+      history_.RecordComputeSeconds(it->second, run.seconds);
+      const ArtifactInfo& produced = history_.graph().artifact(it->second);
+      monitor_.RecordArtifact(produced.kind, produced.size_bytes,
+                              run.seconds);
+    }
+    HYPPO_RETURN_NOT_OK(
+        history_.ObserveTask(task, tails, heads, run.seconds).status());
+  }
+  return record;
+}
+
+Status Runtime::RecordPipelineStructure(const Pipeline& pipeline) {
+  const PipelineGraph& graph = pipeline.graph;
+  std::map<NodeId, NodeId> to_history;
+  for (NodeId v = 1; v < graph.num_artifacts(); ++v) {
+    const ArtifactInfo& info = graph.artifact(v);
+    const NodeId h_node = history_.Observe(info);
+    to_history[v] = h_node;
+    history_.RecordAccess(h_node, cumulative_seconds_);
+    if (info.kind == ArtifactKind::kRaw) {
+      HYPPO_RETURN_NOT_OK(history_.RegisterSourceData(h_node).status());
+    }
+  }
+  for (EdgeId e : graph.hypergraph().LiveEdges()) {
+    const TaskInfo& task = graph.task(e);
+    if (task.type == TaskType::kLoad) {
+      continue;
+    }
+    std::vector<NodeId> tails;
+    for (NodeId t : graph.ordered_tail(e)) {
+      if (t != graph.source()) {
+        tails.push_back(to_history[t]);
+      }
+    }
+    std::vector<NodeId> heads;
+    for (NodeId h : graph.ordered_head(e)) {
+      heads.push_back(to_history[h]);
+    }
+    HYPPO_RETURN_NOT_OK(
+        history_.ObserveTask(task, tails, heads, /*seconds=*/-1.0).status());
+  }
+  return Status::OK();
+}
+
+Result<Runtime::ExecutionRecord> Runtime::ExecuteAndRecord(
+    const Pipeline& pipeline, const Augmentation& aug, const Plan& plan) {
+  HYPPO_RETURN_NOT_OK(RecordPipelineStructure(pipeline));
+  return ExecuteInternal(aug, plan);
+}
+
+Result<Runtime::ExecutionRecord> Runtime::ExecutePlanOnly(
+    const Augmentation& aug, const Plan& plan) {
+  return ExecuteInternal(aug, plan);
+}
+
+Status Runtime::SaveCatalog(const std::string& directory) const {
+  return core::SaveCatalog(history_, store_, directory);
+}
+
+Status Runtime::LoadCatalog(const std::string& directory) {
+  History history;
+  storage::ArtifactStore store(store_.tier());
+  HYPPO_RETURN_NOT_OK(core::LoadCatalog(directory, &history, &store));
+  history_ = std::move(history);
+  store_ = std::move(store);
+  return Status::OK();
+}
+
+}  // namespace hyppo::core

@@ -1,0 +1,121 @@
+#ifndef HYPPO_CORE_RUNTIME_H_
+#define HYPPO_CORE_RUNTIME_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "core/augmenter.h"
+#include "core/cost_model.h"
+#include "core/dictionary.h"
+#include "core/executor.h"
+#include "core/history.h"
+#include "core/monitor.h"
+#include "storage/artifact_store.h"
+
+namespace hyppo::core {
+
+/// \brief Options shared by every optimization method in an experiment.
+struct RuntimeOptions {
+  /// Storage budget B in bytes for materialized artifacts.
+  int64_t storage_budget_bytes = 64ll << 20;
+  /// Simulation mode: tasks charge estimated durations instead of
+  /// executing (see Executor::Options::simulate).
+  bool simulate = false;
+  /// Worker threads for real execution (see Executor::Options).
+  int parallelism = 1;
+  PricingModel pricing;
+  Augmenter::Objective objective = Augmenter::Objective::kTime;
+};
+
+/// \brief Shared execution state: catalog (dictionary + history), cost
+/// estimator, monitor, artifact store, executor, and dataset sources.
+///
+/// HYPPO and every baseline method operate against the same Runtime, so
+/// experiment comparisons differ only in planning and materialization
+/// policy — exactly the paper's setup.
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions options = RuntimeOptions(),
+                   Dictionary dictionary = Dictionary::FromRegistry(
+                       ml::OperatorRegistry::Global()));
+
+  const RuntimeOptions& options() const { return options_; }
+  const Dictionary& dictionary() const { return dictionary_; }
+  History& history() { return history_; }
+  const History& history() const { return history_; }
+  CostEstimator& estimator() { return estimator_; }
+  Monitor& monitor() { return monitor_; }
+  storage::ArtifactStore& store() { return store_; }
+  const Augmenter& augmenter() const { return augmenter_; }
+  const Executor& executor() const { return *executor_; }
+
+  /// Registers a raw dataset the executor can resolve by id.
+  void RegisterDataset(const std::string& dataset_id, ml::DatasetPtr data);
+
+  /// Registers a lazy dataset source (generated on first load).
+  void RegisterDatasetGenerator(
+      const std::string& dataset_id,
+      std::function<Result<ml::DatasetPtr>()> generator);
+
+  struct ExecutionRecord {
+    /// Charged execution time of the plan in seconds.
+    double seconds = 0.0;
+    /// Payloads of every artifact produced or loaded, by canonical name.
+    std::map<std::string, ArtifactPayload> payloads_by_name;
+  };
+
+  /// Executes `plan` and records everything into the history: artifact
+  /// observations (sizes), task observations (durations), access counts
+  /// for the pipeline's artifacts, and source-data registrations. The
+  /// pipeline's *structure* is recorded even for tasks the plan skipped,
+  /// so future augmentations can splice these derivations.
+  Result<ExecutionRecord> ExecuteAndRecord(const Pipeline& pipeline,
+                                           const Augmentation& aug,
+                                           const Plan& plan);
+
+  /// Variant for retrieval requests (no defining pipeline; only the plan's
+  /// own artifacts are recorded/accessed).
+  Result<ExecutionRecord> ExecutePlanOnly(const Augmentation& aug,
+                                          const Plan& plan);
+
+  /// Cumulative charged seconds so far — the experiment's logical clock
+  /// (drives LRU timestamps).
+  double now_seconds() const { return cumulative_seconds_; }
+
+  /// Persists the catalog (history + materialized payloads) to a
+  /// directory; a later session — or another user's — can LoadCatalog and
+  /// reuse everything (across-experiments reuse, paper §I).
+  Status SaveCatalog(const std::string& directory) const;
+
+  /// Replaces this runtime's history and store with a saved catalog.
+  Status LoadCatalog(const std::string& directory);
+
+ private:
+  Result<ExecutionRecord> ExecuteInternal(const Augmentation& aug,
+                                          const Plan& plan);
+  /// Mirrors the pipeline structure into the history without durations.
+  Status RecordPipelineStructure(const Pipeline& pipeline);
+
+  RuntimeOptions options_;
+  Dictionary dictionary_;
+  History history_;
+  CostEstimator estimator_;
+  Monitor monitor_;
+  storage::ArtifactStore store_;
+  Augmenter augmenter_;
+  std::unique_ptr<Executor> executor_;
+  std::map<std::string, std::function<Result<ml::DatasetPtr>()>> sources_;
+  std::map<std::string, ml::DatasetPtr> resolved_sources_;
+  /// Guards the lazy source cache: parallel plan execution may resolve
+  /// raw loads concurrently.
+  std::mutex sources_mutex_;
+  double cumulative_seconds_ = 0.0;
+};
+
+}  // namespace hyppo::core
+
+#endif  // HYPPO_CORE_RUNTIME_H_

@@ -1,0 +1,198 @@
+#include "hypergraph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace hyppo {
+
+Result<std::vector<EdgeId>> BTopologicalEdgeOrder(
+    const Hypergraph& graph, const std::vector<EdgeId>& edges,
+    const std::vector<NodeId>& sources) {
+  std::vector<bool> in_plan(static_cast<size_t>(graph.num_edge_slots()),
+                            false);
+  for (EdgeId e : edges) {
+    if (!graph.IsLiveEdge(e)) {
+      return Status::InvalidArgument("plan contains dead edge " +
+                                     std::to_string(e));
+    }
+    in_plan[static_cast<size_t>(e)] = true;
+  }
+  std::vector<int32_t> missing_tail(
+      static_cast<size_t>(graph.num_edge_slots()), 0);
+  std::vector<bool> available(static_cast<size_t>(graph.num_nodes()), false);
+  std::deque<NodeId> queue;
+  auto mark = [&](NodeId node) {
+    if (!available[static_cast<size_t>(node)]) {
+      available[static_cast<size_t>(node)] = true;
+      queue.push_back(node);
+    }
+  };
+  for (NodeId s : sources) {
+    if (graph.IsValidNode(s)) {
+      mark(s);
+    }
+  }
+  std::vector<EdgeId> order;
+  order.reserve(edges.size());
+  std::vector<bool> fired(static_cast<size_t>(graph.num_edge_slots()), false);
+  auto fire = [&](EdgeId e) {
+    fired[static_cast<size_t>(e)] = true;
+    order.push_back(e);
+    for (NodeId h : graph.edge(e).head) {
+      mark(h);
+    }
+  };
+  for (EdgeId e : edges) {
+    missing_tail[static_cast<size_t>(e)] =
+        static_cast<int32_t>(graph.edge(e).tail.size());
+    if (graph.edge(e).tail.empty()) {
+      fire(e);
+    }
+  }
+  while (!queue.empty()) {
+    NodeId node = queue.front();
+    queue.pop_front();
+    for (EdgeId e : graph.fstar(node)) {
+      if (!in_plan[static_cast<size_t>(e)] || fired[static_cast<size_t>(e)]) {
+        continue;
+      }
+      if (--missing_tail[static_cast<size_t>(e)] == 0) {
+        fire(e);
+      }
+    }
+  }
+  if (order.size() != edges.size()) {
+    return Status::FailedPrecondition(
+        "plan is not executable: " +
+        std::to_string(edges.size() - order.size()) +
+        " task(s) can never obtain their inputs");
+  }
+  return order;
+}
+
+bool IsValidPlan(const Hypergraph& graph,
+                 const std::vector<EdgeId>& plan_edges,
+                 const std::vector<NodeId>& sources,
+                 const std::vector<NodeId>& targets) {
+  return graph.AreBConnected(targets, sources, &plan_edges);
+}
+
+bool IsMinimalPlan(const Hypergraph& graph,
+                   const std::vector<EdgeId>& plan_edges,
+                   const std::vector<NodeId>& sources,
+                   const std::vector<NodeId>& targets) {
+  if (!IsValidPlan(graph, plan_edges, sources, targets)) {
+    return false;
+  }
+  for (size_t skip = 0; skip < plan_edges.size(); ++skip) {
+    std::vector<EdgeId> reduced;
+    reduced.reserve(plan_edges.size() - 1);
+    for (size_t i = 0; i < plan_edges.size(); ++i) {
+      if (i != skip) {
+        reduced.push_back(plan_edges[i]);
+      }
+    }
+    if (IsValidPlan(graph, reduced, sources, targets)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RelevanceClosure BackwardRelevance(const Hypergraph& graph,
+                                   const std::vector<NodeId>& targets) {
+  RelevanceClosure closure;
+  closure.node_relevant.assign(static_cast<size_t>(graph.num_nodes()), false);
+  closure.edge_relevant.assign(static_cast<size_t>(graph.num_edge_slots()),
+                               false);
+  std::deque<NodeId> queue;
+  auto mark = [&](NodeId node) {
+    if (graph.IsValidNode(node) &&
+        !closure.node_relevant[static_cast<size_t>(node)]) {
+      closure.node_relevant[static_cast<size_t>(node)] = true;
+      queue.push_back(node);
+    }
+  };
+  for (NodeId t : targets) {
+    mark(t);
+  }
+  while (!queue.empty()) {
+    NodeId node = queue.front();
+    queue.pop_front();
+    for (EdgeId e : graph.bstar(node)) {
+      if (closure.edge_relevant[static_cast<size_t>(e)]) {
+        continue;
+      }
+      closure.edge_relevant[static_cast<size_t>(e)] = true;
+      for (NodeId u : graph.edge(e).tail) {
+        mark(u);
+      }
+    }
+  }
+  return closure;
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Memoized depth DFS; `on_stack` breaks cycles by ignoring back-derivations.
+double DepthDfs(const Hypergraph& graph, NodeId node, NodeId source,
+                std::vector<double>& memo, std::vector<bool>& on_stack) {
+  if (node == source) {
+    return 0.0;
+  }
+  double& cached = memo[static_cast<size_t>(node)];
+  if (cached >= 0.0 || cached == kInf) {
+    return cached;
+  }
+  if (on_stack[static_cast<size_t>(node)]) {
+    return kInf;  // back edge: not a usable derivation
+  }
+  on_stack[static_cast<size_t>(node)] = true;
+  double sum = 0.0;
+  int32_t usable = 0;
+  for (EdgeId e : graph.bstar(node)) {
+    const Hyperedge& edge = graph.edge(e);
+    double tail_sum = 0.0;
+    bool feasible = true;
+    for (NodeId u : edge.tail) {
+      double d = DepthDfs(graph, u, source, memo, on_stack);
+      if (d == kInf) {
+        feasible = false;
+        break;
+      }
+      tail_sum += d;
+    }
+    if (!feasible) {
+      continue;
+    }
+    double tail_avg =
+        edge.tail.empty() ? 0.0 : tail_sum / static_cast<double>(edge.tail.size());
+    sum += 1.0 + tail_avg;
+    ++usable;
+  }
+  on_stack[static_cast<size_t>(node)] = false;
+  cached = (usable == 0) ? kInf : sum / static_cast<double>(usable);
+  return cached;
+}
+
+}  // namespace
+
+std::vector<double> AverageDepthFromSource(const Hypergraph& graph,
+                                           NodeId source) {
+  std::vector<double> memo(static_cast<size_t>(graph.num_nodes()), -1.0);
+  std::vector<bool> on_stack(static_cast<size_t>(graph.num_nodes()), false);
+  if (graph.IsValidNode(source)) {
+    memo[static_cast<size_t>(source)] = 0.0;
+  }
+  std::vector<double> depth(static_cast<size_t>(graph.num_nodes()), kInf);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    depth[static_cast<size_t>(v)] =
+        DepthDfs(graph, v, source, memo, on_stack);
+  }
+  return depth;
+}
+
+}  // namespace hyppo

@@ -1,0 +1,208 @@
+#include "hypergraph/hypergraph.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace hyppo {
+
+namespace {
+
+void SortUnique(std::vector<NodeId>& nodes) {
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+}
+
+}  // namespace
+
+NodeId Hypergraph::AddNode() {
+  bstar_.emplace_back();
+  fstar_.emplace_back();
+  return num_nodes() - 1;
+}
+
+NodeId Hypergraph::AddNodes(int32_t count) {
+  NodeId first = num_nodes();
+  for (int32_t i = 0; i < count; ++i) {
+    AddNode();
+  }
+  return first;
+}
+
+Result<EdgeId> Hypergraph::AddEdge(std::vector<NodeId> tail,
+                                   std::vector<NodeId> head) {
+  if (head.empty()) {
+    return Status::InvalidArgument("hyperedge head must be non-empty");
+  }
+  SortUnique(tail);
+  SortUnique(head);
+  for (NodeId node : tail) {
+    if (!IsValidNode(node)) {
+      return Status::InvalidArgument("tail node " + std::to_string(node) +
+                                     " does not exist");
+    }
+  }
+  for (NodeId node : head) {
+    if (!IsValidNode(node)) {
+      return Status::InvalidArgument("head node " + std::to_string(node) +
+                                     " does not exist");
+    }
+  }
+  EdgeId id = num_edge_slots();
+  Hyperedge edge;
+  edge.id = id;
+  edge.tail = std::move(tail);
+  edge.head = std::move(head);
+  for (NodeId node : edge.tail) {
+    fstar_[static_cast<size_t>(node)].push_back(id);
+  }
+  for (NodeId node : edge.head) {
+    bstar_[static_cast<size_t>(node)].push_back(id);
+  }
+  edges_.push_back(std::move(edge));
+  ++num_live_edges_;
+  return id;
+}
+
+Status Hypergraph::RemoveEdge(EdgeId edge) {
+  if (!IsLiveEdge(edge)) {
+    return Status::NotFound("edge " + std::to_string(edge) +
+                            " is not a live edge");
+  }
+  Hyperedge& e = edges_[static_cast<size_t>(edge)];
+  for (NodeId node : e.tail) {
+    auto& star = fstar_[static_cast<size_t>(node)];
+    star.erase(std::remove(star.begin(), star.end(), edge), star.end());
+  }
+  for (NodeId node : e.head) {
+    auto& star = bstar_[static_cast<size_t>(node)];
+    star.erase(std::remove(star.begin(), star.end(), edge), star.end());
+  }
+  e.tail.clear();
+  e.head.clear();
+  --num_live_edges_;
+  return Status::OK();
+}
+
+std::vector<EdgeId> Hypergraph::LiveEdges() const {
+  std::vector<EdgeId> live;
+  live.reserve(static_cast<size_t>(num_live_edges_));
+  for (EdgeId e = 0; e < num_edge_slots(); ++e) {
+    if (IsLiveEdge(e)) {
+      live.push_back(e);
+    }
+  }
+  return live;
+}
+
+std::vector<bool> Hypergraph::BConnectedFrom(
+    const std::vector<NodeId>& sources,
+    const std::vector<EdgeId>* restrict_to_edges) const {
+  std::vector<bool> connected(static_cast<size_t>(num_nodes()), false);
+  std::vector<bool> edge_allowed;
+  if (restrict_to_edges != nullptr) {
+    edge_allowed.assign(static_cast<size_t>(num_edge_slots()), false);
+    for (EdgeId e : *restrict_to_edges) {
+      if (IsLiveEdge(e)) {
+        edge_allowed[static_cast<size_t>(e)] = true;
+      }
+    }
+  }
+  // Forward chaining: an edge fires once all of its tail is connected.
+  std::vector<int32_t> missing_tail(static_cast<size_t>(num_edge_slots()), 0);
+  for (EdgeId e = 0; e < num_edge_slots(); ++e) {
+    if (IsLiveEdge(e)) {
+      missing_tail[static_cast<size_t>(e)] =
+          static_cast<int32_t>(edge(e).tail.size());
+    }
+  }
+  std::deque<NodeId> queue;
+  auto mark = [&](NodeId node) {
+    if (!connected[static_cast<size_t>(node)]) {
+      connected[static_cast<size_t>(node)] = true;
+      queue.push_back(node);
+    }
+  };
+  for (NodeId s : sources) {
+    if (IsValidNode(s)) {
+      mark(s);
+    }
+  }
+  // Edges with empty tails fire immediately.
+  for (EdgeId e = 0; e < num_edge_slots(); ++e) {
+    if (IsLiveEdge(e) && edge(e).tail.empty() &&
+        (restrict_to_edges == nullptr || edge_allowed[static_cast<size_t>(e)])) {
+      for (NodeId h : edge(e).head) {
+        mark(h);
+      }
+    }
+  }
+  while (!queue.empty()) {
+    NodeId node = queue.front();
+    queue.pop_front();
+    for (EdgeId e : fstar(node)) {
+      if (restrict_to_edges != nullptr &&
+          !edge_allowed[static_cast<size_t>(e)]) {
+        continue;
+      }
+      if (--missing_tail[static_cast<size_t>(e)] == 0) {
+        for (NodeId h : edge(e).head) {
+          mark(h);
+        }
+      }
+    }
+  }
+  return connected;
+}
+
+bool Hypergraph::AreBConnected(
+    const std::vector<NodeId>& targets, const std::vector<NodeId>& sources,
+    const std::vector<EdgeId>* restrict_to_edges) const {
+  std::vector<bool> connected = BConnectedFrom(sources, restrict_to_edges);
+  for (NodeId t : targets) {
+    if (!IsValidNode(t) || !connected[static_cast<size_t>(t)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Hypergraph::ToDot(
+    const std::string& graph_name,
+    const std::vector<std::string>* node_labels,
+    const std::vector<std::string>* edge_labels) const {
+  std::ostringstream os;
+  os << "digraph \"" << graph_name << "\" {\n";
+  os << "  rankdir=LR;\n";
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    os << "  v" << v << " [shape=ellipse,label=\"";
+    if (node_labels != nullptr && static_cast<size_t>(v) < node_labels->size()) {
+      os << (*node_labels)[static_cast<size_t>(v)];
+    } else {
+      os << "v" << v;
+    }
+    os << "\"];\n";
+  }
+  for (EdgeId e = 0; e < num_edge_slots(); ++e) {
+    if (!IsLiveEdge(e)) {
+      continue;
+    }
+    os << "  e" << e << " [shape=box,style=rounded,label=\"";
+    if (edge_labels != nullptr && static_cast<size_t>(e) < edge_labels->size()) {
+      os << (*edge_labels)[static_cast<size_t>(e)];
+    } else {
+      os << "t" << e;
+    }
+    os << "\"];\n";
+    for (NodeId t : edge(e).tail) {
+      os << "  v" << t << " -> e" << e << ";\n";
+    }
+    for (NodeId h : edge(e).head) {
+      os << "  e" << e << " -> v" << h << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace hyppo

@@ -1,0 +1,134 @@
+#ifndef HYPPO_HYPERGRAPH_HYPERGRAPH_H_
+#define HYPPO_HYPERGRAPH_HYPERGRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hyppo {
+
+/// Dense node identifier within one Hypergraph (0-based).
+using NodeId = int32_t;
+/// Dense hyperedge identifier within one Hypergraph (0-based).
+using EdgeId = int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+/// \brief A directed hyperedge e = (tail(e), head(e)).
+///
+/// Following the paper's §III-B, a hyperedge connects a set of tail nodes
+/// (the inputs of a task) to a set of head nodes (its outputs). Tails and
+/// heads are kept sorted and duplicate-free.
+struct Hyperedge {
+  EdgeId id = kInvalidEdge;
+  std::vector<NodeId> tail;
+  std::vector<NodeId> head;
+};
+
+/// \brief A directed hypergraph G = (V, E).
+///
+/// Nodes and hyperedges carry dense integer ids; domain labels (artifact and
+/// task metadata) are layered on top by Pipeline / History (src/core).
+/// The structure maintains backward stars (bstar(v) = {e : v ∈ head(e)})
+/// and forward stars (fstar(v) = {e : v ∈ tail(e)}) incrementally.
+///
+/// The class is append-only except for RemoveEdge, which supports history
+/// eviction: evicting a materialized artifact removes its 'load' hyperedge
+/// while keeping the node (paper §IV-H). Removed edge ids are never reused;
+/// a removed edge keeps empty tail/head and is skipped by iteration helpers.
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+
+  Hypergraph(const Hypergraph&) = default;
+  Hypergraph& operator=(const Hypergraph&) = default;
+  Hypergraph(Hypergraph&&) noexcept = default;
+  Hypergraph& operator=(Hypergraph&&) noexcept = default;
+
+  /// Appends a node and returns its id.
+  NodeId AddNode();
+
+  /// Appends `count` nodes; returns the id of the first.
+  NodeId AddNodes(int32_t count);
+
+  /// Appends a hyperedge. Tail may be empty (source edges); head must be
+  /// non-empty and all node ids must exist. Duplicate node ids within the
+  /// tail or head are coalesced.
+  Result<EdgeId> AddEdge(std::vector<NodeId> tail, std::vector<NodeId> head);
+
+  /// Removes a hyperedge (id stays allocated, marked dead).
+  Status RemoveEdge(EdgeId edge);
+
+  int32_t num_nodes() const { return static_cast<int32_t>(bstar_.size()); }
+  /// Total edge slots, including removed ones.
+  int32_t num_edge_slots() const { return static_cast<int32_t>(edges_.size()); }
+  /// Number of live edges.
+  int32_t num_edges() const { return num_live_edges_; }
+
+  bool IsValidNode(NodeId node) const {
+    return node >= 0 && node < num_nodes();
+  }
+  bool IsLiveEdge(EdgeId edge) const {
+    return edge >= 0 && edge < num_edge_slots() &&
+           !edges_[static_cast<size_t>(edge)].head.empty();
+  }
+
+  /// Returns the edge. Must be a live edge id.
+  const Hyperedge& edge(EdgeId edge) const {
+    return edges_[static_cast<size_t>(edge)];
+  }
+
+  /// Backward star of `node`: hyperedges producing it.
+  const std::vector<EdgeId>& bstar(NodeId node) const {
+    return bstar_[static_cast<size_t>(node)];
+  }
+
+  /// Forward star of `node`: hyperedges consuming it.
+  const std::vector<EdgeId>& fstar(NodeId node) const {
+    return fstar_[static_cast<size_t>(node)];
+  }
+
+  /// All live edge ids in ascending order.
+  std::vector<EdgeId> LiveEdges() const;
+
+  /// \brief Computes the set of nodes B-connected to `sources`.
+  ///
+  /// B-connection (Gallo et al. 1993, paper §III-B): t is B-connected to S
+  /// iff t ∈ S, or some hyperedge with t in its head has every tail node
+  /// B-connected to S. Implemented as forward chaining in O(|V| + Σ|e|).
+  /// If `restrict_to_edges` is non-null, only those edges participate
+  /// (used to validate plans, which are sub-hypergraphs).
+  std::vector<bool> BConnectedFrom(
+      const std::vector<NodeId>& sources,
+      const std::vector<EdgeId>* restrict_to_edges = nullptr) const;
+
+  /// True iff every node in `targets` is B-connected to `sources`,
+  /// optionally restricted to a sub-hypergraph given by its edges.
+  bool AreBConnected(const std::vector<NodeId>& targets,
+                     const std::vector<NodeId>& sources,
+                     const std::vector<EdgeId>* restrict_to_edges =
+                         nullptr) const;
+
+  /// \brief Emits the graph in Graphviz DOT, for debugging and docs.
+  ///
+  /// Hyperedges are rendered as intermediate box nodes. Label callbacks may
+  /// be null, in which case ids are printed.
+  std::string ToDot(
+      const std::string& graph_name,
+      const std::vector<std::string>* node_labels = nullptr,
+      const std::vector<std::string>* edge_labels = nullptr) const;
+
+ private:
+  std::vector<Hyperedge> edges_;
+  std::vector<std::vector<EdgeId>> bstar_;
+  std::vector<std::vector<EdgeId>> fstar_;
+  int32_t num_live_edges_ = 0;
+};
+
+}  // namespace hyppo
+
+#endif  // HYPPO_HYPERGRAPH_HYPERGRAPH_H_

@@ -1,0 +1,25 @@
+#include "ml/ops/ops.h"
+#include "ml/registry.h"
+
+namespace hyppo::ml {
+
+Status RegisterBuiltinOperators(OperatorRegistry& registry) {
+  HYPPO_RETURN_NOT_OK(RegisterSplitOperators(registry));
+  HYPPO_RETURN_NOT_OK(RegisterScalerOperators(registry));
+  HYPPO_RETURN_NOT_OK(RegisterImputerOperators(registry));
+  HYPPO_RETURN_NOT_OK(RegisterFeatureOperators(registry));
+  HYPPO_RETURN_NOT_OK(RegisterPcaOperators(registry));
+  HYPPO_RETURN_NOT_OK(RegisterLinearModelOperators(registry));
+  HYPPO_RETURN_NOT_OK(RegisterSvmOperators(registry));
+  HYPPO_RETURN_NOT_OK(RegisterTreeOperators(registry));
+  HYPPO_RETURN_NOT_OK(RegisterForestOperators(registry));
+  HYPPO_RETURN_NOT_OK(RegisterBoostingOperators(registry));
+  HYPPO_RETURN_NOT_OK(RegisterKMeansOperators(registry));
+  HYPPO_RETURN_NOT_OK(RegisterEnsembleOperators(registry));
+  HYPPO_RETURN_NOT_OK(RegisterEvaluatorOperators(registry));
+  HYPPO_RETURN_NOT_OK(RegisterElasticNetOperators(registry));
+  HYPPO_RETURN_NOT_OK(RegisterQuantileOperators(registry));
+  return Status::OK();
+}
+
+}  // namespace hyppo::ml

@@ -1,0 +1,77 @@
+#include "ml/config.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace hyppo::ml {
+
+std::string Config::GetString(const std::string& key,
+                              const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Config::GetDouble(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  double parsed = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str()) {
+    return fallback;
+  }
+  return parsed;
+}
+
+int64_t Config::GetInt(const std::string& key, int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str()) {
+    return fallback;
+  }
+  return static_cast<int64_t>(parsed);
+}
+
+bool Config::GetBool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  const std::string lowered = ToLower(it->second);
+  if (lowered == "true" || lowered == "1") {
+    return true;
+  }
+  if (lowered == "false" || lowered == "0") {
+    return false;
+  }
+  return fallback;
+}
+
+void Config::SetDouble(const std::string& key, double value) {
+  values_[key] = FormatDouble(value, 10);
+}
+
+void Config::SetInt(const std::string& key, int64_t value) {
+  values_[key] = std::to_string(value);
+}
+
+std::string Config::ToString() const {
+  std::string out;
+  for (const auto& [key, value] : values_) {
+    if (!out.empty()) {
+      out += ",";
+    }
+    out += key;
+    out += "=";
+    out += value;
+  }
+  return out;
+}
+
+}  // namespace hyppo::ml

@@ -1,0 +1,63 @@
+#ifndef HYPPO_ML_CONFIG_H_
+#define HYPPO_ML_CONFIG_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace hyppo::ml {
+
+/// \brief Hyperparameter configuration of an operator (paper §III-A).
+///
+/// Keys map to string values; typed getters parse on access. The canonical
+/// serialization (sorted `k=v` pairs) participates in artifact naming, so
+/// two tasks with different configurations never collide as equivalent.
+class Config {
+ public:
+  Config() = default;
+  Config(std::initializer_list<std::pair<const std::string, std::string>> kv)
+      : values_(kv) {}
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  /// Returns the raw string value or `fallback` when absent.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+
+  /// Returns the value parsed as double, or `fallback` when absent or
+  /// unparsable.
+  double GetDouble(const std::string& key, double fallback) const;
+
+  /// Returns the value parsed as int64, or `fallback`.
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+
+  /// Returns the value parsed as bool ("true"/"1"), or `fallback`.
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  void Set(const std::string& key, std::string value) {
+    values_[key] = std::move(value);
+  }
+  void SetDouble(const std::string& key, double value);
+  void SetInt(const std::string& key, int64_t value);
+
+  bool empty() const { return values_.empty(); }
+  size_t size() const { return values_.size(); }
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+  /// Canonical "k1=v1,k2=v2" form (keys sorted by map order); used in
+  /// artifact naming and debugging.
+  std::string ToString() const;
+
+  bool operator==(const Config& other) const {
+    return values_ == other.values_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace hyppo::ml
+
+#endif  // HYPPO_ML_CONFIG_H_

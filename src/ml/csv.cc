@@ -1,0 +1,179 @@
+#include "ml/csv.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace hyppo::ml {
+
+namespace {
+
+bool IsMissing(const std::string& cell, const CsvOptions& options) {
+  if (cell.empty()) {
+    return true;
+  }
+  for (const std::string& marker : options.missing_markers) {
+    if (cell == marker) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<double> ParseCell(const std::string& cell, int64_t line,
+                         const CsvOptions& options) {
+  if (IsMissing(cell, options)) {
+    return std::nan("");
+  }
+  char* end = nullptr;
+  const double value = std::strtod(cell.c_str(), &end);
+  if (end == cell.c_str() ||
+      !StripWhitespace(std::string_view(end)).empty()) {
+    return Status::ParseError("line " + std::to_string(line) +
+                              ": non-numeric cell '" + cell + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<Dataset> ParseCsv(const std::string& text, const CsvOptions& options) {
+  std::vector<std::string> lines = StrSplit(text, '\n');
+  while (!lines.empty() && StripWhitespace(lines.back()).empty()) {
+    lines.pop_back();
+  }
+  if (lines.empty()) {
+    return Status::ParseError("empty CSV input");
+  }
+  size_t first_data_line = 0;
+  std::vector<std::string> header;
+  if (options.has_header) {
+    for (const std::string& name : StrSplit(lines[0], options.delimiter)) {
+      header.emplace_back(StripWhitespace(name));
+    }
+    first_data_line = 1;
+  } else {
+    const size_t cols = StrSplit(lines[0], options.delimiter).size();
+    for (size_t c = 0; c < cols; ++c) {
+      header.push_back("f" + std::to_string(c));
+    }
+  }
+  if (header.empty()) {
+    return Status::ParseError("CSV has no columns");
+  }
+  int64_t target_index = -1;
+  if (!options.target_column.empty()) {
+    for (size_t c = 0; c < header.size(); ++c) {
+      if (header[c] == options.target_column) {
+        target_index = static_cast<int64_t>(c);
+      }
+    }
+    if (target_index < 0) {
+      return Status::InvalidArgument("no column named '" +
+                                     options.target_column + "'");
+    }
+  }
+  const int64_t rows =
+      static_cast<int64_t>(lines.size() - first_data_line);
+  if (rows <= 0) {
+    return Status::ParseError("CSV has a header but no data rows");
+  }
+  std::vector<std::string> feature_names;
+  for (size_t c = 0; c < header.size(); ++c) {
+    if (static_cast<int64_t>(c) != target_index) {
+      feature_names.push_back(header[c]);
+    }
+  }
+  Dataset dataset = Dataset::WithColumns(rows, std::move(feature_names));
+  std::vector<double> target(
+      target_index >= 0 ? static_cast<size_t>(rows) : 0, 0.0);
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t line_no = static_cast<int64_t>(first_data_line) + r + 1;
+    const std::vector<std::string> cells = StrSplit(
+        lines[static_cast<size_t>(first_data_line) + static_cast<size_t>(r)],
+        options.delimiter);
+    if (cells.size() != header.size()) {
+      return Status::ParseError(
+          "line " + std::to_string(line_no) + ": expected " +
+          std::to_string(header.size()) + " cells, found " +
+          std::to_string(cells.size()));
+    }
+    int64_t feature_col = 0;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      const std::string cell(StripWhitespace(cells[c]));
+      HYPPO_ASSIGN_OR_RETURN(double value,
+                             ParseCell(cell, line_no, options));
+      if (static_cast<int64_t>(c) == target_index) {
+        if (std::isnan(value)) {
+          return Status::ParseError("line " + std::to_string(line_no) +
+                                    ": missing target value");
+        }
+        target[static_cast<size_t>(r)] = value;
+      } else {
+        dataset.at(r, feature_col++) = value;
+      }
+    }
+  }
+  if (target_index >= 0) {
+    dataset.set_target(std::move(target));
+  }
+  return dataset;
+}
+
+Result<Dataset> LoadCsv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str(), options);
+}
+
+std::string ToCsv(const Dataset& dataset) {
+  std::ostringstream out;
+  for (int64_t c = 0; c < dataset.cols(); ++c) {
+    if (c > 0) {
+      out << ',';
+    }
+    out << dataset.column_names()[static_cast<size_t>(c)];
+  }
+  if (dataset.has_target()) {
+    out << (dataset.cols() > 0 ? "," : "") << "target";
+  }
+  out << '\n';
+  for (int64_t r = 0; r < dataset.rows(); ++r) {
+    for (int64_t c = 0; c < dataset.cols(); ++c) {
+      if (c > 0) {
+        out << ',';
+      }
+      const double value = dataset.at(r, c);
+      if (!std::isnan(value)) {
+        out << FormatDouble(value, 10);
+      }
+    }
+    if (dataset.has_target()) {
+      out << (dataset.cols() > 0 ? "," : "")
+          << FormatDouble(dataset.target()[static_cast<size_t>(r)], 10);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status SaveCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out << ToCsv(dataset);
+  if (!out.good()) {
+    return Status::IoError("error while writing '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace hyppo::ml

@@ -1,0 +1,42 @@
+#ifndef HYPPO_ML_CSV_H_
+#define HYPPO_ML_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "ml/dataset.h"
+
+namespace hyppo::ml {
+
+/// \brief CSV loading/saving for Dataset, so the real competition data can
+/// be plugged in when available (the benchmarks default to the synthetic
+/// generators; see DESIGN.md §1).
+struct CsvOptions {
+  char delimiter = ',';
+  /// First line holds column names.
+  bool has_header = true;
+  /// Name of the target column ("" = no target). The column is removed
+  /// from the feature matrix and stored as the dataset target.
+  std::string target_column;
+  /// Cell values treated as missing (mapped to NaN), e.g. the HIGGS
+  /// challenge's "-999.0". Empty cells are always missing.
+  std::vector<std::string> missing_markers;
+};
+
+/// Parses CSV text into a Dataset. Non-numeric cells are an error unless
+/// listed as missing markers.
+Result<Dataset> ParseCsv(const std::string& text, const CsvOptions& options);
+
+/// Loads a CSV file.
+Result<Dataset> LoadCsv(const std::string& path, const CsvOptions& options);
+
+/// Serializes a dataset to CSV (the target becomes a trailing column named
+/// "target" when present; NaNs are written as empty cells).
+std::string ToCsv(const Dataset& dataset);
+
+/// Writes a dataset to a CSV file.
+Status SaveCsv(const Dataset& dataset, const std::string& path);
+
+}  // namespace hyppo::ml
+
+#endif  // HYPPO_ML_CSV_H_

@@ -1,0 +1,110 @@
+#include "ml/dataset.h"
+
+#include <sstream>
+
+namespace hyppo::ml {
+
+Dataset::Dataset(int64_t rows, int64_t cols)
+    : rows_(rows),
+      cols_(cols),
+      values_(static_cast<size_t>(rows * cols), 0.0) {
+  column_names_.reserve(static_cast<size_t>(cols));
+  for (int64_t c = 0; c < cols; ++c) {
+    column_names_.push_back("f" + std::to_string(c));
+  }
+}
+
+Dataset Dataset::WithColumns(int64_t rows, std::vector<std::string> names) {
+  Dataset dataset(rows, static_cast<int64_t>(names.size()));
+  dataset.column_names_ = std::move(names);
+  return dataset;
+}
+
+void Dataset::CopyRow(int64_t row, double* out) const {
+  for (int64_t c = 0; c < cols_; ++c) {
+    out[c] = values_[static_cast<size_t>(c * rows_ + row)];
+  }
+}
+
+void Dataset::set_column_names(std::vector<std::string> names) {
+  column_names_ = std::move(names);
+}
+
+void Dataset::set_target(std::vector<double> target) {
+  target_ = std::move(target);
+  has_target_ = !target_.empty();
+}
+
+int64_t Dataset::SizeBytes() const {
+  return static_cast<int64_t>(values_.size() * sizeof(double)) +
+         static_cast<int64_t>(target_.size() * sizeof(double));
+}
+
+Dataset Dataset::SelectRows(const std::vector<int64_t>& rows) const {
+  Dataset out(static_cast<int64_t>(rows.size()), cols_);
+  out.column_names_ = column_names_;
+  for (int64_t c = 0; c < cols_; ++c) {
+    const double* src = col_data(c);
+    double* dst = out.col_data(c);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      dst[i] = src[rows[i]];
+    }
+  }
+  if (has_target_) {
+    std::vector<double> new_target(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      new_target[i] = target_[static_cast<size_t>(rows[i])];
+    }
+    out.set_target(std::move(new_target));
+  }
+  return out;
+}
+
+Result<Dataset> Dataset::SelectCols(const std::vector<int64_t>& cols) const {
+  for (int64_t c : cols) {
+    if (c < 0 || c >= cols_) {
+      return Status::OutOfRange("column index " + std::to_string(c) +
+                                " out of range [0, " + std::to_string(cols_) +
+                                ")");
+    }
+  }
+  Dataset out(rows_, static_cast<int64_t>(cols.size()));
+  std::vector<std::string> names;
+  names.reserve(cols.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    const double* src = col_data(cols[i]);
+    double* dst = out.col_data(static_cast<int64_t>(i));
+    std::copy(src, src + rows_, dst);
+    names.push_back(column_names_[static_cast<size_t>(cols[i])]);
+  }
+  out.set_column_names(std::move(names));
+  if (has_target_) {
+    out.set_target(target_);
+  }
+  return out;
+}
+
+Status Dataset::AddColumn(const std::string& name,
+                          const std::vector<double>& data) {
+  if (static_cast<int64_t>(data.size()) != rows_) {
+    return Status::InvalidArgument(
+        "column '" + name + "' has " + std::to_string(data.size()) +
+        " rows, dataset has " + std::to_string(rows_));
+  }
+  values_.insert(values_.end(), data.begin(), data.end());
+  column_names_.push_back(name);
+  ++cols_;
+  return Status::OK();
+}
+
+std::string Dataset::DebugString() const {
+  std::ostringstream os;
+  os << "Dataset(" << rows_ << "x" << cols_;
+  if (has_target_) {
+    os << ", target";
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace hyppo::ml

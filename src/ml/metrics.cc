@@ -1,0 +1,165 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hyppo::ml {
+
+namespace {
+
+Status CheckSizes(const std::vector<double>& predictions,
+                  const std::vector<double>& truth) {
+  if (predictions.size() != truth.size()) {
+    return Status::InvalidArgument(
+        "metric: predictions (" + std::to_string(predictions.size()) +
+        ") and truth (" + std::to_string(truth.size()) + ") size mismatch");
+  }
+  if (predictions.empty()) {
+    return Status::InvalidArgument("metric: empty inputs");
+  }
+  return Status::OK();
+}
+
+double HardLabel(double score) { return score >= 0.5 ? 1.0 : 0.0; }
+
+}  // namespace
+
+Result<double> Accuracy(const std::vector<double>& predictions,
+                        const std::vector<double>& truth) {
+  HYPPO_RETURN_NOT_OK(CheckSizes(predictions, truth));
+  int64_t correct = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    correct += (HardLabel(predictions[i]) == HardLabel(truth[i])) ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+Result<double> F1Score(const std::vector<double>& predictions,
+                       const std::vector<double>& truth) {
+  HYPPO_RETURN_NOT_OK(CheckSizes(predictions, truth));
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t fn = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const bool pred = HardLabel(predictions[i]) > 0.5;
+    const bool real = HardLabel(truth[i]) > 0.5;
+    tp += (pred && real) ? 1 : 0;
+    fp += (pred && !real) ? 1 : 0;
+    fn += (!pred && real) ? 1 : 0;
+  }
+  const double denom = static_cast<double>(2 * tp + fp + fn);
+  if (denom == 0.0) {
+    return 0.0;
+  }
+  return 2.0 * static_cast<double>(tp) / denom;
+}
+
+Result<double> LogLoss(const std::vector<double>& predictions,
+                       const std::vector<double>& truth) {
+  HYPPO_RETURN_NOT_OK(CheckSizes(predictions, truth));
+  double sum = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const double p = std::clamp(predictions[i], 1e-12, 1.0 - 1e-12);
+    const double y = HardLabel(truth[i]);
+    sum += y * std::log(p) + (1.0 - y) * std::log(1.0 - p);
+  }
+  return -sum / static_cast<double>(truth.size());
+}
+
+Result<double> Ams(const std::vector<double>& predictions,
+                   const std::vector<double>& truth) {
+  HYPPO_RETURN_NOT_OK(CheckSizes(predictions, truth));
+  // s = weighted signal selected, b = weighted background selected; with
+  // unit weights these are counts. b_reg is the challenge's regularizer.
+  double s = 0.0;
+  double b = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    if (HardLabel(predictions[i]) > 0.5) {
+      if (HardLabel(truth[i]) > 0.5) {
+        s += 1.0;
+      } else {
+        b += 1.0;
+      }
+    }
+  }
+  const double b_reg = 10.0;
+  const double inner =
+      2.0 * ((s + b + b_reg) * std::log(1.0 + s / (b + b_reg)) - s);
+  return std::sqrt(std::max(0.0, inner));
+}
+
+Result<double> Rmse(const std::vector<double>& predictions,
+                    const std::vector<double>& truth) {
+  HYPPO_RETURN_NOT_OK(CheckSizes(predictions, truth));
+  double sum = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const double diff = predictions[i] - truth[i];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum / static_cast<double>(truth.size()));
+}
+
+Result<double> Rmsle(const std::vector<double>& predictions,
+                     const std::vector<double>& truth) {
+  HYPPO_RETURN_NOT_OK(CheckSizes(predictions, truth));
+  double sum = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const double p = std::log1p(std::max(0.0, predictions[i]));
+    const double t = std::log1p(std::max(0.0, truth[i]));
+    const double diff = p - t;
+    sum += diff * diff;
+  }
+  return std::sqrt(sum / static_cast<double>(truth.size()));
+}
+
+Result<double> Mae(const std::vector<double>& predictions,
+                   const std::vector<double>& truth) {
+  HYPPO_RETURN_NOT_OK(CheckSizes(predictions, truth));
+  double sum = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    sum += std::fabs(predictions[i] - truth[i]);
+  }
+  return sum / static_cast<double>(truth.size());
+}
+
+Result<double> R2(const std::vector<double>& predictions,
+                  const std::vector<double>& truth) {
+  HYPPO_RETURN_NOT_OK(CheckSizes(predictions, truth));
+  double mean = 0.0;
+  for (double t : truth) {
+    mean += t;
+  }
+  mean /= static_cast<double>(truth.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const double res = truth[i] - predictions[i];
+    const double dev = truth[i] - mean;
+    ss_res += res * res;
+    ss_tot += dev * dev;
+  }
+  if (ss_tot == 0.0) {
+    return ss_res == 0.0 ? 1.0 : 0.0;
+  }
+  return 1.0 - ss_res / ss_tot;
+}
+
+Result<double> EvaluateMetric(const std::string& metric,
+                              const std::vector<double>& predictions,
+                              const std::vector<double>& truth) {
+  if (metric == "accuracy") return Accuracy(predictions, truth);
+  if (metric == "f1") return F1Score(predictions, truth);
+  if (metric == "logloss") return LogLoss(predictions, truth);
+  if (metric == "ams") return Ams(predictions, truth);
+  if (metric == "rmse") return Rmse(predictions, truth);
+  if (metric == "rmsle") return Rmsle(predictions, truth);
+  if (metric == "mae") return Mae(predictions, truth);
+  if (metric == "r2") return R2(predictions, truth);
+  return Status::InvalidArgument("unknown metric '" + metric + "'");
+}
+
+std::vector<std::string> KnownMetrics() {
+  return {"accuracy", "f1", "logloss", "ams", "rmse", "rmsle", "mae", "r2"};
+}
+
+}  // namespace hyppo::ml

@@ -1,0 +1,62 @@
+#ifndef HYPPO_ML_METRICS_H_
+#define HYPPO_ML_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hyppo::ml {
+
+/// \brief Evaluation metrics (the `evaluate` task type).
+///
+/// Classification metrics expect predictions as scores in [0,1] or hard
+/// labels {0,1}; thresholding at 0.5 is applied where labels are needed.
+/// Regression metrics operate on raw values.
+
+/// Fraction of correct hard predictions.
+Result<double> Accuracy(const std::vector<double>& predictions,
+                        const std::vector<double>& truth);
+
+/// Binary F1 score of the positive class.
+Result<double> F1Score(const std::vector<double>& predictions,
+                       const std::vector<double>& truth);
+
+/// Binary cross-entropy with probability clipping.
+Result<double> LogLoss(const std::vector<double>& predictions,
+                       const std::vector<double>& truth);
+
+/// Approximate Median Significance — the HIGGS challenge metric.
+/// Treats truth==1 as signal; uses unit event weights.
+Result<double> Ams(const std::vector<double>& predictions,
+                   const std::vector<double>& truth);
+
+/// Root mean squared error.
+Result<double> Rmse(const std::vector<double>& predictions,
+                    const std::vector<double>& truth);
+
+/// Root mean squared logarithmic error — the TAXI challenge metric.
+/// Negative values are clamped to 0 before log1p.
+Result<double> Rmsle(const std::vector<double>& predictions,
+                     const std::vector<double>& truth);
+
+/// Mean absolute error.
+Result<double> Mae(const std::vector<double>& predictions,
+                   const std::vector<double>& truth);
+
+/// Coefficient of determination.
+Result<double> R2(const std::vector<double>& predictions,
+                  const std::vector<double>& truth);
+
+/// Dispatches by metric name ("accuracy", "f1", "logloss", "ams", "rmse",
+/// "rmsle", "mae", "r2").
+Result<double> EvaluateMetric(const std::string& metric,
+                              const std::vector<double>& predictions,
+                              const std::vector<double>& truth);
+
+/// All metric names understood by EvaluateMetric.
+std::vector<std::string> KnownMetrics();
+
+}  // namespace hyppo::ml
+
+#endif  // HYPPO_ML_METRICS_H_

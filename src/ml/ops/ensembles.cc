@@ -1,0 +1,260 @@
+#include <memory>
+
+#include "common/string_util.h"
+#include "ml/linalg.h"
+#include "ml/operator.h"
+#include "ml/ops/ops.h"
+
+namespace hyppo::ml {
+
+namespace {
+
+// Model ensembles (paper §V, scenario 3 "advanced analysis"): ensemble
+// operators consume previously *fitted* base models — multi-input
+// hyperedges whose tails include several op-state artifacts. This is the
+// workload where reusing past trained models pays off most.
+//
+//   fit:     tail = {base op-states..., [train data]} -> ensemble op-state
+//   predict: tail = {ensemble op-state, test data}    -> predictions
+//
+// The `base_impls` config carries the physical impl names of the base
+// models ("skl.Ridge;lgb.GradientBoostingRegressor;...") so predict can
+// dispatch through the registry.
+
+// Resolves the physical implementation used to run each base model's
+// predict. Op-states are framework-agnostic in this catalog (any
+// implementation of a logical operator consumes any state of that
+// operator), so the dispatch only needs *a* predict-capable implementation
+// per base logical op. An explicit semicolon-separated `base_impls` config
+// overrides the derivation; note that config participates in canonical
+// artifact naming, so overriding makes otherwise-equivalent ensembles
+// distinct.
+Result<std::vector<std::string>> ResolveBaseImpls(
+    const Config& config, const std::vector<OpStatePtr>& states,
+    const std::string& who) {
+  const std::string raw = config.GetString("base_impls", "");
+  if (!raw.empty()) {
+    std::vector<std::string> impls = StrSplit(raw, ';');
+    if (impls.size() != states.size()) {
+      return Status::InvalidArgument(
+          who + ": base_impls lists " + std::to_string(impls.size()) +
+          " impls but " + std::to_string(states.size()) +
+          " op-states were given");
+    }
+    return impls;
+  }
+  std::vector<std::string> impls;
+  impls.reserve(states.size());
+  for (const OpStatePtr& state : states) {
+    const PhysicalOperator* chosen = nullptr;
+    for (const PhysicalOperator* op :
+         OperatorRegistry::Global().ImplsFor(state->logical_op())) {
+      if (op->SupportsTask(MlTask::kPredict)) {
+        chosen = op;
+        break;
+      }
+    }
+    if (chosen == nullptr) {
+      return Status::InvalidArgument(
+          who + ": no predict-capable implementation for base operator '" +
+          state->logical_op() + "'");
+    }
+    impls.push_back(chosen->impl_name());
+  }
+  return impls;
+}
+
+class EnsembleRegressorBase : public PhysicalOperator {
+ public:
+  using PhysicalOperator::PhysicalOperator;
+
+  bool SupportsTask(MlTask task) const override {
+    return task == MlTask::kFit || task == MlTask::kPredict;
+  }
+
+  Result<TaskOutputs> Execute(MlTask task, const TaskInputs& inputs,
+                              const Config& config) const override {
+    TaskOutputs out;
+    switch (task) {
+      case MlTask::kFit: {
+        if (inputs.states.empty()) {
+          return Status::InvalidArgument(
+              impl_name() + ".fit expects at least one base op-state");
+        }
+        HYPPO_ASSIGN_OR_RETURN(OpStatePtr state, DoFit(inputs, config));
+        out.states.push_back(std::move(state));
+        return out;
+      }
+      case MlTask::kPredict: {
+        if (inputs.states.size() != 1 || inputs.datasets.size() != 1) {
+          return Status::InvalidArgument(
+              impl_name() +
+              ".predict expects the ensemble op-state and one dataset");
+        }
+        const auto* es =
+            dynamic_cast<const EnsembleState*>(inputs.states[0].get());
+        if (es == nullptr) {
+          return Status::InvalidArgument(impl_name() +
+                                         ".predict: incompatible op-state");
+        }
+        HYPPO_ASSIGN_OR_RETURN(std::vector<double> preds,
+                               DoPredict(*es, *inputs.datasets[0]));
+        out.predictions.push_back(
+            std::make_shared<const std::vector<double>>(std::move(preds)));
+        return out;
+      }
+      default:
+        return Status::InvalidArgument(impl_name() +
+                                       " does not support task " +
+                                       MlTaskToString(task));
+    }
+  }
+
+  double CostHint(MlTask task, int64_t rows, int64_t cols,
+                  const Config& /*config*/) const override {
+    const double cells = static_cast<double>(rows) * static_cast<double>(cols);
+    // Predict fans out to the base models; fit is cheap relative to the
+    // (already fitted) base models.
+    return (task == MlTask::kFit ? 5e-9 : 2e-8) * cells;
+  }
+
+ protected:
+  virtual Result<OpStatePtr> DoFit(const TaskInputs& inputs,
+                                   const Config& config) const = 0;
+
+  Result<std::vector<double>> DoPredict(const EnsembleState& state,
+                                        const Dataset& data) const {
+    if (state.base_states.empty()) {
+      return Status::InvalidArgument(impl_name() + ": empty ensemble");
+    }
+    std::vector<double> combined(static_cast<size_t>(data.rows()),
+                                 state.meta_intercept);
+    for (size_t b = 0; b < state.base_states.size(); ++b) {
+      HYPPO_ASSIGN_OR_RETURN(
+          std::vector<double> preds,
+          PredictWithImpl(state.base_impls[b], *state.base_states[b], data));
+      const double w = state.meta_weights[b];
+      for (size_t i = 0; i < preds.size(); ++i) {
+        combined[i] += w * preds[i];
+      }
+    }
+    return combined;
+  }
+};
+
+// VotingRegressor: uniform average of base model predictions. Fit does not
+// need data; it records the base models with uniform weights.
+class SklVotingRegressor final : public EnsembleRegressorBase {
+ public:
+  SklVotingRegressor()
+      : EnsembleRegressorBase("VotingRegressor", "skl") {}
+
+ protected:
+  Result<OpStatePtr> DoFit(const TaskInputs& inputs,
+                           const Config& config) const override {
+    HYPPO_ASSIGN_OR_RETURN(
+        std::vector<std::string> impls,
+        ResolveBaseImpls(config, inputs.states, impl_name()));
+    auto state = std::make_shared<EnsembleState>("VotingRegressor");
+    state->base_states = inputs.states;
+    state->base_impls = std::move(impls);
+    for (const OpStatePtr& base : inputs.states) {
+      state->base_logical_ops.push_back(base->logical_op());
+    }
+    state->meta_weights.assign(
+        inputs.states.size(),
+        1.0 / static_cast<double>(inputs.states.size()));
+    return OpStatePtr(std::move(state));
+  }
+};
+
+// StackingRegressor: fits a ridge meta-learner over the base models'
+// predictions on the provided training data.
+class SklStackingRegressor final : public EnsembleRegressorBase {
+ public:
+  SklStackingRegressor()
+      : EnsembleRegressorBase("StackingRegressor", "skl") {}
+
+ protected:
+  Result<OpStatePtr> DoFit(const TaskInputs& inputs,
+                           const Config& config) const override {
+    if (inputs.datasets.size() != 1) {
+      return Status::InvalidArgument(
+          impl_name() + ".fit expects the training dataset");
+    }
+    const Dataset& train = *inputs.datasets[0];
+    if (!train.has_target()) {
+      return Status::InvalidArgument(impl_name() +
+                                     ".fit: dataset has no target");
+    }
+    HYPPO_ASSIGN_OR_RETURN(
+        std::vector<std::string> impls,
+        ResolveBaseImpls(config, inputs.states, impl_name()));
+    const size_t k = inputs.states.size();
+    const int64_t n = train.rows();
+    // Base model predictions form the meta design matrix (k columns).
+    std::vector<std::vector<double>> base_preds(k);
+    for (size_t b = 0; b < k; ++b) {
+      HYPPO_ASSIGN_OR_RETURN(
+          base_preds[b],
+          PredictWithImpl(impls[b], *inputs.states[b], train));
+    }
+    // Ridge with intercept on the k-dimensional meta features.
+    const double alpha = config.GetDouble("alpha", 1.0);
+    const int64_t a = static_cast<int64_t>(k) + 1;
+    std::vector<double> gram(static_cast<size_t>(a * a), 0.0);
+    std::vector<double> moment(static_cast<size_t>(a), 0.0);
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = i; j < k; ++j) {
+        double sum = 0.0;
+        for (int64_t r = 0; r < n; ++r) {
+          sum += base_preds[i][static_cast<size_t>(r)] *
+                 base_preds[j][static_cast<size_t>(r)];
+        }
+        gram[i * static_cast<size_t>(a) + j] = sum;
+        gram[j * static_cast<size_t>(a) + i] = sum;
+      }
+      double col_sum = 0.0;
+      double y_sum = 0.0;
+      for (int64_t r = 0; r < n; ++r) {
+        col_sum += base_preds[i][static_cast<size_t>(r)];
+        y_sum += base_preds[i][static_cast<size_t>(r)] *
+                 train.target()[static_cast<size_t>(r)];
+      }
+      gram[i * static_cast<size_t>(a) + k] = col_sum;
+      gram[k * static_cast<size_t>(a) + i] = col_sum;
+      moment[i] = y_sum;
+      gram[i * static_cast<size_t>(a) + i] += alpha;
+    }
+    gram[k * static_cast<size_t>(a) + k] = static_cast<double>(n);
+    double target_sum = 0.0;
+    for (double y : train.target()) {
+      target_sum += y;
+    }
+    moment[k] = target_sum;
+    HYPPO_ASSIGN_OR_RETURN(std::vector<double> solution,
+                           CholeskySolve(std::move(gram), a, moment, 1e-8));
+    auto state = std::make_shared<EnsembleState>("StackingRegressor");
+    state->base_states = inputs.states;
+    state->base_impls = std::move(impls);
+    for (const OpStatePtr& base : inputs.states) {
+      state->base_logical_ops.push_back(base->logical_op());
+    }
+    state->meta_weights.assign(solution.begin(), solution.begin() +
+                                                     static_cast<int64_t>(k));
+    state->meta_intercept = solution[k];
+    return OpStatePtr(std::move(state));
+  }
+};
+
+}  // namespace
+
+Status RegisterEnsembleOperators(OperatorRegistry& registry) {
+  HYPPO_RETURN_NOT_OK(
+      registry.Register(std::make_unique<SklVotingRegressor>()));
+  HYPPO_RETURN_NOT_OK(
+      registry.Register(std::make_unique<SklStackingRegressor>()));
+  return Status::OK();
+}
+
+}  // namespace hyppo::ml

@@ -1,0 +1,60 @@
+#include <memory>
+
+#include "ml/metrics.h"
+#include "ml/operator.h"
+#include "ml/ops/ops.h"
+
+namespace hyppo::ml {
+
+namespace {
+
+// Evaluator: computes a metric over predictions against a dataset's target.
+// tail = {predictions, dataset-with-target} -> head = {value}.
+// Single implementation, as the paper assigns use-case specific evaluation
+// operators a single physical operator. The metric name lives in the
+// configuration, so differently-configured evaluations name distinct
+// artifacts.
+class SklEvaluator final : public PhysicalOperator {
+ public:
+  SklEvaluator() : PhysicalOperator("Evaluator", "skl") {}
+
+  bool SupportsTask(MlTask task) const override {
+    return task == MlTask::kEvaluate;
+  }
+
+  Result<TaskOutputs> Execute(MlTask task, const TaskInputs& inputs,
+                              const Config& config) const override {
+    if (task != MlTask::kEvaluate) {
+      return Status::InvalidArgument(impl_name() + " only supports evaluate");
+    }
+    if (inputs.predictions.size() != 1 || inputs.datasets.size() != 1) {
+      return Status::InvalidArgument(
+          impl_name() + ".evaluate expects predictions and a dataset");
+    }
+    const Dataset& data = *inputs.datasets[0];
+    if (!data.has_target()) {
+      return Status::InvalidArgument(impl_name() +
+                                     ".evaluate: dataset has no target");
+    }
+    const std::string metric = config.GetString("metric", "rmse");
+    HYPPO_ASSIGN_OR_RETURN(
+        double value,
+        EvaluateMetric(metric, *inputs.predictions[0], data.target()));
+    TaskOutputs out;
+    out.values.push_back(value);
+    return out;
+  }
+
+  double CostHint(MlTask /*task*/, int64_t rows, int64_t /*cols*/,
+                  const Config& /*config*/) const override {
+    return 3e-9 * static_cast<double>(rows);
+  }
+};
+
+}  // namespace
+
+Status RegisterEvaluatorOperators(OperatorRegistry& registry) {
+  return registry.Register(std::make_unique<SklEvaluator>());
+}
+
+}  // namespace hyppo::ml

@@ -1,0 +1,28 @@
+#ifndef HYPPO_ML_OPS_OPS_H_
+#define HYPPO_ML_OPS_OPS_H_
+
+#include "common/status.h"
+#include "ml/registry.h"
+
+namespace hyppo::ml {
+
+/// Per-family registration hooks, called by RegisterBuiltinOperators.
+Status RegisterSplitOperators(OperatorRegistry& registry);
+Status RegisterScalerOperators(OperatorRegistry& registry);
+Status RegisterImputerOperators(OperatorRegistry& registry);
+Status RegisterFeatureOperators(OperatorRegistry& registry);
+Status RegisterPcaOperators(OperatorRegistry& registry);
+Status RegisterLinearModelOperators(OperatorRegistry& registry);
+Status RegisterSvmOperators(OperatorRegistry& registry);
+Status RegisterTreeOperators(OperatorRegistry& registry);
+Status RegisterForestOperators(OperatorRegistry& registry);
+Status RegisterBoostingOperators(OperatorRegistry& registry);
+Status RegisterKMeansOperators(OperatorRegistry& registry);
+Status RegisterEnsembleOperators(OperatorRegistry& registry);
+Status RegisterEvaluatorOperators(OperatorRegistry& registry);
+Status RegisterElasticNetOperators(OperatorRegistry& registry);
+Status RegisterQuantileOperators(OperatorRegistry& registry);
+
+}  // namespace hyppo::ml
+
+#endif  // HYPPO_ML_OPS_OPS_H_

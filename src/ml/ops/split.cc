@@ -1,0 +1,128 @@
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "common/rng.h"
+#include "ml/operator.h"
+#include "ml/ops/ops.h"
+
+namespace hyppo::ml {
+
+namespace {
+
+// Both implementations derive the same deterministic permutation from the
+// `seed` config, so their outputs are identical (a requirement for task
+// equivalence, paper §III-C2); they differ in how they materialize the two
+// partitions, and hence in cost.
+std::vector<int64_t> SplitPermutation(int64_t rows, uint64_t seed,
+                                      bool shuffle) {
+  std::vector<int64_t> perm(static_cast<size_t>(rows));
+  std::iota(perm.begin(), perm.end(), 0);
+  if (shuffle) {
+    Rng rng(seed);
+    rng.Shuffle(perm);
+  }
+  return perm;
+}
+
+class TrainTestSplitBase : public PhysicalOperator {
+ public:
+  using PhysicalOperator::PhysicalOperator;
+
+  bool SupportsTask(MlTask task) const override {
+    return task == MlTask::kSplit;
+  }
+
+  Result<TaskOutputs> Execute(MlTask task, const TaskInputs& inputs,
+                              const Config& config) const override {
+    if (task != MlTask::kSplit) {
+      return Status::InvalidArgument(impl_name() + " only supports split");
+    }
+    if (inputs.datasets.size() != 1) {
+      return Status::InvalidArgument(impl_name() +
+                                     ".split expects one dataset");
+    }
+    const Dataset& data = *inputs.datasets[0];
+    const double test_size = config.GetDouble("test_size", 0.25);
+    if (test_size <= 0.0 || test_size >= 1.0) {
+      return Status::InvalidArgument("test_size must be in (0, 1)");
+    }
+    const uint64_t seed =
+        static_cast<uint64_t>(config.GetInt("seed", 13));
+    const bool shuffle = config.GetBool("shuffle", true);
+    const int64_t test_rows = std::max<int64_t>(
+        1, static_cast<int64_t>(static_cast<double>(data.rows()) * test_size));
+    if (test_rows >= data.rows()) {
+      return Status::InvalidArgument("dataset too small to split");
+    }
+    std::vector<int64_t> perm = SplitPermutation(data.rows(), seed, shuffle);
+    std::vector<int64_t> train_idx(perm.begin() + test_rows, perm.end());
+    std::vector<int64_t> test_idx(perm.begin(), perm.begin() + test_rows);
+    HYPPO_ASSIGN_OR_RETURN(Dataset train,
+                           Materialize(data, train_idx));
+    HYPPO_ASSIGN_OR_RETURN(Dataset test, Materialize(data, test_idx));
+    TaskOutputs out;
+    out.datasets.push_back(std::make_shared<const Dataset>(std::move(train)));
+    out.datasets.push_back(std::make_shared<const Dataset>(std::move(test)));
+    return out;
+  }
+
+  double CostHint(MlTask /*task*/, int64_t rows, int64_t cols,
+                  const Config& /*config*/) const override {
+    return 4e-9 * static_cast<double>(rows) * static_cast<double>(cols);
+  }
+
+ protected:
+  virtual Result<Dataset> Materialize(
+      const Dataset& data, const std::vector<int64_t>& rows) const = 0;
+};
+
+// Column-at-a-time gather (cache friendly on the column-major layout).
+class SklTrainTestSplit final : public TrainTestSplitBase {
+ public:
+  SklTrainTestSplit() : TrainTestSplitBase("TrainTestSplit", "skl") {}
+
+ protected:
+  Result<Dataset> Materialize(const Dataset& data,
+                              const std::vector<int64_t>& rows) const override {
+    return data.SelectRows(rows);
+  }
+};
+
+// Row-at-a-time gather; identical output, worse locality (higher cost).
+class TflTrainTestSplit final : public TrainTestSplitBase {
+ public:
+  TflTrainTestSplit() : TrainTestSplitBase("TrainTestSplit", "tfl") {}
+
+ protected:
+  Result<Dataset> Materialize(const Dataset& data,
+                              const std::vector<int64_t>& rows) const override {
+    Dataset out(static_cast<int64_t>(rows.size()), data.cols());
+    out.set_column_names(data.column_names());
+    std::vector<double> row_buf(static_cast<size_t>(data.cols()));
+    for (size_t i = 0; i < rows.size(); ++i) {
+      data.CopyRow(rows[i], row_buf.data());
+      for (int64_t c = 0; c < data.cols(); ++c) {
+        out.at(static_cast<int64_t>(i), c) = row_buf[static_cast<size_t>(c)];
+      }
+    }
+    if (data.has_target()) {
+      std::vector<double> target(rows.size());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        target[i] = data.target()[static_cast<size_t>(rows[i])];
+      }
+      out.set_target(std::move(target));
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+Status RegisterSplitOperators(OperatorRegistry& registry) {
+  HYPPO_RETURN_NOT_OK(registry.Register(std::make_unique<SklTrainTestSplit>()));
+  HYPPO_RETURN_NOT_OK(registry.Register(std::make_unique<TflTrainTestSplit>()));
+  return Status::OK();
+}
+
+}  // namespace hyppo::ml

@@ -1,0 +1,55 @@
+#include "ml/registry.h"
+
+namespace hyppo::ml {
+
+OperatorRegistry& OperatorRegistry::Global() {
+  // Function-local static reference that is never destroyed (no static
+  // destruction order issues; see the style guide on static storage).
+  static OperatorRegistry& registry = *[] {
+    auto* r = new OperatorRegistry();
+    RegisterBuiltinOperators(*r).Abort("RegisterBuiltinOperators");
+    return r;
+  }();
+  return registry;
+}
+
+Status OperatorRegistry::Register(std::unique_ptr<PhysicalOperator> op) {
+  const std::string name = op->impl_name();
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("operator '" + name +
+                                 "' is already registered");
+  }
+  by_logical_[op->logical_op()].push_back(op.get());
+  by_name_.emplace(name, std::move(op));
+  return Status::OK();
+}
+
+Result<const PhysicalOperator*> OperatorRegistry::Get(
+    const std::string& impl_name) const {
+  auto it = by_name_.find(impl_name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no operator implementation named '" + impl_name +
+                            "'");
+  }
+  return it->second.get();
+}
+
+std::vector<const PhysicalOperator*> OperatorRegistry::ImplsFor(
+    const std::string& logical_op) const {
+  auto it = by_logical_.find(logical_op);
+  if (it == by_logical_.end()) {
+    return {};
+  }
+  return it->second;
+}
+
+std::vector<std::string> OperatorRegistry::LogicalOps() const {
+  std::vector<std::string> names;
+  names.reserve(by_logical_.size());
+  for (const auto& [name, impls] : by_logical_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace hyppo::ml

@@ -1,0 +1,54 @@
+#ifndef HYPPO_ML_REGISTRY_H_
+#define HYPPO_ML_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/operator.h"
+
+namespace hyppo::ml {
+
+/// \brief Registry of physical operator implementations, keyed by
+/// fully-qualified impl name ("skl.StandardScaler").
+///
+/// The HYPPO dictionary (core/dictionary.h) is built on top of this: a
+/// dictionary entry `lop.tasktype -> [impls]` points at registry entries.
+class OperatorRegistry {
+ public:
+  OperatorRegistry() = default;
+  OperatorRegistry(const OperatorRegistry&) = delete;
+  OperatorRegistry& operator=(const OperatorRegistry&) = delete;
+
+  /// Process-wide registry pre-populated with all built-in operators.
+  static OperatorRegistry& Global();
+
+  /// Registers an implementation; fails on duplicate impl names.
+  Status Register(std::unique_ptr<PhysicalOperator> op);
+
+  /// Looks up by fully-qualified impl name.
+  Result<const PhysicalOperator*> Get(const std::string& impl_name) const;
+
+  /// All implementations of one logical operator, in registration order.
+  std::vector<const PhysicalOperator*> ImplsFor(
+      const std::string& logical_op) const;
+
+  /// All distinct logical operator names.
+  std::vector<std::string> LogicalOps() const;
+
+  size_t size() const { return by_name_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<PhysicalOperator>> by_name_;
+  std::map<std::string, std::vector<const PhysicalOperator*>> by_logical_;
+};
+
+/// Registers every built-in operator implementation into `registry`.
+/// Safe to call once per registry.
+Status RegisterBuiltinOperators(OperatorRegistry& registry);
+
+}  // namespace hyppo::ml
+
+#endif  // HYPPO_ML_REGISTRY_H_

@@ -1,0 +1,108 @@
+#ifndef HYPPO_STORAGE_ARTIFACT_STORE_H_
+#define HYPPO_STORAGE_ARTIFACT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "ml/dataset.h"
+#include "ml/op_state.h"
+#include "ml/operator.h"
+
+namespace hyppo::storage {
+
+/// \brief The value of an artifact: a dataset, a fitted op-state, a
+/// prediction vector, or a scalar metric value. Monostate marks artifacts
+/// whose value is only simulated (planner-scalability experiments).
+using ArtifactPayload =
+    std::variant<std::monostate, ml::DatasetPtr, ml::OpStatePtr,
+                 ml::PredictionsPtr, double>;
+
+/// Byte size of a payload (0 for monostate).
+int64_t PayloadSizeBytes(const ArtifactPayload& payload);
+
+/// \brief Cost model of a storage tier: a fixed per-request latency plus a
+/// bandwidth term. Loading artifact v costs
+///   latency + size(v) / read_bandwidth   seconds.
+struct StorageTier {
+  double read_bandwidth_bytes_per_sec = 400e6;
+  double write_bandwidth_bytes_per_sec = 250e6;
+  double latency_seconds = 2e-3;
+
+  double LoadSeconds(int64_t bytes) const {
+    return latency_seconds +
+           static_cast<double>(bytes) / read_bandwidth_bytes_per_sec;
+  }
+  double StoreSeconds(int64_t bytes) const {
+    return latency_seconds +
+           static_cast<double>(bytes) / write_bandwidth_bytes_per_sec;
+  }
+
+  /// A local materialization tier (fast SSD-like).
+  static StorageTier Local() { return StorageTier{}; }
+  /// The remote tier raw datasets live on (slower, higher latency) —
+  /// loading raw data is a real task with a real cost, as in the paper's
+  /// source node s.
+  static StorageTier Remote() {
+    StorageTier tier;
+    tier.read_bandwidth_bytes_per_sec = 150e6;
+    tier.write_bandwidth_bytes_per_sec = 80e6;
+    tier.latency_seconds = 1e-2;
+    return tier;
+  }
+};
+
+/// \brief Key-value store of materialized artifacts with byte accounting.
+///
+/// The materializer (core/materializer.h) decides *what* lives here under
+/// the storage budget; the store tracks usage and answers load-cost
+/// queries. Keys are canonical artifact names.
+class ArtifactStore {
+ public:
+  explicit ArtifactStore(StorageTier tier = StorageTier::Local())
+      : tier_(tier) {}
+
+  /// Stores a payload under `key`. `size_bytes` is charged against usage
+  /// (passed explicitly so simulated artifacts can carry estimated sizes).
+  Status Put(const std::string& key, ArtifactPayload payload,
+             int64_t size_bytes);
+
+  /// Retrieves a payload; NotFound if absent.
+  Result<ArtifactPayload> Get(const std::string& key) const;
+
+  bool Contains(const std::string& key) const {
+    return entries_.count(key) > 0;
+  }
+
+  /// Removes an entry; NotFound if absent.
+  Status Evict(const std::string& key);
+
+  /// Size on storage of one entry; NotFound if absent.
+  Result<int64_t> SizeOf(const std::string& key) const;
+
+  int64_t used_bytes() const { return used_bytes_; }
+  size_t num_entries() const { return entries_.size(); }
+  /// All stored keys, sorted (for persistence and inspection).
+  std::vector<std::string> Keys() const;
+  const StorageTier& tier() const { return tier_; }
+
+  double LoadSeconds(int64_t bytes) const { return tier_.LoadSeconds(bytes); }
+  double StoreSeconds(int64_t bytes) const {
+    return tier_.StoreSeconds(bytes);
+  }
+
+ private:
+  struct Entry {
+    ArtifactPayload payload;
+    int64_t size_bytes = 0;
+  };
+  StorageTier tier_;
+  std::map<std::string, Entry> entries_;
+  int64_t used_bytes_ = 0;
+};
+
+}  // namespace hyppo::storage
+
+#endif  // HYPPO_STORAGE_ARTIFACT_STORE_H_

@@ -1,0 +1,169 @@
+#include "workload/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace hyppo::workload {
+
+Result<ml::DatasetPtr> GenerateHiggs(int64_t rows, int64_t cols,
+                                     uint64_t seed) {
+  if (rows < 10 || cols < 4) {
+    return Status::InvalidArgument("GenerateHiggs: rows >= 10, cols >= 4");
+  }
+  Rng rng(seed);
+  auto data = std::make_shared<ml::Dataset>(rows, cols);
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(cols));
+  for (int64_t c = 0; c < cols; ++c) {
+    names.push_back("f" + std::to_string(c));
+  }
+  data->set_column_names(std::move(names));
+
+  std::vector<double> target(static_cast<size_t>(rows), 0.0);
+  // Per-class feature means: signal events sit in a shifted, correlated
+  // region of feature space (as the derived ATLAS kinematics do).
+  std::vector<double> signal_shift(static_cast<size_t>(cols));
+  for (int64_t c = 0; c < cols; ++c) {
+    signal_shift[static_cast<size_t>(c)] = rng.Gaussian(0.0, 0.8);
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    const bool signal = rng.Bernoulli(1.0 / 3.0);  // challenge-like skew
+    target[static_cast<size_t>(r)] = signal ? 1.0 : 0.0;
+    double latent = rng.Gaussian();
+    for (int64_t c = 0; c < cols; ++c) {
+      double value = rng.Gaussian();
+      // Share a latent factor for correlation, add the class shift and a
+      // mild nonlinearity so linear and tree models both have signal.
+      value += 0.5 * latent;
+      if (signal) {
+        value += signal_shift[static_cast<size_t>(c)];
+        if (c % 3 == 0) {
+          value += 0.3 * latent * latent - 0.3;
+        }
+      }
+      // Heavier tails on "momentum"-style columns.
+      if (c % 5 == 1) {
+        value = value * std::exp(0.25 * std::fabs(rng.Gaussian()));
+      }
+      data->at(r, c) = value;
+    }
+  }
+  // Missing values (NaN) in a quarter of the columns, ~5% of rows.
+  const int64_t missing_cols = std::max<int64_t>(1, cols / 4);
+  for (int64_t k = 0; k < missing_cols; ++k) {
+    const int64_t c = (k * 4 + 2) % cols;
+    double* col = data->col_data(c);
+    for (int64_t r = 0; r < rows; ++r) {
+      if (rng.Bernoulli(0.05)) {
+        col[r] = std::nan("");
+      }
+    }
+  }
+  data->set_target(std::move(target));
+  return ml::DatasetPtr(std::move(data));
+}
+
+Result<ml::DatasetPtr> GenerateTaxi(int64_t rows, uint64_t seed) {
+  if (rows < 10) {
+    return Status::InvalidArgument("GenerateTaxi: rows >= 10");
+  }
+  Rng rng(seed);
+  std::vector<std::string> names = {
+      "pickup_lat",  "pickup_lon",  "dropoff_lat", "dropoff_lon",
+      "passengers",  "pickup_hour", "weekday",     "vendor_id",
+      "store_fwd",   "month",       "day"};
+  auto data = std::make_shared<ml::Dataset>(
+      ml::Dataset::WithColumns(rows, std::move(names)));
+  std::vector<double> target(static_cast<size_t>(rows), 0.0);
+  constexpr double kNycLat = 40.75;
+  constexpr double kNycLon = -73.97;
+  for (int64_t r = 0; r < rows; ++r) {
+    const double pickup_lat = kNycLat + rng.Gaussian(0.0, 0.04);
+    const double pickup_lon = kNycLon + rng.Gaussian(0.0, 0.04);
+    const double dropoff_lat = pickup_lat + rng.Gaussian(0.0, 0.03);
+    const double dropoff_lon = pickup_lon + rng.Gaussian(0.0, 0.03);
+    const double hour = static_cast<double>(rng.UniformInt(0, 23));
+    const double weekday = static_cast<double>(rng.UniformInt(0, 6));
+    data->at(r, 0) = pickup_lat;
+    data->at(r, 1) = pickup_lon;
+    data->at(r, 2) = dropoff_lat;
+    data->at(r, 3) = dropoff_lon;
+    data->at(r, 4) = static_cast<double>(rng.UniformInt(1, 6));
+    data->at(r, 5) = hour;
+    data->at(r, 6) = weekday;
+    data->at(r, 7) = static_cast<double>(rng.UniformInt(1, 2));
+    data->at(r, 8) = rng.Bernoulli(0.01) ? 1.0 : 0.0;
+    data->at(r, 9) = static_cast<double>(rng.UniformInt(1, 6));
+    data->at(r, 10) = static_cast<double>(rng.UniformInt(1, 28));
+    // Haversine distance in km.
+    constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+    const double dlat = (dropoff_lat - pickup_lat) * kDegToRad;
+    const double dlon = (dropoff_lon - pickup_lon) * kDegToRad;
+    const double a =
+        std::sin(dlat / 2) * std::sin(dlat / 2) +
+        std::cos(pickup_lat * kDegToRad) * std::cos(dropoff_lat * kDegToRad) *
+            std::sin(dlon / 2) * std::sin(dlon / 2);
+    const double distance_km =
+        2.0 * 6371.0 * std::asin(std::sqrt(std::min(1.0, a)));
+    // Rush-hour slowdown + log-normal noise.
+    const bool rush = (hour >= 7 && hour <= 9) || (hour >= 16 && hour <= 19);
+    const double speed_kmh = (rush ? 12.0 : 22.0) *
+                             std::exp(rng.Gaussian(0.0, 0.25));
+    const double duration_s =
+        60.0 + distance_km / std::max(speed_kmh, 2.0) * 3600.0;
+    target[static_cast<size_t>(r)] = duration_s;
+  }
+  data->set_target(std::move(target));
+  return ml::DatasetPtr(std::move(data));
+}
+
+std::string UseCase::DatasetId(double multiplier) const {
+  return ToLower(name) + "_x" + FormatDouble(multiplier, 4);
+}
+
+int64_t UseCase::RowsAt(double multiplier) const {
+  return std::max<int64_t>(
+      400, static_cast<int64_t>(static_cast<double>(paper_rows) * multiplier));
+}
+
+UseCase UseCase::Higgs() {
+  UseCase use_case;
+  use_case.name = "HIGGS";
+  use_case.description =
+      "ATLAS Higgs boson detection: imputation, scaling, polynomial "
+      "features; SVM and other classifiers with varying regularization";
+  use_case.teams = 1784;
+  use_case.paper_rows = 800000;
+  use_case.paper_cols = 30;
+  use_case.classification = true;
+  use_case.default_metric = "accuracy";
+  return use_case;
+}
+
+UseCase UseCase::Taxi() {
+  UseCase use_case;
+  use_case.name = "TAXI";
+  use_case.description =
+      "NYC taxi trip duration prediction: heavier preprocessing (geo "
+      "features, log target) and a variety of regressors";
+  use_case.teams = 1254;
+  use_case.paper_rows = 1000000;
+  use_case.paper_cols = 11;
+  use_case.classification = false;
+  use_case.default_metric = "rmsle";
+  return use_case;
+}
+
+Result<ml::DatasetPtr> GenerateUseCase(const UseCase& use_case,
+                                       double multiplier, uint64_t seed) {
+  const int64_t rows = use_case.RowsAt(multiplier);
+  if (use_case.classification) {
+    return GenerateHiggs(rows, use_case.paper_cols, seed);
+  }
+  return GenerateTaxi(rows, seed);
+}
+
+}  // namespace hyppo::workload

@@ -1,0 +1,60 @@
+#ifndef HYPPO_WORKLOAD_DATAGEN_H_
+#define HYPPO_WORKLOAD_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "ml/dataset.h"
+
+namespace hyppo::workload {
+
+/// \brief Synthetic stand-ins for the paper's two Kaggle use cases
+/// (Table I). The real competition data is not redistributable; these
+/// generators reproduce what the evaluation actually depends on — the
+/// dataset shapes (row/column counts drive task costs and artifact
+/// sizes), the task type (binary classification vs. regression), missing
+/// values (imputation work), and learnable non-trivial structure (so
+/// models, metrics, and equivalence checks behave realistically).
+
+/// HIGGS-like binary classification data: `cols` continuous physics-style
+/// features from signal/background Gaussian mixtures with a nonlinear
+/// decision structure; ~5% missing values (NaN) in a quarter of the
+/// columns, mirroring the -999 placeholders of the ATLAS data. Target is
+/// {0,1}. Paper-scale shape: (800000, 30).
+Result<ml::DatasetPtr> GenerateHiggs(int64_t rows, int64_t cols,
+                                     uint64_t seed);
+
+/// TAXI-like regression data: NYC-trip-style columns (pickup/dropoff
+/// coordinates, passenger count, hour, weekday, vendor, flags); target is
+/// the trip duration in seconds, driven by haversine distance with
+/// hour-dependent speeds and log-normal noise. Paper-scale shape:
+/// (1000000, 11).
+Result<ml::DatasetPtr> GenerateTaxi(int64_t rows, uint64_t seed);
+
+/// \brief Descriptor of one use case (Table I row).
+struct UseCase {
+  std::string name;          // "HIGGS" / "TAXI"
+  std::string description;   // Table I text
+  int64_t teams = 0;         // T column
+  int64_t paper_rows = 0;    // S column
+  int64_t paper_cols = 0;
+  bool classification = false;
+  std::string default_metric;
+
+  /// Dataset id used by pipelines for this use case at the given scale.
+  std::string DatasetId(double multiplier) const;
+  /// Rows at the given multiplier (at least 400).
+  int64_t RowsAt(double multiplier) const;
+
+  static UseCase Higgs();
+  static UseCase Taxi();
+};
+
+/// Generates the use case's dataset at the given scale.
+Result<ml::DatasetPtr> GenerateUseCase(const UseCase& use_case,
+                                       double multiplier, uint64_t seed);
+
+}  // namespace hyppo::workload
+
+#endif  // HYPPO_WORKLOAD_DATAGEN_H_

@@ -1,0 +1,369 @@
+#include "workload/pipeline_generator.h"
+
+#include <algorithm>
+
+#include "core/pipeline_builder.h"
+
+namespace hyppo::workload {
+
+namespace {
+
+
+using core::PipelineBuilder;
+
+StageSpec MakeStage(const std::string& logical_op, const std::string& impl,
+                    ml::Config config = {}) {
+  StageSpec stage;
+  stage.logical_op = logical_op;
+  stage.impl = impl;
+  stage.config = std::move(config);
+  return stage;
+}
+
+}  // namespace
+
+std::string StageSpec::Signature() const {
+  return logical_op + "[" + config.ToString() + "]";
+}
+
+std::string PipelineSpec::PrefixSignature() const {
+  return imputer.Signature() + "|" + scaler.Signature() + "|" +
+         feature.Signature() + "|split=" + std::to_string(split_seed);
+}
+
+PipelineGenerator::PipelineGenerator(UseCase use_case,
+                                     double dataset_multiplier, uint64_t seed)
+    : use_case_(std::move(use_case)),
+      multiplier_(dataset_multiplier),
+      rng_(seed) {}
+
+std::string PipelineGenerator::PickImpl(
+    const std::string& logical_op, const std::vector<std::string>& frameworks) {
+  const size_t pick = static_cast<size_t>(
+      rng_.NextBelow(static_cast<uint64_t>(frameworks.size())));
+  return frameworks[pick] + "." + logical_op;
+}
+
+StageSpec PipelineGenerator::RandomImputer() {
+  ml::Config config;
+  config.Set("strategy", rng_.Bernoulli(0.5) ? "mean" : "median");
+  const std::string logical_op = "SimpleImputer";
+  return MakeStage(logical_op, PickImpl(logical_op, {"skl", "tfl"}),
+                   std::move(config));
+}
+
+StageSpec PipelineGenerator::RandomScaler() {
+  static const char* kScalers[] = {"StandardScaler", "MinMaxScaler",
+                                   "RobustScaler", "MaxAbsScaler"};
+  const std::string logical_op =
+      kScalers[rng_.NextBelow(4)];
+  return MakeStage(logical_op, PickImpl(logical_op, {"skl", "tfl"}));
+}
+
+StageSpec PipelineGenerator::RandomFeature() {
+  const double draw = rng_.NextDouble();
+  if (draw < 0.35) {
+    return StageSpec{};  // no feature stage
+  }
+  if (draw < 0.6) {
+    ml::Config config;
+    config.SetInt("n_components",
+                  use_case_.classification
+                      ? static_cast<int64_t>(5 + 5 * rng_.NextBelow(3))
+                      : static_cast<int64_t>(4 + 2 * rng_.NextBelow(3)));
+    return MakeStage("PCA", PickImpl("PCA", {"skl", "tfl"}),
+                     std::move(config));
+  }
+  if (draw < 0.75) {
+    ml::Config config;
+    config.SetInt("degree", 2);
+    return MakeStage("PolynomialFeatures",
+                     PickImpl("PolynomialFeatures", {"skl", "tfl"}),
+                     std::move(config));
+  }
+  if (draw < 0.85) {
+    ml::Config config;
+    config.SetInt("n_quantiles", 100);
+    return MakeStage("QuantileTransformer",
+                     PickImpl("QuantileTransformer", {"skl", "tfl"}),
+                     std::move(config));
+  }
+  if (use_case_.classification) {
+    ml::Config config;
+    config.SetDouble("threshold", rng_.Bernoulli(0.5) ? 0.0 : 0.05);
+    return MakeStage("VarianceThreshold",
+                     PickImpl("VarianceThreshold", {"skl", "tfl"}),
+                     std::move(config));
+  }
+  ml::Config config;
+  config.SetInt("n_clusters", static_cast<int64_t>(5 + 3 * rng_.NextBelow(2)));
+  config.SetInt("max_iter", 25);
+  return MakeStage("KMeans", PickImpl("KMeans", {"skl", "tfl"}),
+                   std::move(config));
+}
+
+StageSpec PipelineGenerator::RandomModel() {
+  if (use_case_.classification) {
+    const double draw = rng_.NextDouble();
+    if (draw < 0.3) {
+      ml::Config config;
+      static const double kC[] = {0.1, 1.0, 10.0};
+      config.SetDouble("C", kC[rng_.NextBelow(3)]);
+      config.SetInt("max_iter", 30);
+      return MakeStage("LinearSVM", PickImpl("LinearSVM", {"skl", "lib"}),
+                       std::move(config));
+    }
+    if (draw < 0.45) {
+      ml::Config config;
+      static const double kAlpha[] = {1e-4, 1e-3, 1e-2};
+      config.SetDouble("alpha", kAlpha[rng_.NextBelow(3)]);
+      return MakeStage("LogisticRegression",
+                       PickImpl("LogisticRegression", {"skl", "tfl"}),
+                       std::move(config));
+    }
+    if (draw < 0.85) {
+      ml::Config config;
+      config.SetInt("n_estimators", static_cast<int64_t>(20 + 20 * rng_.NextBelow(2)));
+      config.SetInt("max_depth", static_cast<int64_t>(8 + 2 * rng_.NextBelow(2)));
+      return MakeStage("RandomForestClassifier",
+                       PickImpl("RandomForestClassifier", {"skl", "lgb"}),
+                       std::move(config));
+    }
+    ml::Config config;
+    config.SetInt("max_depth", static_cast<int64_t>(4 + 2 * rng_.NextBelow(3)));
+    return MakeStage("DecisionTreeClassifier",
+                     PickImpl("DecisionTreeClassifier", {"skl", "lgb"}),
+                     std::move(config));
+  }
+  const double draw = rng_.NextDouble();
+  if (draw < 0.2) {
+    ml::Config config;
+    static const double kAlpha[] = {0.5, 1.0, 10.0};
+    config.SetDouble("alpha", kAlpha[rng_.NextBelow(3)]);
+    return MakeStage("Ridge", PickImpl("Ridge", {"skl", "tfl"}),
+                     std::move(config));
+  }
+  if (draw < 0.3) {
+    ml::Config config;
+    config.SetDouble("alpha", rng_.Bernoulli(0.5) ? 0.01 : 0.1);
+    return MakeStage("Lasso", PickImpl("Lasso", {"skl", "tfl"}),
+                     std::move(config));
+  }
+  if (draw < 0.38) {
+    ml::Config config;
+    config.SetDouble("alpha", 0.05);
+    config.SetDouble("l1_ratio", rng_.Bernoulli(0.5) ? 0.3 : 0.7);
+    return MakeStage("ElasticNet", PickImpl("ElasticNet", {"skl", "tfl"}),
+                     std::move(config));
+  }
+  if (draw < 0.5) {
+    return MakeStage("LinearRegression",
+                     PickImpl("LinearRegression", {"skl", "tfl"}));
+  }
+  if (draw < 0.7) {
+    ml::Config config;
+    config.SetInt("max_depth", static_cast<int64_t>(5 + 2 * rng_.NextBelow(2)));
+    return MakeStage("DecisionTreeRegressor",
+                     PickImpl("DecisionTreeRegressor", {"skl", "lgb"}),
+                     std::move(config));
+  }
+  if (draw < 0.85) {
+    ml::Config config;
+    config.SetInt("n_estimators", static_cast<int64_t>(20 + 20 * rng_.NextBelow(2)));
+    config.SetInt("max_depth", 8);
+    return MakeStage("RandomForestRegressor",
+                     PickImpl("RandomForestRegressor", {"skl", "lgb"}),
+                     std::move(config));
+  }
+  ml::Config config;
+  config.SetInt("n_estimators", static_cast<int64_t>(40 + 20 * rng_.NextBelow(2)));
+  config.SetDouble("learning_rate", 0.1);
+  config.SetInt("max_depth", 4);
+  return MakeStage("GradientBoostingRegressor",
+                   PickImpl("GradientBoostingRegressor", {"skl", "lgb"}),
+                   std::move(config));
+}
+
+std::string PipelineGenerator::RandomMetric() {
+  if (use_case_.classification) {
+    static const char* kMetrics[] = {"accuracy", "f1", "logloss", "ams"};
+    return kMetrics[rng_.NextBelow(4)];
+  }
+  static const char* kMetrics[] = {"rmse", "mae", "r2"};
+  return kMetrics[rng_.NextBelow(3)];
+}
+
+PipelineSpec PipelineGenerator::RandomSpec() {
+  PipelineSpec spec;
+  // HIGGS data has missing values, so imputation is mandatory there.
+  if (use_case_.classification || rng_.Bernoulli(0.3)) {
+    spec.imputer = RandomImputer();
+  }
+  spec.scaler = RandomScaler();
+  spec.feature = RandomFeature();
+  spec.model = RandomModel();
+  // PolynomialFeatures widens HIGGS to ~500 columns; restrict the model
+  // family to ones that stay tractable there (mirroring the competition's
+  // poly+SVM submissions).
+  if (use_case_.classification &&
+      spec.feature.logical_op == "PolynomialFeatures" &&
+      spec.model.logical_op == "LogisticRegression") {
+    ml::Config config;
+    config.SetDouble("C", 1.0);
+    config.SetInt("max_iter", 30);
+    spec.model = MakeStage("LinearSVM", PickImpl("LinearSVM", {"skl", "lib"}),
+                           std::move(config));
+  }
+  spec.metric = RandomMetric();
+  spec.split_seed = 13;  // sequences share the split: classic EML habit
+  return spec;
+}
+
+void PipelineGenerator::Mutate(PipelineSpec& spec) {
+  // Exploratory sessions revisit earlier configurations (re-evaluating
+  // and comparing previously computed results); a revisit re-runs a past
+  // spec, often with a different evaluation — the prime reuse
+  // opportunity, and increasingly frequent as the session matures.
+  if (specs_.size() > 3 && rng_.Bernoulli(0.3)) {
+    spec = specs_[rng_.NextBelow(specs_.size())];
+    if (rng_.Bernoulli(0.6)) {
+      spec.metric = RandomMetric();
+    }
+    return;
+  }
+  const double draw = rng_.NextDouble();
+  if (draw < 0.55) {
+    spec.model = RandomModel();
+    if (use_case_.classification &&
+        spec.feature.logical_op == "PolynomialFeatures" &&
+        spec.model.logical_op == "LogisticRegression") {
+      spec.model.logical_op = "LinearSVM";
+      spec.model.impl = PickImpl("LinearSVM", {"skl", "lib"});
+      ml::Config config;
+      config.SetDouble("C", 1.0);
+      config.SetInt("max_iter", 30);
+      spec.model.config = std::move(config);
+    }
+  } else if (draw < 0.75) {
+    spec.metric = RandomMetric();
+  } else if (draw < 0.9) {
+    spec.feature = RandomFeature();
+  } else {
+    spec.scaler = RandomScaler();
+    if (use_case_.classification || spec.imputer.present()) {
+      spec.imputer = RandomImputer();
+    }
+  }
+}
+
+Result<core::Pipeline> PipelineGenerator::BuildFromSpec(
+    const PipelineSpec& spec, const std::string& id) const {
+  PipelineBuilder builder(id);
+  const int64_t rows = use_case_.RowsAt(multiplier_);
+  HYPPO_ASSIGN_OR_RETURN(
+      NodeId data,
+      builder.LoadDataset(use_case_.DatasetId(multiplier_), rows,
+                          use_case_.paper_cols));
+  if (!use_case_.classification) {
+    // TAXI preprocessing: engineered geo features + log target.
+    HYPPO_ASSIGN_OR_RETURN(
+        NodeId tf_state,
+        builder.Fit("TaxiFeatures", "skl.TaxiFeatures", data));
+    HYPPO_ASSIGN_OR_RETURN(data, builder.Transform(tf_state, data));
+    HYPPO_ASSIGN_OR_RETURN(NodeId log_state,
+                           builder.Fit("LogTarget", "skl.LogTarget", data));
+    HYPPO_ASSIGN_OR_RETURN(data, builder.Transform(log_state, data));
+  }
+  ml::Config split_config;
+  split_config.SetDouble("test_size", 0.25);
+  split_config.SetInt("seed", spec.split_seed);
+  HYPPO_ASSIGN_OR_RETURN(auto split, builder.Split(data, split_config));
+  NodeId train = split.first;
+  NodeId test = split.second;
+  for (const StageSpec* stage : {&spec.imputer, &spec.scaler, &spec.feature}) {
+    if (!stage->present()) {
+      continue;
+    }
+    HYPPO_ASSIGN_OR_RETURN(
+        NodeId state,
+        builder.Fit(stage->logical_op, stage->impl, train, stage->config));
+    HYPPO_ASSIGN_OR_RETURN(train, builder.Transform(state, train));
+    HYPPO_ASSIGN_OR_RETURN(test, builder.Transform(state, test));
+  }
+  HYPPO_ASSIGN_OR_RETURN(
+      NodeId model,
+      builder.Fit(spec.model.logical_op, spec.model.impl, train,
+                  spec.model.config));
+  HYPPO_ASSIGN_OR_RETURN(NodeId preds, builder.Predict(model, test));
+  HYPPO_RETURN_NOT_OK(builder.Evaluate(preds, test, spec.metric).status());
+  return std::move(builder).Build();
+}
+
+Result<core::Pipeline> PipelineGenerator::BuildEnsemblePipeline(
+    const PipelineSpec& base, const std::vector<StageSpec>& models,
+    const std::string& ensemble_op, const std::string& id) const {
+  if (models.size() < 2) {
+    return Status::InvalidArgument("ensemble needs at least two base models");
+  }
+  PipelineBuilder builder(id);
+  const int64_t rows = use_case_.RowsAt(multiplier_);
+  HYPPO_ASSIGN_OR_RETURN(
+      NodeId data,
+      builder.LoadDataset(use_case_.DatasetId(multiplier_), rows,
+                          use_case_.paper_cols));
+  if (!use_case_.classification) {
+    HYPPO_ASSIGN_OR_RETURN(
+        NodeId tf_state,
+        builder.Fit("TaxiFeatures", "skl.TaxiFeatures", data));
+    HYPPO_ASSIGN_OR_RETURN(data, builder.Transform(tf_state, data));
+    HYPPO_ASSIGN_OR_RETURN(NodeId log_state,
+                           builder.Fit("LogTarget", "skl.LogTarget", data));
+    HYPPO_ASSIGN_OR_RETURN(data, builder.Transform(log_state, data));
+  }
+  ml::Config split_config;
+  split_config.SetDouble("test_size", 0.25);
+  split_config.SetInt("seed", base.split_seed);
+  HYPPO_ASSIGN_OR_RETURN(auto split, builder.Split(data, split_config));
+  NodeId train = split.first;
+  NodeId test = split.second;
+  for (const StageSpec* stage : {&base.imputer, &base.scaler, &base.feature}) {
+    if (!stage->present()) {
+      continue;
+    }
+    HYPPO_ASSIGN_OR_RETURN(
+        NodeId state,
+        builder.Fit(stage->logical_op, stage->impl, train, stage->config));
+    HYPPO_ASSIGN_OR_RETURN(train, builder.Transform(state, train));
+    HYPPO_ASSIGN_OR_RETURN(test, builder.Transform(state, test));
+  }
+  std::vector<NodeId> base_states;
+  for (const StageSpec& model : models) {
+    HYPPO_ASSIGN_OR_RETURN(
+        NodeId state,
+        builder.Fit(model.logical_op, model.impl, train, model.config));
+    base_states.push_back(state);
+  }
+  HYPPO_ASSIGN_OR_RETURN(
+      NodeId ensemble,
+      builder.FitEnsemble(ensemble_op, "skl." + ensemble_op, base_states,
+                          ensemble_op == "StackingRegressor" ? train
+                                                             : kInvalidNode));
+  HYPPO_ASSIGN_OR_RETURN(NodeId preds, builder.Predict(ensemble, test));
+  HYPPO_RETURN_NOT_OK(builder.Evaluate(preds, test, base.metric).status());
+  return std::move(builder).Build();
+}
+
+Result<core::Pipeline> PipelineGenerator::Next() {
+  if (!has_current_) {
+    current_ = RandomSpec();
+    has_current_ = true;
+  } else {
+    Mutate(current_);
+  }
+  specs_.push_back(current_);
+  ++counter_;
+  return BuildFromSpec(current_,
+                       use_case_.name + "-p" + std::to_string(counter_));
+}
+
+}  // namespace hyppo::workload

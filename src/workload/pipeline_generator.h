@@ -1,0 +1,100 @@
+#ifndef HYPPO_WORKLOAD_PIPELINE_GENERATOR_H_
+#define HYPPO_WORKLOAD_PIPELINE_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/graph.h"
+#include "ml/config.h"
+#include "workload/datagen.h"
+
+namespace hyppo::workload {
+
+/// \brief One stage of an exploratory pipeline specification.
+struct StageSpec {
+  std::string logical_op;  // empty = stage absent
+  std::string impl;
+  ml::Config config;
+
+  bool present() const { return !logical_op.empty(); }
+  /// Stable signature for grouping (ensembles combine models trained on
+  /// identical preprocessing).
+  std::string Signature() const;
+};
+
+/// \brief Abstract description of one exploratory iteration: the concrete
+/// Pipeline hypergraph is built from it deterministically.
+struct PipelineSpec {
+  StageSpec imputer;
+  StageSpec scaler;
+  StageSpec feature;
+  StageSpec model;
+  std::string metric;
+  int64_t split_seed = 13;
+  /// Preprocessing-prefix signature (everything before the model).
+  std::string PrefixSignature() const;
+};
+
+/// \brief Generates sequences of exploratory pipelines for a use case
+/// (paper §V-A: "a pipeline generator that creates sequences of pipelines
+/// containing operators for preprocessing, learning, and evaluation").
+///
+/// Iterations mutate the current specification, biased toward stages
+/// *after* preprocessing (the paper's cited survey finds most changes
+/// occur there), which is what creates the within-experiment reuse
+/// opportunities HYPPO exploits.
+class PipelineGenerator {
+ public:
+  PipelineGenerator(UseCase use_case, double dataset_multiplier,
+                    uint64_t seed);
+
+  /// Generates the next exploratory pipeline (first call: a fresh random
+  /// spec; later calls: a mutation of the previous one).
+  Result<core::Pipeline> Next();
+
+  /// Builds the Pipeline hypergraph for an explicit spec.
+  Result<core::Pipeline> BuildFromSpec(const PipelineSpec& spec,
+                                       const std::string& id) const;
+
+  /// Builds a scenario-3 "advanced analysis" pipeline: k model variants
+  /// over a shared preprocessing prefix, combined by a Voting or Stacking
+  /// regressor (TAXI-style ensembles over previously trained models).
+  Result<core::Pipeline> BuildEnsemblePipeline(
+      const PipelineSpec& base, const std::vector<StageSpec>& models,
+      const std::string& ensemble_op, const std::string& id) const;
+
+  /// Draws a fresh random spec (also used to diversify sequences).
+  PipelineSpec RandomSpec();
+
+  /// Mutates a spec in place (model-biased, per the survey).
+  void Mutate(PipelineSpec& spec);
+
+  /// Draws a random model stage compatible with the use case.
+  StageSpec RandomModel();
+
+  const std::vector<PipelineSpec>& history_specs() const { return specs_; }
+  const UseCase& use_case() const { return use_case_; }
+  double dataset_multiplier() const { return multiplier_; }
+
+ private:
+  StageSpec RandomImputer();
+  StageSpec RandomScaler();
+  StageSpec RandomFeature();
+  std::string RandomMetric();
+  std::string PickImpl(const std::string& logical_op,
+                       const std::vector<std::string>& frameworks);
+
+  UseCase use_case_;
+  double multiplier_;
+  Rng rng_;
+  PipelineSpec current_;
+  bool has_current_ = false;
+  std::vector<PipelineSpec> specs_;
+  int64_t counter_ = 0;
+};
+
+}  // namespace hyppo::workload
+
+#endif  // HYPPO_WORKLOAD_PIPELINE_GENERATOR_H_

@@ -1,0 +1,337 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/collab.h"
+#include "baselines/helix.h"
+#include "baselines/no_optimization.h"
+#include "baselines/sharing.h"
+#include "core/hyppo.h"
+
+namespace hyppo::workload {
+
+namespace {
+
+// Storage budget in bytes for a use case at a scale.
+int64_t BudgetBytes(const UseCase& use_case, double multiplier,
+                    double budget_factor) {
+  const int64_t dataset_bytes =
+      use_case.RowsAt(multiplier) * (use_case.paper_cols + 1) * 8;
+  return static_cast<int64_t>(static_cast<double>(dataset_bytes) *
+                              budget_factor);
+}
+
+std::unique_ptr<core::Runtime> MakeRuntime(const UseCase& use_case,
+                                           double multiplier,
+                                           double budget_factor,
+                                           bool simulate, uint64_t seed) {
+  core::RuntimeOptions options;
+  options.storage_budget_bytes =
+      BudgetBytes(use_case, multiplier, budget_factor);
+  options.simulate = simulate;
+  auto runtime = std::make_unique<core::Runtime>(options);
+  runtime->RegisterDatasetGenerator(
+      use_case.DatasetId(multiplier),
+      [use_case, multiplier, seed]() -> Result<ml::DatasetPtr> {
+        return GenerateUseCase(use_case, multiplier, seed);
+      });
+  return runtime;
+}
+
+Result<SequenceResult> DrivePipelines(
+    core::Method& method, core::Runtime& runtime,
+    const std::vector<core::Pipeline>& pipelines) {
+  SequenceResult result;
+  result.method = method.name();
+  result.budget_bytes = runtime.options().storage_budget_bytes;
+  for (const core::Pipeline& pipeline : pipelines) {
+    HYPPO_ASSIGN_OR_RETURN(core::Method::Planned planned,
+                           method.PlanPipeline(pipeline));
+    HYPPO_ASSIGN_OR_RETURN(
+        core::Runtime::ExecutionRecord record,
+        runtime.ExecuteAndRecord(pipeline, planned.aug, planned.plan));
+    HYPPO_RETURN_NOT_OK(method.AfterExecution(pipeline, planned, record));
+    result.per_pipeline_seconds.push_back(record.seconds);
+    result.cumulative_seconds += record.seconds;
+    result.optimize_seconds += planned.optimize_seconds;
+    result.cumulative_after.push_back(result.cumulative_seconds);
+  }
+  result.price_eur = runtime.options().pricing.ExperimentPrice(
+      result.cumulative_seconds, result.budget_bytes);
+  result.stored_artifacts =
+      static_cast<int64_t>(runtime.history().MaterializedArtifacts().size());
+  result.history_artifacts = runtime.history().num_artifacts();
+  return result;
+}
+
+}  // namespace
+
+MethodFactory MakeNoOptimizationFactory() {
+  return [](core::Runtime* runtime) -> std::unique_ptr<core::Method> {
+    return std::make_unique<baselines::NoOptimizationMethod>(runtime);
+  };
+}
+
+MethodFactory MakeSharingFactory() {
+  return [](core::Runtime* runtime) -> std::unique_ptr<core::Method> {
+    return std::make_unique<baselines::SharingMethod>(runtime);
+  };
+}
+
+MethodFactory MakeHelixFactory() {
+  return [](core::Runtime* runtime) -> std::unique_ptr<core::Method> {
+    return std::make_unique<baselines::HelixMethod>(runtime);
+  };
+}
+
+MethodFactory MakeCollabFactory() {
+  return [](core::Runtime* runtime) -> std::unique_ptr<core::Method> {
+    return std::make_unique<baselines::CollabMethod>(runtime);
+  };
+}
+
+MethodFactory MakeHyppoFactory() {
+  return [](core::Runtime* runtime) -> std::unique_ptr<core::Method> {
+    return std::make_unique<core::HyppoMethod>(runtime);
+  };
+}
+
+Result<SequenceResult> RunIterativeScenario(const MethodFactory& factory,
+                                            const ScenarioConfig& config) {
+  std::unique_ptr<core::Runtime> runtime =
+      MakeRuntime(config.use_case, config.dataset_multiplier,
+                  config.budget_factor, config.simulate, config.seed);
+  std::unique_ptr<core::Method> method = factory(runtime.get());
+  // The same seed yields the same pipeline sequence for every method.
+  PipelineGenerator generator(config.use_case, config.dataset_multiplier,
+                              config.seed);
+  std::vector<core::Pipeline> pipelines;
+  pipelines.reserve(static_cast<size_t>(config.num_pipelines));
+  for (int i = 0; i < config.num_pipelines; ++i) {
+    HYPPO_ASSIGN_OR_RETURN(core::Pipeline pipeline, generator.Next());
+    pipelines.push_back(std::move(pipeline));
+  }
+  return DrivePipelines(*method, *runtime, pipelines);
+}
+
+Result<RetrievalResult> RunRetrievalScenario(const MethodFactory& factory,
+                                             const RetrievalConfig& config) {
+  std::unique_ptr<core::Runtime> runtime =
+      MakeRuntime(config.use_case, config.dataset_multiplier,
+                  config.budget_factor, config.simulate, config.seed);
+  std::unique_ptr<core::Method> method = factory(runtime.get());
+  PipelineGenerator generator(config.use_case, config.dataset_multiplier,
+                              config.seed);
+  // Build the steady-state history.
+  for (int i = 0; i < config.history_pipelines; ++i) {
+    HYPPO_ASSIGN_OR_RETURN(core::Pipeline pipeline, generator.Next());
+    HYPPO_ASSIGN_OR_RETURN(core::Method::Planned planned,
+                           method->PlanPipeline(pipeline));
+    HYPPO_ASSIGN_OR_RETURN(
+        core::Runtime::ExecutionRecord record,
+        runtime->ExecuteAndRecord(pipeline, planned.aug, planned.plan));
+    HYPPO_RETURN_NOT_OK(method->AfterExecution(pipeline, planned, record));
+  }
+  // Candidate artifacts for requests.
+  const core::History& history = runtime->history();
+  static const std::set<std::string> kModelOps = {
+      "LinearSVM", "LogisticRegression", "RandomForestClassifier",
+      "DecisionTreeClassifier", "Ridge", "Lasso", "LinearRegression",
+      "DecisionTreeRegressor", "RandomForestRegressor",
+      "GradientBoostingRegressor", "StackingRegressor", "VotingRegressor"};
+  std::vector<std::string> candidates;
+  for (NodeId v = 1; v < history.graph().num_artifacts(); ++v) {
+    const core::ArtifactInfo& info = history.graph().artifact(v);
+    if (info.kind == core::ArtifactKind::kRaw ||
+        info.kind == core::ArtifactKind::kSource) {
+      continue;
+    }
+    if (config.models_only) {
+      if (info.kind != core::ArtifactKind::kOpState) {
+        continue;
+      }
+      // Model states only: look for a producing fit task of a model op.
+      bool is_model = false;
+      for (EdgeId e : history.graph().hypergraph().bstar(v)) {
+        if (kModelOps.count(history.graph().task(e).logical_op) > 0) {
+          is_model = true;
+          break;
+        }
+      }
+      if (!is_model) {
+        continue;
+      }
+    }
+    candidates.push_back(info.name);
+  }
+  if (candidates.empty()) {
+    return Status::FailedPrecondition("no retrievable artifacts in history");
+  }
+  Rng rng(config.seed + 1);
+  RetrievalResult result;
+  result.method = method->name();
+  for (int r = 0; r < config.num_requests; ++r) {
+    std::set<std::string> request;
+    for (int k = 0; k < config.request_size; ++k) {
+      request.insert(candidates[rng.NextBelow(candidates.size())]);
+    }
+    std::vector<std::string> names(request.begin(), request.end());
+    HYPPO_ASSIGN_OR_RETURN(core::Method::Planned planned,
+                           method->PlanRetrieval(names));
+    HYPPO_ASSIGN_OR_RETURN(
+        core::Runtime::ExecutionRecord record,
+        runtime->ExecutePlanOnly(planned.aug, planned.plan));
+    result.total_seconds += record.seconds;
+    result.mean_optimize_seconds += planned.optimize_seconds;
+  }
+  result.mean_request_seconds =
+      result.total_seconds / static_cast<double>(config.num_requests);
+  result.mean_optimize_seconds /= static_cast<double>(config.num_requests);
+  int64_t total = 0;
+  int64_t stored = 0;
+  for (NodeId v = 1; v < history.graph().num_artifacts(); ++v) {
+    const core::ArtifactInfo& info = history.graph().artifact(v);
+    if (info.kind == core::ArtifactKind::kRaw ||
+        info.kind == core::ArtifactKind::kSource) {
+      continue;
+    }
+    ++total;
+    if (history.IsMaterialized(v)) {
+      ++stored;
+    }
+  }
+  result.stored_fraction =
+      total > 0 ? static_cast<double>(stored) / static_cast<double>(total)
+                : 0.0;
+  return result;
+}
+
+Result<SequenceResult> RunEnsembleScenario(const MethodFactory& factory,
+                                           const EnsembleConfig& config) {
+  const UseCase use_case = UseCase::Taxi();
+  std::unique_ptr<core::Runtime> runtime =
+      MakeRuntime(use_case, config.dataset_multiplier, config.budget_factor,
+                  config.simulate, config.seed);
+  std::unique_ptr<core::Method> method = factory(runtime.get());
+  PipelineGenerator generator(use_case, config.dataset_multiplier,
+                              config.seed);
+  // History of ordinary exploratory pipelines; remember their specs so
+  // ensembles can extend them.
+  for (int i = 0; i < config.history_pipelines; ++i) {
+    HYPPO_ASSIGN_OR_RETURN(core::Pipeline pipeline, generator.Next());
+    HYPPO_ASSIGN_OR_RETURN(core::Method::Planned planned,
+                           method->PlanPipeline(pipeline));
+    HYPPO_ASSIGN_OR_RETURN(
+        core::Runtime::ExecutionRecord record,
+        runtime->ExecuteAndRecord(pipeline, planned.aug, planned.plan));
+    HYPPO_RETURN_NOT_OK(method->AfterExecution(pipeline, planned, record));
+  }
+  // Ensemble workloads: each picks a past preprocessing prefix, reuses its
+  // model plus fresh variants, and stacks/votes them.
+  Rng rng(config.seed + 7);
+  std::vector<core::Pipeline> pipelines;
+  const std::vector<PipelineSpec> history_specs = generator.history_specs();
+  for (int i = 0; i < config.ensemble_pipelines; ++i) {
+    const PipelineSpec& base =
+        history_specs[rng.NextBelow(history_specs.size())];
+    std::vector<StageSpec> models;
+    models.push_back(base.model);
+    const int extra = 1 + static_cast<int>(rng.NextBelow(2));
+    // Prefer other models from history sharing the same preprocessing (the
+    // "models trained in the past" of §V-B3); fall back to fresh variants.
+    for (const PipelineSpec& other : history_specs) {
+      if (static_cast<int>(models.size()) > extra &&
+          models.size() >= 2) {
+        break;
+      }
+      if (other.PrefixSignature() == base.PrefixSignature() &&
+          other.model.Signature() != base.model.Signature()) {
+        models.push_back(other.model);
+      }
+    }
+    while (models.size() < 2 ||
+           static_cast<int>(models.size()) < 1 + extra) {
+      StageSpec fresh = generator.RandomModel();
+      bool duplicate = false;
+      for (const StageSpec& m : models) {
+        if (m.Signature() == fresh.Signature()) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) {
+        models.push_back(fresh);
+      }
+    }
+    const std::string ensemble_op =
+        rng.Bernoulli(0.5) ? "StackingRegressor" : "VotingRegressor";
+    HYPPO_ASSIGN_OR_RETURN(
+        core::Pipeline pipeline,
+        generator.BuildEnsemblePipeline(base, models, ensemble_op,
+                                        "ens-" + std::to_string(i)));
+    pipelines.push_back(std::move(pipeline));
+  }
+  return DrivePipelines(*method, *runtime, pipelines);
+}
+
+Result<TypeStudyResult> RunTypeStudy(const ScenarioConfig& config) {
+  std::unique_ptr<core::Runtime> runtime =
+      MakeRuntime(config.use_case, config.dataset_multiplier,
+                  config.budget_factor, config.simulate, config.seed);
+  core::HyppoMethod method(runtime.get());
+  PipelineGenerator generator(config.use_case, config.dataset_multiplier,
+                              config.seed);
+  for (int i = 0; i < config.num_pipelines; ++i) {
+    HYPPO_ASSIGN_OR_RETURN(core::Pipeline pipeline, generator.Next());
+    HYPPO_ASSIGN_OR_RETURN(core::Method::Planned planned,
+                           method.PlanPipeline(pipeline));
+    HYPPO_ASSIGN_OR_RETURN(
+        core::Runtime::ExecutionRecord record,
+        runtime->ExecuteAndRecord(pipeline, planned.aug, planned.plan));
+    HYPPO_RETURN_NOT_OK(method.AfterExecution(pipeline, planned, record));
+  }
+  TypeStudyResult result;
+  result.budget_bytes = runtime->options().storage_budget_bytes;
+  const core::History& history = runtime->history();
+  // Stored fraction per artifact kind.
+  std::map<core::ArtifactKind, std::pair<int64_t, int64_t>> stored_by_kind;
+  for (NodeId v = 1; v < history.graph().num_artifacts(); ++v) {
+    const core::ArtifactInfo& info = history.graph().artifact(v);
+    if (info.kind == core::ArtifactKind::kRaw ||
+        info.kind == core::ArtifactKind::kSource) {
+      continue;
+    }
+    auto& [stored, total] = stored_by_kind[info.kind];
+    ++total;
+    if (history.IsMaterialized(v)) {
+      ++stored;
+      result.stored_bytes += info.size_bytes;
+    }
+  }
+  for (const auto& [kind, agg] : runtime->monitor().by_artifact_kind()) {
+    TypeStudyRow row;
+    row.label = core::ArtifactKindToString(kind);
+    row.mean_seconds = agg.MeanSeconds();
+    row.mean_bytes = agg.MeanBytes();
+    row.count = agg.count;
+    auto it = stored_by_kind.find(kind);
+    if (it != stored_by_kind.end() && it->second.second > 0) {
+      row.stored_fraction = static_cast<double>(it->second.first) /
+                            static_cast<double>(it->second.second);
+    }
+    result.artifact_kinds.push_back(row);
+  }
+  for (const auto& [type, agg] : runtime->monitor().by_task_type()) {
+    TypeStudyRow row;
+    row.label = core::TaskTypeToString(type);
+    row.mean_seconds = agg.MeanSeconds();
+    row.count = agg.count;
+    result.task_types.push_back(row);
+  }
+  result.storage_price_eur = runtime->options().pricing.ExperimentPrice(
+      0.0, result.budget_bytes);
+  return result;
+}
+
+}  // namespace hyppo::workload

@@ -1,0 +1,180 @@
+#include "workload/synthetic_hypergraph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/rng.h"
+
+namespace hyppo::workload {
+
+namespace {
+
+using core::ArtifactInfo;
+using core::ArtifactKind;
+using core::TaskInfo;
+using core::TaskType;
+
+}  // namespace
+
+Result<SyntheticHypergraph> GenerateSyntheticHypergraph(
+    const SyntheticConfig& config) {
+  if (config.num_artifacts < 2 || config.alternatives < 1) {
+    return Status::InvalidArgument(
+        "synthetic hypergraph needs n >= 2, m >= 1");
+  }
+  Rng rng(config.seed);
+  SyntheticHypergraph out;
+  core::PipelineGraph& graph = out.aug.graph;
+  const NodeId source = graph.source();
+
+  auto add_artifact = [&](ArtifactKind kind) -> NodeId {
+    ArtifactInfo info;
+    info.name = "synthetic_v" + std::to_string(graph.num_artifacts());
+    info.display = "v" + std::to_string(graph.num_artifacts());
+    info.kind = kind;
+    info.rows = 1000;
+    info.cols = 8;
+    info.size_bytes = 64000;
+    return graph.AddArtifact(info).ValueOrDie();
+  };
+  auto add_task = [&](std::vector<NodeId> tails,
+                      std::vector<NodeId> heads) -> Result<EdgeId> {
+    TaskInfo task;
+    task.logical_op = "SyntheticOp";
+    task.type = TaskType::kTransform;
+    task.impl = "synthetic.Op" + std::to_string(graph.num_tasks());
+    return graph.AddTask(std::move(task), std::move(tails),
+                         std::move(heads));
+  };
+
+  // Phase 1: pipeline-like growth until n artifacts. Task shapes mirror
+  // the use cases: load (source -> raw), split (1 -> 2), fit (1 -> 1),
+  // transform/predict (2 -> 1).
+  std::vector<NodeId> nodes;
+  {
+    NodeId raw = add_artifact(ArtifactKind::kRaw);
+    HYPPO_RETURN_NOT_OK(graph.AddLoadTask(raw).status());
+    nodes.push_back(raw);
+  }
+  while (graph.num_artifacts() - 1 < config.num_artifacts) {
+    const int64_t remaining =
+        config.num_artifacts - (graph.num_artifacts() - 1);
+    const double draw = rng.NextDouble();
+    if (draw < 0.25 && remaining >= 2) {
+      // split-like: one input, two outputs.
+      const NodeId in = nodes[rng.NextBelow(nodes.size())];
+      const NodeId a = add_artifact(ArtifactKind::kTrain);
+      const NodeId b = add_artifact(ArtifactKind::kTest);
+      HYPPO_RETURN_NOT_OK(add_task({in}, {a, b}).status());
+      nodes.push_back(a);
+      nodes.push_back(b);
+    } else if (draw < 0.6 || nodes.size() < 2) {
+      // fit-like: one input, one output.
+      const NodeId in = nodes[rng.NextBelow(nodes.size())];
+      const NodeId o = add_artifact(ArtifactKind::kOpState);
+      HYPPO_RETURN_NOT_OK(add_task({in}, {o}).status());
+      nodes.push_back(o);
+    } else {
+      // transform/predict-like: two inputs, one output.
+      const NodeId in1 = nodes[rng.NextBelow(nodes.size())];
+      NodeId in2 = nodes[rng.NextBelow(nodes.size())];
+      if (in2 == in1) {
+        in2 = nodes[rng.NextBelow(nodes.size())];
+      }
+      const NodeId o = add_artifact(ArtifactKind::kData);
+      if (in2 == in1) {
+        HYPPO_RETURN_NOT_OK(add_task({in1}, {o}).status());
+      } else {
+        HYPPO_RETURN_NOT_OK(add_task({in1, in2}, {o}).status());
+      }
+      nodes.push_back(o);
+    }
+  }
+
+  // Phase 2: add alternative hyperedges until every artifact has m
+  // incoming edges. Alternatives draw their tails from lower-id nodes
+  // (or the source) to keep the graph acyclic.
+  for (NodeId v : nodes) {
+    while (static_cast<int32_t>(graph.hypergraph().bstar(v).size()) <
+           config.alternatives) {
+      std::vector<NodeId> tails;
+      // Candidate tails: strictly smaller node ids (acyclic), plus s.
+      std::vector<NodeId> pool;
+      for (NodeId u : nodes) {
+        if (u < v) {
+          pool.push_back(u);
+        }
+      }
+      if (pool.empty() || rng.Bernoulli(0.2)) {
+        tails.push_back(source);
+      } else {
+        tails.push_back(pool[rng.NextBelow(pool.size())]);
+        if (pool.size() > 1 && rng.Bernoulli(0.4)) {
+          const NodeId extra = pool[rng.NextBelow(pool.size())];
+          if (extra != tails[0]) {
+            tails.push_back(extra);
+          }
+        }
+      }
+      HYPPO_RETURN_NOT_OK(add_task(std::move(tails), {v}).status());
+    }
+  }
+
+  // Targets: artifacts lacking outgoing edges.
+  out.aug.targets = graph.SinkArtifacts();
+  if (out.aug.targets.empty()) {
+    out.aug.targets.push_back(nodes.back());
+  }
+
+  // Weights: uniform in [0.5, 2.0].
+  const int32_t slots = graph.hypergraph().num_edge_slots();
+  out.aug.edge_weight.resize(static_cast<size_t>(slots), 0.0);
+  out.aug.edge_seconds.resize(static_cast<size_t>(slots), 0.0);
+  for (EdgeId e = 0; e < slots; ++e) {
+    if (!graph.hypergraph().IsLiveEdge(e)) {
+      continue;
+    }
+    const double w = rng.Uniform(0.5, 2.0);
+    out.aug.edge_weight[static_cast<size_t>(e)] = w;
+    out.aug.edge_seconds[static_cast<size_t>(e)] = w;
+  }
+
+  // Longest s->v path per node (in edges), via fixed-point over edges.
+  std::vector<double> longest(static_cast<size_t>(graph.num_artifacts()),
+                              -1.0);
+  longest[static_cast<size_t>(source)] = 0.0;
+  bool changed = true;
+  int guard = graph.num_artifacts() + 2;
+  while (changed && guard-- > 0) {
+    changed = false;
+    for (EdgeId e : graph.hypergraph().LiveEdges()) {
+      double tail_max = 0.0;
+      bool feasible = true;
+      for (NodeId u : graph.hypergraph().edge(e).tail) {
+        if (longest[static_cast<size_t>(u)] < 0.0) {
+          feasible = false;
+          break;
+        }
+        tail_max = std::max(tail_max, longest[static_cast<size_t>(u)]);
+      }
+      if (!feasible) {
+        continue;
+      }
+      for (NodeId h : graph.hypergraph().edge(e).head) {
+        if (tail_max + 1.0 > longest[static_cast<size_t>(h)]) {
+          longest[static_cast<size_t>(h)] = tail_max + 1.0;
+          changed = true;
+        }
+      }
+    }
+  }
+  double total = 0.0;
+  for (NodeId t : out.aug.targets) {
+    total += std::max(0.0, longest[static_cast<size_t>(t)]);
+  }
+  out.avg_max_path_length =
+      total / static_cast<double>(out.aug.targets.size());
+  return out;
+}
+
+}  // namespace hyppo::workload

@@ -1,0 +1,38 @@
+#ifndef HYPPO_WORKLOAD_SYNTHETIC_HYPERGRAPH_H_
+#define HYPPO_WORKLOAD_SYNTHETIC_HYPERGRAPH_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/augmenter.h"
+
+namespace hyppo::workload {
+
+/// \brief Synthetic augmented-hypergraph generator for the scalability
+/// study (paper §V-B5): parameters are the number of artifacts n and the
+/// number m of alternatives (incoming hyperedges) per artifact.
+///
+/// Following the paper: pipelines akin to the two use cases (load, split,
+/// fit, transform, predict-style task shapes) are generated until the
+/// node count reaches n; then additional hyperedges are introduced until
+/// every artifact has in-degree m. Artifacts lacking outgoing edges
+/// become the request targets T. Edge weights are uniform in [0.5, 2.0].
+struct SyntheticConfig {
+  int32_t num_artifacts = 12;  // n
+  int32_t alternatives = 2;    // m
+  uint64_t seed = 42;
+};
+
+struct SyntheticHypergraph {
+  core::Augmentation aug;
+  /// Average (over targets) of the longest s->target path in hyperedges —
+  /// the ℓ̄ reported next to n in Fig. 10(a).
+  double avg_max_path_length = 0.0;
+};
+
+Result<SyntheticHypergraph> GenerateSyntheticHypergraph(
+    const SyntheticConfig& config);
+
+}  // namespace hyppo::workload
+
+#endif  // HYPPO_WORKLOAD_SYNTHETIC_HYPERGRAPH_H_

@@ -1,0 +1,581 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "baselines/binary_energy.h"
+
+#include "common/rng.h"
+#include "baselines/collab.h"
+#include "baselines/collab_e.h"
+#include "baselines/dag_reuse.h"
+#include "baselines/flow.h"
+#include "baselines/helix.h"
+#include "baselines/no_optimization.h"
+#include "baselines/sharing.h"
+#include "core/hyppo.h"
+#include "core/pipeline_builder.h"
+#include "hypergraph/algorithms.h"
+#include "workload/datagen.h"
+#include "workload/synthetic_hypergraph.h"
+
+namespace hyppo::baselines {
+namespace {
+
+using core::ArtifactInfo;
+using core::ArtifactKind;
+using core::Augmentation;
+using core::Pipeline;
+using core::PipelineBuilder;
+using core::Plan;
+using core::PlanGenerator;
+using core::TaskInfo;
+using core::TaskType;
+
+// ---------------------------------------------------------------------------
+// Max flow.
+
+TEST(MaxFlowTest, ClassicNetwork) {
+  // s=0, t=5, CLRS-style network with max flow 23.
+  MaxFlow flow(6);
+  flow.AddEdge(0, 1, 16);
+  flow.AddEdge(0, 2, 13);
+  flow.AddEdge(1, 2, 10);
+  flow.AddEdge(2, 1, 4);
+  flow.AddEdge(1, 3, 12);
+  flow.AddEdge(3, 2, 9);
+  flow.AddEdge(2, 4, 14);
+  flow.AddEdge(4, 3, 7);
+  flow.AddEdge(3, 5, 20);
+  flow.AddEdge(4, 5, 4);
+  EXPECT_NEAR(flow.Compute(0, 5), 23.0, 1e-9);
+}
+
+TEST(MaxFlowTest, DisconnectedIsZero) {
+  MaxFlow flow(3);
+  flow.AddEdge(0, 1, 5);
+  EXPECT_DOUBLE_EQ(flow.Compute(0, 2), 0.0);
+  const std::vector<bool> side = flow.SourceSide(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_TRUE(side[1]);
+  EXPECT_FALSE(side[2]);
+}
+
+TEST(MaxFlowTest, MinCutSeparates) {
+  // One bottleneck edge of capacity 1.
+  MaxFlow flow(4);
+  flow.AddEdge(0, 1, 10);
+  flow.AddEdge(1, 2, 1);
+  flow.AddEdge(2, 3, 10);
+  EXPECT_NEAR(flow.Compute(0, 3), 1.0, 1e-9);
+  const std::vector<bool> side = flow.SourceSide(0);
+  EXPECT_TRUE(side[1]);
+  EXPECT_FALSE(side[2]);
+}
+
+// ---------------------------------------------------------------------------
+// Binary energy.
+
+TEST(BinaryEnergyTest, UnaryOnly) {
+  BinaryEnergy energy(2);
+  energy.AddUnaryIfOne(0, 3.0);   // prefers 0
+  energy.AddUnaryIfZero(1, 2.0);  // prefers 1
+  auto solution = energy.Minimize();
+  ASSERT_TRUE(solution.ok());
+  EXPECT_FALSE(solution->labels[0]);
+  EXPECT_TRUE(solution->labels[1]);
+  EXPECT_DOUBLE_EQ(solution->energy, 0.0);
+}
+
+TEST(BinaryEnergyTest, ImplicationConstraint) {
+  // x0 forced 1; (x0=1, x1=0) forbidden => x1 must be 1 despite cost.
+  BinaryEnergy energy(2);
+  energy.AddUnaryIfZero(0, BinaryEnergy::kHardConstraint);
+  energy.AddPairwiseOneZero(0, 1, BinaryEnergy::kHardConstraint);
+  energy.AddUnaryIfOne(1, 5.0);
+  auto solution = energy.Minimize();
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(solution->labels[0]);
+  EXPECT_TRUE(solution->labels[1]);
+  EXPECT_DOUBLE_EQ(solution->energy, 5.0);
+}
+
+TEST(BinaryEnergyTest, SoftPairwiseTradesOff) {
+  // x0 forced 1. (x0=1,x1=0) costs 2; x1=1 costs 3 => keep x1=0, pay 2.
+  BinaryEnergy energy(2);
+  energy.AddUnaryIfZero(0, BinaryEnergy::kHardConstraint);
+  energy.AddPairwiseOneZero(0, 1, 2.0);
+  energy.AddUnaryIfOne(1, 3.0);
+  auto solution = energy.Minimize();
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(solution->labels[0]);
+  EXPECT_FALSE(solution->labels[1]);
+  EXPECT_DOUBLE_EQ(solution->energy, 2.0);
+}
+
+TEST(BinaryEnergyTest, InfeasibleDetected) {
+  BinaryEnergy energy(1);
+  energy.AddUnaryIfZero(0, BinaryEnergy::kHardConstraint);
+  energy.AddUnaryIfOne(0, BinaryEnergy::kHardConstraint);
+  EXPECT_TRUE(energy.Minimize().status().IsFailedPrecondition());
+}
+
+// ---------------------------------------------------------------------------
+// DAG reuse (Helix's exact load-vs-compute).
+
+ArtifactInfo MakeArtifact(const std::string& name,
+                          ArtifactKind kind = ArtifactKind::kData) {
+  ArtifactInfo info;
+  info.name = name;
+  info.display = name;
+  info.kind = kind;
+  info.rows = 10;
+  info.cols = 2;
+  info.size_bytes = 160;
+  return info;
+}
+
+EdgeId AddTask(Augmentation& aug, const std::string& label,
+               std::vector<NodeId> tails, std::vector<NodeId> heads,
+               double weight) {
+  TaskInfo task;
+  task.logical_op = label;
+  task.type = TaskType::kTransform;
+  task.impl = "synthetic." + label;
+  EdgeId e = aug.graph.AddTask(task, std::move(tails), std::move(heads))
+                 .ValueOrDie();
+  aug.edge_weight.resize(
+      static_cast<size_t>(aug.graph.hypergraph().num_edge_slots()), 0.0);
+  aug.edge_seconds.resize(aug.edge_weight.size(), 0.0);
+  aug.edge_weight[static_cast<size_t>(e)] = weight;
+  aug.edge_seconds[static_cast<size_t>(e)] = weight;
+  return e;
+}
+
+EdgeId AddLoad(Augmentation& aug, NodeId node, double weight) {
+  EdgeId e = aug.graph.AddLoadTask(node).ValueOrDie();
+  aug.edge_weight.resize(
+      static_cast<size_t>(aug.graph.hypergraph().num_edge_slots()), 0.0);
+  aug.edge_seconds.resize(aug.edge_weight.size(), 0.0);
+  aug.edge_weight[static_cast<size_t>(e)] = weight;
+  aug.edge_seconds[static_cast<size_t>(e)] = weight;
+  return e;
+}
+
+TEST(DagReuseTest, LoadBeatsRecompute) {
+  // chain raw -> a -> b; b is materialized cheaply.
+  Augmentation aug;
+  NodeId raw = aug.graph.AddArtifact(MakeArtifact("raw", ArtifactKind::kRaw))
+                   .ValueOrDie();
+  NodeId a = aug.graph.AddArtifact(MakeArtifact("a")).ValueOrDie();
+  NodeId b = aug.graph.AddArtifact(MakeArtifact("b")).ValueOrDie();
+  AddLoad(aug, raw, 1.0);
+  AddTask(aug, "t1", {raw}, {a}, 5.0);
+  AddTask(aug, "t2", {a}, {b}, 5.0);
+  AddLoad(aug, b, 0.5);
+  aug.targets = {b};
+  auto plan = SolveDagReuse(aug, OriginalDerivations(aug), aug.targets);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NEAR(plan->cost, 0.5, 1e-12);
+  EXPECT_EQ(plan->edges.size(), 1u);
+}
+
+TEST(DagReuseTest, PrunesUnneededAncestors) {
+  // raw -> a -> b, plus raw -> c (c not needed for b).
+  Augmentation aug;
+  NodeId raw = aug.graph.AddArtifact(MakeArtifact("raw", ArtifactKind::kRaw))
+                   .ValueOrDie();
+  NodeId a = aug.graph.AddArtifact(MakeArtifact("a")).ValueOrDie();
+  NodeId b = aug.graph.AddArtifact(MakeArtifact("b")).ValueOrDie();
+  NodeId c = aug.graph.AddArtifact(MakeArtifact("c")).ValueOrDie();
+  AddLoad(aug, raw, 1.0);
+  AddTask(aug, "t1", {raw}, {a}, 2.0);
+  AddTask(aug, "t2", {a}, {b}, 2.0);
+  AddTask(aug, "t3", {raw}, {c}, 100.0);
+  aug.targets = {b};
+  auto plan = SolveDagReuse(aug, OriginalDerivations(aug), aug.targets);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NEAR(plan->cost, 5.0, 1e-12);
+}
+
+TEST(DagReuseTest, InfeasibleWithoutLoadOrCompute) {
+  Augmentation aug;
+  NodeId orphan =
+      aug.graph.AddArtifact(MakeArtifact("orphan")).ValueOrDie();
+  aug.targets = {orphan};
+  aug.edge_weight.clear();
+  aug.edge_seconds.clear();
+  std::vector<EdgeId> chosen(
+      static_cast<size_t>(aug.graph.hypergraph().num_nodes()),
+      kInvalidEdge);
+  EXPECT_FALSE(SolveDagReuse(aug, chosen, aug.targets).ok());
+}
+
+// Property: on synthetic DAGs without alternatives, the min-cut reuse
+// solver matches the exhaustive hypergraph optimizer exactly.
+class DagReuseOptimalityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DagReuseOptimalityTest, MatchesHypergraphSearch) {
+  workload::SyntheticConfig config;
+  config.num_artifacts = 10;
+  config.alternatives = 1;  // one derivation per node: a DAG
+  config.seed = GetParam() * 31 + 5;
+  auto synthetic = workload::GenerateSyntheticHypergraph(config);
+  ASSERT_TRUE(synthetic.ok());
+  Augmentation& aug = synthetic->aug;
+  // Give roughly half the nodes load edges.
+  Rng rng(GetParam());
+  for (NodeId v = 1; v < aug.graph.hypergraph().num_nodes(); ++v) {
+    bool has_load = false;
+    for (EdgeId e : aug.graph.hypergraph().bstar(v)) {
+      has_load = has_load || aug.graph.task(e).type == TaskType::kLoad;
+    }
+    if (!has_load && rng.Bernoulli(0.5)) {
+      AddLoad(aug, v, rng.Uniform(0.2, 3.0));
+    }
+  }
+  PlanGenerator generator;
+  auto optimal = generator.BruteForce(aug);
+  ASSERT_TRUE(optimal.ok()) << optimal.status();
+  auto reuse = SolveDagReuse(aug, OriginalDerivations(aug), aug.targets);
+  ASSERT_TRUE(reuse.ok()) << reuse.status();
+  EXPECT_NEAR(reuse->cost, optimal->cost, 1e-9);
+  EXPECT_TRUE(IsValidPlan(aug.graph.hypergraph(), reuse->edges,
+                          {aug.graph.source()}, aug.targets));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagReuseOptimalityTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+// ---------------------------------------------------------------------------
+// Collab's linear heuristic.
+
+TEST(CollabReuseTest, PinnedSuboptimalCase) {
+  // Shared expensive subexpression: s -> raw(1) -> shared(10) used by BOTH
+  // x and y (cheap steps, 1 each); x and y also loadable at 7 each.
+  // Optimal: compute shared once: 1 + 10 + 1 + 1 = 13.
+  // Collab's per-node sums double-count `shared`, making compute look like
+  // 12 per branch vs load 7, so it loads both: 14. Suboptimal, as the
+  // paper says ("good enough plans").
+  Augmentation aug;
+  NodeId raw = aug.graph.AddArtifact(MakeArtifact("raw", ArtifactKind::kRaw))
+                   .ValueOrDie();
+  NodeId shared = aug.graph.AddArtifact(MakeArtifact("shared")).ValueOrDie();
+  NodeId x = aug.graph.AddArtifact(MakeArtifact("x")).ValueOrDie();
+  NodeId y = aug.graph.AddArtifact(MakeArtifact("y")).ValueOrDie();
+  AddLoad(aug, raw, 1.0);
+  AddTask(aug, "mk_shared", {raw}, {shared}, 10.0);
+  AddTask(aug, "mk_x", {shared}, {x}, 1.0);
+  AddTask(aug, "mk_y", {shared}, {y}, 1.0);
+  AddLoad(aug, x, 7.0);
+  AddLoad(aug, y, 7.0);
+  aug.targets = {x, y};
+
+  auto collab = CollabMethod::LinearReuse(aug, aug.targets);
+  ASSERT_TRUE(collab.ok()) << collab.status();
+  EXPECT_NEAR(collab->cost, 14.0, 1e-9);
+
+  PlanGenerator generator;
+  auto optimal =
+      generator.BruteForce(aug);
+  ASSERT_TRUE(optimal.ok());
+  EXPECT_NEAR(optimal->cost, 13.0, 1e-9);
+  // Helix's exact min-cut also finds 13.
+  auto helix = SolveDagReuse(aug, OriginalDerivations(aug), aug.targets);
+  ASSERT_TRUE(helix.ok());
+  EXPECT_NEAR(helix->cost, 13.0, 1e-9);
+}
+
+TEST(CollabReuseTest, PlansAreValid) {
+  workload::SyntheticConfig config;
+  config.num_artifacts = 12;
+  config.alternatives = 1;
+  config.seed = 77;
+  auto synthetic = workload::GenerateSyntheticHypergraph(config);
+  ASSERT_TRUE(synthetic.ok());
+  auto plan =
+      CollabMethod::LinearReuse(synthetic->aug, synthetic->aug.targets);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(IsValidPlan(synthetic->aug.graph.hypergraph(), plan->edges,
+                          {synthetic->aug.graph.source()},
+                          synthetic->aug.targets));
+}
+
+// ---------------------------------------------------------------------------
+// COLLAB-E: exhaustive equivalence-aware baseline equals HYPPO's optimum.
+
+class CollabEOptimalityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CollabEOptimalityTest, MatchesHyppoOptimal) {
+  workload::SyntheticConfig config;
+  config.num_artifacts = 8;
+  config.alternatives = 2 + static_cast<int32_t>(GetParam() % 2);
+  config.seed = GetParam() * 53 + 3;
+  auto synthetic = workload::GenerateSyntheticHypergraph(config);
+  ASSERT_TRUE(synthetic.ok());
+  PlanGenerator generator;
+  auto hyppo_plan = generator.BruteForce(synthetic->aug);
+  ASSERT_TRUE(hyppo_plan.ok());
+  CollabEStats stats;
+  auto collab_e = CollabEOptimize(synthetic->aug, 10'000'000, &stats);
+  ASSERT_TRUE(collab_e.ok()) << collab_e.status();
+  EXPECT_NEAR(collab_e->cost, hyppo_plan->cost, 1e-9);
+  EXPECT_GT(stats.combinations, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollabEOptimalityTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+TEST(CollabETest, CombinationBudgetEnforced) {
+  workload::SyntheticConfig config;
+  config.num_artifacts = 14;
+  config.alternatives = 3;
+  config.seed = 11;
+  auto synthetic = workload::GenerateSyntheticHypergraph(config);
+  ASSERT_TRUE(synthetic.ok());
+  EXPECT_TRUE(CollabEOptimize(synthetic->aug, 5).status()
+                  .IsResourceExhausted());
+}
+
+// ---------------------------------------------------------------------------
+// Method-level behaviour over a shared runtime.
+
+Result<Pipeline> BuildSmallPipeline(const std::string& id) {
+  PipelineBuilder builder(id);
+  HYPPO_ASSIGN_OR_RETURN(NodeId data, builder.LoadDataset("unit", 500, 5));
+  HYPPO_ASSIGN_OR_RETURN(auto split, builder.Split(data));
+  HYPPO_ASSIGN_OR_RETURN(
+      NodeId scaler,
+      builder.Fit("StandardScaler", "skl.StandardScaler", split.first));
+  HYPPO_ASSIGN_OR_RETURN(NodeId train_s,
+                         builder.Transform(scaler, split.first));
+  HYPPO_ASSIGN_OR_RETURN(NodeId test_s,
+                         builder.Transform(scaler, split.second));
+  ml::Config config;
+  config.SetInt("max_depth", 4);
+  HYPPO_ASSIGN_OR_RETURN(
+      NodeId model,
+      builder.Fit("DecisionTreeClassifier", "skl.DecisionTreeClassifier",
+                  train_s, config));
+  HYPPO_ASSIGN_OR_RETURN(NodeId preds, builder.Predict(model, test_s));
+  HYPPO_RETURN_NOT_OK(builder.Evaluate(preds, test_s, "accuracy").status());
+  return std::move(builder).Build();
+}
+
+std::unique_ptr<core::Runtime> MakeUnitRuntime(bool simulate) {
+  core::RuntimeOptions options;
+  options.storage_budget_bytes = 1 << 20;
+  options.simulate = simulate;
+  auto runtime = std::make_unique<core::Runtime>(options);
+  runtime->RegisterDatasetGenerator(
+      "unit", []() { return workload::GenerateHiggs(500, 5, 3); });
+  return runtime;
+}
+
+double RunTwice(core::Method& method, core::Runtime& runtime) {
+  Pipeline p1 = *BuildSmallPipeline("p1");
+  auto planned1 = method.PlanPipeline(p1);
+  planned1.status().Abort("plan1");
+  auto record1 = runtime.ExecuteAndRecord(p1, planned1->aug, planned1->plan);
+  record1.status().Abort("exec1");
+  method.AfterExecution(p1, *planned1, *record1).Abort("mat1");
+  Pipeline p2 = *BuildSmallPipeline("p2");
+  auto planned2 = method.PlanPipeline(p2);
+  planned2.status().Abort("plan2");
+  auto record2 = runtime.ExecuteAndRecord(p2, planned2->aug, planned2->plan);
+  record2.status().Abort("exec2");
+  method.AfterExecution(p2, *planned2, *record2).Abort("mat2");
+  return record1->seconds + record2->seconds;
+}
+
+TEST(MethodsTest, NoOptimizationNeverMaterializes) {
+  auto runtime = MakeUnitRuntime(true);
+  NoOptimizationMethod method(runtime.get());
+  RunTwice(method, *runtime);
+  EXPECT_TRUE(runtime->history().MaterializedArtifacts().empty());
+  EXPECT_EQ(runtime->store().num_entries(), 0u);
+}
+
+TEST(MethodsTest, NoOptimizationExecutesPipelineAsWritten) {
+  auto runtime = MakeUnitRuntime(true);
+  NoOptimizationMethod method(runtime.get());
+  Pipeline pipeline = *BuildSmallPipeline("p1");
+  auto planned = method.PlanPipeline(pipeline);
+  ASSERT_TRUE(planned.ok());
+  EXPECT_EQ(planned->plan.edges.size(),
+            static_cast<size_t>(pipeline.graph.num_tasks()));
+}
+
+// Paper-scale simulated pipeline: estimated compute times dominate load
+// latencies, so materialization criteria trigger (they correctly refuse
+// to store artifacts that are cheaper to recompute than to load).
+Result<Pipeline> BuildHeavyPipeline(const std::string& id) {
+  PipelineBuilder builder(id);
+  HYPPO_ASSIGN_OR_RETURN(NodeId data,
+                         builder.LoadDataset("heavy", 400000, 30));
+  HYPPO_ASSIGN_OR_RETURN(auto split, builder.Split(data));
+  HYPPO_ASSIGN_OR_RETURN(
+      NodeId scaler,
+      builder.Fit("StandardScaler", "skl.StandardScaler", split.first));
+  HYPPO_ASSIGN_OR_RETURN(NodeId train_s,
+                         builder.Transform(scaler, split.first));
+  HYPPO_ASSIGN_OR_RETURN(NodeId test_s,
+                         builder.Transform(scaler, split.second));
+  ml::Config config;
+  config.SetInt("n_estimators", 20);
+  config.SetInt("max_depth", 8);
+  HYPPO_ASSIGN_OR_RETURN(
+      NodeId model,
+      builder.Fit("RandomForestClassifier", "skl.RandomForestClassifier",
+                  train_s, config));
+  HYPPO_ASSIGN_OR_RETURN(NodeId preds, builder.Predict(model, test_s));
+  HYPPO_RETURN_NOT_OK(builder.Evaluate(preds, test_s, "accuracy").status());
+  return std::move(builder).Build();
+}
+
+std::unique_ptr<core::Runtime> MakeHeavyRuntime() {
+  core::RuntimeOptions options;
+  options.storage_budget_bytes = 256ll << 20;
+  options.simulate = true;
+  auto runtime = std::make_unique<core::Runtime>(options);
+  runtime->RegisterDatasetGenerator(
+      "heavy", []() { return workload::GenerateHiggs(400000, 30, 3); });
+  return runtime;
+}
+
+TEST(MethodsTest, HelixReusesIdenticalRepetition) {
+  auto runtime = MakeHeavyRuntime();
+  HelixMethod method(runtime.get());
+  Pipeline p1 = *BuildHeavyPipeline("p1");
+  auto planned1 = method.PlanPipeline(p1);
+  ASSERT_TRUE(planned1.ok()) << planned1.status();
+  auto record1 =
+      runtime->ExecuteAndRecord(p1, planned1->aug, planned1->plan);
+  ASSERT_TRUE(record1.ok());
+  ASSERT_TRUE(method.AfterExecution(p1, *planned1, *record1).ok());
+  EXPECT_GT(runtime->history().MaterializedArtifacts().size(), 0u);
+  // Second identical pipeline: strictly cheaper plan.
+  Pipeline p2 = *BuildHeavyPipeline("p2");
+  auto planned2 = method.PlanPipeline(p2);
+  ASSERT_TRUE(planned2.ok()) << planned2.status();
+  EXPECT_LT(planned2->plan.cost, planned1->plan.cost);
+}
+
+TEST(MethodsTest, CollabMaterializesAndReuses) {
+  auto runtime = MakeUnitRuntime(true);
+  CollabMethod method(runtime.get());
+  Pipeline p1 = *BuildSmallPipeline("p1");
+  auto planned1 = method.PlanPipeline(p1);
+  ASSERT_TRUE(planned1.ok()) << planned1.status();
+  auto record1 =
+      runtime->ExecuteAndRecord(p1, planned1->aug, planned1->plan);
+  ASSERT_TRUE(record1.ok());
+  ASSERT_TRUE(method.AfterExecution(p1, *planned1, *record1).ok());
+  Pipeline p2 = *BuildSmallPipeline("p2");
+  auto planned2 = method.PlanPipeline(p2);
+  ASSERT_TRUE(planned2.ok()) << planned2.status();
+  EXPECT_LE(planned2->plan.cost, planned1->plan.cost);
+}
+
+TEST(MethodsTest, HyppoAtLeastAsGoodOnRepetition) {
+  // On the second identical pipeline, HYPPO's plan cost must be <= every
+  // baseline's (it optimizes over a superset of options).
+  double costs[3];
+  int index = 0;
+  for (int which = 0; which < 3; ++which) {
+    auto runtime = MakeUnitRuntime(true);
+    std::unique_ptr<core::Method> method;
+    if (which == 0) {
+      method = std::make_unique<core::HyppoMethod>(runtime.get());
+    } else if (which == 1) {
+      method = std::make_unique<HelixMethod>(runtime.get());
+    } else {
+      method = std::make_unique<CollabMethod>(runtime.get());
+    }
+    Pipeline p1 = *BuildSmallPipeline("p1");
+    auto planned1 = method->PlanPipeline(p1);
+    ASSERT_TRUE(planned1.ok());
+    auto record1 =
+        runtime->ExecuteAndRecord(p1, planned1->aug, planned1->plan);
+    ASSERT_TRUE(record1.ok());
+    ASSERT_TRUE(method->AfterExecution(p1, *planned1, *record1).ok());
+    Pipeline p2 = *BuildSmallPipeline("p2");
+    auto planned2 = method->PlanPipeline(p2);
+    ASSERT_TRUE(planned2.ok());
+    costs[index++] = planned2->plan.cost;
+  }
+  EXPECT_LE(costs[0], costs[1] + 1e-9);  // HYPPO <= Helix
+  EXPECT_LE(costs[0], costs[2] + 1e-9);  // HYPPO <= Collab
+}
+
+TEST(MethodsTest, SharingRetrievalSharesCommonPrefixes) {
+  auto runtime = MakeUnitRuntime(true);
+  SharingMethod method(runtime.get());
+  Pipeline p1 = *BuildSmallPipeline("p1");
+  auto planned = method.PlanPipeline(p1);
+  ASSERT_TRUE(planned.ok());
+  auto record = runtime->ExecuteAndRecord(p1, planned->aug, planned->plan);
+  ASSERT_TRUE(record.ok());
+  ASSERT_TRUE(method.AfterExecution(p1, *planned, *record).ok());
+  // Request two artifacts sharing the scaler prefix: the shared prefix
+  // tasks must appear once.
+  const core::History& history = runtime->history();
+  std::vector<std::string> targets;
+  for (NodeId v = 1; v < history.graph().num_artifacts(); ++v) {
+    if (history.graph().artifact(v).kind == ArtifactKind::kTrain ||
+        history.graph().artifact(v).kind == ArtifactKind::kTest) {
+      targets.push_back(history.graph().artifact(v).name);
+    }
+  }
+  ASSERT_GE(targets.size(), 2u);
+  auto retrieval = method.PlanRetrieval(targets);
+  ASSERT_TRUE(retrieval.ok()) << retrieval.status();
+  // The union plan contains each task at most once.
+  std::set<EdgeId> unique(retrieval->plan.edges.begin(),
+                          retrieval->plan.edges.end());
+  EXPECT_EQ(unique.size(), retrieval->plan.edges.size());
+  EXPECT_TRUE(IsValidPlan(retrieval->aug.graph.hypergraph(),
+                          retrieval->plan.edges,
+                          {retrieval->aug.graph.source()},
+                          retrieval->aug.targets));
+}
+
+TEST(MethodsTest, RetrievalCostOrderHyppoBest) {
+  // Build the same history under each method (B > 0) and compare a
+  // retrieval of every op-state artifact.
+  double seconds[3];
+  int index = 0;
+  for (int which = 0; which < 3; ++which) {
+    auto runtime = MakeUnitRuntime(true);
+    std::unique_ptr<core::Method> method;
+    if (which == 0) {
+      method = std::make_unique<core::HyppoMethod>(runtime.get());
+    } else if (which == 1) {
+      method = std::make_unique<SharingMethod>(runtime.get());
+    } else {
+      method = std::make_unique<CollabMethod>(runtime.get());
+    }
+    Pipeline p1 = *BuildSmallPipeline("p1");
+    auto planned = method->PlanPipeline(p1);
+    ASSERT_TRUE(planned.ok());
+    auto record = runtime->ExecuteAndRecord(p1, planned->aug, planned->plan);
+    ASSERT_TRUE(record.ok());
+    ASSERT_TRUE(method->AfterExecution(p1, *planned, *record).ok());
+    std::vector<std::string> targets;
+    const core::History& history = runtime->history();
+    for (NodeId v = 1; v < history.graph().num_artifacts(); ++v) {
+      if (history.graph().artifact(v).kind == ArtifactKind::kOpState) {
+        targets.push_back(history.graph().artifact(v).name);
+      }
+    }
+    auto retrieval = method->PlanRetrieval(targets);
+    ASSERT_TRUE(retrieval.ok()) << method->name() << ": "
+                                << retrieval.status();
+    seconds[index++] = retrieval->plan.cost;
+  }
+  EXPECT_LE(seconds[0], seconds[1] + 1e-9);  // HYPPO <= Sharing
+  EXPECT_LE(seconds[0], seconds[2] + 1e-9);  // HYPPO <= Collab
+}
+
+}  // namespace
+}  // namespace hyppo::baselines

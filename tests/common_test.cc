@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace hyppo {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status status = Status::NotFound("missing artifact");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsNotFound());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.ToString(), "NotFound: missing artifact");
+}
+
+TEST(StatusTest, AllConstructorsSetMatchingPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+}
+
+TEST(ReturnNotOkTest, PropagatesError) {
+  auto fails = []() -> Status { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    HYPPO_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 7);
+  EXPECT_EQ(result.ValueOr(3), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("nope"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_EQ(result.ValueOr(3), 3);
+}
+
+TEST(ResultTest, AssignOrReturnExtractsValue) {
+  auto producer = []() -> Result<int> { return 5; };
+  auto consumer = [&]() -> Result<int> {
+    HYPPO_ASSIGN_OR_RETURN(int value, producer());
+    return value + 1;
+  };
+  EXPECT_EQ(*consumer(), 6);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto producer = []() -> Result<int> {
+    return Status::OutOfRange("bad");
+  };
+  auto consumer = [&]() -> Result<int> {
+    HYPPO_ASSIGN_OR_RETURN(int value, producer());
+    return value + 1;
+  };
+  EXPECT_TRUE(consumer().status().IsOutOfRange());
+}
+
+TEST(HashTest, Fnv1aIsStable) {
+  // Known FNV-1a vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(HashTest, DistinctInputsDistinctHashes) {
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(Fnv1a64("key" + std::to_string(i)));
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  EXPECT_NE(HashCombine(HashCombine(0, 1), 2),
+            HashCombine(HashCombine(0, 2), 1));
+}
+
+TEST(HashTest, HexIsSixteenLowercaseChars) {
+  const std::string hex = HashToHex(0x0123456789abcdefULL);
+  EXPECT_EQ(hex, "0123456789abcdef");
+  EXPECT_EQ(HashToHex(0).size(), 16u);
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 10; ++i) {
+    differing += (a.Next() != b.Next()) ? 1 : 0;
+  }
+  EXPECT_GT(differing, 5);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double draw = rng.NextDouble();
+    EXPECT_GE(draw, 0.0);
+    EXPECT_LT(draw, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(3);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 4000; ++i) {
+    ++counts[rng.Categorical(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0]);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(StringUtilTest, SplitAndJoin) {
+  EXPECT_EQ(StrSplit("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_EQ(StrJoin({}, "-"), "");
+}
+
+TEST(StringUtilTest, Strip) {
+  EXPECT_EQ(StripWhitespace("  x y\t\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("hyppo_core", "hyppo"));
+  EXPECT_FALSE(StartsWith("hy", "hyppo"));
+  EXPECT_TRUE(EndsWith("plan.cc", ".cc"));
+  EXPECT_FALSE(EndsWith("plan.cc", ".h"));
+}
+
+TEST(StringUtilTest, Formatting) {
+  EXPECT_EQ(FormatDouble(1.25, 4), "1.25");
+  EXPECT_EQ(FormatDouble(3.0, 2), "3");
+  EXPECT_EQ(FormatBytes(1536.0), "1.5 KiB");
+  EXPECT_EQ(FormatSeconds(0.0123), "12.3 ms");
+  EXPECT_EQ(FormatSeconds(2.5), "2.5 s");
+}
+
+TEST(ClockTest, VirtualClockAdvances) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.Now(), 0.0);
+  clock.Advance(1.5);
+  EXPECT_EQ(clock.Now(), 1.5);
+  Stopwatch watch(clock);
+  clock.Advance(0.25);
+  EXPECT_DOUBLE_EQ(watch.Elapsed(), 0.25);
+}
+
+TEST(ClockTest, WallClockMonotone) {
+  WallClock clock;
+  const double t0 = clock.Now();
+  const double t1 = clock.Now();
+  EXPECT_GE(t1, t0);
+}
+
+}  // namespace
+}  // namespace hyppo

@@ -1,0 +1,357 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/augmenter.h"
+#include "core/hyppo.h"
+#include "core/pipeline_builder.h"
+#include "hypergraph/algorithms.h"
+#include "workload/datagen.h"
+
+namespace hyppo::core {
+namespace {
+
+class AugmenterTest : public ::testing::Test {
+ protected:
+  AugmenterTest()
+      : dictionary_(Dictionary::FromRegistry(ml::OperatorRegistry::Global())),
+        augmenter_(&dictionary_, &estimator_) {}
+
+  // data -> split -> scaler fit/transforms -> tree fit -> predict -> eval.
+  Result<Pipeline> BuildPipeline(const std::string& id,
+                                 const std::string& scaler_impl) {
+    PipelineBuilder builder(id);
+    HYPPO_ASSIGN_OR_RETURN(NodeId data,
+                           builder.LoadDataset("aug-unit", 2000, 8));
+    HYPPO_ASSIGN_OR_RETURN(auto split, builder.Split(data));
+    HYPPO_ASSIGN_OR_RETURN(
+        NodeId scaler,
+        builder.Fit("StandardScaler", scaler_impl, split.first));
+    HYPPO_ASSIGN_OR_RETURN(NodeId train_s,
+                           builder.Transform(scaler, split.first));
+    HYPPO_ASSIGN_OR_RETURN(NodeId test_s,
+                           builder.Transform(scaler, split.second));
+    ml::Config config;
+    config.SetInt("max_depth", 4);
+    HYPPO_ASSIGN_OR_RETURN(
+        NodeId model,
+        builder.Fit("DecisionTreeClassifier", "skl.DecisionTreeClassifier",
+                    train_s, config));
+    HYPPO_ASSIGN_OR_RETURN(NodeId preds, builder.Predict(model, test_s));
+    HYPPO_RETURN_NOT_OK(
+        builder.Evaluate(preds, test_s, "accuracy").status());
+    return std::move(builder).Build();
+  }
+
+  // Records the full pipeline structure (and fake observations) into the
+  // history, as the runtime would after execution.
+  void RecordIntoHistory(const Pipeline& pipeline, double task_seconds) {
+    std::map<NodeId, NodeId> to_history;
+    for (NodeId v = 1; v < pipeline.graph.num_artifacts(); ++v) {
+      to_history[v] = history_.Observe(pipeline.graph.artifact(v));
+      if (pipeline.graph.artifact(v).kind == ArtifactKind::kRaw) {
+        history_.RegisterSourceData(to_history[v]).ValueOrDie();
+      }
+    }
+    for (EdgeId e : pipeline.graph.hypergraph().LiveEdges()) {
+      const TaskInfo& task = pipeline.graph.task(e);
+      if (task.type == TaskType::kLoad) {
+        continue;
+      }
+      std::vector<NodeId> tails;
+      for (NodeId t : pipeline.graph.ordered_tail(e)) {
+        if (t != pipeline.graph.source()) {
+          tails.push_back(to_history[t]);
+        }
+      }
+      std::vector<NodeId> heads;
+      for (NodeId h : pipeline.graph.ordered_head(e)) {
+        heads.push_back(to_history[h]);
+        history_.RecordComputeSeconds(to_history[h], task_seconds);
+      }
+      history_.ObserveTask(task, tails, heads, task_seconds).ValueOrDie();
+    }
+  }
+
+  int CountEdges(const Augmentation& aug, TaskType type) const {
+    int count = 0;
+    for (EdgeId e : aug.graph.hypergraph().LiveEdges()) {
+      count += aug.graph.task(e).type == type ? 1 : 0;
+    }
+    return count;
+  }
+
+  Dictionary dictionary_;
+  CostEstimator estimator_;
+  Augmenter augmenter_;
+  History history_;
+};
+
+TEST_F(AugmenterTest, PipelineIsSubhypergraphOfAugmentation) {
+  Pipeline pipeline = *BuildPipeline("p", "skl.StandardScaler");
+  Augmenter::Options options;
+  auto aug = augmenter_.Augment(pipeline, history_, options);
+  ASSERT_TRUE(aug.ok()) << aug.status();
+  // Node ids of P are preserved (copy-first construction).
+  for (NodeId v = 0; v < pipeline.graph.num_artifacts(); ++v) {
+    EXPECT_EQ(aug->graph.artifact(v).name, pipeline.graph.artifact(v).name);
+  }
+  EXPECT_EQ(aug->targets, pipeline.targets);
+  // Every P task signature appears in A.
+  std::set<std::string> aug_signatures;
+  for (EdgeId e : aug->graph.hypergraph().LiveEdges()) {
+    aug_signatures.insert(aug->graph.TaskSignature(e));
+  }
+  for (EdgeId e : pipeline.graph.hypergraph().LiveEdges()) {
+    EXPECT_TRUE(aug_signatures.count(pipeline.graph.TaskSignature(e)) > 0);
+  }
+}
+
+TEST_F(AugmenterTest, DictionaryAlternativesAreParallelEdges) {
+  Pipeline pipeline = *BuildPipeline("p", "skl.StandardScaler");
+  Augmenter::Options options;
+  auto aug = augmenter_.Augment(pipeline, history_, options);
+  ASSERT_TRUE(aug.ok());
+  // The StandardScaler fit node has >= 2 producing edges (skl + tfl).
+  const NodeId scaler_fit = [&]() {
+    for (NodeId v = 1; v < pipeline.graph.num_artifacts(); ++v) {
+      if (pipeline.graph.artifact(v).kind == ArtifactKind::kOpState &&
+          pipeline.graph.artifact(v).display.find("StandardScaler") !=
+              std::string::npos) {
+        return v;
+      }
+    }
+    return kInvalidNode;
+  }();
+  ASSERT_NE(scaler_fit, kInvalidNode);
+  std::set<std::string> impls;
+  for (EdgeId e : aug->graph.hypergraph().bstar(scaler_fit)) {
+    impls.insert(aug->graph.task(e).impl);
+  }
+  EXPECT_TRUE(impls.count("skl.StandardScaler") > 0);
+  EXPECT_TRUE(impls.count("tfl.StandardScaler") > 0);
+}
+
+TEST_F(AugmenterTest, NoEquivalencesDisablesAlternatives) {
+  Pipeline pipeline = *BuildPipeline("p", "skl.StandardScaler");
+  Augmenter::Options options;
+  options.use_equivalences = false;
+  auto aug = augmenter_.Augment(pipeline, history_, options);
+  ASSERT_TRUE(aug.ok());
+  for (EdgeId e : aug->graph.hypergraph().LiveEdges()) {
+    EXPECT_NE(aug->graph.task(e).impl, "tfl.StandardScaler");
+  }
+}
+
+TEST_F(AugmenterTest, ColdHistoryMakesEverythingNew) {
+  Pipeline pipeline = *BuildPipeline("p", "skl.StandardScaler");
+  Augmenter::Options options;
+  auto aug = augmenter_.Augment(pipeline, history_, options);
+  ASSERT_TRUE(aug.ok());
+  // All compute edges (including dictionary alternatives) are new tasks.
+  int computes = 0;
+  for (EdgeId e : aug->graph.hypergraph().LiveEdges()) {
+    computes += aug->graph.task(e).type != TaskType::kLoad ? 1 : 0;
+  }
+  EXPECT_EQ(static_cast<int>(aug->new_tasks.size()), computes);
+}
+
+TEST_F(AugmenterTest, KnownHistoryTasksAreNotNew) {
+  Pipeline pipeline = *BuildPipeline("p", "skl.StandardScaler");
+  RecordIntoHistory(pipeline, 0.5);
+  Augmenter::Options options;
+  auto aug = augmenter_.Augment(pipeline, history_, options);
+  ASSERT_TRUE(aug.ok());
+  // Only the dictionary alternatives are new now.
+  for (EdgeId e : aug->new_tasks) {
+    const TaskInfo& task = aug->graph.task(e);
+    EXPECT_NE(task.impl.substr(0, 4), "skl.")
+        << "pipeline task should be known: " << task.impl;
+  }
+}
+
+TEST_F(AugmenterTest, MaterializedArtifactsGetLoadEdges) {
+  Pipeline pipeline = *BuildPipeline("p", "skl.StandardScaler");
+  RecordIntoHistory(pipeline, 0.5);
+  // Materialize the scaler state in the history.
+  NodeId h_state = kInvalidNode;
+  for (NodeId v = 1; v < history_.graph().num_artifacts(); ++v) {
+    if (history_.graph().artifact(v).kind == ArtifactKind::kOpState) {
+      h_state = v;
+    }
+  }
+  ASSERT_NE(h_state, kInvalidNode);
+  ASSERT_TRUE(history_.MarkMaterialized(h_state).ok());
+
+  Augmenter::Options options;
+  auto aug = augmenter_.Augment(pipeline, history_, options);
+  ASSERT_TRUE(aug.ok());
+  const NodeId a_state =
+      *aug->graph.FindArtifact(history_.graph().artifact(h_state).name);
+  bool has_load = false;
+  for (EdgeId e : aug->graph.hypergraph().bstar(a_state)) {
+    has_load = has_load || aug->graph.task(e).type == TaskType::kLoad;
+  }
+  EXPECT_TRUE(has_load);
+
+  // With use_materialized = false, the load edge disappears.
+  options.use_materialized = false;
+  auto no_loads = augmenter_.Augment(pipeline, history_, options);
+  ASSERT_TRUE(no_loads.ok());
+  const NodeId n_state =
+      *no_loads->graph.FindArtifact(history_.graph().artifact(h_state).name);
+  for (EdgeId e : no_loads->graph.hypergraph().bstar(n_state)) {
+    EXPECT_NE(no_loads->graph.task(e).type, TaskType::kLoad);
+  }
+}
+
+TEST_F(AugmenterTest, EquivalentPipelineSplicesHistoryDerivation) {
+  // Record the skl pipeline; augment the *tfl* variant. The artifacts
+  // collide by name, so the recorded skl tasks splice in as parallel
+  // derivations.
+  Pipeline skl_pipeline = *BuildPipeline("p1", "skl.StandardScaler");
+  RecordIntoHistory(skl_pipeline, 0.5);
+  Pipeline tfl_pipeline = *BuildPipeline("p2", "tfl.StandardScaler");
+  Augmenter::Options options;
+  auto aug = augmenter_.Augment(tfl_pipeline, history_, options);
+  ASSERT_TRUE(aug.ok());
+  // The scaler state has both impl edges, and the augmentation carries
+  // history-observed durations for the skl one.
+  bool found_skl = false;
+  for (EdgeId e : aug->graph.hypergraph().LiveEdges()) {
+    const TaskInfo& task = aug->graph.task(e);
+    if (task.impl == "skl.StandardScaler" && task.type == TaskType::kFit) {
+      found_skl = true;
+      EXPECT_DOUBLE_EQ(aug->edge_seconds[static_cast<size_t>(e)], 0.5);
+    }
+  }
+  EXPECT_TRUE(found_skl);
+}
+
+TEST_F(AugmenterTest, SpliceDeduplicatesAgainstPipelineEdges) {
+  Pipeline pipeline = *BuildPipeline("p", "skl.StandardScaler");
+  RecordIntoHistory(pipeline, 0.5);
+  Augmenter::Options options;
+  auto aug = augmenter_.Augment(pipeline, history_, options);
+  ASSERT_TRUE(aug.ok());
+  std::set<std::string> signatures;
+  for (EdgeId e : aug->graph.hypergraph().LiveEdges()) {
+    const std::string signature = aug->graph.TaskSignature(e);
+    EXPECT_TRUE(signatures.insert(signature).second)
+        << "duplicate edge: " << signature;
+  }
+}
+
+TEST_F(AugmenterTest, ObservedDurationBeatsEstimate) {
+  Pipeline pipeline = *BuildPipeline("p", "skl.StandardScaler");
+  Augmenter::Options options;
+  auto cold = augmenter_.Augment(pipeline, history_, options);
+  ASSERT_TRUE(cold.ok());
+  RecordIntoHistory(pipeline, 7.0);  // far from any estimate
+  auto warm = augmenter_.Augment(pipeline, history_, options);
+  ASSERT_TRUE(warm.ok());
+  // Compute edges of the pipeline now carry the observed 7 s.
+  int observed = 0;
+  for (EdgeId e : warm->graph.hypergraph().LiveEdges()) {
+    const TaskInfo& task = warm->graph.task(e);
+    if (task.type != TaskType::kLoad && task.impl.substr(0, 4) == "skl.") {
+      EXPECT_DOUBLE_EQ(warm->edge_seconds[static_cast<size_t>(e)], 7.0);
+      ++observed;
+    }
+  }
+  EXPECT_GT(observed, 0);
+}
+
+TEST_F(AugmenterTest, PriceObjectiveChargesInputBytes) {
+  Pipeline pipeline = *BuildPipeline("p", "skl.StandardScaler");
+  Augmenter::Options time_options;
+  auto time_aug = augmenter_.Augment(pipeline, history_, time_options);
+  ASSERT_TRUE(time_aug.ok());
+  Augmenter::Options price_options;
+  price_options.objective = Augmenter::Objective::kPrice;
+  auto price_aug = augmenter_.Augment(pipeline, history_, price_options);
+  ASSERT_TRUE(price_aug.ok());
+  // Price weights include the per-byte term, so for a task with large
+  // inputs price != time * price_per_time alone; also price weights are
+  // strictly positive.
+  for (EdgeId e : price_aug->graph.hypergraph().LiveEdges()) {
+    EXPECT_GT(price_aug->edge_weight[static_cast<size_t>(e)], 0.0);
+  }
+  // Find the model fit edge (large train input): price dominated by size.
+  for (EdgeId e : price_aug->graph.hypergraph().LiveEdges()) {
+    const TaskInfo& task = price_aug->graph.task(e);
+    if (task.logical_op == "DecisionTreeClassifier" &&
+        task.type == TaskType::kFit) {
+      const double seconds =
+          price_aug->edge_seconds[static_cast<size_t>(e)];
+      EXPECT_GT(price_aug->edge_weight[static_cast<size_t>(e)],
+                seconds * 0.00018);
+    }
+  }
+}
+
+TEST_F(AugmenterTest, RetrievalAugmentationDerivesHistoryArtifacts) {
+  Pipeline pipeline = *BuildPipeline("p", "skl.StandardScaler");
+  RecordIntoHistory(pipeline, 0.5);
+  const std::string target_name =
+      pipeline.graph.artifact(pipeline.targets[0]).name;
+  Augmenter::Options options;
+  auto aug = augmenter_.AugmentForRetrieval(history_, {target_name}, options);
+  ASSERT_TRUE(aug.ok()) << aug.status();
+  ASSERT_EQ(aug->targets.size(), 1u);
+  EXPECT_TRUE(aug->graph.hypergraph().AreBConnected(
+      aug->targets, {aug->graph.source()}));
+  // Unknown artifact names are rejected.
+  EXPECT_TRUE(augmenter_.AugmentForRetrieval(history_, {"not-a-name"},
+                                             options)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(AugmenterTest, RetrievalOmitsUnrelatedHistoryParts) {
+  Pipeline p1 = *BuildPipeline("p1", "skl.StandardScaler");
+  RecordIntoHistory(p1, 0.5);
+  // A second, unrelated pipeline over a different dataset.
+  PipelineBuilder builder("p2");
+  NodeId other = *builder.LoadDataset("other-data", 500, 3);
+  auto split = *builder.Split(other);
+  *builder.Fit("MinMaxScaler", "skl.MinMaxScaler", split.first);
+  Pipeline p2 = *std::move(builder).Build();
+  RecordIntoHistory(p2, 0.5);
+
+  const std::string target_name = p1.graph.artifact(p1.targets[0]).name;
+  Augmenter::Options options;
+  auto aug = augmenter_.AugmentForRetrieval(history_, {target_name}, options);
+  ASSERT_TRUE(aug.ok());
+  // p2's dataset does not appear: the retrieval augmentation is the
+  // backward-relevant part of H only.
+  EXPECT_FALSE(aug->graph.HasArtifact(SourceArtifactName("other-data")));
+}
+
+// End-to-end: with an expensive user impl and a cheap equivalent, the
+// optimized plan routes through the equivalent (the Fig. 1(c) Π3 case).
+TEST_F(AugmenterTest, OptimizerExploitsCheaperEquivalentImpl) {
+  Pipeline pipeline = *BuildPipeline("p", "skl.StandardScaler");
+  // Teach the estimator that skl scaling is expensive and tfl is cheap.
+  estimator_.Observe("skl.StandardScaler", TaskType::kFit, 1500, 8, 5.0);
+  estimator_.Observe("tfl.StandardScaler", TaskType::kFit, 1500, 8, 0.01);
+  Augmenter::Options options;
+  auto aug = augmenter_.Augment(pipeline, history_, options);
+  ASSERT_TRUE(aug.ok());
+  PlanGenerator generator;
+  PlanGenerator::Options search;
+  auto plan = generator.Optimize(*aug, search);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  bool used_tfl = false;
+  for (EdgeId e : plan->edges) {
+    const TaskInfo& task = aug->graph.task(e);
+    if (task.logical_op == "StandardScaler" &&
+        task.type == TaskType::kFit) {
+      used_tfl = task.impl == "tfl.StandardScaler";
+    }
+  }
+  EXPECT_TRUE(used_tfl);
+}
+
+}  // namespace
+}  // namespace hyppo::core

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "core/executor.h"
+#include "core/hyppo.h"
+#include "core/pipeline_builder.h"
+#include "workload/datagen.h"
+
+namespace hyppo::core {
+namespace {
+
+// Minimal pipeline: load -> split -> scaler fit.
+Result<Pipeline> TinyPipeline() {
+  PipelineBuilder builder("tiny");
+  HYPPO_ASSIGN_OR_RETURN(NodeId data, builder.LoadDataset("tiny", 200, 4));
+  HYPPO_ASSIGN_OR_RETURN(auto split, builder.Split(data));
+  HYPPO_RETURN_NOT_OK(
+      builder.Fit("StandardScaler", "skl.StandardScaler", split.first)
+          .status());
+  return std::move(builder).Build();
+}
+
+// Wraps the pipeline as a trivial augmentation with unit weights.
+Augmentation AsAugmentation(const Pipeline& pipeline) {
+  Augmentation aug;
+  aug.graph = pipeline.graph;
+  aug.targets = pipeline.targets;
+  const size_t slots =
+      static_cast<size_t>(aug.graph.hypergraph().num_edge_slots());
+  aug.edge_weight.assign(slots, 1.0);
+  aug.edge_seconds.assign(slots, 1.0);
+  return aug;
+}
+
+Plan FullPlan(const Augmentation& aug) {
+  Plan plan;
+  plan.edges = aug.graph.hypergraph().LiveEdges();
+  for (EdgeId e : plan.edges) {
+    plan.cost += aug.edge_weight[static_cast<size_t>(e)];
+    plan.seconds += aug.edge_seconds[static_cast<size_t>(e)];
+  }
+  return plan;
+}
+
+TEST(ExecutorTest, MissingDatasetResolverFails) {
+  storage::ArtifactStore store;
+  Monitor monitor;
+  Executor executor(&store, /*resolver=*/nullptr, &monitor);
+  Pipeline pipeline = *TinyPipeline();
+  Augmentation aug = AsAugmentation(pipeline);
+  Executor::Options options;
+  auto result = executor.Execute(aug, FullPlan(aug), options);
+  EXPECT_TRUE(result.status().IsFailedPrecondition()) << result.status();
+}
+
+TEST(ExecutorTest, UnknownDatasetSurfacesResolverError) {
+  storage::ArtifactStore store;
+  Monitor monitor;
+  Executor executor(
+      &store,
+      [](const std::string& id) -> Result<ml::DatasetPtr> {
+        return Status::NotFound("no dataset '" + id + "'");
+      },
+      &monitor);
+  Pipeline pipeline = *TinyPipeline();
+  Augmentation aug = AsAugmentation(pipeline);
+  auto result = executor.Execute(aug, FullPlan(aug), Executor::Options());
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(ExecutorTest, MissingMaterializedPayloadFails) {
+  // A plan that loads a non-raw artifact not present in the store.
+  storage::ArtifactStore store;
+  Monitor monitor;
+  Executor executor(&store, nullptr, &monitor);
+  Augmentation aug;
+  ArtifactInfo info;
+  info.name = "derived";
+  info.display = "derived";
+  info.kind = ArtifactKind::kData;
+  info.size_bytes = 64;
+  NodeId node = aug.graph.AddArtifact(info).ValueOrDie();
+  aug.graph.AddLoadTask(node).ValueOrDie();
+  aug.targets = {node};
+  aug.edge_weight.assign(1, 1.0);
+  aug.edge_seconds.assign(1, 1.0);
+  Plan plan = FullPlan(aug);
+  auto result = executor.Execute(aug, plan, Executor::Options());
+  EXPECT_TRUE(result.status().IsNotFound());
+  // In simulation mode the same plan succeeds with a placeholder payload.
+  Executor::Options simulate;
+  simulate.simulate = true;
+  auto simulated = executor.Execute(aug, plan, simulate);
+  ASSERT_TRUE(simulated.ok()) << simulated.status();
+  EXPECT_GT(simulated->total_seconds, 0.0);
+}
+
+TEST(ExecutorTest, UnknownImplFails) {
+  storage::ArtifactStore store;
+  Monitor monitor;
+  Executor executor(
+      &store,
+      [](const std::string&) -> Result<ml::DatasetPtr> {
+        return workload::GenerateHiggs(200, 4, 1);
+      },
+      &monitor);
+  PipelineBuilder builder("bad-impl");
+  NodeId data = *builder.LoadDataset("tiny", 200, 4);
+  auto split = *builder.Split(data);
+  *builder.Fit("StandardScaler", "nope.StandardScaler", split.first);
+  Pipeline pipeline = *std::move(builder).Build();
+  Augmentation aug = AsAugmentation(pipeline);
+  auto result = executor.Execute(aug, FullPlan(aug), Executor::Options());
+  EXPECT_TRUE(result.status().IsNotFound()) << result.status();
+}
+
+TEST(ExecutorTest, NonExecutablePlanRejectedUpFront) {
+  storage::ArtifactStore store;
+  Monitor monitor;
+  Executor executor(&store, nullptr, &monitor);
+  Pipeline pipeline = *TinyPipeline();
+  Augmentation aug = AsAugmentation(pipeline);
+  // Drop the load task: the split can never obtain its input.
+  Plan plan;
+  for (EdgeId e : aug.graph.hypergraph().LiveEdges()) {
+    if (aug.graph.task(e).type != TaskType::kLoad) {
+      plan.edges.push_back(e);
+    }
+  }
+  auto result = executor.Execute(aug, plan, Executor::Options());
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+}
+
+TEST(ExecutorTest, LoadChargesStorageModelTime) {
+  storage::ArtifactStore store;
+  Monitor monitor;
+  Executor executor(&store, nullptr, &monitor);
+  Augmentation aug;
+  ArtifactInfo info;
+  info.name = "blob";
+  info.display = "blob";
+  info.kind = ArtifactKind::kData;
+  info.size_bytes = 1 << 20;
+  NodeId node = aug.graph.AddArtifact(info).ValueOrDie();
+  aug.graph.AddLoadTask(node).ValueOrDie();
+  aug.targets = {node};
+  aug.edge_weight.assign(1, 0.0);
+  aug.edge_seconds.assign(1, 0.0);
+  // Store a real payload of ~1 MiB.
+  auto dataset = std::make_shared<ml::Dataset>(1 << 14, 8);
+  ASSERT_TRUE(store.Put("blob", ArtifactPayload(ml::DatasetPtr(dataset)),
+                        dataset->SizeBytes())
+                  .ok());
+  auto result = executor.Execute(aug, FullPlan(aug), Executor::Options());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NEAR(result->total_seconds,
+              store.LoadSeconds(dataset->SizeBytes()), 1e-9);
+  EXPECT_NE(std::get_if<ml::DatasetPtr>(&result->payloads.at(node)),
+            nullptr);
+}
+
+TEST(ExecutorTest, MonitorReceivesTaskRecords) {
+  storage::ArtifactStore store;
+  CostEstimator estimator;
+  Monitor monitor(&estimator);
+  Executor executor(
+      &store,
+      [](const std::string&) -> Result<ml::DatasetPtr> {
+        return workload::GenerateHiggs(200, 4, 1);
+      },
+      &monitor);
+  Pipeline pipeline = *TinyPipeline();
+  Augmentation aug = AsAugmentation(pipeline);
+  auto result = executor.Execute(aug, FullPlan(aug), Executor::Options());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(monitor.num_task_records(), 3);  // load, split, fit
+  EXPECT_EQ(estimator.num_observations(), 2);  // split + fit (not load)
+}
+
+TEST(ExecutorTest, PartialPlanExecutesOnlyItsTasks) {
+  storage::ArtifactStore store;
+  Monitor monitor;
+  Executor executor(
+      &store,
+      [](const std::string&) -> Result<ml::DatasetPtr> {
+        return workload::GenerateHiggs(200, 4, 1);
+      },
+      &monitor);
+  Pipeline pipeline = *TinyPipeline();
+  Augmentation aug = AsAugmentation(pipeline);
+  // Plan that stops after the split.
+  Plan plan;
+  for (EdgeId e : aug.graph.hypergraph().LiveEdges()) {
+    if (aug.graph.task(e).type != TaskType::kFit) {
+      plan.edges.push_back(e);
+    }
+  }
+  auto result = executor.Execute(aug, plan, Executor::Options());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->task_runs.size(), 2u);
+  // The op-state node has no payload.
+  int states = 0;
+  for (const auto& [node, payload] : result->payloads) {
+    states += std::get_if<ml::OpStatePtr>(&payload) != nullptr ? 1 : 0;
+  }
+  EXPECT_EQ(states, 0);
+}
+
+}  // namespace
+}  // namespace hyppo::core

@@ -1,0 +1,362 @@
+#include <gtest/gtest.h>
+
+#include "core/dictionary.h"
+#include "core/graph.h"
+#include "core/naming.h"
+#include "core/parser.h"
+#include "core/pipeline_builder.h"
+
+namespace hyppo::core {
+namespace {
+
+TEST(PipelineGraphTest, SourceNodeExists) {
+  PipelineGraph graph;
+  EXPECT_EQ(graph.source(), 0);
+  EXPECT_EQ(graph.num_artifacts(), 1);
+  EXPECT_EQ(graph.artifact(0).kind, ArtifactKind::kSource);
+  EXPECT_EQ(*graph.FindArtifact("__source__"), 0);
+}
+
+ArtifactInfo MakeArtifact(const std::string& name,
+                          ArtifactKind kind = ArtifactKind::kData) {
+  ArtifactInfo info;
+  info.name = name;
+  info.display = name;
+  info.kind = kind;
+  info.rows = 100;
+  info.cols = 4;
+  info.size_bytes = 3200;
+  return info;
+}
+
+TEST(PipelineGraphTest, AddArtifactRejectsDuplicates) {
+  PipelineGraph graph;
+  ASSERT_TRUE(graph.AddArtifact(MakeArtifact("a")).ok());
+  EXPECT_TRUE(graph.AddArtifact(MakeArtifact("a")).status().IsAlreadyExists());
+  EXPECT_TRUE(graph.AddArtifact(MakeArtifact("")).status().IsInvalidArgument());
+}
+
+TEST(PipelineGraphTest, GetOrAddIsIdempotent) {
+  PipelineGraph graph;
+  const NodeId first = graph.GetOrAddArtifact(MakeArtifact("x"));
+  const NodeId second = graph.GetOrAddArtifact(MakeArtifact("x"));
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(graph.num_artifacts(), 2);
+}
+
+TEST(PipelineGraphTest, TaskKeepsDeclarationOrder) {
+  PipelineGraph graph;
+  const NodeId a = *graph.AddArtifact(MakeArtifact("a"));
+  const NodeId b = *graph.AddArtifact(MakeArtifact("b"));
+  const NodeId c = *graph.AddArtifact(MakeArtifact("c"));
+  TaskInfo task;
+  task.logical_op = "Join";
+  task.type = TaskType::kTransform;
+  // Declaration order b, a — the structural hypergraph sorts, the ordered
+  // view must not.
+  const EdgeId e = *graph.AddTask(task, {b, a}, {c});
+  EXPECT_EQ(graph.ordered_tail(e), (std::vector<NodeId>{b, a}));
+  EXPECT_EQ(graph.hypergraph().edge(e).tail, (std::vector<NodeId>{a, b}));
+}
+
+TEST(PipelineGraphTest, LoadTaskAndSinks) {
+  PipelineGraph graph;
+  const NodeId a = *graph.AddArtifact(MakeArtifact("a", ArtifactKind::kRaw));
+  const NodeId b = *graph.AddArtifact(MakeArtifact("b"));
+  const EdgeId load = *graph.AddLoadTask(a);
+  EXPECT_EQ(graph.task(load).type, TaskType::kLoad);
+  TaskInfo task;
+  task.logical_op = "Op";
+  task.type = TaskType::kFit;
+  *graph.AddTask(task, {a}, {b});
+  // Only b is a sink (a feeds the task).
+  EXPECT_EQ(graph.SinkArtifacts(), (std::vector<NodeId>{b}));
+  EXPECT_TRUE(graph.AddLoadTask(graph.source()).status().IsInvalidArgument());
+}
+
+TEST(PipelineGraphTest, TaskSignatureDistinguishesImpls) {
+  PipelineGraph graph;
+  const NodeId a = *graph.AddArtifact(MakeArtifact("a"));
+  const NodeId b = *graph.AddArtifact(MakeArtifact("b"));
+  TaskInfo skl;
+  skl.logical_op = "Scaler";
+  skl.type = TaskType::kFit;
+  skl.impl = "skl.Scaler";
+  TaskInfo tfl = skl;
+  tfl.impl = "tfl.Scaler";
+  const EdgeId e1 = *graph.AddTask(skl, {a}, {b});
+  const EdgeId e2 = *graph.AddTask(tfl, {a}, {b});
+  EXPECT_NE(graph.TaskSignature(e1), graph.TaskSignature(e2));
+}
+
+// ---------------------------------------------------------------------------
+// Canonical naming: the heart of equivalence discovery.
+
+TEST(NamingTest, ImplDoesNotAffectNames) {
+  TaskInfo skl;
+  skl.logical_op = "StandardScaler";
+  skl.type = TaskType::kFit;
+  skl.impl = "skl.StandardScaler";
+  TaskInfo tfl = skl;
+  tfl.impl = "tfl.StandardScaler";
+  const std::vector<std::string> inputs = {"abc"};
+  EXPECT_EQ(TaskOutputNames(skl, inputs, 1), TaskOutputNames(tfl, inputs, 1));
+}
+
+TEST(NamingTest, ConfigAffectsNames) {
+  TaskInfo a;
+  a.logical_op = "Ridge";
+  a.type = TaskType::kFit;
+  a.config.SetDouble("alpha", 1.0);
+  TaskInfo b = a;
+  b.config.SetDouble("alpha", 75.0);
+  EXPECT_NE(TaskOutputNames(a, {"x"}, 1), TaskOutputNames(b, {"x"}, 1));
+}
+
+TEST(NamingTest, InputOrderAndIdentityMatter) {
+  TaskInfo task;
+  task.logical_op = "Op";
+  task.type = TaskType::kTransform;
+  EXPECT_NE(TaskOutputNames(task, {"a", "b"}, 1),
+            TaskOutputNames(task, {"b", "a"}, 1));
+  EXPECT_NE(TaskOutputNames(task, {"a"}, 1), TaskOutputNames(task, {"c"}, 1));
+}
+
+TEST(NamingTest, OutputsAreDistinctAndStable) {
+  TaskInfo task;
+  task.logical_op = "Split";
+  task.type = TaskType::kSplit;
+  const auto names = TaskOutputNames(task, {"data"}, 2);
+  EXPECT_EQ(names.size(), 2u);
+  EXPECT_NE(names[0], names[1]);
+  EXPECT_EQ(names, TaskOutputNames(task, {"data"}, 2));
+  EXPECT_EQ(names[0].size(), 16u);
+}
+
+TEST(NamingTest, TaskTypeMatters) {
+  TaskInfo fit;
+  fit.logical_op = "PCA";
+  fit.type = TaskType::kFit;
+  TaskInfo transform = fit;
+  transform.type = TaskType::kTransform;
+  EXPECT_NE(TaskOutputNames(fit, {"x"}, 1),
+            TaskOutputNames(transform, {"x"}, 1));
+}
+
+TEST(NamingTest, SourceNamesKeyedByDatasetId) {
+  EXPECT_EQ(SourceArtifactName("higgs"), SourceArtifactName("higgs"));
+  EXPECT_NE(SourceArtifactName("higgs"), SourceArtifactName("taxi"));
+}
+
+// ---------------------------------------------------------------------------
+// Dictionary.
+
+TEST(DictionaryTest, BuiltFromRegistryGroupsImpls) {
+  Dictionary dictionary =
+      Dictionary::FromRegistry(ml::OperatorRegistry::Global());
+  // The paper's catalog has 40 operators; our lop x tasktype entries
+  // exceed that comfortably.
+  EXPECT_GE(dictionary.num_entries(), 40u);
+  const auto& scaler_fit = dictionary.ImplsFor("StandardScaler", TaskType::kFit);
+  EXPECT_EQ(scaler_fit.size(), 2u);
+  EXPECT_TRUE(dictionary.Knows("PCA", TaskType::kTransform));
+  EXPECT_FALSE(dictionary.Knows("PCA", TaskType::kPredict));
+  EXPECT_FALSE(dictionary.Knows("Bogus", TaskType::kFit));
+  EXPECT_TRUE(dictionary.ImplsFor("Bogus", TaskType::kFit).empty());
+}
+
+TEST(DictionaryTest, RegisterRejectsDuplicates) {
+  Dictionary dictionary;
+  ASSERT_TRUE(dictionary.Register("Op", TaskType::kFit, "skl.Op").ok());
+  EXPECT_TRUE(dictionary.Register("Op", TaskType::kFit, "skl.Op")
+                  .IsAlreadyExists());
+  ASSERT_TRUE(dictionary.Register("Op", TaskType::kFit, "tfl.Op").ok());
+  EXPECT_EQ(dictionary.ImplsFor("Op", TaskType::kFit).size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// PipelineBuilder.
+
+TEST(PipelineBuilderTest, BuildsFig1Pipeline) {
+  PipelineBuilder builder("fig1");
+  const NodeId data = *builder.LoadDataset("higgs", 800000, 30);
+  auto split = *builder.Split(data);
+  const NodeId scaler =
+      *builder.Fit("StandardScaler", "skl.StandardScaler", split.first);
+  const NodeId test_s = *builder.Transform(scaler, split.second);
+  const NodeId model = *builder.Fit("RandomForestClassifier",
+                                    "skl.RandomForestClassifier", split.first);
+  const NodeId preds_train = *builder.Predict(model, split.first);
+  const NodeId preds_test = *builder.Predict(model, test_s);
+  (void)preds_train;
+  (void)preds_test;
+  Pipeline pipeline = *std::move(builder).Build();
+  // Artifacts: s, data, train, test, scaler, test_s, model, 2x preds = 9.
+  EXPECT_EQ(pipeline.graph.num_artifacts(), 9);
+  // Tasks: load, split, 2 fits, transform, 2 predicts = 7.
+  EXPECT_EQ(pipeline.graph.num_tasks(), 7);
+  // Targets: preds_train, preds_test (sinks). test_s feeds predict.
+  EXPECT_EQ(pipeline.targets.size(), 2u);
+}
+
+TEST(PipelineBuilderTest, ShapePropagation) {
+  PipelineBuilder builder("shapes");
+  const NodeId data = *builder.LoadDataset("d", 1000, 10);
+  ml::Config split_config;
+  split_config.SetDouble("test_size", 0.2);
+  auto split = *builder.Split(data, split_config);
+  const ArtifactInfo& train = builder.graph().artifact(split.first);
+  const ArtifactInfo& test = builder.graph().artifact(split.second);
+  EXPECT_EQ(train.rows, 800);
+  EXPECT_EQ(test.rows, 200);
+  EXPECT_EQ(train.kind, ArtifactKind::kTrain);
+  EXPECT_EQ(test.kind, ArtifactKind::kTest);
+
+  ml::Config pca_config;
+  pca_config.SetInt("n_components", 3);
+  const NodeId pca = *builder.Fit("PCA", "skl.PCA", split.first, pca_config);
+  const NodeId reduced = *builder.Transform(pca, split.first);
+  EXPECT_EQ(builder.graph().artifact(pca).kind, ArtifactKind::kOpState);
+  EXPECT_EQ(builder.graph().artifact(reduced).cols, 3);
+  EXPECT_EQ(builder.graph().artifact(reduced).kind, ArtifactKind::kTrain);
+}
+
+TEST(PipelineBuilderTest, EquivalentImplsShareArtifactNames) {
+  PipelineBuilder b1("p1");
+  const NodeId d1 = *b1.LoadDataset("d", 1000, 10);
+  auto s1 = *b1.Split(d1);
+  const NodeId st1 = *b1.Fit("StandardScaler", "skl.StandardScaler", s1.first);
+
+  PipelineBuilder b2("p2");
+  const NodeId d2 = *b2.LoadDataset("d", 1000, 10);
+  auto s2 = *b2.Split(d2);
+  const NodeId st2 = *b2.Fit("StandardScaler", "tfl.StandardScaler", s2.first);
+
+  EXPECT_EQ(b1.graph().artifact(st1).name, b2.graph().artifact(st2).name);
+}
+
+TEST(PipelineBuilderTest, SameTaskTwiceDedups) {
+  PipelineBuilder builder("dedup");
+  const NodeId data = *builder.LoadDataset("d", 100, 5);
+  auto once = *builder.Split(data);
+  auto twice = *builder.Split(data);
+  EXPECT_EQ(once.first, twice.first);
+  EXPECT_EQ(once.second, twice.second);
+}
+
+TEST(PipelineBuilderTest, EmptyPipelineFails) {
+  PipelineBuilder builder("empty");
+  EXPECT_TRUE(std::move(builder).Build().status().IsFailedPrecondition());
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+
+class ParserTest : public ::testing::Test {
+ protected:
+  Dictionary dictionary_ =
+      Dictionary::FromRegistry(ml::OperatorRegistry::Global());
+};
+
+TEST_F(ParserTest, ParsesFig1Code) {
+  const char* code = R"(
+# comment line
+data        = load("higgs", rows=800000, cols=30)
+train, test = sk.TrainTestSplit.split(data, test_size=0.25)
+scaler      = sk.StandardScaler.fit(train)
+test_s      = scaler.transform(test)
+model       = sk.RandomForestClassifier.fit(train, n_estimators=20)
+preds       = model.predict(test_s)
+score       = evaluate(preds, test_s, metric="accuracy")
+)";
+  auto pipeline = ParsePipeline(code, "fig1", dictionary_);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status();
+  EXPECT_EQ(pipeline->graph.num_tasks(), 7);  // incl. the load task
+  EXPECT_EQ(pipeline->targets.size(), 1u);    // score
+  const ArtifactInfo& target =
+      pipeline->graph.artifact(pipeline->targets[0]);
+  EXPECT_EQ(target.kind, ArtifactKind::kValue);
+}
+
+TEST_F(ParserTest, ParserAndBuilderAgreeOnNames) {
+  const char* code = R"(
+data        = load("d", rows=1000, cols=10)
+train, test = sk.TrainTestSplit.split(data)
+scaler      = tf.StandardScaler.fit(train)
+)";
+  auto parsed = ParsePipeline(code, "p", dictionary_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+
+  PipelineBuilder builder("b");
+  const NodeId data = *builder.LoadDataset("d", 1000, 10);
+  auto split = *builder.Split(data);
+  const NodeId scaler =
+      *builder.Fit("StandardScaler", "skl.StandardScaler", split.first);
+  // Parsed used the tfl impl; names must match regardless.
+  const std::string expected = builder.graph().artifact(scaler).name;
+  EXPECT_TRUE(parsed->graph.HasArtifact(expected));
+}
+
+TEST_F(ParserTest, FrameworkAliases) {
+  const char* code = R"(
+data = load("d", rows=100, cols=5)
+t, e = sklearn.TrainTestSplit.split(data)
+s = tensorflow.StandardScaler.fit(t)
+)";
+  auto pipeline = ParsePipeline(code, "p", dictionary_);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status();
+  bool found_tfl = false;
+  for (EdgeId e : pipeline->graph.hypergraph().LiveEdges()) {
+    if (pipeline->graph.task(e).impl == "tfl.StandardScaler") {
+      found_tfl = true;
+    }
+  }
+  EXPECT_TRUE(found_tfl);
+}
+
+TEST_F(ParserTest, ReportsLineNumbersOnErrors) {
+  auto missing_var = ParsePipeline("x = foo.transform(ghost)\n", "p",
+                                   dictionary_);
+  EXPECT_TRUE(missing_var.status().IsParseError());
+  EXPECT_NE(missing_var.status().message().find("line 1"),
+            std::string::npos);
+
+  auto bad_framework = ParsePipeline(
+      "d = load(\"x\", rows=10, cols=2)\nz = pytorch.PCA.fit(d)\n", "p",
+      dictionary_);
+  EXPECT_TRUE(bad_framework.status().IsParseError());
+}
+
+TEST_F(ParserTest, RejectsMalformedLines) {
+  EXPECT_TRUE(
+      ParsePipeline("just words\n", "p", dictionary_).status().IsParseError());
+  EXPECT_TRUE(ParsePipeline("x = not_a_call\n", "p", dictionary_)
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParsePipeline("a, b = load(\"d\", rows=10, cols=2)\n", "p",
+                            dictionary_)
+                  .status()
+                  .IsParseError());
+}
+
+TEST_F(ParserTest, SplitArityChecked) {
+  const char* code = R"(
+data = load("d", rows=100, cols=5)
+only_one = sk.TrainTestSplit.split(data)
+)";
+  EXPECT_TRUE(ParsePipeline(code, "p", dictionary_).status().IsParseError());
+}
+
+TEST_F(ParserTest, UnknownOperatorAccepted) {
+  // Unknown operators become single-implementation operators (§IV-C).
+  const char* code = R"(
+data = load("d", rows=100, cols=5)
+w = sk.MyCustomWidget.fit(data, knob=3)
+)";
+  auto pipeline = ParsePipeline(code, "p", dictionary_);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status();
+  EXPECT_EQ(pipeline->graph.num_tasks(), 2);
+}
+
+}  // namespace
+}  // namespace hyppo::core

@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/history.h"
+#include "core/materializer.h"
+#include "core/monitor.h"
+
+namespace hyppo::core {
+namespace {
+
+ArtifactInfo MakeArtifact(const std::string& name, ArtifactKind kind,
+                          int64_t size_bytes) {
+  ArtifactInfo info;
+  info.name = name;
+  info.display = name;
+  info.kind = kind;
+  info.size_bytes = size_bytes;
+  info.rows = size_bytes / 8;
+  info.cols = 1;
+  return info;
+}
+
+TaskInfo MakeTask(const std::string& lop, TaskType type,
+                  const std::string& impl) {
+  TaskInfo task;
+  task.logical_op = lop;
+  task.type = type;
+  task.impl = impl;
+  return task;
+}
+
+TEST(HistoryTest, ObserveDedupsByName) {
+  History history;
+  const NodeId a = history.Observe(MakeArtifact("a", ArtifactKind::kData, 100));
+  const NodeId again =
+      history.Observe(MakeArtifact("a", ArtifactKind::kData, 200));
+  EXPECT_EQ(a, again);
+  // Metadata refreshed with the newer observation.
+  EXPECT_EQ(history.graph().artifact(a).size_bytes, 200);
+  EXPECT_EQ(history.num_artifacts(), 1);
+}
+
+TEST(HistoryTest, ObserveTaskDedupsBySignature) {
+  History history;
+  const NodeId a = history.Observe(MakeArtifact("a", ArtifactKind::kData, 100));
+  const NodeId b = history.Observe(MakeArtifact("b", ArtifactKind::kData, 100));
+  const TaskInfo task = MakeTask("Op", TaskType::kFit, "skl.Op");
+  const EdgeId e1 = *history.ObserveTask(task, {a}, {b}, 1.0);
+  const EdgeId e2 = *history.ObserveTask(task, {a}, {b}, 3.0);
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(history.num_tasks(), 1);
+  // Durations averaged.
+  EXPECT_DOUBLE_EQ(history.ObservedTaskSeconds(e1, -1.0), 2.0);
+  // A different impl is a different (parallel, equivalent) edge.
+  const EdgeId e3 =
+      *history.ObserveTask(MakeTask("Op", TaskType::kFit, "tfl.Op"), {a}, {b},
+                           0.5);
+  EXPECT_NE(e3, e1);
+  EXPECT_EQ(history.num_tasks(), 2);
+}
+
+TEST(HistoryTest, NegativeSecondsRecordStructureOnly) {
+  History history;
+  const NodeId a = history.Observe(MakeArtifact("a", ArtifactKind::kData, 8));
+  const NodeId b = history.Observe(MakeArtifact("b", ArtifactKind::kData, 8));
+  const EdgeId e = *history.ObserveTask(
+      MakeTask("Op", TaskType::kFit, "skl.Op"), {a}, {b}, -1.0);
+  EXPECT_FALSE(history.HasTaskObservation(e));
+  EXPECT_DOUBLE_EQ(history.ObservedTaskSeconds(e, 9.0), 9.0);
+}
+
+TEST(HistoryTest, MaterializeAddsLoadEdgeEvictRemovesIt) {
+  History history;
+  const NodeId a =
+      history.Observe(MakeArtifact("a", ArtifactKind::kOpState, 64));
+  EXPECT_FALSE(history.IsMaterialized(a));
+  ASSERT_TRUE(history.MarkMaterialized(a).ok());
+  EXPECT_TRUE(history.IsMaterialized(a));
+  // A live load edge from s exists.
+  const EdgeId load = history.record(a).load_edge;
+  ASSERT_NE(load, kInvalidEdge);
+  EXPECT_EQ(history.graph().task(load).type, TaskType::kLoad);
+  EXPECT_EQ(history.MaterializedArtifacts(), (std::vector<NodeId>{a}));
+  EXPECT_EQ(history.MaterializedBytes(), 64);
+
+  ASSERT_TRUE(history.EvictMaterialized(a).ok());
+  EXPECT_FALSE(history.IsMaterialized(a));
+  // The node itself and its version counter survive (paper §IV-H).
+  EXPECT_EQ(history.num_artifacts(), 1);
+  EXPECT_EQ(history.record(a).version, 2);
+  EXPECT_TRUE(history.graph().hypergraph().bstar(a).empty());
+  EXPECT_TRUE(history.EvictMaterialized(a).IsFailedPrecondition());
+}
+
+TEST(HistoryTest, SourceDataNotEvictable) {
+  History history;
+  const NodeId raw = history.Observe(MakeArtifact("raw", ArtifactKind::kRaw,
+                                                  4096));
+  ASSERT_TRUE(history.RegisterSourceData(raw).ok());
+  EXPECT_TRUE(history.IsMaterialized(raw));
+  EXPECT_TRUE(history.EvictMaterialized(raw).IsFailedPrecondition());
+  // Raw data is excluded from the materialized-artifact accounting.
+  EXPECT_TRUE(history.MaterializedArtifacts().empty());
+}
+
+TEST(HistoryTest, AccessAndComputeStats) {
+  History history;
+  const NodeId a = history.Observe(MakeArtifact("a", ArtifactKind::kData, 8));
+  history.RecordAccess(a, 1.5);
+  history.RecordAccess(a, 2.5);
+  EXPECT_EQ(history.record(a).access_count, 2);
+  EXPECT_DOUBLE_EQ(history.record(a).last_access_seconds, 2.5);
+  history.RecordComputeSeconds(a, 2.0);
+  history.RecordComputeSeconds(a, 4.0);
+  EXPECT_DOUBLE_EQ(history.record(a).compute_seconds, 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Cost estimator.
+
+TEST(CostEstimatorTest, FallsBackToCostHint) {
+  CostEstimator estimator;
+  TaskInfo task = MakeTask("StandardScaler", TaskType::kFit,
+                           "skl.StandardScaler");
+  const double estimate = estimator.EstimateTaskSeconds(task, 10000, 30);
+  auto op = ml::OperatorRegistry::Global().Get("skl.StandardScaler");
+  const double hint =
+      (*op)->CostHint(ml::MlTask::kFit, 10000, 30, task.config);
+  EXPECT_DOUBLE_EQ(estimate, hint);
+}
+
+TEST(CostEstimatorTest, LearnsFromObservations) {
+  CostEstimator estimator;
+  TaskInfo task = MakeTask("StandardScaler", TaskType::kFit,
+                           "skl.StandardScaler");
+  estimator.Observe(task.impl, task.type, 10000, 30, 0.5);
+  estimator.Observe(task.impl, task.type, 10000, 30, 1.5);
+  // Same bucket: the mean observation wins over the formula.
+  EXPECT_DOUBLE_EQ(estimator.EstimateTaskSeconds(task, 10000, 30), 1.0);
+  EXPECT_EQ(estimator.num_observations(), 2);
+}
+
+TEST(CostEstimatorTest, ScalesAcrossBuckets) {
+  CostEstimator estimator;
+  TaskInfo task = MakeTask("StandardScaler", TaskType::kFit,
+                           "skl.StandardScaler");
+  estimator.Observe(task.impl, task.type, 1000, 10, 0.01);
+  // 8x the cells: nearest-bucket linear scaling predicts ~0.08.
+  const double estimate = estimator.EstimateTaskSeconds(task, 8000, 10);
+  EXPECT_NEAR(estimate, 0.08, 0.02);
+}
+
+TEST(CostEstimatorTest, UnknownImplGenericGuess) {
+  CostEstimator estimator;
+  TaskInfo task = MakeTask("Custom", TaskType::kFit, "user.Custom");
+  EXPECT_GT(estimator.EstimateTaskSeconds(task, 1000, 10), 0.0);
+}
+
+TEST(PricingModelTest, PaperFormula) {
+  PricingModel pricing;
+  // price = cet x 0.00018 + B_GB x 0.023.
+  EXPECT_NEAR(pricing.ExperimentPrice(1000.0, 2'000'000'000),
+              1000.0 * 0.00018 + 2.0 * 0.023, 1e-12);
+  EXPECT_NEAR(pricing.TaskPrice(10.0, 500'000'000),
+              10.0 * 0.00018 + 0.5 * 0.023, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Monitor.
+
+TEST(MonitorTest, AggregatesAndFeedsEstimator) {
+  CostEstimator estimator;
+  Monitor monitor(&estimator);
+  monitor.RecordTask("skl.PCA", TaskType::kFit, 1000, 10, 0.25);
+  monitor.RecordTask("skl.PCA", TaskType::kFit, 1000, 10, 0.75);
+  monitor.RecordTask("skl.PCA", TaskType::kTransform, 1000, 10, 0.1);
+  EXPECT_EQ(monitor.num_task_records(), 3);
+  EXPECT_DOUBLE_EQ(monitor.by_task_type().at(TaskType::kFit).MeanSeconds(),
+                   0.5);
+  EXPECT_EQ(estimator.num_observations(), 3);
+  monitor.RecordArtifact(ArtifactKind::kOpState, 512, 0.25);
+  EXPECT_DOUBLE_EQ(
+      monitor.by_artifact_kind().at(ArtifactKind::kOpState).MeanBytes(),
+      512.0);
+}
+
+TEST(MonitorTest, LoadTasksNotFedToEstimator) {
+  CostEstimator estimator;
+  Monitor monitor(&estimator);
+  monitor.RecordTask("", TaskType::kLoad, 1000, 10, 0.1);
+  EXPECT_EQ(estimator.num_observations(), 0);
+  EXPECT_EQ(monitor.num_task_records(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Materializer.
+
+class MaterializerTest : public ::testing::Test {
+ protected:
+  MaterializerTest()
+      : estimator_(),
+        augmenter_(&dictionary_, &estimator_),
+        materializer_(&augmenter_) {}
+
+  // History: s -> raw -load-> ; raw -> mid -> deep, with stats.
+  void BuildHistory() {
+    raw_ = history_.Observe(MakeArtifact("raw", ArtifactKind::kRaw, 80000));
+    history_.RegisterSourceData(raw_).ValueOrDie();
+    mid_ = history_.Observe(MakeArtifact("mid", ArtifactKind::kTrain, 60000));
+    deep_ = history_.Observe(
+        MakeArtifact("deep", ArtifactKind::kOpState, 4000));
+    *history_.ObserveTask(MakeTask("A", TaskType::kTransform, "skl.A"),
+                          {raw_}, {mid_}, 2.0);
+    *history_.ObserveTask(MakeTask("B", TaskType::kFit, "skl.B"), {mid_},
+                          {deep_}, 5.0);
+    history_.RecordComputeSeconds(mid_, 2.0);
+    history_.RecordComputeSeconds(deep_, 5.0);
+    history_.RecordAccess(mid_, 1.0);
+    history_.RecordAccess(deep_, 1.0);
+    history_.RecordAccess(deep_, 2.0);
+  }
+
+  Dictionary dictionary_;
+  CostEstimator estimator_;
+  Augmenter augmenter_;
+  Materializer materializer_;
+  History history_;
+  NodeId raw_ = kInvalidNode;
+  NodeId mid_ = kInvalidNode;
+  NodeId deep_ = kInvalidNode;
+};
+
+TEST_F(MaterializerTest, RespectsBudget) {
+  BuildHistory();
+  Materializer::Options options;
+  options.budget_bytes = 5000;  // only `deep` fits
+  Materializer::Decision decision =
+      materializer_.Decide(history_, {"mid", "deep"}, options);
+  EXPECT_EQ(decision.to_store, (std::vector<NodeId>{deep_}));
+  EXPECT_LE(decision.selected_bytes, options.budget_bytes);
+}
+
+TEST_F(MaterializerTest, SpfPrefersHighGainSmallLoad) {
+  BuildHistory();
+  Materializer::Options options;
+  options.budget_bytes = 100000;  // everything fits
+  // deep: freq 2, compute 5s, tiny load => dominant gain.
+  const double gain_deep = materializer_.Gain(history_, deep_, options);
+  const double gain_mid = materializer_.Gain(history_, mid_, options);
+  EXPECT_GT(gain_deep, gain_mid);
+  Materializer::Decision decision =
+      materializer_.Decide(history_, {"mid", "deep"}, options);
+  EXPECT_EQ(decision.to_store.size(), 2u);
+}
+
+TEST_F(MaterializerTest, UnstorablePayloadsSkipped) {
+  BuildHistory();
+  Materializer::Options options;
+  options.budget_bytes = 100000;
+  // Only `mid` has an available payload; `deep` cannot be stored.
+  Materializer::Decision decision =
+      materializer_.Decide(history_, {"mid"}, options);
+  for (NodeId v : decision.to_store) {
+    EXPECT_NE(v, deep_);
+  }
+}
+
+TEST_F(MaterializerTest, EvictsWhenBudgetShrinks) {
+  BuildHistory();
+  storage::ArtifactStore store;
+  Materializer::Options big;
+  big.budget_bytes = 100000;
+  Materializer::Decision decision =
+      materializer_.Decide(history_, {"mid", "deep"}, big);
+  std::map<std::string, ArtifactPayload> available = {
+      {"mid", ArtifactPayload(std::monostate{})},
+      {"deep", ArtifactPayload(std::monostate{})}};
+  ASSERT_TRUE(
+      Materializer::Apply(history_, store, decision, available).ok());
+  EXPECT_EQ(history_.MaterializedArtifacts().size(), 2u);
+  EXPECT_EQ(store.num_entries(), 2u);
+
+  Materializer::Options small;
+  small.budget_bytes = 5000;
+  decision = materializer_.Decide(history_, {}, small);
+  ASSERT_TRUE(Materializer::Apply(history_, store, decision, {}).ok());
+  EXPECT_EQ(history_.MaterializedArtifacts(), (std::vector<NodeId>{deep_}));
+  EXPECT_EQ(store.num_entries(), 1u);
+}
+
+TEST_F(MaterializerTest, PolicyOrderingsDiffer) {
+  BuildHistory();
+  // LFU prefers deep (freq 2); SFF prefers mid (larger).
+  Materializer::Options lfu;
+  lfu.budget_bytes = 60000;  // not both
+  lfu.policy = Materializer::Policy::kLfu;
+  Materializer::Decision lfu_decision =
+      materializer_.Decide(history_, {"mid", "deep"}, lfu);
+  ASSERT_FALSE(lfu_decision.to_store.empty());
+  // deep fits (4000) and mid fits (60000): LFU picks deep first, and mid
+  // still fits? 4000 + 60000 > 60000, so only deep.
+  EXPECT_EQ(lfu_decision.to_store, (std::vector<NodeId>{deep_}));
+
+  Materializer::Options sff;
+  sff.budget_bytes = 60000;
+  sff.policy = Materializer::Policy::kSff;
+  Materializer::Decision sff_decision =
+      materializer_.Decide(history_, {"mid", "deep"}, sff);
+  EXPECT_EQ(sff_decision.to_store, (std::vector<NodeId>{mid_}));
+}
+
+TEST_F(MaterializerTest, RawDataNeverCandidate) {
+  BuildHistory();
+  Materializer::Options options;
+  options.budget_bytes = 1 << 30;
+  Materializer::Decision decision =
+      materializer_.Decide(history_, {"raw", "mid", "deep"}, options);
+  for (NodeId v : decision.to_store) {
+    EXPECT_NE(v, raw_);
+  }
+}
+
+TEST(ArtifactStoreTest, PutGetEvictAccounting) {
+  storage::ArtifactStore store;
+  ASSERT_TRUE(store.Put("k", ArtifactPayload(1.5), 100).ok());
+  EXPECT_TRUE(store.Contains("k"));
+  EXPECT_EQ(store.used_bytes(), 100);
+  auto payload = store.Get("k");
+  ASSERT_TRUE(payload.ok());
+  EXPECT_DOUBLE_EQ(std::get<double>(*payload), 1.5);
+  // Overwrite adjusts accounting.
+  ASSERT_TRUE(store.Put("k", ArtifactPayload(2.0), 40).ok());
+  EXPECT_EQ(store.used_bytes(), 40);
+  ASSERT_TRUE(store.Evict("k").ok());
+  EXPECT_EQ(store.used_bytes(), 0);
+  EXPECT_TRUE(store.Get("k").status().IsNotFound());
+  EXPECT_TRUE(store.Evict("k").IsNotFound());
+}
+
+TEST(StorageTierTest, LoadTimeModel) {
+  storage::StorageTier local = storage::StorageTier::Local();
+  EXPECT_NEAR(local.LoadSeconds(400'000'000), 0.002 + 1.0, 1e-9);
+  // Remote is slower than local for the same payload.
+  storage::StorageTier remote = storage::StorageTier::Remote();
+  EXPECT_GT(remote.LoadSeconds(1 << 20), local.LoadSeconds(1 << 20));
+}
+
+}  // namespace
+}  // namespace hyppo::core

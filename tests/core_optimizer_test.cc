@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/optimizer.h"
+#include "hypergraph/algorithms.h"
+#include "workload/synthetic_hypergraph.h"
+
+namespace hyppo::core {
+namespace {
+
+// Hand-built augmentation helpers ------------------------------------------
+
+ArtifactInfo MakeArtifact(const std::string& name,
+                          ArtifactKind kind = ArtifactKind::kData) {
+  ArtifactInfo info;
+  info.name = name;
+  info.display = name;
+  info.kind = kind;
+  info.rows = 10;
+  info.cols = 2;
+  info.size_bytes = 160;
+  return info;
+}
+
+EdgeId AddTask(Augmentation& aug, const std::string& label,
+               std::vector<NodeId> tails, std::vector<NodeId> heads,
+               double weight) {
+  TaskInfo task;
+  task.logical_op = label;
+  task.type = TaskType::kTransform;
+  task.impl = "synthetic." + label;
+  EdgeId e = aug.graph.AddTask(task, std::move(tails), std::move(heads))
+                 .ValueOrDie();
+  aug.edge_weight.resize(
+      static_cast<size_t>(aug.graph.hypergraph().num_edge_slots()), 0.0);
+  aug.edge_seconds.resize(aug.edge_weight.size(), 0.0);
+  aug.edge_weight[static_cast<size_t>(e)] = weight;
+  aug.edge_seconds[static_cast<size_t>(e)] = weight;
+  return e;
+}
+
+EdgeId AddLoad(Augmentation& aug, NodeId node, double weight) {
+  EdgeId e = aug.graph.AddLoadTask(node).ValueOrDie();
+  aug.edge_weight.resize(
+      static_cast<size_t>(aug.graph.hypergraph().num_edge_slots()), 0.0);
+  aug.edge_seconds.resize(aug.edge_weight.size(), 0.0);
+  aug.edge_weight[static_cast<size_t>(e)] = weight;
+  aug.edge_seconds[static_cast<size_t>(e)] = weight;
+  return e;
+}
+
+// The paper's Fig. 1(c) decision: derive v3/v4 via t2, via the equivalent
+// t7, or load them; plan Π5 (loads) should win when loads are cheap.
+struct Fig1Augmentation {
+  Augmentation aug;
+  NodeId v1, v2, v3, v4, v5;
+  EdgeId load_v1, load_v2, load_v3, load_v4, t2, t7, t3;
+};
+
+Fig1Augmentation BuildFig1(double load_cost, double t2_cost,
+                           double t7_cost) {
+  Fig1Augmentation f;
+  f.v1 = f.aug.graph.AddArtifact(MakeArtifact("v1")).ValueOrDie();
+  f.v2 = f.aug.graph.AddArtifact(MakeArtifact("v2")).ValueOrDie();
+  f.v3 = f.aug.graph.AddArtifact(MakeArtifact("v3")).ValueOrDie();
+  f.v4 = f.aug.graph.AddArtifact(MakeArtifact("v4")).ValueOrDie();
+  f.v5 = f.aug.graph.AddArtifact(MakeArtifact("v5")).ValueOrDie();
+  f.load_v1 = AddLoad(f.aug, f.v1, load_cost);
+  f.load_v2 = AddLoad(f.aug, f.v2, load_cost);
+  f.load_v3 = AddLoad(f.aug, f.v3, load_cost);
+  f.load_v4 = AddLoad(f.aug, f.v4, load_cost);
+  f.t2 = AddTask(f.aug, "t2", {f.v1}, {f.v3, f.v4}, t2_cost);
+  f.t7 = AddTask(f.aug, "t7", {f.v1}, {f.v3, f.v4}, t7_cost);
+  f.t3 = AddTask(f.aug, "t3", {f.v4, f.v2}, {f.v5}, 1.0);
+  f.aug.targets = {f.v5, f.v3};
+  return f;
+}
+
+using Strategy = PlanGenerator::Strategy;
+
+PlanGenerator::Options MakeOptions(Strategy strategy,
+                                   bool dominance = false) {
+  PlanGenerator::Options options;
+  options.strategy = strategy;
+  options.dominance_pruning = dominance;
+  return options;
+}
+
+TEST(OptimizerTest, PrefersLoadsWhenCheap) {
+  // Loads cost 0.1 each; computing t2/t7 costs 5. Optimal: load v2, v3,
+  // v4 and run t3 => 0.3 + 1.0.
+  Fig1Augmentation f = BuildFig1(0.1, 5.0, 5.0);
+  PlanGenerator generator;
+  auto plan = generator.Optimize(f.aug, MakeOptions(Strategy::kPriority));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NEAR(plan->cost, 1.3, 1e-12);
+  EXPECT_TRUE(IsValidPlan(f.aug.graph.hypergraph(), plan->edges,
+                          {f.aug.graph.source()}, f.aug.targets));
+  EXPECT_TRUE(IsMinimalPlan(f.aug.graph.hypergraph(), plan->edges,
+                            {f.aug.graph.source()}, f.aug.targets));
+}
+
+TEST(OptimizerTest, PrefersEquivalentTaskWhenCheaper) {
+  // Loads are expensive (10); t7 (the equivalent implementation) costs 1
+  // while the user's t2 costs 5: the optimizer should route through t7.
+  Fig1Augmentation f = BuildFig1(10.0, 5.0, 1.0);
+  PlanGenerator generator;
+  auto plan = generator.Optimize(f.aug, MakeOptions(Strategy::kPriority));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // v1 load (10) + t7 (1) + v2 load (10) + t3 (1) = 22.
+  EXPECT_NEAR(plan->cost, 22.0, 1e-12);
+  EXPECT_NE(std::find(plan->edges.begin(), plan->edges.end(), f.t7),
+            plan->edges.end());
+  EXPECT_EQ(std::find(plan->edges.begin(), plan->edges.end(), f.t2),
+            plan->edges.end());
+}
+
+TEST(OptimizerTest, MultiHeadEdgeCostCountedOnce) {
+  // t2 produces BOTH v3 and v4; requesting both should pay t2 once.
+  Fig1Augmentation f = BuildFig1(100.0, 2.0, 50.0);
+  f.aug.targets = {f.v3, f.v4};
+  // Make v1 loadable cheaply so the derivation is v1 -> t2.
+  f.aug.edge_weight[static_cast<size_t>(f.load_v1)] = 1.0;
+  PlanGenerator generator;
+  auto plan = generator.Optimize(f.aug, MakeOptions(Strategy::kPriority));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NEAR(plan->cost, 3.0, 1e-12);
+  EXPECT_EQ(plan->edges.size(), 2u);
+}
+
+TEST(OptimizerTest, AllStrategiesAgreeOnFig1) {
+  for (double load : {0.1, 2.0, 10.0}) {
+    Fig1Augmentation f = BuildFig1(load, 5.0, 1.5);
+    PlanGenerator generator;
+    auto stack = generator.Optimize(f.aug, MakeOptions(Strategy::kStack));
+    auto priority =
+        generator.Optimize(f.aug, MakeOptions(Strategy::kPriority));
+    auto astar = generator.Optimize(f.aug, MakeOptions(Strategy::kAStar));
+    ASSERT_TRUE(stack.ok() && priority.ok() && astar.ok());
+    EXPECT_NEAR(stack->cost, priority->cost, 1e-9);
+    EXPECT_NEAR(astar->cost, priority->cost, 1e-9);
+  }
+}
+
+TEST(OptimizerTest, FailsWhenNoDerivationExists) {
+  Augmentation aug;
+  NodeId orphan = aug.graph.AddArtifact(MakeArtifact("orphan")).ValueOrDie();
+  aug.targets = {orphan};
+  aug.edge_weight.clear();
+  aug.edge_seconds.clear();
+  PlanGenerator generator;
+  EXPECT_TRUE(generator.Optimize(aug, MakeOptions(Strategy::kPriority))
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(OptimizerTest, EmptyTargetsRejected) {
+  Augmentation aug;
+  PlanGenerator generator;
+  EXPECT_TRUE(generator.Optimize(aug, MakeOptions(Strategy::kPriority))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(OptimizerTest, GreedyReturnsValidPlan) {
+  Fig1Augmentation f = BuildFig1(0.5, 3.0, 2.0);
+  PlanGenerator generator;
+  auto greedy = generator.Optimize(f.aug, MakeOptions(Strategy::kGreedy));
+  ASSERT_TRUE(greedy.ok()) << greedy.status();
+  EXPECT_TRUE(IsValidPlan(f.aug.graph.hypergraph(), greedy->edges,
+                          {f.aug.graph.source()}, f.aug.targets));
+  auto optimal = generator.Optimize(f.aug, MakeOptions(Strategy::kPriority));
+  EXPECT_GE(greedy->cost, optimal->cost - 1e-12);
+}
+
+TEST(OptimizerTest, ExplorationForcesNewTasks) {
+  Fig1Augmentation f = BuildFig1(0.1, 5.0, 5.0);
+  // Mark t2 as a new task. With c_exp = 1 the plan must include it even
+  // though loading v3/v4 is far cheaper.
+  f.aug.new_tasks = {f.t2};
+  PlanGenerator generator;
+  PlanGenerator::Options explore = MakeOptions(Strategy::kPriority);
+  explore.exploration = 1.0;
+  auto plan = generator.Optimize(f.aug, explore);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE(std::find(plan->edges.begin(), plan->edges.end(), f.t2),
+            plan->edges.end());
+  // Exploitation mode skips it.
+  auto exploit = generator.Optimize(f.aug, MakeOptions(Strategy::kPriority));
+  EXPECT_EQ(std::find(exploit->edges.begin(), exploit->edges.end(), f.t2),
+            exploit->edges.end());
+  EXPECT_GE(plan->cost, exploit->cost);
+}
+
+TEST(OptimizerTest, ExplorationKnobScalesWithCexp) {
+  Fig1Augmentation f = BuildFig1(0.1, 5.0, 5.0);
+  f.aug.new_tasks = {f.t2, f.t7};
+  PlanGenerator generator;
+  PlanGenerator::Options half = MakeOptions(Strategy::kPriority);
+  half.exploration = 0.5;  // mo = ceil(2 * 0.5) = 1: only t2 forced
+  auto plan = generator.Optimize(f.aug, half);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(std::find(plan->edges.begin(), plan->edges.end(), f.t2),
+            plan->edges.end());
+  EXPECT_EQ(std::find(plan->edges.begin(), plan->edges.end(), f.t7),
+            plan->edges.end());
+}
+
+TEST(OptimizerTest, ExpansionBudgetReported) {
+  workload::SyntheticConfig config;
+  config.num_artifacts = 16;
+  config.alternatives = 3;
+  config.seed = 9;
+  auto synthetic = workload::GenerateSyntheticHypergraph(config);
+  ASSERT_TRUE(synthetic.ok());
+  PlanGenerator generator;
+  PlanGenerator::Options options = MakeOptions(Strategy::kStack);
+  options.max_expansions = 10;
+  EXPECT_TRUE(generator.Optimize(synthetic->aug, options)
+                  .status()
+                  .IsResourceExhausted());
+}
+
+TEST(OptimizerTest, SearchStatsPopulated) {
+  Fig1Augmentation f = BuildFig1(1.0, 2.0, 3.0);
+  PlanGenerator generator;
+  PlanGenerator::SearchStats stats;
+  ASSERT_TRUE(
+      generator.Optimize(f.aug, MakeOptions(Strategy::kPriority), &stats)
+          .ok());
+  EXPECT_GT(stats.plans_examined, 0);
+  EXPECT_GT(stats.expansions, 0);
+}
+
+
+TEST(OptimizerTest, PerTargetUnionIsValidButCanBeSuboptimal) {
+  // Two targets sharing an expensive sub-derivation, each also loadable:
+  //   shared(10) -> x(1), y(1); load_x = load_y = 7.
+  // Joint optimum computes `shared` once (cost 12 + raw load); per-target
+  // plans each prefer their 7-cost load (union 14 + nothing shared).
+  Augmentation aug;
+  NodeId raw = aug.graph
+                   .AddArtifact(MakeArtifact("raw", ArtifactKind::kRaw))
+                   .ValueOrDie();
+  NodeId shared =
+      aug.graph.AddArtifact(MakeArtifact("shared")).ValueOrDie();
+  NodeId x = aug.graph.AddArtifact(MakeArtifact("x")).ValueOrDie();
+  NodeId y = aug.graph.AddArtifact(MakeArtifact("y")).ValueOrDie();
+  AddLoad(aug, raw, 1.0);
+  AddTask(aug, "mk_shared", {raw}, {shared}, 10.0);
+  AddTask(aug, "mk_x", {shared}, {x}, 1.0);
+  AddTask(aug, "mk_y", {shared}, {y}, 1.0);
+  AddLoad(aug, x, 7.0);
+  AddLoad(aug, y, 7.0);
+  aug.targets = {x, y};
+  PlanGenerator generator;
+  auto joint = generator.Optimize(aug, MakeOptions(Strategy::kPriority));
+  ASSERT_TRUE(joint.ok());
+  EXPECT_NEAR(joint->cost, 13.0, 1e-9);
+  auto per_target =
+      generator.OptimizePerTarget(aug, MakeOptions(Strategy::kPriority));
+  ASSERT_TRUE(per_target.ok()) << per_target.status();
+  EXPECT_NEAR(per_target->cost, 14.0, 1e-9);
+  EXPECT_TRUE(IsValidPlan(aug.graph.hypergraph(), per_target->edges,
+                          {aug.graph.source()}, aug.targets));
+}
+
+TEST(OptimizerTest, PerTargetMatchesJointOnIndependentTargets) {
+  // Disjoint derivations: the union is exactly the joint optimum.
+  Augmentation aug;
+  NodeId a = aug.graph.AddArtifact(MakeArtifact("a")).ValueOrDie();
+  NodeId b = aug.graph.AddArtifact(MakeArtifact("b")).ValueOrDie();
+  AddLoad(aug, a, 2.0);
+  AddLoad(aug, b, 3.0);
+  aug.targets = {a, b};
+  PlanGenerator generator;
+  auto joint = generator.Optimize(aug, MakeOptions(Strategy::kPriority));
+  auto per_target =
+      generator.OptimizePerTarget(aug, MakeOptions(Strategy::kPriority));
+  ASSERT_TRUE(joint.ok() && per_target.ok());
+  EXPECT_NEAR(per_target->cost, joint->cost, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: on random synthetic augmentations every exact strategy
+// agrees with the brute-force oracle, and the returned plans are valid
+// and minimal. This is the repository's central correctness property.
+
+class OptimizerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptimizerPropertyTest, ExactStrategiesMatchBruteForce) {
+  workload::SyntheticConfig config;
+  config.num_artifacts = 9 + static_cast<int32_t>(GetParam() % 4);
+  config.alternatives = 2 + static_cast<int32_t>(GetParam() % 2);
+  config.seed = GetParam() * 977 + 13;
+  auto synthetic = workload::GenerateSyntheticHypergraph(config);
+  ASSERT_TRUE(synthetic.ok()) << synthetic.status();
+  const Augmentation& aug = synthetic->aug;
+  PlanGenerator generator;
+  auto brute = generator.BruteForce(aug);
+  ASSERT_TRUE(brute.ok()) << brute.status();
+  for (Strategy strategy :
+       {Strategy::kStack, Strategy::kPriority, Strategy::kAStar}) {
+    for (bool dominance : {false, true}) {
+      auto plan = generator.Optimize(aug, MakeOptions(strategy, dominance));
+      ASSERT_TRUE(plan.ok())
+          << PlanGenerator::StrategyToString(strategy) << ": "
+          << plan.status();
+      EXPECT_NEAR(plan->cost, brute->cost, 1e-9)
+          << PlanGenerator::StrategyToString(strategy)
+          << " dominance=" << dominance;
+      EXPECT_TRUE(IsValidPlan(aug.graph.hypergraph(), plan->edges,
+                              {aug.graph.source()}, aug.targets));
+      EXPECT_TRUE(IsMinimalPlan(aug.graph.hypergraph(), plan->edges,
+                                {aug.graph.source()}, aug.targets));
+    }
+  }
+  // Greedy: feasible, never better than optimal.
+  auto greedy = generator.Optimize(aug, MakeOptions(Strategy::kGreedy));
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_GE(greedy->cost, brute->cost - 1e-9);
+  EXPECT_TRUE(IsValidPlan(aug.graph.hypergraph(), greedy->edges,
+                          {aug.graph.source()}, aug.targets));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerPropertyTest,
+                         ::testing::Range<uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace hyppo::core

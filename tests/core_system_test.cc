@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hyppo.h"
+#include "core/pipeline_builder.h"
+#include "hypergraph/algorithms.h"
+#include "workload/datagen.h"
+
+namespace hyppo::core {
+namespace {
+
+// Fig. 1(a)-style pipeline over a registered synthetic dataset.
+Result<Pipeline> BuildTestPipeline(const std::string& id,
+                                   const std::string& scaler_impl,
+                                   const std::string& model_impl,
+                                   int64_t max_depth = 5) {
+  PipelineBuilder builder(id);
+  HYPPO_ASSIGN_OR_RETURN(NodeId data, builder.LoadDataset("unit", 600, 6));
+  HYPPO_ASSIGN_OR_RETURN(auto split, builder.Split(data));
+  HYPPO_ASSIGN_OR_RETURN(NodeId scaler,
+                         builder.Fit("StandardScaler", scaler_impl,
+                                     split.first));
+  HYPPO_ASSIGN_OR_RETURN(NodeId train_s,
+                         builder.Transform(scaler, split.first));
+  HYPPO_ASSIGN_OR_RETURN(NodeId test_s,
+                         builder.Transform(scaler, split.second));
+  ml::Config model_config;
+  model_config.SetInt("max_depth", max_depth);
+  HYPPO_ASSIGN_OR_RETURN(
+      NodeId model, builder.Fit("DecisionTreeClassifier", model_impl, train_s,
+                                model_config));
+  HYPPO_ASSIGN_OR_RETURN(NodeId preds, builder.Predict(model, test_s));
+  HYPPO_RETURN_NOT_OK(builder.Evaluate(preds, test_s, "accuracy").status());
+  return std::move(builder).Build();
+}
+
+class SystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RuntimeOptions options;
+    options.storage_budget_bytes = 1 << 20;
+    runtime_ = std::make_unique<Runtime>(options);
+    runtime_->RegisterDatasetGenerator(
+        "unit", []() { return workload::GenerateHiggs(600, 6, 5); });
+    method_ = std::make_unique<HyppoMethod>(runtime_.get());
+  }
+
+  Runtime::ExecutionRecord RunOnce(const Pipeline& pipeline) {
+    auto planned = method_->PlanPipeline(pipeline);
+    planned.status().Abort("plan");
+    auto record =
+        runtime_->ExecuteAndRecord(pipeline, planned->aug, planned->plan);
+    record.status().Abort("execute");
+    method_->AfterExecution(pipeline, *planned, *record).Abort("materialize");
+    last_plan_ = planned->plan;
+    last_aug_ = std::move(planned->aug);
+    return *record;
+  }
+
+  std::unique_ptr<Runtime> runtime_;
+  std::unique_ptr<HyppoMethod> method_;
+  Plan last_plan_;
+  Augmentation last_aug_;
+};
+
+TEST_F(SystemTest, ColdAugmentationContainsDictionaryAlternatives) {
+  Pipeline pipeline =
+      *BuildTestPipeline("p1", "skl.StandardScaler",
+                         "skl.DecisionTreeClassifier");
+  auto planned = method_->PlanPipeline(pipeline);
+  ASSERT_TRUE(planned.ok()) << planned.status();
+  // The augmentation holds parallel edges for tfl.StandardScaler and
+  // lgb.DecisionTreeClassifier etc.
+  int alternatives = 0;
+  for (EdgeId e : planned->aug.graph.hypergraph().LiveEdges()) {
+    const TaskInfo& task = planned->aug.graph.task(e);
+    if (task.impl == "tfl.StandardScaler" ||
+        task.impl == "lgb.DecisionTreeClassifier" ||
+        task.impl == "tfl.TrainTestSplit") {
+      ++alternatives;
+    }
+  }
+  EXPECT_GE(alternatives, 4);  // fit+2 transforms, fit+predict, split
+  // Every pipeline edge is a "new task" on a cold history.
+  EXPECT_GT(planned->aug.new_tasks.size(), 0u);
+  // P is a subhypergraph of A: all pipeline artifacts present.
+  for (NodeId v = 1; v < pipeline.graph.num_artifacts(); ++v) {
+    EXPECT_TRUE(
+        planned->aug.graph.HasArtifact(pipeline.graph.artifact(v).name));
+  }
+}
+
+TEST_F(SystemTest, ExecutionProducesCorrectPayloads) {
+  Pipeline pipeline =
+      *BuildTestPipeline("p1", "skl.StandardScaler",
+                         "skl.DecisionTreeClassifier");
+  Runtime::ExecutionRecord record = RunOnce(pipeline);
+  EXPECT_GT(record.seconds, 0.0);
+  // The target (accuracy value) is a plausible accuracy.
+  const std::string target_name =
+      pipeline.graph.artifact(pipeline.targets[0]).name;
+  auto it = record.payloads_by_name.find(target_name);
+  ASSERT_NE(it, record.payloads_by_name.end());
+  const double* accuracy = std::get_if<double>(&it->second);
+  ASSERT_NE(accuracy, nullptr);
+  EXPECT_GE(*accuracy, 0.5);
+  EXPECT_LE(*accuracy, 1.0);
+}
+
+TEST_F(SystemTest, HistoryRecordsArtifactsAndTasks) {
+  Pipeline pipeline =
+      *BuildTestPipeline("p1", "skl.StandardScaler",
+                         "skl.DecisionTreeClassifier");
+  RunOnce(pipeline);
+  const History& history = runtime_->history();
+  // 9 artifacts: data, train, test, scaler, train_s, test_s, model,
+  // preds, score.
+  EXPECT_EQ(history.num_artifacts(), 9);
+  EXPECT_GE(history.num_tasks(), 7);
+  // Observed sizes are real: train is larger than the op-state.
+  Result<NodeId> raw = history.graph().FindArtifact(
+      pipeline.graph.artifact(1).name);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_GT(history.graph().artifact(*raw).size_bytes, 0);
+}
+
+TEST_F(SystemTest, SecondRunReusesAndIsCheaper) {
+  Pipeline pipeline =
+      *BuildTestPipeline("p1", "skl.StandardScaler",
+                         "skl.DecisionTreeClassifier");
+  Runtime::ExecutionRecord first = RunOnce(pipeline);
+  const size_t first_tasks = last_plan_.edges.size();
+  Runtime::ExecutionRecord second = RunOnce(pipeline);
+  // Identical pipeline: everything needed is materialized or trivially
+  // derivable — far fewer tasks, and loads instead of computes.
+  EXPECT_LT(last_plan_.edges.size(), first_tasks);
+  EXPECT_LT(second.seconds, first.seconds);
+}
+
+TEST_F(SystemTest, EquivalentImplPipelineReusesArtifacts) {
+  Pipeline v1 = *BuildTestPipeline("p1", "skl.StandardScaler",
+                                   "skl.DecisionTreeClassifier");
+  RunOnce(v1);
+  // Same logical pipeline with the tfl scaler: artifacts are equivalent,
+  // so the plan should reuse materialized results rather than refit.
+  Pipeline v2 = *BuildTestPipeline("p2", "tfl.StandardScaler",
+                                   "skl.DecisionTreeClassifier");
+  RunOnce(v2);
+  int scaler_fits = 0;
+  for (EdgeId e : last_plan_.edges) {
+    const TaskInfo& task = last_aug_.graph.task(e);
+    if (task.logical_op == "StandardScaler" && task.type == TaskType::kFit) {
+      ++scaler_fits;
+    }
+  }
+  EXPECT_EQ(scaler_fits, 0);
+}
+
+TEST_F(SystemTest, MaterializationRespectsBudget) {
+  Pipeline pipeline =
+      *BuildTestPipeline("p1", "skl.StandardScaler",
+                         "skl.DecisionTreeClassifier");
+  RunOnce(pipeline);
+  EXPECT_LE(runtime_->history().MaterializedBytes(),
+            runtime_->options().storage_budget_bytes);
+  EXPECT_GT(runtime_->history().MaterializedArtifacts().size(), 0u);
+  EXPECT_LE(runtime_->store().used_bytes(),
+            runtime_->options().storage_budget_bytes);
+}
+
+TEST_F(SystemTest, RetrievalPlansDeriveRecordedArtifacts) {
+  Pipeline pipeline =
+      *BuildTestPipeline("p1", "skl.StandardScaler",
+                         "skl.DecisionTreeClassifier");
+  RunOnce(pipeline);
+  // Retrieve the model state recorded in the history.
+  const History& history = runtime_->history();
+  std::string model_name;
+  for (NodeId v = 1; v < history.graph().num_artifacts(); ++v) {
+    if (history.graph().artifact(v).kind == ArtifactKind::kOpState &&
+        history.graph().artifact(v).display.find("DecisionTree") !=
+            std::string::npos) {
+      model_name = history.graph().artifact(v).name;
+    }
+  }
+  ASSERT_FALSE(model_name.empty());
+  auto planned = method_->PlanRetrieval({model_name});
+  ASSERT_TRUE(planned.ok()) << planned.status();
+  auto record = runtime_->ExecutePlanOnly(planned->aug, planned->plan);
+  ASSERT_TRUE(record.ok()) << record.status();
+  auto it = record->payloads_by_name.find(model_name);
+  ASSERT_NE(it, record->payloads_by_name.end());
+  EXPECT_NE(std::get_if<ml::OpStatePtr>(&it->second), nullptr);
+}
+
+TEST_F(SystemTest, SimulationModeChargesEstimates) {
+  RuntimeOptions options;
+  options.storage_budget_bytes = 1 << 20;
+  options.simulate = true;
+  Runtime sim_runtime(options);
+  HyppoMethod sim_method(&sim_runtime);
+  Pipeline pipeline =
+      *BuildTestPipeline("p1", "skl.StandardScaler",
+                         "skl.DecisionTreeClassifier");
+  auto planned = sim_method.PlanPipeline(pipeline);
+  ASSERT_TRUE(planned.ok());
+  auto record =
+      sim_runtime.ExecuteAndRecord(pipeline, planned->aug, planned->plan);
+  ASSERT_TRUE(record.ok()) << record.status();
+  // Simulated charge equals the plan's estimated seconds.
+  EXPECT_NEAR(record->seconds, planned->plan.seconds, 1e-9);
+  // Payloads are placeholders.
+  for (const auto& [name, payload] : record->payloads_by_name) {
+    EXPECT_NE(std::get_if<std::monostate>(&payload), nullptr);
+  }
+  // And the run is deterministic.
+  Runtime sim_runtime2(options);
+  HyppoMethod sim_method2(&sim_runtime2);
+  auto planned2 = sim_method2.PlanPipeline(pipeline);
+  auto record2 =
+      sim_runtime2.ExecuteAndRecord(pipeline, planned2->aug, planned2->plan);
+  EXPECT_DOUBLE_EQ(record->seconds, record2->seconds);
+}
+
+TEST_F(SystemTest, PlanExecutionOrderIsTopological) {
+  Pipeline pipeline =
+      *BuildTestPipeline("p1", "skl.StandardScaler",
+                         "skl.DecisionTreeClassifier");
+  auto planned = method_->PlanPipeline(pipeline);
+  ASSERT_TRUE(planned.ok());
+  auto order = BTopologicalEdgeOrder(planned->aug.graph.hypergraph(),
+                                     planned->plan.edges,
+                                     {planned->aug.graph.source()});
+  ASSERT_TRUE(order.ok()) << order.status();
+  EXPECT_EQ(order->size(), planned->plan.edges.size());
+}
+
+// ---------------------------------------------------------------------------
+// HyppoSystem facade.
+
+TEST(HyppoSystemTest, ParseRunRerun) {
+  HyppoSystem system;
+  auto higgs = workload::GenerateHiggs(500, 6, 77);
+  ASSERT_TRUE(higgs.ok());
+  system.RegisterDataset("mini", *higgs);
+  const char* code = R"(
+data        = load("mini", rows=500, cols=6)
+train, test = sk.TrainTestSplit.split(data)
+imp         = sk.SimpleImputer.fit(train, strategy=mean)
+train_i     = imp.transform(train)
+test_i      = imp.transform(test)
+model       = sk.DecisionTreeClassifier.fit(train_i, max_depth=4)
+preds       = model.predict(test_i)
+score       = evaluate(preds, test_i, metric="accuracy")
+)";
+  auto first = system.RunCode(code, "run1");
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->target_payloads.size(), 1u);
+  auto second = system.RunCode(code, "run2");
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_LT(second->plan.edges.size(), first->plan.edges.size());
+  // The recomputed metric matches (deterministic reuse).
+  const double a = std::get<double>(first->target_payloads.begin()->second);
+  const double b = std::get<double>(second->target_payloads.begin()->second);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(HyppoSystemTest, ParseErrorsSurface) {
+  HyppoSystem system;
+  EXPECT_TRUE(system.RunCode("nonsense", "x").status().IsParseError());
+}
+
+}  // namespace
+}  // namespace hyppo::core

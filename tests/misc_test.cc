@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "baselines/no_optimization.h"
+#include "core/hyppo.h"
+#include "core/pipeline_builder.h"
+#include "workload/datagen.h"
+#include "workload/pipeline_generator.h"
+
+namespace hyppo {
+namespace {
+
+using core::ArtifactKind;
+using core::Pipeline;
+using core::PipelineBuilder;
+using core::TaskType;
+
+TEST(PipelineGraphDotTest, RendersLabels) {
+  PipelineBuilder builder("dot");
+  NodeId data = *builder.LoadDataset("viz", 100, 3);
+  auto split = *builder.Split(data);
+  (void)split;
+  const std::string dot = builder.graph().ToDot("p");
+  EXPECT_NE(dot.find("digraph \"p\""), std::string::npos);
+  EXPECT_NE(dot.find("TrainTestSplit.split"), std::string::npos);
+  EXPECT_NE(dot.find("train"), std::string::npos);
+  EXPECT_NE(dot.find("__load__.load"), std::string::npos);
+}
+
+TEST(PipelineGraphTest, RemoveTaskKeepsLabelsConsistent) {
+  PipelineBuilder builder("rm");
+  NodeId data = *builder.LoadDataset("x", 100, 3);
+  auto split = *builder.Split(data);
+  (void)split;
+  core::PipelineGraph graph = builder.graph();
+  // Remove the split edge; the load edge remains addressable.
+  EdgeId split_edge = kInvalidEdge;
+  for (EdgeId e : graph.hypergraph().LiveEdges()) {
+    if (graph.task(e).type == TaskType::kSplit) {
+      split_edge = e;
+    }
+  }
+  ASSERT_NE(split_edge, kInvalidEdge);
+  ASSERT_TRUE(graph.RemoveTask(split_edge).ok());
+  EXPECT_EQ(graph.num_tasks(), 1);
+  for (EdgeId e : graph.hypergraph().LiveEdges()) {
+    EXPECT_EQ(graph.task(e).type, TaskType::kLoad);
+  }
+}
+
+TEST(RuntimeTest, LogicalClockAccumulates) {
+  core::RuntimeOptions options;
+  options.simulate = true;
+  core::Runtime runtime(options);
+  const workload::UseCase use_case = workload::UseCase::Higgs();
+  runtime.RegisterDatasetGenerator(use_case.DatasetId(0.005), [use_case]() {
+    return workload::GenerateUseCase(use_case, 0.005, 1);
+  });
+  EXPECT_DOUBLE_EQ(runtime.now_seconds(), 0.0);
+  baselines::NoOptimizationMethod method(&runtime);
+  workload::PipelineGenerator generator(use_case, 0.005, 1);
+  auto pipeline = generator.Next();
+  ASSERT_TRUE(pipeline.ok());
+  auto planned = method.PlanPipeline(*pipeline);
+  ASSERT_TRUE(planned.ok());
+  auto record =
+      runtime.ExecuteAndRecord(*pipeline, planned->aug, planned->plan);
+  ASSERT_TRUE(record.ok());
+  EXPECT_DOUBLE_EQ(runtime.now_seconds(), record->seconds);
+  // Access timestamps in the history carry the logical time.
+  bool any_access = false;
+  for (NodeId v = 1; v < runtime.history().graph().num_artifacts(); ++v) {
+    if (runtime.history().record(v).access_count > 0) {
+      any_access = true;
+      EXPECT_LE(runtime.history().record(v).last_access_seconds,
+                runtime.now_seconds());
+    }
+  }
+  EXPECT_TRUE(any_access);
+}
+
+TEST(MethodTest, DefaultRetrievalIsNotImplemented) {
+  core::RuntimeOptions options;
+  options.simulate = true;
+  core::Runtime runtime(options);
+  baselines::NoOptimizationMethod method(&runtime);
+  EXPECT_TRUE(method.PlanRetrieval({"anything"})
+                  .status()
+                  .IsNotImplemented());
+}
+
+TEST(UseCaseTest, DatasetIdEncodesScale) {
+  const workload::UseCase higgs = workload::UseCase::Higgs();
+  EXPECT_EQ(higgs.DatasetId(0.01), "higgs_x0.01");
+  EXPECT_EQ(higgs.DatasetId(1.0), "higgs_x1");
+  EXPECT_NE(higgs.DatasetId(0.01), higgs.DatasetId(0.02));
+}
+
+TEST(HyppoSystemTest, ObjectivePriceRunsEndToEnd) {
+  core::HyppoSystem::Options options;
+  options.runtime.objective = core::Augmenter::Objective::kPrice;
+  options.runtime.storage_budget_bytes = 1 << 20;
+  core::HyppoSystem system(options);
+  auto data = workload::GenerateHiggs(400, 4, 2);
+  ASSERT_TRUE(data.ok());
+  system.RegisterDataset("price-unit", *data);
+  const char* code = R"(
+data        = load("price-unit", rows=400, cols=4)
+train, test = sk.TrainTestSplit.split(data)
+imp         = sk.SimpleImputer.fit(train, strategy=mean)
+train_i     = imp.transform(train)
+model       = sk.DecisionTreeClassifier.fit(train_i, max_depth=3)
+preds       = model.predict(train_i)
+score       = evaluate(preds, train_i, metric="accuracy")
+)";
+  auto report = system.RunCode(code, "price-run");
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GT(report->plan.cost, 0.0);
+}
+
+TEST(WorkloadTest, EnsembleGeneratorHandlesTinyHistory) {
+  workload::PipelineGenerator generator(workload::UseCase::Taxi(), 0.005, 2);
+  workload::PipelineSpec base = generator.RandomSpec();
+  // Fewer than two models must be rejected.
+  EXPECT_FALSE(
+      generator.BuildEnsemblePipeline(base, {base.model}, "VotingRegressor",
+                                      "tiny")
+          .ok());
+}
+
+TEST(ArtifactKindTest, NamesAreStable) {
+  EXPECT_STREQ(core::ArtifactKindToString(ArtifactKind::kOpState),
+               "op-state");
+  EXPECT_STREQ(core::ArtifactKindToString(ArtifactKind::kValue), "value");
+  EXPECT_STREQ(core::ArtifactKindToString(ArtifactKind::kRaw), "raw");
+  EXPECT_STREQ(core::TaskTypeToString(TaskType::kEvaluate), "evaluate");
+}
+
+}  // namespace
+}  // namespace hyppo

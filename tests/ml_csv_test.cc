@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "ml/csv.h"
+#include "workload/datagen.h"
+
+namespace hyppo::ml {
+namespace {
+
+TEST(CsvTest, ParsesHeaderAndTarget) {
+  CsvOptions options;
+  options.target_column = "label";
+  auto data = ParseCsv("a,b,label\n1,2,0\n3.5,-4,1\n", options);
+  ASSERT_TRUE(data.ok()) << data.status();
+  EXPECT_EQ(data->rows(), 2);
+  EXPECT_EQ(data->cols(), 2);
+  EXPECT_EQ(data->column_names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_DOUBLE_EQ(data->at(1, 0), 3.5);
+  EXPECT_DOUBLE_EQ(data->at(1, 1), -4.0);
+  ASSERT_TRUE(data->has_target());
+  EXPECT_DOUBLE_EQ(data->target()[0], 0.0);
+  EXPECT_DOUBLE_EQ(data->target()[1], 1.0);
+}
+
+TEST(CsvTest, HeaderlessGeneratesNames) {
+  CsvOptions options;
+  options.has_header = false;
+  auto data = ParseCsv("1,2\n3,4\n", options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->column_names(), (std::vector<std::string>{"f0", "f1"}));
+  EXPECT_FALSE(data->has_target());
+}
+
+TEST(CsvTest, MissingMarkersBecomeNaN) {
+  CsvOptions options;
+  options.missing_markers = {"-999.0"};
+  auto data = ParseCsv("a,b\n-999.0,1\n,2\n", options);
+  ASSERT_TRUE(data.ok()) << data.status();
+  EXPECT_TRUE(std::isnan(data->at(0, 0)));
+  EXPECT_TRUE(std::isnan(data->at(1, 0)));  // empty cell
+  EXPECT_DOUBLE_EQ(data->at(1, 1), 2.0);
+}
+
+TEST(CsvTest, RejectsMalformedInput) {
+  CsvOptions options;
+  EXPECT_TRUE(ParseCsv("", options).status().IsParseError());
+  EXPECT_TRUE(ParseCsv("a,b\n1\n", options).status().IsParseError());
+  EXPECT_TRUE(ParseCsv("a,b\n1,notanumber\n", options)
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseCsv("a,b\n", options).status().IsParseError());
+  options.target_column = "ghost";
+  EXPECT_TRUE(
+      ParseCsv("a,b\n1,2\n", options).status().IsInvalidArgument());
+}
+
+TEST(CsvTest, SemicolonDelimiter) {
+  CsvOptions options;
+  options.delimiter = ';';
+  auto data = ParseCsv("x;y\n1;2\n", options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_DOUBLE_EQ(data->at(0, 1), 2.0);
+}
+
+TEST(CsvTest, RoundTripThroughText) {
+  auto original = *workload::GenerateTaxi(40, 5);
+  const std::string text = ToCsv(*original);
+  CsvOptions options;
+  options.target_column = "target";
+  auto restored = ParseCsv(text, options);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ASSERT_EQ(restored->rows(), original->rows());
+  ASSERT_EQ(restored->cols(), original->cols());
+  for (int64_t r = 0; r < original->rows(); ++r) {
+    for (int64_t c = 0; c < original->cols(); ++c) {
+      EXPECT_NEAR(restored->at(r, c), original->at(r, c), 1e-9);
+    }
+    EXPECT_NEAR(restored->target()[static_cast<size_t>(r)],
+                original->target()[static_cast<size_t>(r)], 1e-6);
+  }
+}
+
+TEST(CsvTest, RoundTripThroughFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "hyppo_csv_test.csv")
+          .string();
+  auto original = *workload::GenerateHiggs(30, 4, 3);
+  ASSERT_TRUE(SaveCsv(*original, path).ok());
+  CsvOptions options;
+  options.target_column = "target";
+  auto restored = LoadCsv(path, options);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->rows(), 30);
+  // NaNs survive as empty cells.
+  int nans_original = 0;
+  int nans_restored = 0;
+  for (int64_t r = 0; r < 30; ++r) {
+    for (int64_t c = 0; c < 4; ++c) {
+      nans_original += std::isnan(original->at(r, c)) ? 1 : 0;
+      nans_restored += std::isnan(restored->at(r, c)) ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(nans_original, nans_restored);
+  std::filesystem::remove(path);
+  EXPECT_TRUE(LoadCsv(path, options).status().IsIoError());
+}
+
+}  // namespace
+}  // namespace hyppo::ml

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "common/thread_pool.h"
+#include "core/executor.h"
+#include "core/hyppo.h"
+#include "core/pipeline_builder.h"
+#include "workload/datagen.h"
+
+namespace hyppo {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&counter]() { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter]() { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter]() { counter.fetch_add(1); });
+  pool.Submit([&counter]() { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturns) {
+  ThreadPool pool(3);
+  pool.Wait();  // no deadlock
+  EXPECT_EQ(pool.num_threads(), 3);
+}
+
+TEST(ThreadPoolTest, SingleThreadDegenerate) {
+  ThreadPool pool(0);  // clamped to 1
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&counter]() { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel plan execution: identical results to serial execution, fewer
+// wall-clock waves than tasks.
+
+class ParallelExecutorTest : public ::testing::Test {
+ protected:
+  // A pipeline with independent branches: two models fitted on the same
+  // scaled train data, each predicting and evaluating independently.
+  core::Pipeline BuildBranchyPipeline() {
+    core::PipelineBuilder builder("branchy");
+    NodeId data = *builder.LoadDataset("par-unit", 800, 6);
+    auto split = *builder.Split(data);
+    ml::Config impute;
+    impute.Set("strategy", "mean");
+    NodeId imputer = *builder.Fit("SimpleImputer", "skl.SimpleImputer",
+                                  split.first, impute);
+    NodeId train_i = *builder.Transform(imputer, split.first);
+    NodeId test_i = *builder.Transform(imputer, split.second);
+    NodeId scaler =
+        *builder.Fit("StandardScaler", "skl.StandardScaler", train_i);
+    NodeId train_s = *builder.Transform(scaler, train_i);
+    NodeId test_s = *builder.Transform(scaler, test_i);
+    ml::Config tree;
+    tree.SetInt("max_depth", 5);
+    NodeId model_a = *builder.Fit("DecisionTreeClassifier",
+                                  "skl.DecisionTreeClassifier", train_s, tree);
+    ml::Config logistic;
+    logistic.SetDouble("alpha", 0.001);
+    NodeId model_b = *builder.Fit("LogisticRegression",
+                                  "skl.LogisticRegression", train_s, logistic);
+    NodeId preds_a = *builder.Predict(model_a, test_s);
+    NodeId preds_b = *builder.Predict(model_b, test_s);
+    *builder.Evaluate(preds_a, test_s, "accuracy");
+    *builder.Evaluate(preds_b, test_s, "f1");
+    return *std::move(builder).Build();
+  }
+
+  core::Augmentation AsAugmentation(const core::Pipeline& pipeline) {
+    core::Augmentation aug;
+    aug.graph = pipeline.graph;
+    aug.targets = pipeline.targets;
+    const size_t slots =
+        static_cast<size_t>(aug.graph.hypergraph().num_edge_slots());
+    aug.edge_weight.assign(slots, 1.0);
+    aug.edge_seconds.assign(slots, 1.0);
+    return aug;
+  }
+
+  core::DatasetResolver Resolver() {
+    return [](const std::string&) -> Result<ml::DatasetPtr> {
+      return workload::GenerateHiggs(800, 6, 17);
+    };
+  }
+};
+
+TEST_F(ParallelExecutorTest, MatchesSerialResults) {
+  core::Pipeline pipeline = BuildBranchyPipeline();
+  core::Augmentation aug = AsAugmentation(pipeline);
+  core::Plan plan;
+  plan.edges = aug.graph.hypergraph().LiveEdges();
+
+  storage::ArtifactStore store;
+  core::Monitor monitor;
+  core::Executor executor(&store, Resolver(), &monitor);
+
+  core::Executor::Options serial;
+  auto serial_result = executor.Execute(aug, plan, serial);
+  ASSERT_TRUE(serial_result.ok()) << serial_result.status();
+
+  core::Executor::Options parallel;
+  parallel.parallelism = 4;
+  auto parallel_result = executor.Execute(aug, plan, parallel);
+  ASSERT_TRUE(parallel_result.ok()) << parallel_result.status();
+
+  // Same artifacts produced with identical values.
+  ASSERT_EQ(parallel_result->payloads.size(),
+            serial_result->payloads.size());
+  for (const auto& [node, payload] : serial_result->payloads) {
+    auto it = parallel_result->payloads.find(node);
+    ASSERT_NE(it, parallel_result->payloads.end());
+    if (const double* value = std::get_if<double>(&payload)) {
+      EXPECT_DOUBLE_EQ(*value, std::get<double>(it->second));
+    }
+    if (const auto* preds = std::get_if<ml::PredictionsPtr>(&payload)) {
+      EXPECT_EQ(**preds, **std::get_if<ml::PredictionsPtr>(&it->second));
+    }
+  }
+  EXPECT_EQ(parallel_result->task_runs.size(),
+            serial_result->task_runs.size());
+  // The parallel schedule's critical path is no longer than the total.
+  EXPECT_LE(parallel_result->critical_path_seconds,
+            parallel_result->total_seconds + 1e-12);
+}
+
+TEST_F(ParallelExecutorTest, FailureInOneBranchSurfaces) {
+  core::Pipeline pipeline = BuildBranchyPipeline();
+  core::Augmentation aug = AsAugmentation(pipeline);
+  // Corrupt one model's impl so its branch fails.
+  for (EdgeId e : aug.graph.hypergraph().LiveEdges()) {
+    if (aug.graph.task(e).logical_op == "LogisticRegression") {
+      aug.graph.task(e).impl = "nope.LogisticRegression";
+    }
+  }
+  core::Plan plan;
+  plan.edges = aug.graph.hypergraph().LiveEdges();
+  storage::ArtifactStore store;
+  core::Monitor monitor;
+  core::Executor executor(&store, Resolver(), &monitor);
+  core::Executor::Options parallel;
+  parallel.parallelism = 4;
+  auto result = executor.Execute(aug, plan, parallel);
+  EXPECT_TRUE(result.status().IsNotFound()) << result.status();
+}
+
+TEST_F(ParallelExecutorTest, RuntimeLevelParallelismEndToEnd) {
+  core::RuntimeOptions options;
+  options.storage_budget_bytes = 1 << 20;
+  options.parallelism = 4;
+  core::Runtime runtime(options);
+  runtime.RegisterDatasetGenerator(
+      "par-unit", []() { return workload::GenerateHiggs(800, 6, 17); });
+  core::HyppoMethod method(&runtime);
+  core::Pipeline pipeline = BuildBranchyPipeline();
+  auto planned = method.PlanPipeline(pipeline);
+  ASSERT_TRUE(planned.ok()) << planned.status();
+  auto record =
+      runtime.ExecuteAndRecord(pipeline, planned->aug, planned->plan);
+  ASSERT_TRUE(record.ok()) << record.status();
+  EXPECT_GT(record->seconds, 0.0);
+  // Both evaluation targets were produced.
+  int values = 0;
+  for (const auto& [name, payload] : record->payloads_by_name) {
+    values += std::get_if<double>(&payload) != nullptr ? 1 : 0;
+  }
+  EXPECT_EQ(values, 2);
+}
+
+}  // namespace
+}  // namespace hyppo
