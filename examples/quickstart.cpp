@@ -69,7 +69,10 @@ void PrintReport(const char* label,
 
 }  // namespace
 
-int main() {
+// An optional argument names a directory to save the session's catalog
+// into (history + materialized artifacts). `tools/hyppo_lint <dir>` can
+// then verify the saved history's invariants.
+int main(int argc, char** argv) {
   using hyppo::core::HyppoSystem;
 
   HyppoSystem::Options options;
@@ -98,5 +101,9 @@ int main() {
       "came back from storage, and the tfl scaler's artifacts were\n"
       "recognized as equivalent to the materialized skl ones.\n",
       report2->tasks_executed);
+  if (argc > 1) {
+    system.runtime().SaveCatalog(argv[1]).Abort("save catalog");
+    std::printf("catalog saved to %s\n", argv[1]);
+  }
   return 0;
 }

@@ -1,0 +1,101 @@
+#include "analysis/diagnostic.h"
+
+#include <sstream>
+
+namespace hyppo::analysis {
+
+const char* SeverityToString(Severity severity) {
+  switch (severity) {
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+const char* EntityKindToString(EntityKind kind) {
+  switch (kind) {
+    case EntityKind::kNone:
+      return "none";
+    case EntityKind::kNode:
+      return "node";
+    case EntityKind::kEdge:
+      return "edge";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream os;
+  os << SeverityToString(severity) << " [" << check << "]";
+  if (entity != EntityKind::kNone) {
+    os << " " << EntityKindToString(entity) << " " << entity_id;
+  }
+  os << ": " << message;
+  return os.str();
+}
+
+void AnalysisReport::Add(Diagnostic diagnostic) {
+  if (diagnostic.severity == Severity::kError) {
+    ++num_errors_;
+  }
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void AnalysisReport::AddError(std::string check, std::string message,
+                              EntityKind entity, int64_t entity_id) {
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.check = std::move(check);
+  d.entity = entity;
+  d.entity_id = entity_id;
+  d.message = std::move(message);
+  Add(std::move(d));
+}
+
+void AnalysisReport::AddWarning(std::string check, std::string message,
+                                EntityKind entity, int64_t entity_id) {
+  Diagnostic d;
+  d.severity = Severity::kWarning;
+  d.check = std::move(check);
+  d.entity = entity;
+  d.entity_id = entity_id;
+  d.message = std::move(message);
+  Add(std::move(d));
+}
+
+void AnalysisReport::Merge(AnalysisReport other) {
+  for (Diagnostic& d : other.diagnostics_) {
+    Add(std::move(d));
+  }
+}
+
+bool AnalysisReport::HasCheck(const std::string& check) const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.check == check) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string AnalysisReport::ToString() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diagnostics_) {
+    os << d.ToString() << "\n";
+  }
+  return os.str();
+}
+
+std::string AnalysisReport::Summary() const {
+  if (diagnostics_.empty()) {
+    return "clean";
+  }
+  std::ostringstream os;
+  os << num_errors() << (num_errors() == 1 ? " error, " : " errors, ")
+     << num_warnings() << (num_warnings() == 1 ? " warning" : " warnings");
+  return os.str();
+}
+
+}  // namespace hyppo::analysis

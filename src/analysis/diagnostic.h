@@ -1,0 +1,94 @@
+#ifndef HYPPO_ANALYSIS_DIAGNOSTIC_H_
+#define HYPPO_ANALYSIS_DIAGNOSTIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hyppo::analysis {
+
+/// \brief Severity of one invariant violation.
+///
+/// `kError` marks a broken structural invariant: executing or optimizing
+/// over the offending entity may produce wrong results. `kWarning` marks a
+/// suspicious-but-legal state (e.g. a redundant plan edge) that a human
+/// should review but that does not invalidate execution.
+enum class Severity {
+  kWarning = 0,
+  kError = 1,
+};
+
+const char* SeverityToString(Severity severity);
+
+/// What kind of entity a diagnostic points at.
+enum class EntityKind {
+  kNone = 0,
+  kNode,  ///< a hypergraph node / artifact id
+  kEdge,  ///< a hyperedge / task id
+};
+
+const char* EntityKindToString(EntityKind kind);
+
+/// \brief One structured invariant violation.
+///
+/// `check` is a stable dotted identifier of the violated invariant
+/// ("hypergraph.cycle", "plan.unsatisfied-input", ...) so tests and tools
+/// can match diagnostics without parsing messages.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string check;
+  EntityKind entity = EntityKind::kNone;
+  int64_t entity_id = -1;
+  std::string message;
+
+  /// "error [plan.unsatisfied-input] edge 7: ...message...".
+  std::string ToString() const;
+};
+
+/// \brief The collected outcome of one verification pass.
+///
+/// A report is `ok()` when it contains no error-severity diagnostics;
+/// warnings do not fail verification.
+class AnalysisReport {
+ public:
+  AnalysisReport() = default;
+
+  void Add(Diagnostic diagnostic);
+
+  /// Convenience: appends an error-severity diagnostic.
+  void AddError(std::string check, std::string message,
+                EntityKind entity = EntityKind::kNone, int64_t entity_id = -1);
+
+  /// Convenience: appends a warning-severity diagnostic.
+  void AddWarning(std::string check, std::string message,
+                  EntityKind entity = EntityKind::kNone,
+                  int64_t entity_id = -1);
+
+  /// Moves every diagnostic of `other` into this report.
+  void Merge(AnalysisReport other);
+
+  bool ok() const { return num_errors_ == 0; }
+  int64_t num_errors() const { return num_errors_; }
+  int64_t num_warnings() const {
+    return static_cast<int64_t>(diagnostics_.size()) - num_errors_;
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  /// True iff some diagnostic violates the named check.
+  bool HasCheck(const std::string& check) const;
+
+  /// All diagnostics, one per line; "" when the report is empty.
+  std::string ToString() const;
+
+  /// One-line outcome: "clean" or "3 errors, 1 warning".
+  std::string Summary() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  int64_t num_errors_ = 0;
+};
+
+}  // namespace hyppo::analysis
+
+#endif  // HYPPO_ANALYSIS_DIAGNOSTIC_H_

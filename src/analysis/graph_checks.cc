@@ -1,0 +1,389 @@
+#include "analysis/graph_checks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+#include <string>
+
+namespace hyppo::analysis {
+
+namespace {
+
+bool SortedUnique(const std::vector<NodeId>& nodes) {
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    if (nodes[i - 1] >= nodes[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Contains(const std::vector<NodeId>& sorted_nodes, NodeId node) {
+  return std::binary_search(sorted_nodes.begin(), sorted_nodes.end(), node);
+}
+
+// One star direction: star(v) must list exactly the live edges incident to
+// v on `side` (side(e) is the edge's head for bstar, tail for fstar).
+void CheckStars(const Hypergraph& graph, bool backward,
+                AnalysisReport* report) {
+  const char* star_name = backward ? "bstar" : "fstar";
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const std::vector<EdgeId>& star =
+        backward ? graph.bstar(v) : graph.fstar(v);
+    std::vector<EdgeId> seen;
+    for (EdgeId e : star) {
+      if (e < 0 || e >= graph.num_edge_slots() || !graph.IsLiveEdge(e)) {
+        report->AddError(
+            "hypergraph.star-stale",
+            std::string(star_name) + " of node " + std::to_string(v) +
+                " references non-live edge " + std::to_string(e),
+            EntityKind::kNode, v);
+        continue;
+      }
+      const Hyperedge& edge = graph.edge(e);
+      const std::vector<NodeId>& side = backward ? edge.head : edge.tail;
+      if (!Contains(side, v)) {
+        report->AddError(
+            "hypergraph.star-stale",
+            std::string(star_name) + " of node " + std::to_string(v) +
+                " lists edge " + std::to_string(e) +
+                " which is not incident to it",
+            EntityKind::kNode, v);
+      }
+      if (std::find(seen.begin(), seen.end(), e) != seen.end()) {
+        report->AddError("hypergraph.star-duplicate",
+                         std::string(star_name) + " of node " +
+                             std::to_string(v) + " lists edge " +
+                             std::to_string(e) + " twice",
+                         EntityKind::kNode, v);
+      }
+      seen.push_back(e);
+    }
+  }
+  // Reverse direction: every live edge must appear in the star of each of
+  // its incident nodes.
+  for (EdgeId e = 0; e < graph.num_edge_slots(); ++e) {
+    if (!graph.IsLiveEdge(e)) {
+      continue;
+    }
+    const Hyperedge& edge = graph.edge(e);
+    const std::vector<NodeId>& side = backward ? edge.head : edge.tail;
+    for (NodeId v : side) {
+      if (!graph.IsValidNode(v)) {
+        continue;  // reported as hypergraph.dangling-node already
+      }
+      const std::vector<EdgeId>& star =
+          backward ? graph.bstar(v) : graph.fstar(v);
+      if (std::find(star.begin(), star.end(), e) == star.end()) {
+        report->AddError(
+            "hypergraph.star-missing",
+            "edge " + std::to_string(e) + " is missing from the " +
+                star_name + " of node " + std::to_string(v),
+            EntityKind::kEdge, e);
+      }
+    }
+  }
+}
+
+// Kahn's algorithm over the bipartite expansion (tail -> edge -> head):
+// anything left unprocessed sits on a directed cycle.
+void CheckAcyclic(const Hypergraph& graph, AnalysisReport* report) {
+  const size_t num_slots = static_cast<size_t>(graph.num_edge_slots());
+  std::vector<int32_t> missing_tail(num_slots, 0);
+  std::vector<int32_t> missing_producers(
+      static_cast<size_t>(graph.num_nodes()), 0);
+  std::vector<bool> edge_done(num_slots, true);
+  std::vector<bool> node_done(static_cast<size_t>(graph.num_nodes()), false);
+  int32_t pending_edges = 0;
+  for (EdgeId e = 0; e < graph.num_edge_slots(); ++e) {
+    if (!graph.IsLiveEdge(e)) {
+      continue;
+    }
+    edge_done[static_cast<size_t>(e)] = false;
+    ++pending_edges;
+    int32_t in_range = 0;
+    for (NodeId t : graph.edge(e).tail) {
+      if (graph.IsValidNode(t)) {
+        ++in_range;
+      }
+    }
+    missing_tail[static_cast<size_t>(e)] = in_range;
+    for (NodeId h : graph.edge(e).head) {
+      if (graph.IsValidNode(h)) {
+        ++missing_producers[static_cast<size_t>(h)];
+      }
+    }
+  }
+  std::deque<NodeId> ready_nodes;
+  std::deque<EdgeId> ready_edges;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (missing_producers[static_cast<size_t>(v)] == 0) {
+      node_done[static_cast<size_t>(v)] = true;
+      ready_nodes.push_back(v);
+    }
+  }
+  for (EdgeId e = 0; e < graph.num_edge_slots(); ++e) {
+    if (!edge_done[static_cast<size_t>(e)] &&
+        missing_tail[static_cast<size_t>(e)] == 0) {
+      ready_edges.push_back(e);
+    }
+  }
+  while (!ready_nodes.empty() || !ready_edges.empty()) {
+    while (!ready_edges.empty()) {
+      const EdgeId e = ready_edges.front();
+      ready_edges.pop_front();
+      if (edge_done[static_cast<size_t>(e)]) {
+        continue;
+      }
+      edge_done[static_cast<size_t>(e)] = true;
+      --pending_edges;
+      for (NodeId h : graph.edge(e).head) {
+        if (graph.IsValidNode(h) &&
+            --missing_producers[static_cast<size_t>(h)] == 0) {
+          node_done[static_cast<size_t>(h)] = true;
+          ready_nodes.push_back(h);
+        }
+      }
+    }
+    while (!ready_nodes.empty()) {
+      const NodeId v = ready_nodes.front();
+      ready_nodes.pop_front();
+      for (EdgeId e : graph.fstar(v)) {
+        if (e < 0 || e >= graph.num_edge_slots() ||
+            edge_done[static_cast<size_t>(e)]) {
+          continue;
+        }
+        if (--missing_tail[static_cast<size_t>(e)] == 0) {
+          ready_edges.push_back(e);
+        }
+      }
+    }
+  }
+  if (pending_edges > 0) {
+    for (EdgeId e = 0; e < graph.num_edge_slots(); ++e) {
+      if (!edge_done[static_cast<size_t>(e)]) {
+        report->AddError("hypergraph.cycle",
+                         "edge " + std::to_string(e) +
+                             " lies on a directed cycle (the graph must be "
+                             "a DAG)",
+                         EntityKind::kEdge, e);
+        break;  // one representative is enough; cycles cascade
+      }
+    }
+  }
+}
+
+}  // namespace
+
+AnalysisReport CheckHypergraph(const Hypergraph& graph) {
+  AnalysisReport report;
+  int32_t live = 0;
+  for (EdgeId e = 0; e < graph.num_edge_slots(); ++e) {
+    const Hyperedge& edge = graph.edge(e);
+    if (edge.head.empty()) {
+      if (!edge.tail.empty()) {
+        report.AddError("hypergraph.corrupt-dead-edge",
+                        "removed edge kept " +
+                            std::to_string(edge.tail.size()) + " tail nodes",
+                        EntityKind::kEdge, e);
+      }
+      continue;
+    }
+    ++live;
+    if (edge.id != e) {
+      report.AddError("hypergraph.edge-id",
+                      "edge stored in slot " + std::to_string(e) +
+                          " carries id " + std::to_string(edge.id),
+                      EntityKind::kEdge, e);
+    }
+    for (NodeId t : edge.tail) {
+      if (!graph.IsValidNode(t)) {
+        report.AddError("hypergraph.dangling-node",
+                        "tail references nonexistent node " +
+                            std::to_string(t),
+                        EntityKind::kEdge, e);
+      }
+    }
+    for (NodeId h : edge.head) {
+      if (!graph.IsValidNode(h)) {
+        report.AddError("hypergraph.dangling-node",
+                        "head references nonexistent node " +
+                            std::to_string(h),
+                        EntityKind::kEdge, e);
+      }
+    }
+    if (!SortedUnique(edge.tail) || !SortedUnique(edge.head)) {
+      report.AddError("hypergraph.unsorted-edge",
+                      "tail/head must be sorted and duplicate-free",
+                      EntityKind::kEdge, e);
+    }
+  }
+  if (live != graph.num_edges()) {
+    report.AddError("hypergraph.live-count",
+                    "num_edges() reports " + std::to_string(graph.num_edges()) +
+                        " but " + std::to_string(live) +
+                        " live edges exist");
+  }
+  CheckStars(graph, /*backward=*/true, &report);
+  CheckStars(graph, /*backward=*/false, &report);
+  CheckAcyclic(graph, &report);
+  return report;
+}
+
+AnalysisReport CheckPlanStructure(const PlanSpec& spec) {
+  AnalysisReport report;
+  const Hypergraph& graph = *spec.graph;
+  const std::vector<EdgeId>& edges = *spec.edges;
+
+  std::vector<bool> in_plan(static_cast<size_t>(graph.num_edge_slots()),
+                            false);
+  std::vector<EdgeId> usable;
+  for (EdgeId e : edges) {
+    if (e < 0 || e >= graph.num_edge_slots() || !graph.IsLiveEdge(e)) {
+      report.AddError("plan.dead-edge",
+                      "plan lists edge " + std::to_string(e) +
+                          " which is not a live edge",
+                      EntityKind::kEdge, e);
+      continue;
+    }
+    if (in_plan[static_cast<size_t>(e)]) {
+      report.AddError("plan.duplicate-edge",
+                      "plan lists edge " + std::to_string(e) + " twice",
+                      EntityKind::kEdge, e);
+      continue;
+    }
+    in_plan[static_cast<size_t>(e)] = true;
+    usable.push_back(e);
+  }
+
+  // Forward chaining over plan edges only: an edge fires once every tail
+  // node is available (produced earlier or the source). Whatever never
+  // fires has an unsatisfied input — property (a) of §III-C5.
+  std::vector<bool> available(static_cast<size_t>(graph.num_nodes()), false);
+  if (graph.IsValidNode(spec.source)) {
+    available[static_cast<size_t>(spec.source)] = true;
+  }
+  std::vector<int32_t> missing_tail(static_cast<size_t>(graph.num_edge_slots()),
+                                    0);
+  std::vector<bool> fired(static_cast<size_t>(graph.num_edge_slots()), false);
+  std::deque<EdgeId> ready;
+  for (EdgeId e : usable) {
+    int32_t missing = 0;
+    for (NodeId t : graph.edge(e).tail) {
+      if (graph.IsValidNode(t) && t != spec.source) {
+        ++missing;
+      }
+    }
+    missing_tail[static_cast<size_t>(e)] = missing;
+    if (missing == 0) {
+      ready.push_back(e);
+    }
+  }
+  std::vector<int32_t> producers(static_cast<size_t>(graph.num_nodes()), 0);
+  while (!ready.empty()) {
+    const EdgeId e = ready.front();
+    ready.pop_front();
+    if (fired[static_cast<size_t>(e)]) {
+      continue;
+    }
+    fired[static_cast<size_t>(e)] = true;
+    for (NodeId h : graph.edge(e).head) {
+      if (!graph.IsValidNode(h)) {
+        continue;
+      }
+      ++producers[static_cast<size_t>(h)];
+      if (available[static_cast<size_t>(h)]) {
+        continue;
+      }
+      available[static_cast<size_t>(h)] = true;
+      for (EdgeId next : graph.fstar(h)) {
+        if (next >= 0 && next < graph.num_edge_slots() &&
+            in_plan[static_cast<size_t>(next)] &&
+            !fired[static_cast<size_t>(next)] &&
+            --missing_tail[static_cast<size_t>(next)] == 0) {
+          ready.push_back(next);
+        }
+      }
+    }
+  }
+  for (EdgeId e : usable) {
+    if (fired[static_cast<size_t>(e)]) {
+      continue;
+    }
+    NodeId blocked_on = kInvalidNode;
+    for (NodeId t : graph.edge(e).tail) {
+      if (graph.IsValidNode(t) && t != spec.source &&
+          !available[static_cast<size_t>(t)]) {
+        blocked_on = t;
+        break;
+      }
+    }
+    report.AddError("plan.unsatisfied-input",
+                    "task edge " + std::to_string(e) + " consumes node " +
+                        std::to_string(blocked_on) +
+                        " which no earlier plan step produces or loads",
+                    EntityKind::kEdge, e);
+  }
+  if (spec.targets != nullptr) {
+    for (NodeId t : *spec.targets) {
+      if (!graph.IsValidNode(t)) {
+        report.AddError("plan.invalid-target",
+                        "target node " + std::to_string(t) +
+                            " does not exist",
+                        EntityKind::kNode, t);
+      } else if (!available[static_cast<size_t>(t)]) {
+        report.AddError("plan.missing-target",
+                        "plan never derives target node " + std::to_string(t),
+                        EntityKind::kNode, t);
+      }
+    }
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (producers[static_cast<size_t>(v)] > 1) {
+      // Legal (a multi-output task plus a cheap load can both cover one
+      // artifact) but worth surfacing: the plan does redundant work.
+      report.AddWarning("plan.duplicate-producer",
+                        "node " + std::to_string(v) + " is produced by " +
+                            std::to_string(producers[static_cast<size_t>(v)]) +
+                            " plan edges",
+                        EntityKind::kNode, v);
+    }
+  }
+
+  const auto totals_match = [&](double claimed, double actual) {
+    const double scale = std::max({1.0, std::abs(claimed), std::abs(actual)});
+    return std::abs(claimed - actual) <= spec.cost_tolerance * scale;
+  };
+  if (spec.edge_weight != nullptr &&
+      spec.edge_weight->size() >=
+          static_cast<size_t>(graph.num_edge_slots())) {
+    double cost = 0.0;
+    for (EdgeId e : usable) {
+      cost += (*spec.edge_weight)[static_cast<size_t>(e)];
+    }
+    if (!totals_match(spec.claimed_cost, cost)) {
+      report.AddError("plan.cost-mismatch",
+                      "plan claims cost " + std::to_string(spec.claimed_cost) +
+                          " but its edges sum to " + std::to_string(cost));
+    }
+  }
+  if (spec.edge_seconds != nullptr &&
+      spec.edge_seconds->size() >=
+          static_cast<size_t>(graph.num_edge_slots())) {
+    double seconds = 0.0;
+    for (EdgeId e : usable) {
+      seconds += (*spec.edge_seconds)[static_cast<size_t>(e)];
+    }
+    if (!totals_match(spec.claimed_seconds, seconds)) {
+      report.AddError(
+          "plan.seconds-mismatch",
+          "plan claims " + std::to_string(spec.claimed_seconds) +
+              " estimated seconds but its edges sum to " +
+              std::to_string(seconds));
+    }
+  }
+  return report;
+}
+
+}  // namespace hyppo::analysis

@@ -1,0 +1,69 @@
+#ifndef HYPPO_ANALYSIS_GRAPH_CHECKS_H_
+#define HYPPO_ANALYSIS_GRAPH_CHECKS_H_
+
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "hypergraph/hypergraph.h"
+
+namespace hyppo::analysis {
+
+/// \brief Structural well-formedness of a directed hypergraph
+/// (paper §III-B; the invariants Hypergraph promises but never rechecks).
+///
+/// Checks, per edge slot and per node:
+///  - `hypergraph.dangling-node`   — a tail/head id outside [0, num_nodes)
+///  - `hypergraph.edge-id`         — a stored edge id disagreeing with its
+///                                   slot index
+///  - `hypergraph.unsorted-edge`   — tail/head not sorted and duplicate-free
+///  - `hypergraph.corrupt-dead-edge` — a removed edge that kept tail nodes
+///  - `hypergraph.star-missing`    — a live edge absent from the bstar/fstar
+///                                   of one of its head/tail nodes
+///  - `hypergraph.star-stale`      — a bstar/fstar entry pointing at a dead
+///                                   edge or an edge not incident to the node
+///  - `hypergraph.star-duplicate`  — the same edge twice in one star
+///  - `hypergraph.live-count`      — num_edges() out of sync with the slots
+///  - `hypergraph.cycle`           — a directed cycle (the history and every
+///                                   augmentation must stay a DAG)
+AnalysisReport CheckHypergraph(const Hypergraph& graph);
+
+/// \brief What a plan claims to be, structurally.
+///
+/// `edges` is the plan's edge set, `source`/`targets` define the request it
+/// answers. The optional weight vectors let the check recompute the plan's
+/// claimed totals (paper §III-C5: cost(plan) = Σ w(e)).
+struct PlanSpec {
+  const Hypergraph* graph = nullptr;
+  const std::vector<EdgeId>* edges = nullptr;
+  NodeId source = kInvalidNode;
+  const std::vector<NodeId>* targets = nullptr;
+  /// Optional: per-edge-slot optimization weights and the plan's claimed
+  /// total. Checked when `edge_weight` is non-null and large enough.
+  const std::vector<double>* edge_weight = nullptr;
+  double claimed_cost = 0.0;
+  /// Optional: per-edge-slot duration estimates and the claimed total.
+  const std::vector<double>* edge_seconds = nullptr;
+  double claimed_seconds = 0.0;
+  /// Relative tolerance for the cost/seconds totals.
+  double cost_tolerance = 1e-6;
+};
+
+/// \brief Feasibility and cost consistency of one plan
+/// (paper §III-C5 properties (a)/(b)).
+///
+/// Checks:
+///  - `plan.dead-edge`          — a plan edge that is not live
+///  - `plan.duplicate-edge`     — the same edge listed twice
+///  - `plan.invalid-target`     — a target node that does not exist
+///  - `plan.unsatisfied-input`  — a task whose input no earlier plan step,
+///                                load edge, or source provides
+///  - `plan.missing-target`     — a target the plan never derives
+///  - `plan.duplicate-producer` — (warning) two plan edges producing the
+///                                same artifact
+///  - `plan.cost-mismatch`      — claimed cost differs from Σ edge_weight
+///  - `plan.seconds-mismatch`   — claimed seconds differ from Σ edge_seconds
+AnalysisReport CheckPlanStructure(const PlanSpec& spec);
+
+}  // namespace hyppo::analysis
+
+#endif  // HYPPO_ANALYSIS_GRAPH_CHECKS_H_

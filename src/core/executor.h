@@ -39,6 +39,10 @@ class Executor {
     /// prices); `critical_path_seconds` reports the parallel wall time.
     /// Ignored in simulation mode.
     int parallelism = 1;
+    /// Debug-mode assertion: structurally verify the plan against its
+    /// augmentation (src/analysis) before executing anything. Fails with
+    /// Internal on a broken plan instead of executing it.
+    bool verify_plans = false;
   };
 
   struct TaskRun {

@@ -103,6 +103,11 @@ class History {
   int32_t num_artifacts() const { return graph_.num_artifacts() - 1; }
   int32_t num_tasks() const { return graph_.num_tasks(); }
 
+  /// Number of statistics records allocated. Always == the graph's node
+  /// count after any History mutator ran; exposed so the verifier can
+  /// bounds-check before reading records (src/analysis).
+  int32_t num_records() const { return static_cast<int32_t>(records_.size()); }
+
  private:
   struct EdgeStats {
     double total_seconds = 0.0;

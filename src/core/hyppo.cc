@@ -30,6 +30,7 @@ HyppoMethod::HyppoMethod(Runtime* runtime, Options options)
   if (options_.search.max_expansions > 200'000) {
     options_.search.max_expansions = 200'000;
   }
+  options_.search.verify_plans = runtime->options().verify_plans;
 }
 
 Result<Method::Planned> HyppoMethod::PlanAugmentation(Augmentation aug) {

@@ -6,6 +6,7 @@
 #include <map>
 #include <queue>
 
+#include "analysis/graph_checks.h"
 #include "common/hash.h"
 #include "hypergraph/algorithms.h"
 
@@ -254,6 +255,26 @@ const char* PlanGenerator::StrategyToString(Strategy strategy) {
   return "unknown";
 }
 
+Status VerifyPlanStructure(const Augmentation& aug,
+                           const std::vector<NodeId>& targets,
+                           const Plan& plan) {
+  analysis::PlanSpec spec;
+  spec.graph = &aug.graph.hypergraph();
+  spec.edges = &plan.edges;
+  spec.source = aug.graph.source();
+  spec.targets = &targets;
+  spec.edge_weight = &aug.edge_weight;
+  spec.claimed_cost = plan.cost;
+  spec.edge_seconds = &aug.edge_seconds;
+  spec.claimed_seconds = plan.seconds;
+  analysis::AnalysisReport report = analysis::CheckPlanStructure(spec);
+  if (!report.ok()) {
+    return Status::Internal("plan verification failed (" + report.Summary() +
+                            "):\n" + report.ToString());
+  }
+  return Status::OK();
+}
+
 Result<Plan> PlanGenerator::Optimize(const Augmentation& aug,
                                      const Options& options,
                                      SearchStats* stats) const {
@@ -339,6 +360,9 @@ Result<Plan> PlanGenerator::OptimizeForTargets(
     plan.cost = current.cost;
     for (EdgeId e : plan.edges) {
       plan.seconds += aug.edge_seconds[static_cast<size_t>(e)];
+    }
+    if (options.verify_plans) {
+      HYPPO_RETURN_NOT_OK(VerifyPlanStructure(aug, targets, plan));
     }
     return plan;
   }
@@ -475,6 +499,9 @@ Result<Plan> PlanGenerator::OptimizeForTargets(
   for (EdgeId e : plan.edges) {
     plan.seconds += aug.edge_seconds[static_cast<size_t>(e)];
   }
+  if (options.verify_plans) {
+    HYPPO_RETURN_NOT_OK(VerifyPlanStructure(aug, targets, plan));
+  }
   return plan;
 }
 
@@ -498,6 +525,9 @@ Result<Plan> PlanGenerator::OptimizePerTarget(const Augmentation& aug,
         combined.seconds += aug.edge_seconds[static_cast<size_t>(e)];
       }
     }
+  }
+  if (options.verify_plans) {
+    HYPPO_RETURN_NOT_OK(VerifyPlanStructure(aug, aug.targets, combined));
   }
   return combined;
 }

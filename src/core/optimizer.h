@@ -46,6 +46,11 @@ class PlanGenerator {
     /// Safety valve on EXPAND invocations; the search reports
     /// ResourceExhausted beyond it.
     int64_t max_expansions = 20'000'000;
+    /// Debug-mode assertion: run the analysis verifier over every plan
+    /// before returning it (src/analysis/graph_checks.h) and fail with
+    /// Internal if an invariant is violated. Off by default in production;
+    /// tests and the workload scenarios turn it on.
+    bool verify_plans = false;
   };
 
   struct SearchStats {
@@ -84,6 +89,13 @@ class PlanGenerator {
   /// Exponential; only for small graphs.
   Result<Plan> BruteForce(const Augmentation& aug) const;
 };
+
+/// \brief Structural verification of one plan against its augmentation —
+/// the debug assertion behind Options::verify_plans, also used by the
+/// executor. Returns Internal with the full diagnostic listing on failure.
+Status VerifyPlanStructure(const Augmentation& aug,
+                           const std::vector<NodeId>& targets,
+                           const Plan& plan);
 
 }  // namespace hyppo::core
 

@@ -48,6 +48,7 @@ Result<Runtime::ExecutionRecord> Runtime::ExecuteInternal(
   Executor::Options exec_options;
   exec_options.simulate = options_.simulate;
   exec_options.parallelism = options_.parallelism;
+  exec_options.verify_plans = options_.verify_plans;
   HYPPO_ASSIGN_OR_RETURN(Executor::ExecutionResult result,
                          executor_->Execute(aug, plan, exec_options));
 

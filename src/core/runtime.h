@@ -29,6 +29,11 @@ struct RuntimeOptions {
   int parallelism = 1;
   PricingModel pricing;
   Augmenter::Objective objective = Augmenter::Objective::kTime;
+  /// Debug-mode invariant verification: every plan is checked by the
+  /// analysis verifier before execution, and methods that honor the flag
+  /// (HyppoMethod) also verify plans as the search returns them. Tests
+  /// and the workload scenarios enable this.
+  bool verify_plans = false;
 };
 
 /// \brief Shared execution state: catalog (dictionary + history), cost

@@ -123,6 +123,11 @@ class Hypergraph {
       const std::vector<std::string>* edge_labels = nullptr) const;
 
  private:
+  // Test-only backdoor (hypergraph/testing.h) used by the analysis
+  // corrupted-fixture tests: the public API upholds the invariants the
+  // verifier checks, so breaking them requires direct member access.
+  friend struct HypergraphTestAccess;
+
   std::vector<Hyperedge> edges_;
   std::vector<std::vector<EdgeId>> bstar_;
   std::vector<std::vector<EdgeId>> fstar_;

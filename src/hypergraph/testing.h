@@ -1,0 +1,33 @@
+#ifndef HYPPO_HYPERGRAPH_TESTING_H_
+#define HYPPO_HYPERGRAPH_TESTING_H_
+
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace hyppo {
+
+/// \brief Test-only mutable access to Hypergraph internals.
+///
+/// The public Hypergraph API maintains the structural invariants the
+/// analysis verifier checks (sorted edges, consistent stars, accurate
+/// live count), so the corrupted-fixture tests need this backdoor to
+/// manufacture violations. Never use outside tests.
+struct HypergraphTestAccess {
+  static Hyperedge& MutableEdge(Hypergraph& graph, EdgeId edge) {
+    return graph.edges_[static_cast<size_t>(edge)];
+  }
+  static std::vector<EdgeId>& MutableBstar(Hypergraph& graph, NodeId node) {
+    return graph.bstar_[static_cast<size_t>(node)];
+  }
+  static std::vector<EdgeId>& MutableFstar(Hypergraph& graph, NodeId node) {
+    return graph.fstar_[static_cast<size_t>(node)];
+  }
+  static int32_t& MutableLiveCount(Hypergraph& graph) {
+    return graph.num_live_edges_;
+  }
+};
+
+}  // namespace hyppo
+
+#endif  // HYPPO_HYPERGRAPH_TESTING_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "analysis/verifier.h"
 #include "baselines/collab.h"
 #include "baselines/helix.h"
 #include "baselines/no_optimization.h"
@@ -25,11 +26,13 @@ int64_t BudgetBytes(const UseCase& use_case, double multiplier,
 std::unique_ptr<core::Runtime> MakeRuntime(const UseCase& use_case,
                                            double multiplier,
                                            double budget_factor,
-                                           bool simulate, uint64_t seed) {
+                                           bool simulate, uint64_t seed,
+                                           bool verify) {
   core::RuntimeOptions options;
   options.storage_budget_bytes =
       BudgetBytes(use_case, multiplier, budget_factor);
   options.simulate = simulate;
+  options.verify_plans = verify;
   auto runtime = std::make_unique<core::Runtime>(options);
   runtime->RegisterDatasetGenerator(
       use_case.DatasetId(multiplier),
@@ -37,6 +40,24 @@ std::unique_ptr<core::Runtime> MakeRuntime(const UseCase& use_case,
         return GenerateUseCase(use_case, multiplier, seed);
       });
   return runtime;
+}
+
+// End-of-run invariant audit: the history the scenario grew (plus the
+// materializer's storage decisions) must verify clean, including a
+// serialization round-trip and the storage-budget bound.
+Status VerifyRuntimeHistory(const core::Runtime& runtime) {
+  if (!runtime.options().verify_plans) {
+    return Status::OK();
+  }
+  const analysis::Verifier verifier;
+  const analysis::AnalysisReport report = verifier.VerifyHistory(
+      runtime.history(), &runtime.dictionary(),
+      runtime.options().storage_budget_bytes);
+  if (!report.ok()) {
+    return Status::Internal("history verification failed (" +
+                            report.Summary() + "):\n" + report.ToString());
+  }
+  return Status::OK();
 }
 
 Result<SequenceResult> DrivePipelines(
@@ -62,6 +83,7 @@ Result<SequenceResult> DrivePipelines(
   result.stored_artifacts =
       static_cast<int64_t>(runtime.history().MaterializedArtifacts().size());
   result.history_artifacts = runtime.history().num_artifacts();
+  HYPPO_RETURN_NOT_OK(VerifyRuntimeHistory(runtime));
   return result;
 }
 
@@ -101,7 +123,8 @@ Result<SequenceResult> RunIterativeScenario(const MethodFactory& factory,
                                             const ScenarioConfig& config) {
   std::unique_ptr<core::Runtime> runtime =
       MakeRuntime(config.use_case, config.dataset_multiplier,
-                  config.budget_factor, config.simulate, config.seed);
+                  config.budget_factor, config.simulate, config.seed,
+                  config.verify);
   std::unique_ptr<core::Method> method = factory(runtime.get());
   // The same seed yields the same pipeline sequence for every method.
   PipelineGenerator generator(config.use_case, config.dataset_multiplier,
@@ -119,7 +142,8 @@ Result<RetrievalResult> RunRetrievalScenario(const MethodFactory& factory,
                                              const RetrievalConfig& config) {
   std::unique_ptr<core::Runtime> runtime =
       MakeRuntime(config.use_case, config.dataset_multiplier,
-                  config.budget_factor, config.simulate, config.seed);
+                  config.budget_factor, config.simulate, config.seed,
+                  config.verify);
   std::unique_ptr<core::Method> method = factory(runtime.get());
   PipelineGenerator generator(config.use_case, config.dataset_multiplier,
                               config.seed);
@@ -204,6 +228,7 @@ Result<RetrievalResult> RunRetrievalScenario(const MethodFactory& factory,
   result.stored_fraction =
       total > 0 ? static_cast<double>(stored) / static_cast<double>(total)
                 : 0.0;
+  HYPPO_RETURN_NOT_OK(VerifyRuntimeHistory(*runtime));
   return result;
 }
 
@@ -212,7 +237,7 @@ Result<SequenceResult> RunEnsembleScenario(const MethodFactory& factory,
   const UseCase use_case = UseCase::Taxi();
   std::unique_ptr<core::Runtime> runtime =
       MakeRuntime(use_case, config.dataset_multiplier, config.budget_factor,
-                  config.simulate, config.seed);
+                  config.simulate, config.seed, config.verify);
   std::unique_ptr<core::Method> method = factory(runtime.get());
   PipelineGenerator generator(use_case, config.dataset_multiplier,
                               config.seed);
@@ -278,7 +303,8 @@ Result<SequenceResult> RunEnsembleScenario(const MethodFactory& factory,
 Result<TypeStudyResult> RunTypeStudy(const ScenarioConfig& config) {
   std::unique_ptr<core::Runtime> runtime =
       MakeRuntime(config.use_case, config.dataset_multiplier,
-                  config.budget_factor, config.simulate, config.seed);
+                  config.budget_factor, config.simulate, config.seed,
+                  config.verify);
   core::HyppoMethod method(runtime.get());
   PipelineGenerator generator(config.use_case, config.dataset_multiplier,
                               config.seed);
@@ -331,6 +357,7 @@ Result<TypeStudyResult> RunTypeStudy(const ScenarioConfig& config) {
   }
   result.storage_price_eur = runtime->options().pricing.ExperimentPrice(
       0.0, result.budget_bytes);
+  HYPPO_RETURN_NOT_OK(VerifyRuntimeHistory(*runtime));
   return result;
 }
 

@@ -38,6 +38,9 @@ struct ScenarioConfig {
   /// Simulation mode (default): deterministic cost-model execution, used
   /// for the paper-shaped sweeps. Off = real ML execution.
   bool simulate = true;
+  /// Invariant verification (on by default): every plan is checked before
+  /// execution, and the final history must verify clean (src/analysis).
+  bool verify = true;
 };
 
 /// \brief Result of running one pipeline sequence under one method.
@@ -68,6 +71,8 @@ struct RetrievalConfig {
   double dataset_multiplier = 0.01;
   uint64_t seed = 42;
   bool simulate = true;
+  /// See ScenarioConfig::verify.
+  bool verify = true;
   int request_size = 4;    // artifacts per request
   int num_requests = 50;
   bool models_only = false;  // request fitted models only
@@ -94,6 +99,8 @@ struct EnsembleConfig {
   double dataset_multiplier = 0.01;
   uint64_t seed = 42;
   bool simulate = true;
+  /// See ScenarioConfig::verify.
+  bool verify = true;
 };
 
 Result<SequenceResult> RunEnsembleScenario(const MethodFactory& factory,

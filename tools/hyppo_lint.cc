@@ -1,0 +1,128 @@
+// hyppo_lint: standalone invariant checker for serialized HYPPO catalogs.
+//
+// Loads `<catalog-dir>/history.hyppo` (written by Runtime::SaveCatalog or
+// core::SerializeHistory) and runs the full analysis verifier over it:
+// hypergraph well-formedness, label consistency, canonical-name closure,
+// materialization flags, serialization round-trip, and — when a budget is
+// given — storage-budget compliance. Also cross-checks that every
+// materialized artifact has its payload file on disk.
+//
+// Usage:
+//   hyppo_lint <catalog-dir | history-file> [options]
+//     --budget <bytes>   also enforce the storage budget
+//     --no-roundtrip     skip the serialize/deserialize round-trip check
+//     --quiet            print only the summary line
+//
+// Exit codes: 0 clean (warnings allowed), 1 errors found, 2 usage/IO.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "analysis/verifier.h"
+#include "core/history_io.h"
+#include "ml/registry.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <catalog-dir | history-file> "
+               "[--budget <bytes>] [--no-roundtrip] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+hyppo::Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return hyppo::Status::IoError("cannot open '" + path + "'");
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    return hyppo::Status::IoError("error while reading '" + path + "'");
+  }
+  return bytes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage(argv[0]);
+  }
+  const std::string target = argv[1];
+  int64_t budget_bytes = -1;
+  bool roundtrip = true;
+  bool quiet = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+      budget_bytes = std::strtoll(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--no-roundtrip") == 0) {
+      roundtrip = false;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  // Accept either a catalog directory or a bare history file.
+  std::string history_path = target;
+  std::string artifacts_dir;
+  if (fs::is_directory(history_path)) {
+    artifacts_dir = (fs::path(target) / "artifacts").string();
+    history_path = (fs::path(target) / "history.hyppo").string();
+  }
+  hyppo::Result<std::string> bytes = ReadFile(history_path);
+  if (!bytes.ok()) {
+    std::fprintf(stderr, "hyppo_lint: %s\n",
+                 bytes.status().ToString().c_str());
+    return 2;
+  }
+  hyppo::Result<hyppo::core::History> history =
+      hyppo::core::DeserializeHistory(*bytes);
+  if (!history.ok()) {
+    std::fprintf(stderr, "hyppo_lint: cannot parse '%s': %s\n",
+                 history_path.c_str(), history.status().ToString().c_str());
+    return 2;
+  }
+
+  hyppo::analysis::Verifier::Options options;
+  options.check_roundtrip = roundtrip;
+  const hyppo::analysis::Verifier verifier(options);
+  const hyppo::core::Dictionary dictionary =
+      hyppo::core::Dictionary::FromRegistry(
+          hyppo::ml::OperatorRegistry::Global());
+  hyppo::analysis::AnalysisReport report =
+      verifier.VerifyHistory(*history, &dictionary, budget_bytes);
+
+  // Catalog-level check: a materialized artifact without its payload file
+  // cannot actually be loaded by a plan.
+  if (!artifacts_dir.empty()) {
+    for (hyppo::NodeId v : history->MaterializedArtifacts()) {
+      const std::string& name = history->graph().artifact(v).name;
+      if (!fs::exists(fs::path(artifacts_dir) / (name + ".bin"))) {
+        report.AddError("catalog.missing-payload",
+                        "materialized artifact '" + name +
+                            "' has no payload file under " + artifacts_dir,
+                        hyppo::analysis::EntityKind::kNode, v);
+      }
+    }
+  }
+
+  if (!quiet && !report.diagnostics().empty()) {
+    std::fputs(report.ToString().c_str(), stdout);
+  }
+  std::printf("%s: %d artifacts, %d tasks: %s\n", history_path.c_str(),
+              history->num_artifacts(), history->num_tasks(),
+              report.Summary().c_str());
+  return report.ok() ? 0 : 1;
+}
