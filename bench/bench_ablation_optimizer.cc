@@ -25,12 +25,13 @@ struct Row {
 };
 
 Row Measure(const core::Augmentation& aug, Strategy strategy,
-            bool dominance, double exploration = 0.0) {
+            bool dominance, double exploration = 0.0, int num_threads = 1) {
   core::PlanGenerator generator;
   core::PlanGenerator::Options options;
   options.strategy = strategy;
   options.dominance_pruning = dominance;
   options.exploration = exploration;
+  options.num_threads = num_threads;
   core::PlanGenerator::SearchStats stats;
   WallClock clock;
   Stopwatch watch(clock);
@@ -45,26 +46,32 @@ Row Measure(const core::Augmentation& aug, Strategy strategy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   Banner("Plan-search ablation", "§IV-E variants and extensions");
-  const bool full = FullScale();
-  const int n = full ? 18 : 14;
+  const Scale scale = BenchScale();
+  const bool full = scale == Scale::kFull;
+  const int n = scale == Scale::kSmoke ? 8 : (full ? 18 : 14);
   const int m = 2;
-  const int repetitions = full ? 10 : 4;
+  const int repetitions = scale == Scale::kSmoke ? 1 : (full ? 10 : 4);
+  JsonWriter json("ablation_optimizer");
 
   Table strategies({"variant", "mean time", "mean expansions", "cost gap"});
   struct Variant {
     const char* name;
     Strategy strategy;
     bool dominance;
+    int num_threads;
   };
   const Variant variants[] = {
-      {"STACK", Strategy::kStack, false},
-      {"STACK + dominance", Strategy::kStack, true},
-      {"PRIORITY", Strategy::kPriority, false},
-      {"PRIORITY + dominance", Strategy::kPriority, true},
-      {"A* (extension)", Strategy::kAStar, false},
-      {"GREEDY (linear)", Strategy::kGreedy, false},
+      {"STACK", Strategy::kStack, false, 1},
+      {"STACK + dominance", Strategy::kStack, true, 1},
+      {"PRIORITY", Strategy::kPriority, false, 1},
+      {"PRIORITY + dominance", Strategy::kPriority, true, 1},
+      {"A* (extension)", Strategy::kAStar, false, 1},
+      {"PARALLEL (2 threads)", Strategy::kParallel, true, 2},
+      {"PARALLEL (8 threads)", Strategy::kParallel, true, 8},
+      {"GREEDY (linear)", Strategy::kGreedy, false, 1},
   };
   std::vector<double> totals(std::size(variants), 0.0);
   std::vector<double> expansions(std::size(variants), 0.0);
@@ -79,7 +86,8 @@ int main() {
     double optimal = -1.0;
     for (size_t i = 0; i < std::size(variants); ++i) {
       Row row = Measure(synthetic->aug, variants[i].strategy,
-                        variants[i].dominance);
+                        variants[i].dominance, /*exploration=*/0.0,
+                        variants[i].num_threads);
       totals[i] += row.seconds;
       expansions[i] += static_cast<double>(row.expansions);
       if (optimal < 0.0) {
@@ -93,6 +101,11 @@ int main() {
         {variants[i].name, FormatSeconds(totals[i] / repetitions),
          FormatDouble(expansions[i] / repetitions, 0),
          FormatDouble(100.0 * gaps[i] / repetitions, 2) + "%"});
+    json.AddRow("variants")
+        .Set("variant", variants[i].name)
+        .Set("mean_seconds", totals[i] / repetitions)
+        .Set("mean_expansions", expansions[i] / repetitions)
+        .Set("cost_gap_percent", 100.0 * gaps[i] / repetitions);
   }
   std::printf("\nsearch variants on synthetic graphs (n=%d, m=%d):\n", n, m);
   strategies.Print();
@@ -124,11 +137,19 @@ int main() {
                  "+" + FormatDouble(
                            100.0 * (row.cost / exploitation_cost - 1.0), 1) +
                      "%"});
+    json.AddRow("exploration_knob")
+        .Set("c_exp", c_exp)
+        .Set("plan_cost", row.cost)
+        .Set("vs_exploitation_percent",
+             100.0 * (row.cost / exploitation_cost - 1.0));
   }
   knob.Print();
   std::printf(
       "\nExpected: dominance pruning and A* cut expansions without\n"
       "changing plan cost; GREEDY trades a small cost gap for linear time;\n"
       "plan cost grows with c_exp (the price of exploration).\n");
+  if (!json.WriteTo(args.json_path)) {
+    return 1;
+  }
   return 0;
 }

@@ -1,11 +1,15 @@
 // Regenerates Fig. 10: optimizer scalability on synthetic hypergraphs.
 //  (a) runtime vs number of artifacts n (m = 2 alternatives), reported as
 //      [n, avg-max-path-length] pairs, for HYPPO-STACK, HYPPO-PRIORITY,
-//      and COLLAB-E, next to the theoretical curves O(m^n) and O(m^{f*l}).
+//      COLLAB-E, and the parallel plan-search engine at 2 and 8 threads,
+//      next to the theoretical curves O(m^n) and O(m^{f*l}).
 //  (b) runtime vs number of alternatives m at fixed n.
-// All three methods find the same optimal cost (verified per row).
+// All methods find the same optimal cost (verified per row). Pass
+// `--json <path>` to also dump the measurements as a JSON document
+// (BENCH_fig10.json in the repo root is a committed snapshot).
 
 #include <cmath>
+#include <limits>
 
 #include "baselines/collab_e.h"
 #include "bench_util.h"
@@ -26,10 +30,12 @@ struct Measurement {
 };
 
 Measurement TimeStrategy(const core::Augmentation& aug,
-                         core::PlanGenerator::Strategy strategy) {
+                         core::PlanGenerator::Strategy strategy,
+                         int num_threads = 1) {
   core::PlanGenerator generator;
   core::PlanGenerator::Options options;
   options.strategy = strategy;
+  options.num_threads = num_threads;
   options.max_expansions = 80'000'000;
   WallClock clock;
   Stopwatch watch(clock);
@@ -60,20 +66,43 @@ std::string Cell(const Measurement& m) {
   return m.ok ? FormatSeconds(m.seconds) : "timeout";
 }
 
+void Accumulate(Measurement& total, const Measurement& sample) {
+  total.seconds += sample.seconds;
+  total.ok = sample.ok;
+  total.cost = sample.cost;
+}
+
+bool CostsAgree(const Measurement& a, const Measurement& b) {
+  return !a.ok || !b.ok || std::fabs(a.cost - b.cost) < 1e-9;
+}
+
+double JsonSeconds(const Measurement& m) {
+  return m.ok ? m.seconds : std::numeric_limits<double>::quiet_NaN();
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   Banner("Optimizer scalability on synthetic hypergraphs", "Fig. 10(a)+(b)");
-  const bool full = FullScale();
-  const int repetitions = full ? 10 : 3;
+  const Scale scale = BenchScale();
+  const bool full = scale == Scale::kFull;
+  const int repetitions =
+      scale == Scale::kSmoke ? 1 : (full ? 10 : 3);
+  const int64_t collab_budget = full ? 50'000'000 : 2'000'000;
+  JsonWriter json("fig10_scalability");
 
   // (a) vary n at m = 2.
   std::printf("\n(a) varying #artifacts n (m = 2):\n");
-  const std::vector<int> n_sweep = full
-                                       ? std::vector<int>{6, 10, 14, 18, 22}
-                                       : std::vector<int>{6, 10, 14, 18};
+  std::vector<int> n_sweep{6, 10, 14, 18};
+  if (scale == Scale::kSmoke) {
+    n_sweep = {6, 8};
+  } else if (full) {
+    n_sweep = {6, 10, 14, 18, 22};
+  }
   Table table_a({"[n, l]", "HYPPO-STACK", "HYPPO-PRIORITY", "COLLAB-E",
-                 "agree", "O(m^n)", "O(m^{f*l})"});
+                 "PARALLEL-2T", "PARALLEL-8T", "par-8T speedup", "agree",
+                 "O(m^n)", "O(m^{f*l})"});
   double anchor_stack = -1.0;
   double anchor_collab = -1.0;
   double anchor_n = 0.0;
@@ -82,6 +111,8 @@ int main() {
     Measurement stack;
     Measurement priority;
     Measurement collab_e;
+    Measurement par2;
+    Measurement par8;
     double avg_l = 0.0;
     for (int rep = 0; rep < repetitions; ++rep) {
       SyntheticConfig config;
@@ -91,30 +122,32 @@ int main() {
       auto synthetic = GenerateSyntheticHypergraph(config);
       synthetic.status().Abort("generate");
       avg_l += synthetic->avg_max_path_length;
-      Measurement s =
-          TimeStrategy(synthetic->aug, core::PlanGenerator::Strategy::kStack);
-      Measurement p = TimeStrategy(synthetic->aug,
-                                   core::PlanGenerator::Strategy::kPriority);
-      Measurement c = TimeCollabE(synthetic->aug, full ? 50'000'000
-                                                       : 2'000'000);
-      stack.seconds += s.seconds;
-      priority.seconds += p.seconds;
+      Accumulate(stack, TimeStrategy(synthetic->aug,
+                                     core::PlanGenerator::Strategy::kStack));
+      Accumulate(priority,
+                 TimeStrategy(synthetic->aug,
+                              core::PlanGenerator::Strategy::kPriority));
+      const Measurement c = TimeCollabE(synthetic->aug, collab_budget);
       collab_e.seconds += c.seconds;
-      stack.ok = s.ok;
-      priority.ok = p.ok;
       collab_e.ok = collab_e.ok || c.ok;
-      stack.cost = s.cost;
-      priority.cost = p.cost;
       collab_e.cost = c.cost;
+      Accumulate(par2,
+                 TimeStrategy(synthetic->aug,
+                              core::PlanGenerator::Strategy::kParallel, 2));
+      Accumulate(par8,
+                 TimeStrategy(synthetic->aug,
+                              core::PlanGenerator::Strategy::kParallel, 8));
     }
     stack.seconds /= repetitions;
     priority.seconds /= repetitions;
     collab_e.seconds /= repetitions;
+    par2.seconds /= repetitions;
+    par8.seconds /= repetitions;
     avg_l /= repetitions;
-    const bool agree =
-        stack.ok && priority.ok &&
-        std::fabs(stack.cost - priority.cost) < 1e-9 &&
-        (!collab_e.ok || std::fabs(stack.cost - collab_e.cost) < 1e-9);
+    const bool agree = stack.ok && priority.ok && par2.ok && par8.ok &&
+                       CostsAgree(stack, priority) &&
+                       CostsAgree(stack, par2) && CostsAgree(stack, par8) &&
+                       CostsAgree(stack, collab_e);
     if (anchor_stack < 0.0 && stack.ok && collab_e.ok) {
       anchor_stack = stack.seconds;
       anchor_collab = collab_e.seconds;
@@ -128,23 +161,48 @@ int main() {
         anchor_stack * std::pow(2.0, 2.0 * (avg_l - anchor_l));
     table_a.AddRow({"[" + std::to_string(n) + ", " +
                         FormatDouble(avg_l, 1) + "]",
-                    Cell(stack), Cell(priority), Cell(collab_e),
+                    Cell(stack), Cell(priority), Cell(collab_e), Cell(par2),
+                    Cell(par8),
+                    par8.ok ? Speedup(priority.seconds, par8.seconds) : "-",
                     agree ? "yes" : "NO",
                     FormatSeconds(theory_exhaustive),
                     FormatSeconds(theory_optimize)});
+    json.AddRow("n_sweep")
+        .Set("n", n)
+        .Set("avg_max_path_length", avg_l)
+        .Set("hyppo_stack_seconds", JsonSeconds(stack))
+        .Set("hyppo_priority_seconds", JsonSeconds(priority))
+        .Set("collab_e_seconds", JsonSeconds(collab_e))
+        .Set("parallel_2t_seconds", JsonSeconds(par2))
+        .Set("parallel_8t_seconds", JsonSeconds(par8))
+        .Set("parallel_8t_speedup_vs_priority",
+             par8.ok && par8.seconds > 0.0 ? priority.seconds / par8.seconds
+                                           : std::numeric_limits<
+                                                 double>::quiet_NaN())
+        .Set("optimal_cost", stack.ok
+                                 ? stack.cost
+                                 : std::numeric_limits<double>::quiet_NaN())
+        .Set("agree", agree ? "yes" : "no");
   }
   table_a.Print();
 
   // (b) vary m at fixed n.
-  const int fixed_n = full ? 10 : 8;
+  const int fixed_n = scale == Scale::kSmoke ? 6 : (full ? 10 : 8);
   std::printf("\n(b) varying #alternatives m (n = %d):\n", fixed_n);
-  const std::vector<int> m_sweep =
-      full ? std::vector<int>{2, 3, 4, 5, 6} : std::vector<int>{2, 3, 4};
-  Table table_b({"m", "HYPPO-STACK", "HYPPO-PRIORITY", "COLLAB-E", "agree"});
+  std::vector<int> m_sweep{2, 3, 4};
+  if (scale == Scale::kSmoke) {
+    m_sweep = {2};
+  } else if (full) {
+    m_sweep = {2, 3, 4, 5, 6};
+  }
+  Table table_b({"m", "HYPPO-STACK", "HYPPO-PRIORITY", "COLLAB-E",
+                 "PARALLEL-2T", "PARALLEL-8T", "par-8T speedup", "agree"});
   for (int m : m_sweep) {
     Measurement stack;
     Measurement priority;
     Measurement collab_e;
+    Measurement par2;
+    Measurement par8;
     for (int rep = 0; rep < repetitions; ++rep) {
       SyntheticConfig config;
       config.num_artifacts = fixed_n;
@@ -152,36 +210,58 @@ int main() {
       config.seed = 2000 + static_cast<uint64_t>(rep);
       auto synthetic = GenerateSyntheticHypergraph(config);
       synthetic.status().Abort("generate");
-      Measurement s =
-          TimeStrategy(synthetic->aug, core::PlanGenerator::Strategy::kStack);
-      Measurement p = TimeStrategy(synthetic->aug,
-                                   core::PlanGenerator::Strategy::kPriority);
-      Measurement c = TimeCollabE(synthetic->aug, full ? 50'000'000
-                                                       : 2'000'000);
-      stack.seconds += s.seconds;
-      priority.seconds += p.seconds;
-      collab_e.seconds += c.seconds;
-      stack.ok = s.ok;
-      priority.ok = p.ok;
-      collab_e.ok = c.ok;
-      stack.cost = s.cost;
-      priority.cost = p.cost;
-      collab_e.cost = c.cost;
+      Accumulate(stack, TimeStrategy(synthetic->aug,
+                                     core::PlanGenerator::Strategy::kStack));
+      Accumulate(priority,
+                 TimeStrategy(synthetic->aug,
+                              core::PlanGenerator::Strategy::kPriority));
+      Accumulate(collab_e, TimeCollabE(synthetic->aug, collab_budget));
+      Accumulate(par2,
+                 TimeStrategy(synthetic->aug,
+                              core::PlanGenerator::Strategy::kParallel, 2));
+      Accumulate(par8,
+                 TimeStrategy(synthetic->aug,
+                              core::PlanGenerator::Strategy::kParallel, 8));
     }
     stack.seconds /= repetitions;
     priority.seconds /= repetitions;
     collab_e.seconds /= repetitions;
-    const bool agree =
-        stack.ok && priority.ok &&
-        std::fabs(stack.cost - priority.cost) < 1e-9 &&
-        (!collab_e.ok || std::fabs(stack.cost - collab_e.cost) < 1e-9);
+    par2.seconds /= repetitions;
+    par8.seconds /= repetitions;
+    const bool agree = stack.ok && priority.ok && par2.ok && par8.ok &&
+                       CostsAgree(stack, priority) &&
+                       CostsAgree(stack, par2) && CostsAgree(stack, par8) &&
+                       CostsAgree(stack, collab_e);
     table_b.AddRow({std::to_string(m), Cell(stack), Cell(priority),
-                    Cell(collab_e), agree ? "yes" : "NO"});
+                    Cell(collab_e), Cell(par2), Cell(par8),
+                    par8.ok ? Speedup(priority.seconds, par8.seconds) : "-",
+                    agree ? "yes" : "NO"});
+    json.AddRow("m_sweep")
+        .Set("m", m)
+        .Set("n", fixed_n)
+        .Set("hyppo_stack_seconds", JsonSeconds(stack))
+        .Set("hyppo_priority_seconds", JsonSeconds(priority))
+        .Set("collab_e_seconds", JsonSeconds(collab_e))
+        .Set("parallel_2t_seconds", JsonSeconds(par2))
+        .Set("parallel_8t_seconds", JsonSeconds(par8))
+        .Set("parallel_8t_speedup_vs_priority",
+             par8.ok && par8.seconds > 0.0 ? priority.seconds / par8.seconds
+                                           : std::numeric_limits<
+                                                 double>::quiet_NaN())
+        .Set("optimal_cost", stack.ok
+                                 ? stack.cost
+                                 : std::numeric_limits<double>::quiet_NaN())
+        .Set("agree", agree ? "yes" : "no");
   }
   table_b.Print();
   std::printf(
       "\nExpected shape (paper): COLLAB-E blows up exponentially in n and\n"
       "m; the HYPPO variants stay far cheaper, with HYPPO-PRIORITY the most\n"
-      "scalable; all methods return the same optimal plan cost.\n");
+      "scalable of the serial variants and the parallel engine ahead of it\n"
+      "(shared-bound pruning + full-state dominance dedup + state pooling);\n"
+      "all methods return the same optimal plan cost.\n");
+  if (!json.WriteTo(args.json_path)) {
+    return 1;
+  }
   return 0;
 }

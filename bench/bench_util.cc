@@ -1,6 +1,7 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 
@@ -8,16 +9,150 @@
 
 namespace hyppo::bench {
 
-bool FullScale() {
+namespace {
+
+const char* ScaleName(Scale scale) {
+  switch (scale) {
+    case Scale::kSmoke:
+      return "smoke";
+    case Scale::kReduced:
+      return "reduced";
+    case Scale::kFull:
+      return "full";
+  }
+  return "unknown";
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Scale BenchScale() {
   const char* scale = std::getenv("HYPPO_BENCH_SCALE");
-  return scale != nullptr && std::strcmp(scale, "full") == 0;
+  if (scale == nullptr) {
+    return Scale::kReduced;
+  }
+  if (std::strcmp(scale, "full") == 0) {
+    return Scale::kFull;
+  }
+  if (std::strcmp(scale, "smoke") == 0) {
+    return Scale::kSmoke;
+  }
+  return Scale::kReduced;
+}
+
+bool FullScale() { return BenchScale() == Scale::kFull; }
+
+BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
+    }
+  }
+  return args;
+}
+
+JsonWriter::JsonWriter(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+JsonWriter::Row& JsonWriter::Row::Set(const std::string& key, double value) {
+  if (std::isfinite(value)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    fields_.emplace_back(key, buf);
+  } else {
+    fields_.emplace_back(key, "null");
+  }
+  return *this;
+}
+
+JsonWriter::Row& JsonWriter::Row::Set(const std::string& key,
+                                      const std::string& value) {
+  fields_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+  return *this;
+}
+
+JsonWriter::Row& JsonWriter::AddRow(const std::string& section) {
+  for (Section& s : sections_) {
+    if (s.name == section) {
+      return s.rows.emplace_back();
+    }
+  }
+  Section& s = sections_.emplace_back();
+  s.name = section;
+  return s.rows.emplace_back();
+}
+
+bool JsonWriter::WriteTo(const std::string& path) const {
+  if (path.empty()) {
+    return true;
+  }
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench: cannot write JSON to %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(file, "{\"bench\": \"%s\", \"scale\": \"%s\", \"sections\": [",
+               JsonEscape(bench_name_).c_str(), ScaleName(BenchScale()));
+  bool first_section = true;
+  for (const Section& s : sections_) {
+    std::fprintf(file, "%s\n  {\"section\": \"%s\", \"rows\": [",
+                 first_section ? "" : ",", JsonEscape(s.name).c_str());
+    first_section = false;
+    bool first_row = true;
+    for (const Row& row : s.rows) {
+      std::fprintf(file, "%s\n    {", first_row ? "" : ",");
+      first_row = false;
+      bool first_field = true;
+      for (const auto& [key, encoded] : row.fields_) {
+        std::fprintf(file, "%s\"%s\": %s", first_field ? "" : ", ",
+                     JsonEscape(key).c_str(), encoded.c_str());
+        first_field = false;
+      }
+      std::fprintf(file, "}");
+    }
+    std::fprintf(file, "\n  ]}");
+  }
+  std::fprintf(file, "\n]}\n");
+  std::fclose(file);
+  std::printf("JSON results written to %s\n", path.c_str());
+  return true;
 }
 
 void Banner(const std::string& title, const std::string& paper_ref) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("reproduces: %s   [scale: %s]\n", paper_ref.c_str(),
-              FullScale() ? "full (paper)" : "reduced (default)");
+              ScaleName(BenchScale()));
   std::printf("================================================================\n");
 }
 

@@ -2,15 +2,73 @@
 #define HYPPO_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <deque>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace hyppo::bench {
 
-/// True when HYPPO_BENCH_SCALE=full: paper-scale parameters (much slower).
-/// Default benches run reduced configurations so the whole suite finishes
-/// in minutes while preserving the figures' shapes.
+/// Bench problem sizes, selected by the HYPPO_BENCH_SCALE environment
+/// variable: "full" = paper-scale parameters (much slower), "smoke" =
+/// seconds-scale configurations for CI, anything else = the reduced
+/// default that finishes in minutes while preserving the figures' shapes.
+enum class Scale { kSmoke, kReduced, kFull };
+Scale BenchScale();
+
+/// True when HYPPO_BENCH_SCALE=full (equivalent to
+/// BenchScale() == Scale::kFull).
 bool FullScale();
+
+/// Common command-line arguments shared by the bench binaries.
+struct BenchArgs {
+  /// Destination for the machine-readable results (--json <path>); empty
+  /// means text output only.
+  std::string json_path;
+};
+
+/// Parses `--json <path>`; unknown arguments are ignored so benches can
+/// layer their own flags on top.
+BenchArgs ParseBenchArgs(int argc, char** argv);
+
+/// \brief Accumulates bench measurements and serializes them as a single
+/// JSON document:
+///   {"bench": <name>, "scale": <scale>, "sections": [
+///     {"section": <s>, "rows": [{...}, ...]}, ...]}
+/// Row values keep insertion order. Non-finite doubles serialize as null.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string bench_name);
+
+  class Row {
+   public:
+    Row& Set(const std::string& key, double value);
+    Row& Set(const std::string& key, const std::string& value);
+
+   private:
+    friend class JsonWriter;
+    // (key, encoded JSON value) in insertion order.
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  /// Appends a row to `section` (sections appear in first-use order).
+  /// The reference stays valid for the writer's lifetime.
+  Row& AddRow(const std::string& section);
+
+  /// Writes the document to `path`; no-op when `path` is empty.
+  /// Returns false (after printing a diagnostic) if the file cannot be
+  /// written.
+  bool WriteTo(const std::string& path) const;
+
+ private:
+  struct Section {
+    std::string name;
+    std::deque<Row> rows;  // deque: AddRow references must stay stable
+  };
+
+  std::string bench_name_;
+  std::deque<Section> sections_;
+};
 
 /// Prints a banner naming the experiment and which paper artifact it
 /// regenerates.

@@ -9,6 +9,9 @@
 // scaler's).
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "common/string_util.h"
 #include "core/hyppo.h"
@@ -69,14 +72,36 @@ void PrintReport(const char* label,
 
 }  // namespace
 
-// An optional argument names a directory to save the session's catalog
-// into (history + materialized artifacts). `tools/hyppo_lint <dir>` can
-// then verify the saved history's invariants.
+// Usage: quickstart [--parallelism <n|auto>] [catalog-dir]
+//
+// --parallelism sets the worker-thread count for execution and for the
+// optimizer's parallel plan search ("auto" = all hardware threads). An
+// optional positional argument names a directory to save the session's
+// catalog into (history + materialized artifacts); `tools/hyppo_lint
+// <dir>` can then verify the saved history's invariants.
 int main(int argc, char** argv) {
   using hyppo::core::HyppoSystem;
 
   HyppoSystem::Options options;
   options.runtime.storage_budget_bytes = 8ll << 20;  // 8 MiB budget
+
+  const char* catalog_dir = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--parallelism") == 0 && i + 1 < argc) {
+      const std::string value = argv[++i];
+      options.runtime.parallelism =
+          value == "auto" ? hyppo::core::RuntimeOptions::DefaultParallelism()
+                          : std::atoi(value.c_str());
+      if (options.runtime.parallelism < 1) {
+        std::fprintf(stderr, "invalid --parallelism value '%s'\n",
+                     value.c_str());
+        return 1;
+      }
+    } else {
+      catalog_dir = argv[i];
+    }
+  }
+
   HyppoSystem system(options);
 
   // Register the (synthetic) HIGGS dataset the pipelines load.
@@ -101,9 +126,9 @@ int main(int argc, char** argv) {
       "came back from storage, and the tfl scaler's artifacts were\n"
       "recognized as equivalent to the materialized skl ones.\n",
       report2->tasks_executed);
-  if (argc > 1) {
-    system.runtime().SaveCatalog(argv[1]).Abort("save catalog");
-    std::printf("catalog saved to %s\n", argv[1]);
+  if (catalog_dir != nullptr) {
+    system.runtime().SaveCatalog(catalog_dir).Abort("save catalog");
+    std::printf("catalog saved to %s\n", catalog_dir);
   }
   return 0;
 }

@@ -1,0 +1,45 @@
+#ifndef HYPPO_COMMON_OBJECT_POOL_H_
+#define HYPPO_COMMON_OBJECT_POOL_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace hyppo {
+
+/// \brief Free list of reusable objects for allocation-heavy loops.
+///
+/// Objects that own heap buffers (vectors, strings) keep their capacity
+/// across Release/Acquire cycles, so a steady-state search loop stops
+/// hitting the allocator entirely: the plan generator recycles its
+/// per-state visited-bitsets and edge lists through one of these instead
+/// of copying fresh vectors on every expansion.
+///
+/// NOT thread-safe by design — each search worker owns a private pool.
+template <typename T>
+class ObjectPool {
+ public:
+  /// Returns a recycled object (with arbitrary previous contents — the
+  /// caller must overwrite every field) or a default-constructed one.
+  T Acquire() {
+    if (free_list_.empty()) {
+      return T{};
+    }
+    T object = std::move(free_list_.back());
+    free_list_.pop_back();
+    return object;
+  }
+
+  /// Returns an object to the pool; its heap buffers stay allocated.
+  void Release(T&& object) { free_list_.push_back(std::move(object)); }
+
+  /// Number of objects currently parked in the free list.
+  size_t available() const { return free_list_.size(); }
+
+ private:
+  std::vector<T> free_list_;
+};
+
+}  // namespace hyppo
+
+#endif  // HYPPO_COMMON_OBJECT_POOL_H_

@@ -1,0 +1,95 @@
+#ifndef HYPPO_COMMON_SHARDED_TABLE_H_
+#define HYPPO_COMMON_SHARDED_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace hyppo {
+
+/// \brief Concurrent best-value-per-key map, sharded by key hash.
+///
+/// The table stores the FULL key: probes that collide on the hash land in
+/// the same shard and bucket but are disambiguated by `Eq`, so two
+/// distinct keys can never alias each other's values. This is the
+/// soundness property the optimizer's dominance pruning relies on — a
+/// 64-bit-signature map would silently merge colliding states and could
+/// prune a cheaper optimal plan.
+///
+/// `Hash`/`Eq` may be transparent (expose `is_transparent`); heterogeneous
+/// probes then avoid materializing a `Key` until the first insertion,
+/// which keeps the dominance fast path allocation-free. With transparent
+/// functors `Key` must be explicitly constructible from the probe type.
+///
+/// Improve/GetOr are safe to call concurrently; shard count is rounded up
+/// to a power of two.
+template <typename Key, typename Hash = std::hash<Key>,
+          typename Eq = std::equal_to<Key>>
+class ShardedMinTable {
+ public:
+  explicit ShardedMinTable(int num_shards = 1) {
+    size_t shards = 1;
+    while (shards < static_cast<size_t>(num_shards < 1 ? 1 : num_shards)) {
+      shards <<= 1;
+    }
+    mask_ = shards - 1;
+    shards_ = std::make_unique<Shard[]>(shards);
+  }
+
+  /// Insert-or-lower: records `value` for `key` unless an equivalent key
+  /// already holds a value <= `value`, in which case the probe is
+  /// dominated and false is returned.
+  template <typename K>
+  bool Improve(const K& key, double value) {
+    Shard& shard = shards_[Hash{}(key)&mask_];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      shard.map.emplace(Key(key), value);
+      return true;
+    }
+    if (it->second <= value) {
+      return false;
+    }
+    it->second = value;
+    return true;
+  }
+
+  /// Best recorded value for `key`, or `fallback` if absent.
+  template <typename K>
+  double GetOr(const K& key, double fallback) const {
+    const Shard& shard = shards_[Hash{}(key)&mask_];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    return it == shard.map.end() ? fallback : it->second;
+  }
+
+  /// Total number of distinct keys across all shards.
+  int64_t size() const {
+    int64_t total = 0;
+    for (size_t s = 0; s <= mask_; ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s].mutex);
+      total += static_cast<int64_t>(shards_[s].map.size());
+    }
+    return total;
+  }
+
+  int num_shards() const { return static_cast<int>(mask_ + 1); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, double, Hash, Eq> map;
+  };
+
+  std::unique_ptr<Shard[]> shards_;
+  size_t mask_ = 0;
+};
+
+}  // namespace hyppo
+
+#endif  // HYPPO_COMMON_SHARDED_TABLE_H_

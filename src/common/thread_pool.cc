@@ -1,8 +1,27 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace hyppo {
+
+namespace {
+
+// Identifies the pool (if any) whose WorkerLoop is running on this thread,
+// so Submit/Wait can detect re-entrant use (see the class comment).
+thread_local const ThreadPool* current_worker_pool = nullptr;
+
+[[noreturn]] void FatalReentrancy(const char* what) {
+  std::fprintf(stderr,
+               "ThreadPool::%s called from a worker thread of the same "
+               "pool; the pool is not re-entrant (this would deadlock via "
+               "Wait). Aborting.\n",
+               what);
+  std::abort();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   const int count = std::max(1, num_threads);
@@ -23,7 +42,14 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+bool ThreadPool::InWorkerThread() const {
+  return current_worker_pool == this;
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
+  if (InWorkerThread()) {
+    FatalReentrancy("Submit");
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
@@ -33,11 +59,15 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
+  if (InWorkerThread()) {
+    FatalReentrancy("Wait");
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   all_idle_.wait(lock, [this]() { return in_flight_ == 0; });
 }
 
 void ThreadPool::WorkerLoop() {
+  current_worker_pool = this;
   while (true) {
     std::function<void()> task;
     {

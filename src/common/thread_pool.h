@@ -13,10 +13,19 @@ namespace hyppo {
 
 /// \brief Fixed-size worker pool for executing independent tasks.
 ///
-/// Used by the parallel plan executor: hyperedges whose inputs are all
-/// available form a wave and run concurrently. Submit() enqueues work;
-/// Wait() blocks until every submitted task has finished. The pool is not
-/// re-entrant (tasks must not Submit).
+/// Used by the parallel plan executor (hyperedges whose inputs are all
+/// available form a wave and run concurrently) and by the parallel
+/// plan-search engine (one long-lived cooperating worker loop per
+/// thread). Submit() enqueues work; Wait() blocks until every submitted
+/// task has finished.
+///
+/// The pool is NOT re-entrant: a task running on a pool worker must not
+/// call Submit() or Wait() on the same pool. Wait() from a worker is a
+/// guaranteed deadlock (the waiting task itself counts as in-flight, so
+/// the idle condition can never be reached), and Submit() from a worker
+/// is one Wait() away from the same deadlock. Both calls abort with a
+/// diagnostic instead of hanging; nest a second ThreadPool if a task
+/// genuinely needs helpers.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers (at least 1).
@@ -26,11 +35,17 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task.
+  /// Enqueues a task. Must not be called from a worker of this pool
+  /// (aborts — see the class comment).
   void Submit(std::function<void()> task);
 
-  /// Blocks until the queue is drained and all workers are idle.
+  /// Blocks until the queue is drained and all workers are idle. Must not
+  /// be called from a worker of this pool (aborts — see the class
+  /// comment).
   void Wait();
+
+  /// True when the calling thread is one of this pool's workers.
+  bool InWorkerThread() const;
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 

@@ -1,13 +1,18 @@
 #include "core/optimizer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
 #include <limits>
-#include <map>
-#include <queue>
+#include <mutex>
+#include <thread>
 
 #include "analysis/graph_checks.h"
 #include "common/hash.h"
+#include "common/object_pool.h"
+#include "common/sharded_table.h"
+#include "common/thread_pool.h"
 #include "hypergraph/algorithms.h"
 
 namespace hyppo::core {
@@ -15,11 +20,16 @@ namespace hyppo::core {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kCostEps = 1e-15;
+
+using LowerBounds = PlanGenerator::LowerBounds;
+using SearchStats = PlanGenerator::SearchStats;
+using Strategy = PlanGenerator::Strategy;
 
 // An incomplete plan (paper: Π with cost, visited, frontier, plan edges).
 struct Partial {
   double cost = 0.0;
-  double priority = 0.0;  // cost + heuristic (A*), else cost
+  double priority = 0.0;  // admissible lower bound on completion, else cost
   std::vector<uint64_t> visited;  // bitset over augmentation nodes
   std::vector<NodeId> frontier;   // sorted; never contains the source
   std::vector<EdgeId> edges;
@@ -36,79 +46,102 @@ void SetBit(std::vector<uint64_t>& bits, NodeId node) {
       uint64_t{1} << (static_cast<size_t>(node) & 63);
 }
 
-uint64_t StateSignature(const Partial& partial) {
+// Full dominance key: two partial plans are interchangeable (up to cost)
+// exactly when they agree on BOTH the visited set and the frontier. The
+// dominance table stores this full state — a bare 64-bit hash would merge
+// colliding states and could prune a cheaper optimal plan.
+struct StateKey {
+  std::vector<uint64_t> visited;
+  std::vector<NodeId> frontier;
+
+  StateKey() = default;
+  explicit StateKey(const Partial& p)
+      : visited(p.visited), frontier(p.frontier) {}
+  bool operator==(const StateKey& other) const = default;
+};
+
+uint64_t StateSignature(const std::vector<uint64_t>& visited,
+                        const std::vector<NodeId>& frontier) {
   uint64_t hash = 0x9e3779b97f4a7c15ULL;
-  for (uint64_t word : partial.visited) {
+  for (uint64_t word : visited) {
     hash = HashCombine(hash, word);
   }
-  for (NodeId v : partial.frontier) {
+  for (NodeId v : frontier) {
     hash = HashCombine(hash, static_cast<uint64_t>(v) + 1);
   }
   return hash;
 }
 
-// Admissible lower bound on the cost of completing a partial plan:
-// dist(v) = min over incoming edges e of w(e) + max over non-source tail
-// nodes of dist(u). Any plan deriving v pays at least dist(v); a partial
-// plan must still derive every frontier node, and the max over them is a
-// valid joint lower bound (shared sub-derivations prevent summing).
-std::vector<double> ComputeLowerBounds(const Augmentation& aug) {
-  const Hypergraph& graph = aug.graph.hypergraph();
-  const NodeId source = aug.graph.source();
-  std::vector<double> dist(static_cast<size_t>(graph.num_nodes()), kInf);
-  dist[static_cast<size_t>(source)] = 0.0;
-  // Fixed-point iteration; converges in at most the longest-path length.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (EdgeId e = 0; e < graph.num_edge_slots(); ++e) {
-      if (!graph.IsLiveEdge(e)) {
-        continue;
-      }
-      double tail_max = 0.0;
-      for (NodeId u : graph.edge(e).tail) {
-        if (u == source) {
-          continue;
-        }
-        tail_max = std::max(tail_max, dist[static_cast<size_t>(u)]);
-        if (tail_max == kInf) {
-          break;
-        }
-      }
-      if (tail_max == kInf) {
-        continue;
-      }
-      const double through = aug.edge_weight[static_cast<size_t>(e)] + tail_max;
-      for (NodeId h : graph.edge(e).head) {
-        if (through < dist[static_cast<size_t>(h)]) {
-          dist[static_cast<size_t>(h)] = through;
-          changed = true;
-        }
-      }
-    }
+// Transparent hash/equality: dominance probes pass the Partial itself and
+// only materialize a StateKey (two vector copies) on first insertion.
+struct StateHash {
+  using is_transparent = void;
+  size_t operator()(const StateKey& k) const {
+    return static_cast<size_t>(StateSignature(k.visited, k.frontier));
   }
-  return dist;
+  size_t operator()(const Partial& p) const {
+    return static_cast<size_t>(StateSignature(p.visited, p.frontier));
+  }
+};
+
+struct StateEq {
+  using is_transparent = void;
+  bool operator()(const StateKey& a, const StateKey& b) const {
+    return a.visited == b.visited && a.frontier == b.frontier;
+  }
+  bool operator()(const StateKey& a, const Partial& b) const {
+    return a.visited == b.visited && a.frontier == b.frontier;
+  }
+  bool operator()(const Partial& a, const StateKey& b) const {
+    return a.visited == b.visited && a.frontier == b.frontier;
+  }
+  bool operator()(const Partial& a, const Partial& b) const {
+    return a.visited == b.visited && a.frontier == b.frontier;
+  }
+};
+
+using DominanceTable = ShardedMinTable<StateKey, StateHash, StateEq>;
+
+// Admissible priority (lower bound on the final cost of any completion):
+//   max( cost + max_{v in frontier} min_incoming(v),
+//        max_{v in frontier} derive_cost(v) ).
+// The first term is sound because every frontier node still needs at least
+// one more edge that the partial has not paid for (and one edge can cover
+// several frontier nodes, hence max, not sum). The second is sound because
+// the final plan contains a full B-derivation of each frontier node, which
+// costs at least derive_cost(v) — but it must NOT be added to `cost`: the
+// partial may already have paid for parts of that derivation (visited
+// tails), and cost + derive_cost would double-count them. The previous A*
+// heuristic made exactly that mistake and could prune the optimum
+// (regression-tested in optimizer_parallel_test.cc).
+double AdmissiblePriority(const Partial& p, const LowerBounds& lb) {
+  double final_edge = 0.0;
+  double total = p.cost;
+  for (NodeId v : p.frontier) {
+    final_edge = std::max(final_edge, lb.min_incoming[static_cast<size_t>(v)]);
+    total = std::max(total, lb.derive_cost[static_cast<size_t>(v)]);
+  }
+  return std::max(p.cost + final_edge, total);
 }
 
-double HeuristicFor(const Partial& partial,
-                    const std::vector<double>& lower_bounds) {
-  double h = 0.0;
-  for (NodeId v : partial.frontier) {
-    h = std::max(h, lower_bounds[static_cast<size_t>(v)]);
-  }
-  return h == kInf ? 0.0 : h;
+bool WorsePriority(const Partial& a, const Partial& b) {
+  return a.priority > b.priority;
 }
 
 // Applies one move (a set of hyperedges, one per frontier node) to a
-// partial plan — the body of EXPAND (Algorithm 2, lines 6-14).
-Partial ApplyMove(const Augmentation& aug, const Partial& base,
-                  const std::vector<EdgeId>& move, NodeId source) {
-  Partial next;
+// partial plan — the body of EXPAND (Algorithm 2, lines 6-14). Writes into
+// `next` (typically recycled from an ObjectPool, so its vectors keep their
+// capacity and the steady-state search stops allocating).
+void ApplyMoveInto(const Augmentation& aug, const Partial& base,
+                   const std::vector<EdgeId>& move, NodeId source,
+                   std::vector<NodeId>& scratch, Partial& next) {
   next.cost = base.cost;
+  next.priority = 0.0;
   next.visited = base.visited;
   next.edges = base.edges;
+  next.frontier.clear();
+  scratch.clear();
   const Hypergraph& graph = aug.graph.hypergraph();
-  std::vector<NodeId> frontier_candidates;
   for (EdgeId e : move) {
     const Hyperedge& edge = graph.edge(e);
     bool contributes = false;
@@ -128,12 +161,12 @@ Partial ApplyMove(const Augmentation& aug, const Partial& base,
     next.edges.push_back(e);
     for (NodeId u : edge.tail) {
       if (u != source && !TestBit(next.visited, u)) {
-        frontier_candidates.push_back(u);
+        scratch.push_back(u);
       }
     }
   }
   // Candidates may have become visited by a later edge in the same move.
-  for (NodeId u : frontier_candidates) {
+  for (NodeId u : scratch) {
     if (!TestBit(next.visited, u)) {
       next.frontier.push_back(u);
     }
@@ -142,14 +175,15 @@ Partial ApplyMove(const Augmentation& aug, const Partial& base,
   next.frontier.erase(
       std::unique(next.frontier.begin(), next.frontier.end()),
       next.frontier.end());
-  return next;
 }
 
 // Enumerates the cross product of backward-star options over the frontier
-// (Algorithm 2, lines 2-5) and invokes `emit` per move.
-template <typename Emit>
+// (Algorithm 2, lines 2-5) and invokes `emit` per move. `take_budget` is
+// charged once per move; returning false aborts the enumeration (budget
+// exhausted).
+template <typename Budget, typename Emit>
 bool ForEachMove(const Augmentation& aug, const Partial& partial,
-                 int64_t* budget, const Emit& emit) {
+                 Budget&& take_budget, const Emit& emit) {
   const Hypergraph& graph = aug.graph.hypergraph();
   const size_t k = partial.frontier.size();
   std::vector<const std::vector<EdgeId>*> options(k);
@@ -162,7 +196,7 @@ bool ForEachMove(const Augmentation& aug, const Partial& partial,
   std::vector<size_t> index(k, 0);
   std::vector<EdgeId> move;
   while (true) {
-    if (--(*budget) < 0) {
+    if (!take_budget()) {
       return false;
     }
     move.clear();
@@ -239,6 +273,287 @@ Partial MakeInitialPartial(const Augmentation& aug,
   return initial;
 }
 
+int ResolveNumThreads(int num_threads) {
+  if (num_threads > 0) {
+    return num_threads;
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
+// True when the search for `options` runs on the parallel engine.
+bool UsesParallelEngine(const PlanGenerator::Options& options) {
+  if (options.strategy == Strategy::kParallel) {
+    return true;
+  }
+  return (options.strategy == Strategy::kPriority ||
+          options.strategy == Strategy::kAStar) &&
+         ResolveNumThreads(options.num_threads) > 1;
+}
+
+bool NeedsLowerBounds(const PlanGenerator::Options& options) {
+  return options.strategy == Strategy::kAStar || UsesParallelEngine(options);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel best-first engine: N cooperating workers, each with a private
+// open list (binary heap) and state pool, sharing (a) an atomic incumbent
+// upper bound for pruning, (b) a sharded full-state dominance table, and
+// (c) a global heap used both to seed idle workers and to redistribute
+// load. Exhaustive branch-and-bound: every state below the incumbent bound
+// is expanded eventually, so the returned plan is optimal regardless of
+// interleaving.
+class ParallelSearch {
+ public:
+  ParallelSearch(const Augmentation& aug, const std::vector<NodeId>& targets,
+                 const PlanGenerator::Options& options, const LowerBounds& lb,
+                 int num_threads)
+      : aug_(aug),
+        graph_(aug.graph.hypergraph()),
+        source_(aug.graph.source()),
+        sources_{aug.graph.source()},
+        targets_(targets),
+        lb_(lb),
+        num_threads_(num_threads),
+        dominance_(4 * num_threads),
+        budget_(options.max_expansions) {}
+
+  Result<Partial> Run(Partial initial, SearchStats& st) {
+    initial.priority = AdmissiblePriority(initial, lb_);
+    outstanding_.store(1, std::memory_order_relaxed);
+    global_.push_back(std::move(initial));
+    {
+      ThreadPool pool(num_threads_);
+      for (int i = 0; i < num_threads_; ++i) {
+        pool.Submit([this]() { Worker(); });
+      }
+      pool.Wait();
+    }
+    st.threads_used = num_threads_;
+    st.plans_examined += plans_examined_.load(std::memory_order_relaxed);
+    st.expansions += expansions_.load(std::memory_order_relaxed);
+    st.pruned_by_bound += pruned_by_bound_.load(std::memory_order_relaxed);
+    st.pruned_by_dominance +=
+        pruned_by_dominance_.load(std::memory_order_relaxed);
+    if (out_of_budget_.load(std::memory_order_relaxed)) {
+      return Status::ResourceExhausted(
+          "plan search exceeded the expansion budget");
+    }
+    if (!found_) {
+      return Status::FailedPrecondition(
+          "no executable plan connects the source to the targets");
+    }
+    return std::move(best_);
+  }
+
+ private:
+  // Budget grants are taken from the shared counter in chunks so workers
+  // do not contend on it per move. Unused remainders of a grant are not
+  // returned, so the engine may stop up to (threads-1)*kBudgetChunk moves
+  // early — max_expansions is a safety valve, not an exact quota.
+  static constexpr int64_t kBudgetChunk = 4096;
+
+  void FinishOne() {
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Pair the notification with the queue mutex so a worker checking
+      // the wait predicate cannot miss it.
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      work_available_.notify_all();
+    }
+  }
+
+  void RecordComplete(const Partial& p) {
+    // Guard: accept only executable plans (cycle-safety; see DESIGN.md).
+    if (!IsValidPlan(graph_, p.edges, sources_, targets_)) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(best_mutex_);
+    if (p.cost < best_cost_) {
+      best_cost_ = p.cost;
+      best_ = p;
+      found_ = true;
+      // Published for lock-free pruning reads; monotone non-increasing
+      // because every store happens under best_mutex_.
+      bound_.store(p.cost, std::memory_order_release);
+    }
+  }
+
+  void Worker() {
+    std::vector<Partial> local;  // binary min-heap on priority
+    ObjectPool<Partial> pool;
+    std::vector<NodeId> scratch;
+    int64_t budget_grant = 0;
+    int64_t examined = 0;
+    int64_t expansions = 0;
+    int64_t pruned_bound = 0;
+    int64_t pruned_dominance = 0;
+
+    auto take_budget = [&]() -> bool {
+      if (budget_grant > 0) {
+        --budget_grant;
+        return true;
+      }
+      const int64_t before =
+          budget_.fetch_sub(kBudgetChunk, std::memory_order_relaxed);
+      if (before <= 0) {
+        return false;
+      }
+      budget_grant = std::min(before, kBudgetChunk) - 1;
+      return true;
+    };
+
+    auto flush_stats = [&]() {
+      plans_examined_.fetch_add(examined, std::memory_order_relaxed);
+      expansions_.fetch_add(expansions, std::memory_order_relaxed);
+      pruned_by_bound_.fetch_add(pruned_bound, std::memory_order_relaxed);
+      pruned_by_dominance_.fetch_add(pruned_dominance,
+                                     std::memory_order_relaxed);
+    };
+
+    while (true) {
+      if (local.empty()) {
+        std::unique_lock<std::mutex> lock(queue_mutex_);
+        idle_.fetch_add(1, std::memory_order_release);
+        work_available_.wait(lock, [this]() {
+          return !global_.empty() ||
+                 outstanding_.load(std::memory_order_acquire) == 0 ||
+                 out_of_budget_.load(std::memory_order_acquire);
+        });
+        idle_.fetch_sub(1, std::memory_order_release);
+        if (out_of_budget_.load(std::memory_order_acquire) ||
+            (global_.empty() &&
+             outstanding_.load(std::memory_order_acquire) == 0)) {
+          flush_stats();
+          return;
+        }
+        // Take a batch of the globally best states.
+        const size_t batch = std::max<size_t>(
+            1, global_.size() / static_cast<size_t>(num_threads_));
+        for (size_t i = 0; i < batch && !global_.empty(); ++i) {
+          std::pop_heap(global_.begin(), global_.end(), WorsePriority);
+          local.push_back(std::move(global_.back()));
+          global_.pop_back();
+        }
+        std::make_heap(local.begin(), local.end(), WorsePriority);
+        continue;
+      }
+
+      std::pop_heap(local.begin(), local.end(), WorsePriority);
+      Partial current = std::move(local.back());
+      local.pop_back();
+      ++examined;
+
+      const double bound = bound_.load(std::memory_order_acquire);
+      if (current.priority >= bound) {
+        // The local heap pops its minimum: every remaining local state is
+        // at least as expensive and can be discarded wholesale (the
+        // parallel analogue of the serial early exit).
+        pruned_bound += 1 + static_cast<int64_t>(local.size());
+        pool.Release(std::move(current));
+        FinishOne();
+        for (Partial& p : local) {
+          pool.Release(std::move(p));
+          FinishOne();
+        }
+        local.clear();
+        continue;
+      }
+      if (current.frontier.empty()) {
+        RecordComplete(current);
+        pool.Release(std::move(current));
+        FinishOne();
+        continue;
+      }
+      // A strictly better same-state plan was recorded since this state
+      // was pushed.
+      if (dominance_.GetOr(current, kInf) < current.cost - kCostEps) {
+        ++pruned_dominance;
+        pool.Release(std::move(current));
+        FinishOne();
+        continue;
+      }
+
+      ++expansions;
+      const bool within_budget = ForEachMove(
+          aug_, current, take_budget, [&](const std::vector<EdgeId>& move) {
+            Partial next = pool.Acquire();
+            ApplyMoveInto(aug_, current, move, source_, scratch, next);
+            next.priority = AdmissiblePriority(next, lb_);
+            if (next.priority >= bound_.load(std::memory_order_relaxed)) {
+              ++pruned_bound;
+              pool.Release(std::move(next));
+              return;
+            }
+            if (!dominance_.Improve(next, next.cost)) {
+              ++pruned_dominance;
+              pool.Release(std::move(next));
+              return;
+            }
+            outstanding_.fetch_add(1, std::memory_order_acq_rel);
+            local.push_back(std::move(next));
+            std::push_heap(local.begin(), local.end(), WorsePriority);
+          });
+      pool.Release(std::move(current));
+      if (!within_budget) {
+        {
+          std::lock_guard<std::mutex> lock(queue_mutex_);
+          out_of_budget_.store(true, std::memory_order_release);
+          work_available_.notify_all();
+        }
+        flush_stats();
+        return;
+      }
+
+      // Shed load while peers are starved: hand the trailing half of the
+      // local heap (its leaves — removing a suffix keeps the heap valid)
+      // to the global heap and wake everyone.
+      if (local.size() > 1 &&
+          idle_.load(std::memory_order_acquire) > 0) {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        const size_t share = local.size() / 2;
+        for (size_t i = 0; i < share; ++i) {
+          global_.push_back(std::move(local.back()));
+          local.pop_back();
+          std::push_heap(global_.begin(), global_.end(), WorsePriority);
+        }
+        work_available_.notify_all();
+      }
+      FinishOne();
+    }
+  }
+
+  const Augmentation& aug_;
+  const Hypergraph& graph_;
+  const NodeId source_;
+  const std::vector<NodeId> sources_;
+  const std::vector<NodeId>& targets_;
+  const LowerBounds& lb_;
+  const int num_threads_;
+
+  DominanceTable dominance_;
+  std::atomic<int64_t> budget_;
+  // Incumbent upper bound, mirrored from best_cost_ for lock-free reads.
+  std::atomic<double> bound_{kInf};
+  std::mutex best_mutex_;
+  double best_cost_ = kInf;
+  Partial best_;
+  bool found_ = false;
+
+  // States alive anywhere (global heap + local heaps + being expanded);
+  // zero means the search space is exhausted.
+  std::atomic<int64_t> outstanding_{0};
+  std::atomic<bool> out_of_budget_{false};
+  std::atomic<int> idle_{0};
+  std::mutex queue_mutex_;
+  std::condition_variable work_available_;
+  std::vector<Partial> global_;  // binary min-heap on priority
+
+  std::atomic<int64_t> plans_examined_{0};
+  std::atomic<int64_t> expansions_{0};
+  std::atomic<int64_t> pruned_by_bound_{0};
+  std::atomic<int64_t> pruned_by_dominance_{0};
+};
+
 }  // namespace
 
 const char* PlanGenerator::StrategyToString(Strategy strategy) {
@@ -251,8 +566,65 @@ const char* PlanGenerator::StrategyToString(Strategy strategy) {
       return "HYPPO-GREEDY";
     case Strategy::kAStar:
       return "HYPPO-ASTAR";
+    case Strategy::kParallel:
+      return "HYPPO-PARALLEL";
   }
   return "unknown";
+}
+
+PlanGenerator::LowerBounds PlanGenerator::ComputeLowerBounds(
+    const Augmentation& aug) {
+  const Hypergraph& graph = aug.graph.hypergraph();
+  const NodeId source = aug.graph.source();
+  LowerBounds lb;
+  lb.derive_cost.assign(static_cast<size_t>(graph.num_nodes()), kInf);
+  lb.min_incoming.assign(static_cast<size_t>(graph.num_nodes()), kInf);
+  lb.derive_cost[static_cast<size_t>(source)] = 0.0;
+  lb.min_incoming[static_cast<size_t>(source)] = 0.0;
+  for (EdgeId e = 0; e < graph.num_edge_slots(); ++e) {
+    if (!graph.IsLiveEdge(e)) {
+      continue;
+    }
+    const double weight = aug.edge_weight[static_cast<size_t>(e)];
+    for (NodeId h : graph.edge(e).head) {
+      lb.min_incoming[static_cast<size_t>(h)] =
+          std::min(lb.min_incoming[static_cast<size_t>(h)], weight);
+    }
+  }
+  // dist(v) = min over incoming edges e of w(e) + max over non-source tail
+  // nodes of dist(u): a lower bound on any B-derivation of v (max instead
+  // of sum over the tail underestimates). Fixed-point iteration; converges
+  // in at most the longest-path length.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (EdgeId e = 0; e < graph.num_edge_slots(); ++e) {
+      if (!graph.IsLiveEdge(e)) {
+        continue;
+      }
+      double tail_max = 0.0;
+      for (NodeId u : graph.edge(e).tail) {
+        if (u == source) {
+          continue;
+        }
+        tail_max = std::max(tail_max, lb.derive_cost[static_cast<size_t>(u)]);
+        if (tail_max == kInf) {
+          break;
+        }
+      }
+      if (tail_max == kInf) {
+        continue;
+      }
+      const double through = aug.edge_weight[static_cast<size_t>(e)] + tail_max;
+      for (NodeId h : graph.edge(e).head) {
+        if (through < lb.derive_cost[static_cast<size_t>(h)]) {
+          lb.derive_cost[static_cast<size_t>(h)] = through;
+          changed = true;
+        }
+      }
+    }
+  }
+  return lb;
 }
 
 Status VerifyPlanStructure(const Augmentation& aug,
@@ -283,7 +655,8 @@ Result<Plan> PlanGenerator::Optimize(const Augmentation& aug,
 
 Result<Plan> PlanGenerator::OptimizeForTargets(
     const Augmentation& aug, const std::vector<NodeId>& targets,
-    const Options& options, SearchStats* stats) const {
+    const Options& options, SearchStats* stats,
+    const LowerBounds* bounds) const {
   if (targets.empty()) {
     return Status::InvalidArgument("no target artifacts");
   }
@@ -297,38 +670,35 @@ Result<Plan> PlanGenerator::OptimizeForTargets(
   SearchStats local_stats;
   SearchStats& st = stats != nullptr ? *stats : local_stats;
 
-  Augmentation const* aug_ptr = &aug;
   Partial initial;
-  {
-    Augmentation targeted;  // only used to reuse MakeInitialPartial
-    PlanGenerator::Options init_options = options;
-    if (&targets != &aug.targets) {
-      // Build the initial partial from the requested targets.
-      Partial p;
-      p.visited.assign((static_cast<size_t>(graph.num_nodes()) + 63) / 64, 0);
-      p.frontier = targets;
-      std::sort(p.frontier.begin(), p.frontier.end());
-      p.frontier.erase(std::unique(p.frontier.begin(), p.frontier.end()),
-                       p.frontier.end());
-      initial = std::move(p);
-    } else {
-      initial = MakeInitialPartial(aug, init_options);
-    }
-    (void)targeted;
+  if (&targets != &aug.targets) {
+    // Build the initial partial from the requested targets.
+    initial.visited.assign(
+        (static_cast<size_t>(graph.num_nodes()) + 63) / 64, 0);
+    initial.frontier = targets;
+    std::sort(initial.frontier.begin(), initial.frontier.end());
+    initial.frontier.erase(
+        std::unique(initial.frontier.begin(), initial.frontier.end()),
+        initial.frontier.end());
+  } else {
+    initial = MakeInitialPartial(aug, options);
   }
 
-  std::vector<double> lower_bounds;
-  if (options.strategy == Strategy::kAStar) {
-    lower_bounds = ComputeLowerBounds(aug);
-    initial.priority = initial.cost + HeuristicFor(initial, lower_bounds);
-  } else {
-    initial.priority = initial.cost;
+  // Lower bounds are target-independent; reuse the caller's when provided
+  // (OptimizePerTarget amortizes one fixed point across all its calls).
+  LowerBounds computed_bounds;
+  const LowerBounds* lb = bounds;
+  if (NeedsLowerBounds(options) && (lb == nullptr || lb->empty())) {
+    computed_bounds = ComputeLowerBounds(aug);
+    lb = &computed_bounds;
   }
 
   // Greedy variant: follow the minimum-weight edge per frontier node;
   // each node is expanded at most once (linear time).
   if (options.strategy == Strategy::kGreedy) {
     Partial current = std::move(initial);
+    std::vector<NodeId> scratch;
+    ObjectPool<Partial> pool;
     while (!current.frontier.empty()) {
       std::vector<EdgeId> move;
       for (NodeId v : current.frontier) {
@@ -348,11 +718,13 @@ Result<Plan> PlanGenerator::OptimizeForTargets(
       }
       std::sort(move.begin(), move.end());
       move.erase(std::unique(move.begin(), move.end()), move.end());
-      Partial next = ApplyMove(*aug_ptr, current, move, source);
+      Partial next = pool.Acquire();
+      ApplyMoveInto(aug, current, move, source, scratch, next);
       ++st.expansions;
       if (next.frontier == current.frontier) {
         return Status::Internal("greedy search made no progress");
       }
+      pool.Release(std::move(current));
       current = std::move(next);
     }
     Plan plan;
@@ -367,132 +739,157 @@ Result<Plan> PlanGenerator::OptimizeForTargets(
     return plan;
   }
 
-  double best_cost = kInf;
-  Partial best_plan;
-  bool found = false;
-  int64_t budget = options.max_expansions;
-  std::map<uint64_t, double> dominance;
-  // With dominance pruning on, states are also filtered at insertion time;
-  // this bounds the frontier containers' memory, which would otherwise
-  // balloon on alternative-rich augmentations before the expansion budget
-  // triggers.
-  auto dominated_at_push = [&](const Partial& p) {
-    if (!options.dominance_pruning) {
-      return false;
+  Result<Partial> best = [&]() -> Result<Partial> {
+    if (UsesParallelEngine(options)) {
+      const int threads = ResolveNumThreads(options.num_threads);
+      ParallelSearch engine(aug, targets, options, *lb, threads);
+      return engine.Run(std::move(initial), st);
     }
-    const uint64_t signature = StateSignature(p);
-    auto [it, inserted] = dominance.emplace(signature, p.cost);
-    if (!inserted) {
-      if (it->second <= p.cost) {
+
+    const bool use_astar = options.strategy == Strategy::kAStar;
+    initial.priority =
+        use_astar ? AdmissiblePriority(initial, *lb) : initial.cost;
+
+    double best_cost = kInf;
+    Partial best_plan;
+    bool found = false;
+    int64_t budget = options.max_expansions;
+    auto take_budget = [&budget]() { return --budget >= 0; };
+    // Full-state dominance (single shard: the serial engines are
+    // single-threaded, so the shard mutex is uncontended). With dominance
+    // pruning on, states are also filtered at insertion time; this bounds
+    // the open containers' memory, which would otherwise balloon on
+    // alternative-rich augmentations before the expansion budget triggers.
+    DominanceTable dominance(1);
+    auto dominated_at_push = [&](const Partial& p) {
+      if (!options.dominance_pruning) {
+        return false;
+      }
+      if (!dominance.Improve(p, p.cost)) {
         ++st.pruned_by_dominance;
         return true;
       }
-      it->second = p.cost;
-    }
-    return false;
-  };
-
-  auto is_complete = [](const Partial& p) { return p.frontier.empty(); };
-  auto consider_complete = [&](const Partial& p) {
-    // Guard: accept only executable plans (cycle-safety; see DESIGN.md).
-    if (p.cost < best_cost &&
-        IsValidPlan(graph, p.edges, {source}, targets)) {
-      best_cost = p.cost;
-      best_plan = p;
-      found = true;
-    }
-  };
-
-  if (options.strategy == Strategy::kStack) {
-    std::vector<Partial> stack;
-    stack.push_back(std::move(initial));
-    while (!stack.empty()) {
-      Partial current = std::move(stack.back());
-      stack.pop_back();
-      ++st.plans_examined;
-      if (current.cost >= best_cost) {
-        ++st.pruned_by_bound;
-        continue;
-      }
-      if (is_complete(current)) {
-        consider_complete(current);
-        continue;
-      }
-      if (options.dominance_pruning) {
-        // A strictly better same-signature state was pushed since.
-        auto it = dominance.find(StateSignature(current));
-        if (it != dominance.end() && it->second < current.cost - 1e-15) {
-          ++st.pruned_by_dominance;
-          continue;
-        }
-      }
-      ++st.expansions;
-      const bool within_budget = ForEachMove(
-          aug, current, &budget, [&](const std::vector<EdgeId>& move) {
-            Partial next = ApplyMove(*aug_ptr, current, move, source);
-            if (next.cost >= best_cost) {
-              ++st.pruned_by_bound;
-            } else if (!dominated_at_push(next)) {
-              stack.push_back(std::move(next));
-            }
-          });
-      if (!within_budget) {
-        return Status::ResourceExhausted(
-            "plan search exceeded the expansion budget");
-      }
-    }
-  } else {  // kPriority / kAStar
-    auto by_priority = [](const Partial& a, const Partial& b) {
-      return a.priority > b.priority;
+      return false;
     };
-    std::priority_queue<Partial, std::vector<Partial>, decltype(by_priority)>
-        queue(by_priority);
-    queue.push(std::move(initial));
-    while (!queue.empty()) {
-      Partial current = queue.top();
-      queue.pop();
-      ++st.plans_examined;
-      if (current.priority >= best_cost) {
-        // Everything left is at least as expensive: done.
-        break;
+    // A strictly better same-state plan was pushed since.
+    auto dominated_at_pop = [&](const Partial& p) {
+      if (!options.dominance_pruning) {
+        return false;
       }
-      if (is_complete(current)) {
-        consider_complete(current);
-        continue;
+      if (dominance.GetOr(p, kInf) < p.cost - kCostEps) {
+        ++st.pruned_by_dominance;
+        return true;
       }
-      if (options.dominance_pruning) {
-        // A strictly better same-signature state was pushed since.
-        auto it = dominance.find(StateSignature(current));
-        if (it != dominance.end() && it->second < current.cost - 1e-15) {
-          ++st.pruned_by_dominance;
+      return false;
+    };
+    auto consider_complete = [&](const Partial& p) {
+      // Guard: accept only executable plans (cycle-safety; see DESIGN.md).
+      if (p.cost < best_cost &&
+          IsValidPlan(graph, p.edges, {source}, targets)) {
+        best_cost = p.cost;
+        best_plan = p;
+        found = true;
+      }
+    };
+
+    ObjectPool<Partial> pool;
+    std::vector<NodeId> scratch;
+
+    if (options.strategy == Strategy::kStack) {
+      std::vector<Partial> stack;
+      stack.push_back(std::move(initial));
+      while (!stack.empty()) {
+        Partial current = std::move(stack.back());
+        stack.pop_back();
+        ++st.plans_examined;
+        if (current.cost >= best_cost) {
+          ++st.pruned_by_bound;
+          pool.Release(std::move(current));
           continue;
         }
+        if (current.frontier.empty()) {
+          consider_complete(current);
+          pool.Release(std::move(current));
+          continue;
+        }
+        if (dominated_at_pop(current)) {
+          pool.Release(std::move(current));
+          continue;
+        }
+        ++st.expansions;
+        const bool within_budget = ForEachMove(
+            aug, current, take_budget, [&](const std::vector<EdgeId>& move) {
+              Partial next = pool.Acquire();
+              ApplyMoveInto(aug, current, move, source, scratch, next);
+              if (next.cost >= best_cost) {
+                ++st.pruned_by_bound;
+                pool.Release(std::move(next));
+              } else if (dominated_at_push(next)) {
+                pool.Release(std::move(next));
+              } else {
+                stack.push_back(std::move(next));
+              }
+            });
+        pool.Release(std::move(current));
+        if (!within_budget) {
+          return Status::ResourceExhausted(
+              "plan search exceeded the expansion budget");
+        }
       }
-      ++st.expansions;
-      const bool within_budget = ForEachMove(
-          aug, current, &budget, [&](const std::vector<EdgeId>& move) {
-            Partial next = ApplyMove(*aug_ptr, current, move, source);
-            next.priority =
-                options.strategy == Strategy::kAStar
-                    ? next.cost + HeuristicFor(next, lower_bounds)
-                    : next.cost;
-            if (next.priority >= best_cost) {
-              ++st.pruned_by_bound;
-            } else if (!dominated_at_push(next)) {
-              queue.push(std::move(next));
-            }
-          });
-      if (!within_budget) {
-        return Status::ResourceExhausted(
-            "plan search exceeded the expansion budget");
+    } else {  // kPriority / kAStar (serial)
+      std::vector<Partial> open;  // binary min-heap on priority
+      open.push_back(std::move(initial));
+      while (!open.empty()) {
+        std::pop_heap(open.begin(), open.end(), WorsePriority);
+        Partial current = std::move(open.back());
+        open.pop_back();
+        ++st.plans_examined;
+        if (current.priority >= best_cost) {
+          // Everything left is at least as expensive: done.
+          break;
+        }
+        if (current.frontier.empty()) {
+          consider_complete(current);
+          pool.Release(std::move(current));
+          continue;
+        }
+        if (dominated_at_pop(current)) {
+          pool.Release(std::move(current));
+          continue;
+        }
+        ++st.expansions;
+        const bool within_budget = ForEachMove(
+            aug, current, take_budget, [&](const std::vector<EdgeId>& move) {
+              Partial next = pool.Acquire();
+              ApplyMoveInto(aug, current, move, source, scratch, next);
+              next.priority =
+                  use_astar ? AdmissiblePriority(next, *lb) : next.cost;
+              if (next.priority >= best_cost) {
+                ++st.pruned_by_bound;
+                pool.Release(std::move(next));
+              } else if (dominated_at_push(next)) {
+                pool.Release(std::move(next));
+              } else {
+                open.push_back(std::move(next));
+                std::push_heap(open.begin(), open.end(), WorsePriority);
+              }
+            });
+        pool.Release(std::move(current));
+        if (!within_budget) {
+          return Status::ResourceExhausted(
+              "plan search exceeded the expansion budget");
+        }
       }
     }
-  }
 
-  if (!found) {
-    return Status::FailedPrecondition(
-        "no executable plan connects the source to the targets");
-  }
+    if (!found) {
+      return Status::FailedPrecondition(
+          "no executable plan connects the source to the targets");
+    }
+    return std::move(best_plan);
+  }();
+
+  HYPPO_ASSIGN_OR_RETURN(Partial best_plan, std::move(best));
   Plan plan;
   plan.edges = std::move(best_plan.edges);
   plan.cost = best_plan.cost;
@@ -511,12 +908,20 @@ Result<Plan> PlanGenerator::OptimizePerTarget(const Augmentation& aug,
   if (aug.targets.empty()) {
     return Status::InvalidArgument("no target artifacts");
   }
+  // One fixed point shared by every per-target search (the bounds do not
+  // depend on the targets).
+  LowerBounds shared_bounds;
+  const LowerBounds* lb = nullptr;
+  if (NeedsLowerBounds(options)) {
+    shared_bounds = ComputeLowerBounds(aug);
+    lb = &shared_bounds;
+  }
   Plan combined;
   std::vector<bool> in_plan(
       static_cast<size_t>(aug.graph.hypergraph().num_edge_slots()), false);
   for (NodeId target : aug.targets) {
     HYPPO_ASSIGN_OR_RETURN(
-        Plan single, OptimizeForTargets(aug, {target}, options, stats));
+        Plan single, OptimizeForTargets(aug, {target}, options, stats, lb));
     for (EdgeId e : single.edges) {
       if (!in_plan[static_cast<size_t>(e)]) {
         in_plan[static_cast<size_t>(e)] = true;

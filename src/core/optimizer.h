@@ -27,12 +27,17 @@ struct Plan {
 /// Implements Algorithm 1 (OPTIMIZE) with Algorithm 2 (EXPAND). The data
 /// structure Q is selectable: a LIFO stack (OPTIMIZE-STACK), a priority
 /// queue keyed by partial cost (OPTIMIZE-PRIORITY), the linear-time greedy
-/// variant, and an A* extension with an admissible max-over-frontier
-/// lower bound (the future-work direction of §IV-E, built here as an
-/// extension and evaluated in the ablation benches).
+/// variant, an A* extension with an admissible lower bound (the
+/// future-work direction of §IV-E, built here as an extension and
+/// evaluated in the ablation benches), and a parallel best-first engine
+/// (kParallel): worker threads pull states from worker-local open lists
+/// with work sharing through a global heap, prune against a shared atomic
+/// incumbent bound, deduplicate through a sharded dominance table keyed on
+/// the full (visited, frontier) state, and recycle state allocations
+/// through per-worker pools. See docs/OPTIMIZER.md.
 class PlanGenerator {
  public:
-  enum class Strategy { kStack, kPriority, kGreedy, kAStar };
+  enum class Strategy { kStack, kPriority, kGreedy, kAStar, kParallel };
 
   struct Options {
     Strategy strategy = Strategy::kPriority;
@@ -42,14 +47,24 @@ class PlanGenerator {
     double exploration = 0.0;
     /// Extension (ablation): memoize the best cost per
     /// (visited, frontier) state and prune dominated partial plans.
+    /// Keys are full states, so hash collisions can never merge two
+    /// distinct states (that would unsoundly prune an optimal plan).
+    /// kParallel always deduplicates — a transposition table is integral
+    /// to the parallel engine — so this flag only affects the serial
+    /// strategies.
     bool dominance_pruning = false;
+    /// Worker threads for Strategy::kParallel; kPriority and kAStar are
+    /// also routed to the parallel engine when this is > 1. 0 means "all
+    /// hardware threads"; 1 keeps the serial engines.
+    int num_threads = 1;
     /// Safety valve on EXPAND invocations; the search reports
     /// ResourceExhausted beyond it.
     int64_t max_expansions = 20'000'000;
     /// Debug-mode assertion: run the analysis verifier over every plan
     /// before returning it (src/analysis/graph_checks.h) and fail with
     /// Internal if an invariant is violated. Off by default in production;
-    /// tests and the workload scenarios turn it on.
+    /// tests and the workload scenarios turn it on. Applies to every
+    /// strategy, including plans returned by the parallel engine.
     bool verify_plans = false;
   };
 
@@ -58,21 +73,45 @@ class PlanGenerator {
     int64_t expansions = 0;
     int64_t pruned_by_bound = 0;
     int64_t pruned_by_dominance = 0;
+    /// Worker threads the search actually ran with (1 for the serial
+    /// engines).
+    int threads_used = 1;
   };
+
+  /// \brief Precomputed admissible lower bounds over an augmentation,
+  /// reusable across every OptimizeForTargets call on the SAME
+  /// augmentation (the bounds depend only on the graph and edge weights,
+  /// not on the targets). OptimizePerTarget computes them once instead of
+  /// re-running the O(V·E) fixed point per target.
+  struct LowerBounds {
+    /// dist(v): lower bound on the cost of any B-derivation of v from the
+    /// source (min over incoming edges of weight + max over tail dists).
+    std::vector<double> derive_cost;
+    /// Cheapest live incoming edge weight per node: any completion must
+    /// still pay at least this much for a frontier node's final edge,
+    /// even when every tail is already planned.
+    std::vector<double> min_incoming;
+    bool empty() const { return derive_cost.empty(); }
+  };
+
+  static LowerBounds ComputeLowerBounds(const Augmentation& aug);
 
   static const char* StrategyToString(Strategy strategy);
 
   /// Finds a minimum-cost plan from the source to `aug.targets`.
-  /// kStack/kPriority/kAStar return the optimal plan; kGreedy returns a
-  /// feasible plan in linear time with no optimality guarantee.
+  /// kStack/kPriority/kAStar/kParallel return the optimal plan; kGreedy
+  /// returns a feasible plan in linear time with no optimality guarantee.
   Result<Plan> Optimize(const Augmentation& aug, const Options& options,
                         SearchStats* stats = nullptr) const;
 
   /// Convenience: optimize a single-artifact retrieval request.
+  /// `bounds`, when non-null, must be ComputeLowerBounds(aug) — passing
+  /// them skips the per-call fixed point for the bound-driven strategies.
   Result<Plan> OptimizeForTargets(const Augmentation& aug,
                                   const std::vector<NodeId>& targets,
                                   const Options& options,
-                                  SearchStats* stats = nullptr) const;
+                                  SearchStats* stats = nullptr,
+                                  const LowerBounds* bounds = nullptr) const;
 
   /// \brief The paper's frontier-reduction heuristic (§IV-E "the
   /// influence of f can be reduced by creating individual plans for each

@@ -1,8 +1,15 @@
 #include "core/runtime.h"
 
+#include <thread>
+
 #include "core/history_io.h"
 
 namespace hyppo::core {
+
+int RuntimeOptions::DefaultParallelism() {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
 
 Runtime::Runtime(RuntimeOptions options, Dictionary dictionary)
     : options_(options),

@@ -25,8 +25,14 @@ struct RuntimeOptions {
   /// Simulation mode: tasks charge estimated durations instead of
   /// executing (see Executor::Options::simulate).
   bool simulate = false;
-  /// Worker threads for real execution (see Executor::Options).
+  /// Worker threads for real execution (see Executor::Options) and for
+  /// the optimizer's parallel plan-search engine (HyppoMethod forwards
+  /// this into PlanGenerator::Options::num_threads). Use
+  /// DefaultParallelism() to size it to the machine.
   int parallelism = 1;
+  /// One worker per hardware thread (at least 1 when the hardware
+  /// concurrency is unknown).
+  static int DefaultParallelism();
   PricingModel pricing;
   Augmenter::Objective objective = Augmenter::Objective::kTime;
   /// Debug-mode invariant verification: every plan is checked by the

@@ -27,12 +27,15 @@ std::unique_ptr<core::Runtime> MakeRuntime(const UseCase& use_case,
                                            double multiplier,
                                            double budget_factor,
                                            bool simulate, uint64_t seed,
-                                           bool verify) {
+                                           bool verify, int parallelism) {
   core::RuntimeOptions options;
   options.storage_budget_bytes =
       BudgetBytes(use_case, multiplier, budget_factor);
   options.simulate = simulate;
   options.verify_plans = verify;
+  options.parallelism = parallelism <= 0
+                            ? core::RuntimeOptions::DefaultParallelism()
+                            : parallelism;
   auto runtime = std::make_unique<core::Runtime>(options);
   runtime->RegisterDatasetGenerator(
       use_case.DatasetId(multiplier),
@@ -124,7 +127,7 @@ Result<SequenceResult> RunIterativeScenario(const MethodFactory& factory,
   std::unique_ptr<core::Runtime> runtime =
       MakeRuntime(config.use_case, config.dataset_multiplier,
                   config.budget_factor, config.simulate, config.seed,
-                  config.verify);
+                  config.verify, config.parallelism);
   std::unique_ptr<core::Method> method = factory(runtime.get());
   // The same seed yields the same pipeline sequence for every method.
   PipelineGenerator generator(config.use_case, config.dataset_multiplier,
@@ -143,7 +146,7 @@ Result<RetrievalResult> RunRetrievalScenario(const MethodFactory& factory,
   std::unique_ptr<core::Runtime> runtime =
       MakeRuntime(config.use_case, config.dataset_multiplier,
                   config.budget_factor, config.simulate, config.seed,
-                  config.verify);
+                  config.verify, config.parallelism);
   std::unique_ptr<core::Method> method = factory(runtime.get());
   PipelineGenerator generator(config.use_case, config.dataset_multiplier,
                               config.seed);
@@ -237,7 +240,8 @@ Result<SequenceResult> RunEnsembleScenario(const MethodFactory& factory,
   const UseCase use_case = UseCase::Taxi();
   std::unique_ptr<core::Runtime> runtime =
       MakeRuntime(use_case, config.dataset_multiplier, config.budget_factor,
-                  config.simulate, config.seed, config.verify);
+                  config.simulate, config.seed, config.verify,
+                  config.parallelism);
   std::unique_ptr<core::Method> method = factory(runtime.get());
   PipelineGenerator generator(use_case, config.dataset_multiplier,
                               config.seed);
@@ -304,7 +308,7 @@ Result<TypeStudyResult> RunTypeStudy(const ScenarioConfig& config) {
   std::unique_ptr<core::Runtime> runtime =
       MakeRuntime(config.use_case, config.dataset_multiplier,
                   config.budget_factor, config.simulate, config.seed,
-                  config.verify);
+                  config.verify, config.parallelism);
   core::HyppoMethod method(runtime.get());
   PipelineGenerator generator(config.use_case, config.dataset_multiplier,
                               config.seed);

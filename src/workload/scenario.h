@@ -41,6 +41,9 @@ struct ScenarioConfig {
   /// Invariant verification (on by default): every plan is checked before
   /// execution, and the final history must verify clean (src/analysis).
   bool verify = true;
+  /// Worker threads for execution and for the parallel plan search
+  /// (core::RuntimeOptions::parallelism); 0 = all hardware threads.
+  int parallelism = 1;
 };
 
 /// \brief Result of running one pipeline sequence under one method.
@@ -73,6 +76,8 @@ struct RetrievalConfig {
   bool simulate = true;
   /// See ScenarioConfig::verify.
   bool verify = true;
+  /// See ScenarioConfig::parallelism.
+  int parallelism = 1;
   int request_size = 4;    // artifacts per request
   int num_requests = 50;
   bool models_only = false;  // request fitted models only
@@ -101,6 +106,8 @@ struct EnsembleConfig {
   bool simulate = true;
   /// See ScenarioConfig::verify.
   bool verify = true;
+  /// See ScenarioConfig::parallelism.
+  int parallelism = 1;
 };
 
 Result<SequenceResult> RunEnsembleScenario(const MethodFactory& factory,

@@ -1,13 +1,19 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/hash.h"
+#include "common/object_pool.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/sharded_table.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace hyppo {
 namespace {
@@ -210,6 +216,114 @@ TEST(ClockTest, WallClockMonotone) {
   const double t0 = clock.Now();
   const double t1 = clock.Now();
   EXPECT_GE(t1, t0);
+}
+
+TEST(ObjectPoolTest, RecyclesReleasedObjects) {
+  ObjectPool<std::vector<int>> pool;
+  EXPECT_EQ(pool.available(), 0u);
+  std::vector<int> v = pool.Acquire();
+  v.assign(100, 7);
+  const int* data = v.data();
+  pool.Release(std::move(v));
+  EXPECT_EQ(pool.available(), 1u);
+  std::vector<int> reused = pool.Acquire();
+  EXPECT_EQ(pool.available(), 0u);
+  // The released object's buffer comes back (capacity is retained).
+  EXPECT_EQ(reused.data(), data);
+  EXPECT_GE(reused.capacity(), 100u);
+}
+
+TEST(ObjectPoolTest, AcquireOnEmptyDefaultConstructs) {
+  ObjectPool<std::string> pool;
+  EXPECT_TRUE(pool.Acquire().empty());
+}
+
+TEST(ShardedMinTableTest, ImproveKeepsMinimum) {
+  ShardedMinTable<std::string> table(4);
+  EXPECT_TRUE(table.Improve("a", 3.0));
+  EXPECT_FALSE(table.Improve("a", 3.0));  // equal is dominated
+  EXPECT_FALSE(table.Improve("a", 5.0));
+  EXPECT_TRUE(table.Improve("a", 1.0));
+  EXPECT_EQ(table.GetOr("a", -1.0), 1.0);
+  EXPECT_EQ(table.GetOr("absent", -1.0), -1.0);
+  EXPECT_EQ(table.size(), 1);
+}
+
+TEST(ShardedMinTableTest, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(ShardedMinTable<int>(0).num_shards(), 1);
+  EXPECT_EQ(ShardedMinTable<int>(3).num_shards(), 4);
+  EXPECT_EQ(ShardedMinTable<int>(8).num_shards(), 8);
+}
+
+// Every key hashes to the same bucket: two distinct keys MUST still keep
+// distinct values. This is the dominance-soundness regression for the
+// optimizer, which previously keyed its dominance map on a bare 64-bit
+// state signature — a hash collision between two different
+// (visited, frontier) states could prune a cheaper optimal plan. The
+// sharded table stores full keys, so colliding states stay distinct.
+TEST(ShardedMinTableTest, HashCollisionsDoNotMergeKeys) {
+  struct ConstantHash {
+    size_t operator()(const std::string&) const { return 42; }
+  };
+  ShardedMinTable<std::string, ConstantHash> table(8);
+  EXPECT_TRUE(table.Improve("cheap-state", 1.0));
+  // Same hash, different key: must not be dominated by "cheap-state".
+  EXPECT_TRUE(table.Improve("expensive-state", 9.0));
+  EXPECT_EQ(table.GetOr("cheap-state", -1.0), 1.0);
+  EXPECT_EQ(table.GetOr("expensive-state", -1.0), 9.0);
+  EXPECT_EQ(table.size(), 2);
+}
+
+TEST(ShardedMinTableTest, ConcurrentImprovesKeepGlobalMinimum) {
+  ShardedMinTable<int> table(8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&table, t]() {
+      for (int i = 0; i < 200; ++i) {
+        table.Improve(i % 10, static_cast<double>((i + t * 50) % 97));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (int key = 0; key < 10; ++key) {
+    const double value = table.GetOr(key, -1.0);
+    EXPECT_GE(value, 0.0);
+    // No thread ever offered a value above 96.
+    EXPECT_LE(value, 96.0);
+  }
+}
+
+TEST(ThreadPoolReentrancyTest, InWorkerThreadDetection) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.InWorkerThread());
+  bool seen_inside = false;
+  pool.Submit([&pool, &seen_inside]() { seen_inside = pool.InWorkerThread(); });
+  pool.Wait();
+  EXPECT_TRUE(seen_inside);
+}
+
+TEST(ThreadPoolDeathTest, WaitFromWorkerAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(1);
+        pool.Submit([&pool]() { pool.Wait(); });
+        pool.Wait();
+      },
+      "not re-entrant");
+}
+
+TEST(ThreadPoolDeathTest, SubmitFromWorkerAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(1);
+        pool.Submit([&pool]() { pool.Submit([]() {}); });
+        pool.Wait();
+      },
+      "not re-entrant");
 }
 
 }  // namespace

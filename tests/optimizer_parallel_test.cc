@@ -1,0 +1,265 @@
+// Tests for the parallel plan-search engine and the bound/dominance
+// soundness fixes that came with it (see docs/OPTIMIZER.md):
+//  - every exact strategy returns the identical optimal cost at 1, 2, and
+//    8 threads (randomized property sweep against the brute-force oracle);
+//  - the admissible A* bound regression: the previous heuristic
+//    double-counted already-paid sub-derivations and pruned the optimum;
+//  - budget exhaustion, verify_plans wiring, and shared lower bounds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/optimizer.h"
+#include "hypergraph/algorithms.h"
+#include "workload/synthetic_hypergraph.h"
+
+namespace hyppo::core {
+namespace {
+
+using Strategy = PlanGenerator::Strategy;
+
+ArtifactInfo MakeArtifact(const std::string& name) {
+  ArtifactInfo info;
+  info.name = name;
+  info.display = name;
+  info.kind = ArtifactKind::kData;
+  info.rows = 10;
+  info.cols = 2;
+  info.size_bytes = 160;
+  return info;
+}
+
+EdgeId AddTask(Augmentation& aug, const std::string& label,
+               std::vector<NodeId> tails, std::vector<NodeId> heads,
+               double weight) {
+  TaskInfo task;
+  task.logical_op = label;
+  task.type = TaskType::kTransform;
+  task.impl = "synthetic." + label;
+  EdgeId e = aug.graph.AddTask(task, std::move(tails), std::move(heads))
+                 .ValueOrDie();
+  aug.edge_weight.resize(
+      static_cast<size_t>(aug.graph.hypergraph().num_edge_slots()), 0.0);
+  aug.edge_seconds.resize(aug.edge_weight.size(), 0.0);
+  aug.edge_weight[static_cast<size_t>(e)] = weight;
+  aug.edge_seconds[static_cast<size_t>(e)] = weight;
+  return e;
+}
+
+EdgeId AddLoad(Augmentation& aug, NodeId node, double weight) {
+  EdgeId e = aug.graph.AddLoadTask(node).ValueOrDie();
+  aug.edge_weight.resize(
+      static_cast<size_t>(aug.graph.hypergraph().num_edge_slots()), 0.0);
+  aug.edge_seconds.resize(aug.edge_weight.size(), 0.0);
+  aug.edge_weight[static_cast<size_t>(e)] = weight;
+  aug.edge_seconds[static_cast<size_t>(e)] = weight;
+  return e;
+}
+
+PlanGenerator::Options MakeOptions(Strategy strategy, int num_threads = 1,
+                                   bool dominance = false) {
+  PlanGenerator::Options options;
+  options.strategy = strategy;
+  options.num_threads = num_threads;
+  options.dominance_pruning = dominance;
+  return options;
+}
+
+// Regression for the inadmissible A* heuristic the admissible bound
+// replaced. Optimum (cost 9): load M (5), then derive P, Q, T1, T2 for 1
+// each. Alternative: load T1 + load T2 for 10. After committing to the
+// derivation of both targets, the search reaches cost 8 with frontier {P};
+// P's cheapest derivation routes through the already-paid M, so the old
+// "max over frontier of dist(v)" bound (dist(P) = 6) overestimated the
+// remaining cost (really 1) and pruned the optimal plan, returning 10.
+TEST(ParallelOptimizerTest, AStarAdmissibilityRegression) {
+  Augmentation aug;
+  NodeId t1 = aug.graph.AddArtifact(MakeArtifact("T1")).ValueOrDie();
+  NodeId t2 = aug.graph.AddArtifact(MakeArtifact("T2")).ValueOrDie();
+  NodeId m = aug.graph.AddArtifact(MakeArtifact("M")).ValueOrDie();
+  NodeId p = aug.graph.AddArtifact(MakeArtifact("P")).ValueOrDie();
+  NodeId q = aug.graph.AddArtifact(MakeArtifact("Q")).ValueOrDie();
+  AddLoad(aug, m, 5.0);
+  AddLoad(aug, t1, 4.0);
+  AddLoad(aug, t2, 6.0);
+  AddTask(aug, "a", {m}, {t1}, 1.0);
+  AddTask(aug, "p", {m}, {p}, 1.0);
+  AddTask(aug, "q", {p}, {q}, 1.0);
+  AddTask(aug, "b", {q}, {t2}, 1.0);
+  aug.targets = {t1, t2};
+
+  PlanGenerator generator;
+  for (Strategy strategy :
+       {Strategy::kStack, Strategy::kPriority, Strategy::kAStar,
+        Strategy::kParallel}) {
+    for (int threads : {1, 2, 8}) {
+      auto plan = generator.Optimize(aug, MakeOptions(strategy, threads));
+      ASSERT_TRUE(plan.ok())
+          << PlanGenerator::StrategyToString(strategy) << ": "
+          << plan.status();
+      EXPECT_NEAR(plan->cost, 9.0, 1e-12)
+          << PlanGenerator::StrategyToString(strategy)
+          << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelOptimizerTest, PriorityAndAStarRouteToParallelEngine) {
+  workload::SyntheticConfig config;
+  config.num_artifacts = 10;
+  config.alternatives = 2;
+  config.seed = 7;
+  auto synthetic = workload::GenerateSyntheticHypergraph(config);
+  ASSERT_TRUE(synthetic.ok()) << synthetic.status();
+  PlanGenerator generator;
+  auto serial = generator.Optimize(synthetic->aug,
+                                   MakeOptions(Strategy::kPriority));
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  for (Strategy strategy : {Strategy::kPriority, Strategy::kAStar}) {
+    PlanGenerator::SearchStats stats;
+    auto plan = generator.Optimize(synthetic->aug,
+                                   MakeOptions(strategy, 8), &stats);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    EXPECT_EQ(stats.threads_used, 8);
+    EXPECT_NEAR(plan->cost, serial->cost, 1e-9);
+  }
+  // kStack stays serial regardless of the thread knob.
+  PlanGenerator::SearchStats stats;
+  auto stack = generator.Optimize(synthetic->aug,
+                                  MakeOptions(Strategy::kStack, 8), &stats);
+  ASSERT_TRUE(stack.ok()) << stack.status();
+  EXPECT_EQ(stats.threads_used, 1);
+}
+
+TEST(ParallelOptimizerTest, BudgetExhaustionReported) {
+  workload::SyntheticConfig config;
+  config.num_artifacts = 12;
+  config.alternatives = 3;
+  config.seed = 11;
+  auto synthetic = workload::GenerateSyntheticHypergraph(config);
+  ASSERT_TRUE(synthetic.ok()) << synthetic.status();
+  PlanGenerator generator;
+  PlanGenerator::Options options = MakeOptions(Strategy::kParallel, 4);
+  options.max_expansions = 2;
+  auto plan = generator.Optimize(synthetic->aug, options);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_TRUE(plan.status().IsResourceExhausted()) << plan.status();
+}
+
+TEST(ParallelOptimizerTest, FailsWhenNoDerivationExists) {
+  Augmentation aug;
+  NodeId a = aug.graph.AddArtifact(MakeArtifact("a")).ValueOrDie();
+  NodeId orphan = aug.graph.AddArtifact(MakeArtifact("orphan")).ValueOrDie();
+  AddLoad(aug, a, 1.0);
+  AddTask(aug, "t", {orphan}, {a}, 0.5);
+  aug.targets = {orphan};
+  PlanGenerator generator;
+  auto plan = generator.Optimize(aug, MakeOptions(Strategy::kParallel, 4));
+  ASSERT_FALSE(plan.ok());
+  EXPECT_TRUE(plan.status().IsFailedPrecondition()) << plan.status();
+}
+
+TEST(ParallelOptimizerTest, VerifyPlansAppliesToParallelPlans) {
+  workload::SyntheticConfig config;
+  config.num_artifacts = 10;
+  config.alternatives = 2;
+  config.seed = 29;
+  auto synthetic = workload::GenerateSyntheticHypergraph(config);
+  ASSERT_TRUE(synthetic.ok()) << synthetic.status();
+  PlanGenerator generator;
+  PlanGenerator::Options options = MakeOptions(Strategy::kParallel, 4);
+  options.verify_plans = true;
+  auto plan = generator.Optimize(synthetic->aug, options);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(IsValidPlan(synthetic->aug.graph.hypergraph(), plan->edges,
+                          {synthetic->aug.graph.source()},
+                          synthetic->aug.targets));
+}
+
+TEST(ParallelOptimizerTest, PerTargetSharesLowerBoundsAcrossTargets) {
+  workload::SyntheticConfig config;
+  config.num_artifacts = 11;
+  config.alternatives = 2;
+  config.seed = 31;
+  auto synthetic = workload::GenerateSyntheticHypergraph(config);
+  ASSERT_TRUE(synthetic.ok()) << synthetic.status();
+  PlanGenerator generator;
+  for (Strategy strategy : {Strategy::kAStar, Strategy::kParallel}) {
+    auto joint = generator.OptimizePerTarget(
+        synthetic->aug, MakeOptions(strategy, strategy == Strategy::kParallel
+                                                  ? 4
+                                                  : 1));
+    auto baseline = generator.OptimizePerTarget(
+        synthetic->aug, MakeOptions(Strategy::kPriority));
+    ASSERT_TRUE(joint.ok()) << joint.status();
+    ASSERT_TRUE(baseline.ok()) << baseline.status();
+    EXPECT_NEAR(joint->cost, baseline->cost, 1e-9)
+        << PlanGenerator::StrategyToString(strategy);
+  }
+}
+
+TEST(ParallelOptimizerTest, ReusedBoundsMatchFreshBounds) {
+  workload::SyntheticConfig config;
+  config.num_artifacts = 10;
+  config.alternatives = 3;
+  config.seed = 37;
+  auto synthetic = workload::GenerateSyntheticHypergraph(config);
+  ASSERT_TRUE(synthetic.ok()) << synthetic.status();
+  const Augmentation& aug = synthetic->aug;
+  PlanGenerator generator;
+  const PlanGenerator::LowerBounds bounds =
+      PlanGenerator::ComputeLowerBounds(aug);
+  ASSERT_FALSE(bounds.empty());
+  auto fresh = generator.OptimizeForTargets(aug, aug.targets,
+                                            MakeOptions(Strategy::kAStar));
+  auto reused = generator.OptimizeForTargets(
+      aug, aug.targets, MakeOptions(Strategy::kAStar), nullptr, &bounds);
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  ASSERT_TRUE(reused.ok()) << reused.status();
+  EXPECT_NEAR(fresh->cost, reused->cost, 1e-12);
+}
+
+// Randomized cross-strategy property: every exact strategy returns the
+// brute-force optimum at 1, 2, and 8 threads; greedy is feasible and
+// never better than optimal.
+class ParallelPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelPropertyTest, AllEnginesAgreeAtEveryThreadCount) {
+  workload::SyntheticConfig config;
+  config.num_artifacts = 9 + static_cast<int32_t>(GetParam() % 4);
+  config.alternatives = 2 + static_cast<int32_t>(GetParam() % 2);
+  config.seed = GetParam() * 7919 + 101;
+  auto synthetic = workload::GenerateSyntheticHypergraph(config);
+  ASSERT_TRUE(synthetic.ok()) << synthetic.status();
+  const Augmentation& aug = synthetic->aug;
+  PlanGenerator generator;
+  auto brute = generator.BruteForce(aug);
+  ASSERT_TRUE(brute.ok()) << brute.status();
+  for (Strategy strategy : {Strategy::kStack, Strategy::kPriority,
+                            Strategy::kAStar, Strategy::kParallel}) {
+    for (int threads : {1, 2, 8}) {
+      if (strategy == Strategy::kStack && threads > 1) {
+        continue;  // kStack has no parallel routing
+      }
+      auto plan = generator.Optimize(aug, MakeOptions(strategy, threads));
+      ASSERT_TRUE(plan.ok())
+          << PlanGenerator::StrategyToString(strategy) << " threads="
+          << threads << ": " << plan.status();
+      EXPECT_NEAR(plan->cost, brute->cost, 1e-9)
+          << PlanGenerator::StrategyToString(strategy)
+          << " threads=" << threads;
+      EXPECT_TRUE(IsValidPlan(aug.graph.hypergraph(), plan->edges,
+                              {aug.graph.source()}, aug.targets));
+    }
+  }
+  auto greedy = generator.Optimize(aug, MakeOptions(Strategy::kGreedy));
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_GE(greedy->cost, brute->cost - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelPropertyTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace hyppo::core

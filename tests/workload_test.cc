@@ -245,6 +245,22 @@ TEST(ScenarioTest, IterativeScenarioRunsAllMethods) {
   }
 }
 
+// The parallelism knob threads through RuntimeOptions into both the plan
+// executor and the optimizer's parallel search engine; the scenario's
+// simulated cost totals must not depend on it.
+TEST(ScenarioTest, ParallelismDoesNotChangeSimulatedCosts) {
+  const ScenarioConfig serial = SmallScenario(UseCase::Higgs());
+  ScenarioConfig parallel = SmallScenario(UseCase::Higgs());
+  parallel.parallelism = 2;
+  auto serial_run = RunIterativeScenario(MakeHyppoFactory(), serial);
+  auto parallel_run = RunIterativeScenario(MakeHyppoFactory(), parallel);
+  ASSERT_TRUE(serial_run.ok()) << serial_run.status();
+  ASSERT_TRUE(parallel_run.ok()) << parallel_run.status();
+  EXPECT_NEAR(parallel_run->cumulative_seconds,
+              serial_run->cumulative_seconds, 1e-9);
+  EXPECT_EQ(parallel_run->stored_artifacts, serial_run->stored_artifacts);
+}
+
 TEST(ScenarioTest, HyppoBeatsBaselinesOnTaxi) {
   const ScenarioConfig config = SmallScenario(UseCase::Taxi());
   auto noopt = RunIterativeScenario(MakeNoOptimizationFactory(), config);
