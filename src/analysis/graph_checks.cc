@@ -386,4 +386,91 @@ AnalysisReport CheckPlanStructure(const PlanSpec& spec) {
   return report;
 }
 
+AnalysisReport CheckAugmentationStructure(const AugmentationSpec& spec) {
+  const Hypergraph& graph = *spec.graph;
+  AnalysisReport report = CheckHypergraph(graph);
+
+  const size_t num_slots = static_cast<size_t>(graph.num_edge_slots());
+  if (spec.edge_weight != nullptr && spec.edge_weight->size() < num_slots) {
+    report.AddError("augmentation.weight-size",
+                    "edge_weight holds " +
+                        std::to_string(spec.edge_weight->size()) +
+                        " entries for " + std::to_string(num_slots) +
+                        " edge slots");
+  }
+  if (spec.edge_seconds != nullptr && spec.edge_seconds->size() < num_slots) {
+    report.AddError("augmentation.weight-size",
+                    "edge_seconds holds " +
+                        std::to_string(spec.edge_seconds->size()) +
+                        " entries for " + std::to_string(num_slots) +
+                        " edge slots");
+  }
+
+  // B-reachability over every live edge: forward chaining from the source;
+  // an edge fires once all tails are available. Targets left unavailable
+  // cannot be derived by ANY plan over this augmentation.
+  std::vector<bool> available(static_cast<size_t>(graph.num_nodes()), false);
+  if (graph.IsValidNode(spec.source)) {
+    available[static_cast<size_t>(spec.source)] = true;
+  }
+  std::vector<int32_t> missing_tail(num_slots, 0);
+  std::vector<bool> fired(num_slots, false);
+  std::deque<EdgeId> ready;
+  for (EdgeId e = 0; e < graph.num_edge_slots(); ++e) {
+    if (!graph.IsLiveEdge(e)) {
+      fired[static_cast<size_t>(e)] = true;
+      continue;
+    }
+    int32_t missing = 0;
+    for (NodeId t : graph.edge(e).tail) {
+      if (graph.IsValidNode(t) &&
+          !available[static_cast<size_t>(t)]) {
+        ++missing;
+      }
+    }
+    missing_tail[static_cast<size_t>(e)] = missing;
+    if (missing == 0) {
+      ready.push_back(e);
+    }
+  }
+  while (!ready.empty()) {
+    const EdgeId e = ready.front();
+    ready.pop_front();
+    if (fired[static_cast<size_t>(e)]) {
+      continue;
+    }
+    fired[static_cast<size_t>(e)] = true;
+    for (NodeId h : graph.edge(e).head) {
+      if (!graph.IsValidNode(h) || available[static_cast<size_t>(h)]) {
+        continue;
+      }
+      available[static_cast<size_t>(h)] = true;
+      for (EdgeId next : graph.fstar(h)) {
+        if (next >= 0 && next < graph.num_edge_slots() &&
+            !fired[static_cast<size_t>(next)] &&
+            --missing_tail[static_cast<size_t>(next)] == 0) {
+          ready.push_back(next);
+        }
+      }
+    }
+  }
+  if (spec.targets != nullptr) {
+    for (NodeId t : *spec.targets) {
+      if (!graph.IsValidNode(t)) {
+        report.AddError("augmentation.invalid-target",
+                        "target node " + std::to_string(t) +
+                            " does not exist",
+                        EntityKind::kNode, t);
+      } else if (!available[static_cast<size_t>(t)]) {
+        report.AddError(
+            "augmentation.unreachable-target",
+            "no B-derivation from the source reaches target node " +
+                std::to_string(t) + " over the live edges",
+            EntityKind::kNode, t);
+      }
+    }
+  }
+  return report;
+}
+
 }  // namespace hyppo::analysis

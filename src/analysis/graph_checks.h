@@ -64,6 +64,30 @@ struct PlanSpec {
 ///  - `plan.seconds-mismatch`   — claimed seconds differ from Σ edge_seconds
 AnalysisReport CheckPlanStructure(const PlanSpec& spec);
 
+/// \brief What an augmentation claims to be, structurally. Used by the
+/// runtime's recovery loop to check that a degraded augmentation (dead
+/// load edges dropped after storage faults) is still plannable.
+struct AugmentationSpec {
+  const Hypergraph* graph = nullptr;
+  NodeId source = kInvalidNode;
+  const std::vector<NodeId>* targets = nullptr;
+  /// Optional per-edge-slot vectors; checked for sizing when non-null.
+  const std::vector<double>* edge_weight = nullptr;
+  const std::vector<double>* edge_seconds = nullptr;
+};
+
+/// \brief Well-formedness of a (possibly degraded) augmentation.
+///
+/// Checks:
+///  - everything CheckHypergraph reports on the underlying hypergraph
+///  - `augmentation.weight-size`         — an edge weight/seconds vector
+///                                         smaller than the edge slots
+///  - `augmentation.invalid-target`      — a target node that does not exist
+///  - `augmentation.unreachable-target`  — a target with no B-derivation
+///                                         from the source over the live
+///                                         edges (re-planning is infeasible)
+AnalysisReport CheckAugmentationStructure(const AugmentationSpec& spec);
+
 }  // namespace hyppo::analysis
 
 #endif  // HYPPO_ANALYSIS_GRAPH_CHECKS_H_

@@ -177,6 +177,25 @@ AnalysisReport Verifier::CheckPlan(const Augmentation& aug,
   return report;
 }
 
+AnalysisReport Verifier::CheckAugmentation(const Augmentation& aug) const {
+  AnalysisReport report = CheckGraph(aug.graph);
+  AugmentationSpec spec;
+  spec.graph = &aug.graph.hypergraph();
+  spec.source = aug.graph.source();
+  spec.targets = &aug.targets;
+  spec.edge_weight = &aug.edge_weight;
+  spec.edge_seconds = &aug.edge_seconds;
+  AnalysisReport structure = CheckAugmentationStructure(spec);
+  // CheckGraph already ran the hypergraph invariants; keep only the
+  // augmentation-level findings to avoid duplicate diagnostics.
+  for (const Diagnostic& d : structure.diagnostics()) {
+    if (d.check.rfind("augmentation.", 0) == 0) {
+      report.Add(d);
+    }
+  }
+  return report;
+}
+
 AnalysisReport Verifier::CheckHistory(const History& history,
                                       const Dictionary* dictionary) const {
   const PipelineGraph& graph = history.graph();

@@ -50,6 +50,12 @@ class Verifier {
   AnalysisReport CheckPlan(const core::Augmentation& aug,
                            const core::Plan& plan) const;
 
+  /// Augmentation well-formedness, including after execution-layer
+  /// degradation (dead load edges removed by the recovery loop): label
+  /// layer + hypergraph invariants, weight-vector sizing, and
+  /// B-reachability of every target from the source.
+  AnalysisReport CheckAugmentation(const core::Augmentation& aug) const;
+
   /// History/dictionary consistency (paper §III-C4, §IV-B/C): graph
   /// well-formedness, materialization flags vs load edges, per-artifact
   /// statistics sanity, task-signature dedup, canonical-name closure

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <deque>
+#include <utility>
+#include <variant>
 
 #include "common/thread_pool.h"
 #include "hypergraph/algorithms.h"
@@ -56,37 +58,98 @@ void InputShape(const PipelineGraph& graph, EdgeId edge, int64_t* rows,
   }
 }
 
+// Every head node already has a payload (recovered from a prior attempt).
+bool AllHeadsPresent(const std::map<NodeId, ArtifactPayload>& payloads,
+                     const std::vector<NodeId>& heads) {
+  for (NodeId head : heads) {
+    if (payloads.count(head) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Every non-source input has a payload; false means an upstream task
+// failed and this one must be skipped.
+bool TailsPresent(const PipelineGraph& graph, EdgeId edge,
+                  const std::map<NodeId, ArtifactPayload>& payloads) {
+  for (NodeId in : graph.ordered_tail(edge)) {
+    if (in != graph.source() && payloads.count(in) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 Result<double> Executor::RunLoadTask(
     const PipelineGraph& graph, EdgeId edge,
-    const std::map<NodeId, ArtifactPayload>& /*inputs*/,
-    std::map<NodeId, ArtifactPayload>* outputs, bool simulate) const {
+    std::map<NodeId, ArtifactPayload>* outputs, const Options& options) const {
   const NodeId head = graph.ordered_head(edge)[0];
   const ArtifactInfo& artifact = graph.artifact(head);
-  if (simulate) {
-    (*outputs)[head] = std::monostate{};
-    const bool raw = artifact.kind == ArtifactKind::kRaw;
+  const bool raw = artifact.kind == ArtifactKind::kRaw;
+  if (options.simulate) {
     const storage::StorageTier tier = raw ? storage::StorageTier::Remote()
                                           : store_->tier();
-    return tier.LoadSeconds(artifact.size_bytes);
+    double seconds = tier.LoadSeconds(artifact.size_bytes);
+    // Simulated loads never touch the store, so the fault hooks fire here
+    // (real execution injects store faults through FaultInjectingStore).
+    if (options.fault_injector != nullptr) {
+      const storage::FaultSite site = raw ? storage::FaultSite::kResolver
+                                          : storage::FaultSite::kStoreLoad;
+      const std::string& key = raw ? artifact.display : artifact.name;
+      const storage::FaultInjector::Decision decision =
+          options.fault_injector->Decide(site, key);
+      switch (decision.kind) {
+        case storage::FaultKind::kNotFound:
+          return Status::NotFound("injected fault: artifact '" +
+                                  artifact.name +
+                                  "' vanished from the store");
+        case storage::FaultKind::kCorrupt:
+          return Status::IoError("injected fault: corrupted payload for '" +
+                                 artifact.display + "'");
+        case storage::FaultKind::kFail:
+          return Status::IoError("injected fault: resolver for '" +
+                                 artifact.display + "' is unavailable");
+        case storage::FaultKind::kSlowLoad:
+          seconds *= decision.slow_multiplier;
+          break;
+        case storage::FaultKind::kNone:
+          break;
+      }
+    }
+    (*outputs)[head] = std::monostate{};
+    return seconds;
   }
-  if (artifact.kind == ArtifactKind::kRaw) {
+  if (raw) {
     if (!resolver_) {
       return Status::FailedPrecondition(
           "no dataset resolver registered for raw load of '" +
           artifact.display + "'");
+    }
+    if (options.fault_injector != nullptr &&
+        options.fault_injector
+                ->Decide(storage::FaultSite::kResolver, artifact.display)
+                .kind != storage::FaultKind::kNone) {
+      return Status::IoError("injected fault: resolver for '" +
+                             artifact.display + "' is unavailable");
     }
     HYPPO_ASSIGN_OR_RETURN(ml::DatasetPtr dataset, resolver_(artifact.display));
     const int64_t bytes = dataset->SizeBytes();
     (*outputs)[head] = dataset;
     return storage::StorageTier::Remote().LoadSeconds(bytes);
   }
-  HYPPO_ASSIGN_OR_RETURN(ArtifactPayload payload,
-                         store_->Get(artifact.name));
-  const int64_t bytes = storage::PayloadSizeBytes(payload);
-  (*outputs)[head] = std::move(payload);
-  return store_->LoadSeconds(bytes);
+  HYPPO_ASSIGN_OR_RETURN(storage::ArtifactStore::Loaded loaded,
+                         store_->Load(artifact.name));
+  // A real-mode load must hold data; an empty payload means the store
+  // entry rotted (or a fault decorator corrupted it).
+  if (std::holds_alternative<std::monostate>(loaded.payload)) {
+    return Status::IoError("corrupted payload for artifact '" +
+                           artifact.display + "'");
+  }
+  (*outputs)[head] = std::move(loaded.payload);
+  return loaded.seconds;
 }
 
 Result<double> Executor::RunComputeTask(
@@ -133,6 +196,36 @@ Result<double> Executor::RunComputeTask(
   return seconds;
 }
 
+Result<double> Executor::RunTask(
+    const Augmentation& aug, EdgeId edge,
+    const std::map<NodeId, ArtifactPayload>& inputs,
+    std::map<NodeId, ArtifactPayload>* outputs, const Options& options) const {
+  const PipelineGraph& graph = aug.graph;
+  const TaskInfo& task = graph.task(edge);
+  if (task.type == TaskType::kLoad) {
+    return RunLoadTask(graph, edge, outputs, options);
+  }
+  if (options.fault_injector != nullptr &&
+      options.fault_injector
+              ->Decide(storage::FaultSite::kCompute, graph.TaskSignature(edge))
+              .kind != storage::FaultKind::kNone) {
+    return Status::Internal("injected fault: operator " + task.impl + "." +
+                            TaskTypeToString(task.type) + " failed");
+  }
+  if (options.simulate) {
+    for (NodeId head : graph.ordered_head(edge)) {
+      (*outputs)[head] = std::monostate{};
+    }
+    return aug.edge_seconds[static_cast<size_t>(edge)];
+  }
+  HYPPO_ASSIGN_OR_RETURN(double seconds,
+                         RunComputeTask(graph, edge, inputs, outputs));
+  if (options.charge_estimates) {
+    return aug.edge_seconds[static_cast<size_t>(edge)];
+  }
+  return seconds;
+}
+
 Result<Executor::ExecutionResult> Executor::ExecuteSerial(
     const Augmentation& aug, const Plan& plan,
     const Options& options) const {
@@ -142,32 +235,32 @@ Result<Executor::ExecutionResult> Executor::ExecuteSerial(
       BTopologicalEdgeOrder(graph.hypergraph(), plan.edges,
                             {graph.source()}));
   ExecutionResult result;
+  if (options.seed_payloads != nullptr) {
+    result.payloads = *options.seed_payloads;
+  }
   for (EdgeId edge : order) {
-    const TaskInfo& task = graph.task(edge);
-    double seconds = 0.0;
-    if (options.simulate) {
-      if (task.type == TaskType::kLoad) {
-        HYPPO_ASSIGN_OR_RETURN(
-            seconds, RunLoadTask(graph, edge, result.payloads,
-                                 &result.payloads, true));
-      } else {
-        seconds = aug.edge_seconds[static_cast<size_t>(edge)];
-        for (NodeId head : graph.ordered_head(edge)) {
-          result.payloads[head] = std::monostate{};
-        }
-      }
-    } else if (task.type == TaskType::kLoad) {
-      HYPPO_ASSIGN_OR_RETURN(
-          seconds,
-          RunLoadTask(graph, edge, result.payloads, &result.payloads, false));
-    } else {
-      HYPPO_ASSIGN_OR_RETURN(
-          seconds,
-          RunComputeTask(graph, edge, result.payloads, &result.payloads));
+    // Recovered outputs make the task a no-op.
+    if (options.seed_payloads != nullptr &&
+        AllHeadsPresent(result.payloads, graph.ordered_head(edge))) {
+      ++result.reused_tasks;
+      continue;
     }
+    // An upstream failure starved this task's inputs: skip, don't abort.
+    if (!TailsPresent(graph, edge, result.payloads)) {
+      result.skipped_edges.push_back(edge);
+      continue;
+    }
+    Result<double> run =
+        RunTask(aug, edge, result.payloads, &result.payloads, options);
+    if (!run.ok()) {
+      result.failures.push_back(TaskFailure{edge, run.status()});
+      continue;
+    }
+    const double seconds = *run;
     result.total_seconds += seconds;
     result.task_runs.push_back(TaskRun{edge, seconds});
     if (monitor_ != nullptr) {
+      const TaskInfo& task = graph.task(edge);
       int64_t rows = 1;
       int64_t cols = 1;
       InputShape(graph, edge, &rows, &cols);
@@ -210,12 +303,16 @@ Result<Executor::ExecutionResult> Executor::ExecuteParallel(
       }
     }
   };
-  available[static_cast<size_t>(graph.source())] = true;
-  for (EdgeId e : hg.fstar(graph.source())) {
-    if (in_plan[static_cast<size_t>(e)] &&
-        --missing_tail[static_cast<size_t>(e)] == 0) {
-      ready.push_back(e);
-    }
+
+  ExecutionResult result;
+  if (options.seed_payloads != nullptr) {
+    result.payloads = *options.seed_payloads;
+  }
+  mark_available(graph.source());
+  // Recovered payloads satisfy consumers even when their producing task
+  // is starved this attempt.
+  for (const auto& [node, payload] : result.payloads) {
+    mark_available(node);
   }
   for (EdgeId e : plan.edges) {
     if (hg.edge(e).tail.empty() && !fired[static_cast<size_t>(e)]) {
@@ -223,7 +320,6 @@ Result<Executor::ExecutionResult> Executor::ExecuteParallel(
     }
   }
 
-  ExecutionResult result;
   ThreadPool pool(options.parallelism);
   struct WaveOutcome {
     EdgeId edge = kInvalidEdge;
@@ -233,28 +329,48 @@ Result<Executor::ExecutionResult> Executor::ExecuteParallel(
   while (!ready.empty()) {
     // One wave: everything currently ready runs concurrently against the
     // frozen payload map; outputs merge afterwards.
-    std::vector<EdgeId> wave(ready.begin(), ready.end());
+    std::vector<EdgeId> candidates(ready.begin(), ready.end());
     ready.clear();
+    std::vector<EdgeId> wave;
+    wave.reserve(candidates.size());
+    for (EdgeId e : candidates) {
+      if (fired[static_cast<size_t>(e)]) {
+        continue;
+      }
+      fired[static_cast<size_t>(e)] = true;
+      if (options.seed_payloads != nullptr &&
+          AllHeadsPresent(result.payloads, graph.ordered_head(e))) {
+        ++result.reused_tasks;
+        for (NodeId head : graph.ordered_head(e)) {
+          mark_available(head);
+        }
+        continue;
+      }
+      wave.push_back(e);
+    }
+    if (wave.empty()) {
+      continue;
+    }
     std::vector<WaveOutcome> outcomes(wave.size());
     for (size_t i = 0; i < wave.size(); ++i) {
       outcomes[i].edge = wave[i];
-      fired[static_cast<size_t>(wave[i])] = true;
-      pool.Submit([this, &graph, &result, &outcomes, i]() {
+      pool.Submit([this, &aug, &options, &result, &outcomes, i]() {
         WaveOutcome& outcome = outcomes[i];
-        const TaskInfo& task = graph.task(outcome.edge);
-        if (task.type == TaskType::kLoad) {
-          outcome.seconds = RunLoadTask(graph, outcome.edge, result.payloads,
-                                        &outcome.outputs, false);
-        } else {
-          outcome.seconds = RunComputeTask(graph, outcome.edge,
-                                           result.payloads, &outcome.outputs);
-        }
+        outcome.seconds = RunTask(aug, outcome.edge, result.payloads,
+                                  &outcome.outputs, options);
       });
     }
     pool.Wait();
     double wave_max = 0.0;
     for (WaveOutcome& outcome : outcomes) {
-      HYPPO_ASSIGN_OR_RETURN(double seconds, std::move(outcome.seconds));
+      if (!outcome.seconds.ok()) {
+        // The task died; its heads stay unavailable so dependants starve
+        // into skipped_edges instead of running on garbage.
+        result.failures.push_back(
+            TaskFailure{outcome.edge, outcome.seconds.status()});
+        continue;
+      }
+      const double seconds = *outcome.seconds;
       result.total_seconds += seconds;
       wave_max = std::max(wave_max, seconds);
       result.task_runs.push_back(TaskRun{outcome.edge, seconds});
@@ -269,12 +385,23 @@ Result<Executor::ExecutionResult> Executor::ExecuteParallel(
       for (auto& [node, payload] : outcome.outputs) {
         result.payloads[node] = std::move(payload);
       }
-    }
-    result.critical_path_seconds += wave_max;
-    for (const WaveOutcome& outcome : outcomes) {
       for (NodeId head : graph.ordered_head(outcome.edge)) {
         mark_available(head);
       }
+    }
+    result.critical_path_seconds += wave_max;
+  }
+  // Plan edges that never became ready were starved by a failure (or
+  // fully covered by recovered payloads).
+  for (EdgeId e : plan.edges) {
+    if (fired[static_cast<size_t>(e)]) {
+      continue;
+    }
+    if (options.seed_payloads != nullptr &&
+        AllHeadsPresent(result.payloads, graph.ordered_head(e))) {
+      ++result.reused_tasks;
+    } else {
+      result.skipped_edges.push_back(e);
     }
   }
   return result;

@@ -12,6 +12,7 @@
 #include "core/optimizer.h"
 #include "ml/registry.h"
 #include "storage/artifact_store.h"
+#include "storage/fault_injection.h"
 
 namespace hyppo::core {
 
@@ -24,6 +25,15 @@ using DatasetResolver =
 /// \brief Executes plans: topologically orders the plan's tasks, binds
 /// artifact payloads to task inputs, runs physical operators (or simulates
 /// them), and reports per-task timings for the monitor and the history.
+///
+/// Failure model: a task that errors (a lost or corrupted store entry, a
+/// resolver outage, an operator fault) does NOT abort the run. The
+/// executor records the failure, skips the tasks that transitively
+/// depended on the dead artifact, and finishes everything else, so the
+/// caller sees exactly which load/compute edges failed and which payloads
+/// survived. The runtime's recovery loop (core/runtime.h) uses that
+/// report to degrade the augmentation and re-plan. Execute() itself only
+/// returns a non-OK Status for structural errors (an inexecutable plan).
 class Executor {
  public:
   struct Options {
@@ -43,11 +53,34 @@ class Executor {
     /// augmentation (src/analysis) before executing anything. Fails with
     /// Internal on a broken plan instead of executing it.
     bool verify_plans = false;
+    /// Charge compute tasks their augmentation estimate (edge_seconds)
+    /// instead of measured wall time, while still executing operators for
+    /// real. Makes `total_seconds` bit-identical across runs and across
+    /// serial/parallel schedules — the differential and chaos tests rely
+    /// on it.
+    bool charge_estimates = false;
+    /// Fault-injection hooks for operator and resolver faults (and for
+    /// simulated loads, which never reach the store). Store-load faults
+    /// in real execution are injected by wrapping the store in a
+    /// storage::FaultInjectingStore sharing this injector. Null disables
+    /// the hooks.
+    storage::FaultInjector* fault_injector = nullptr;
+    /// Payloads that survived a previous attempt, keyed by node id of the
+    /// SAME augmentation. Tasks whose outputs are all present are skipped
+    /// (counted in `reused_tasks`), so a recovery re-execution only pays
+    /// for what was actually lost.
+    const std::map<NodeId, ArtifactPayload>* seed_payloads = nullptr;
   };
 
   struct TaskRun {
     EdgeId edge = kInvalidEdge;
     double seconds = 0.0;
+  };
+
+  /// One task that errored, with the edge it ran for.
+  struct TaskFailure {
+    EdgeId edge = kInvalidEdge;
+    Status status;
   };
 
   struct ExecutionResult {
@@ -58,8 +91,18 @@ class Executor {
     /// execution).
     double critical_path_seconds = 0.0;
     std::vector<TaskRun> task_runs;
-    /// Payload per produced/loaded artifact node.
+    /// Payload per produced/loaded artifact node (includes seeded
+    /// payloads).
     std::map<NodeId, ArtifactPayload> payloads;
+    /// Tasks that errored this run.
+    std::vector<TaskFailure> failures;
+    /// Tasks never attempted because an upstream failure starved their
+    /// inputs.
+    std::vector<EdgeId> skipped_edges;
+    /// Tasks skipped because every output payload was seeded.
+    int64_t reused_tasks = 0;
+
+    bool complete() const { return failures.empty() && skipped_edges.empty(); }
   };
 
   Executor(storage::ArtifactStore* store, DatasetResolver resolver,
@@ -75,14 +118,24 @@ class Executor {
   Result<ExecutionResult> Execute(const Augmentation& aug, const Plan& plan,
                                   const Options& options) const;
 
+  /// Re-points the executor at another store (used by the runtime when
+  /// fault injection wraps the store in a decorator).
+  void set_store(storage::ArtifactStore* store) { store_ = store; }
+
  private:
   /// Runs one task reading inputs from `inputs` and writing produced
   /// payloads into `outputs` (which may alias `inputs` in serial mode;
   /// parallel waves use private output fragments merged afterwards).
+  /// Dispatches on task type and simulation mode and applies the fault
+  /// hooks.
+  Result<double> RunTask(const Augmentation& aug, EdgeId edge,
+                         const std::map<NodeId, ArtifactPayload>& inputs,
+                         std::map<NodeId, ArtifactPayload>* outputs,
+                         const Options& options) const;
+
   Result<double> RunLoadTask(const PipelineGraph& graph, EdgeId edge,
-                             const std::map<NodeId, ArtifactPayload>& inputs,
                              std::map<NodeId, ArtifactPayload>* outputs,
-                             bool simulate) const;
+                             const Options& options) const;
   Result<double> RunComputeTask(
       const PipelineGraph& graph, EdgeId edge,
       const std::map<NodeId, ArtifactPayload>& inputs,

@@ -11,6 +11,18 @@ Result<Method::Planned> Method::PlanRetrieval(
   return Status::NotImplemented(name() + " does not support retrieval plans");
 }
 
+Result<Plan> Method::ReplanAugmentation(const Augmentation& aug) {
+  PlanGenerator generator;
+  PlanGenerator::Options options;
+  options.strategy = PlanGenerator::Strategy::kGreedy;
+  options.verify_plans = runtime_->options().verify_plans;
+  return generator.Optimize(aug, options);
+}
+
+Runtime::Replanner Method::MakeReplanner() {
+  return [this](const Augmentation& aug) { return ReplanAugmentation(aug); };
+}
+
 HyppoMethod::HyppoMethod(Runtime* runtime)
     : HyppoMethod(runtime, Options()) {}
 
@@ -53,6 +65,17 @@ Result<Method::Planned> HyppoMethod::PlanAugmentation(Augmentation aug) {
   planned.plan = std::move(plan);
   planned.optimize_seconds = stopwatch.Elapsed();
   return planned;
+}
+
+Result<Plan> HyppoMethod::ReplanAugmentation(const Augmentation& aug) {
+  Result<Plan> search = generator_.Optimize(aug, options_.search,
+                                            &last_stats_);
+  if (!search.ok() && search.status().IsResourceExhausted()) {
+    PlanGenerator::Options greedy = options_.search;
+    greedy.strategy = PlanGenerator::Strategy::kGreedy;
+    search = generator_.Optimize(aug, greedy, &last_stats_);
+  }
+  return search;
 }
 
 Result<Method::Planned> HyppoMethod::PlanPipeline(const Pipeline& pipeline) {
@@ -121,7 +144,8 @@ Result<HyppoSystem::RunReport> HyppoSystem::RunPipeline(
   }
   HYPPO_ASSIGN_OR_RETURN(
       Runtime::ExecutionRecord record,
-      runtime_->ExecuteAndRecord(pipeline, planned.aug, planned.plan));
+      runtime_->ExecuteAndRecord(pipeline, planned.aug, planned.plan,
+                                 method_->MakeReplanner()));
   HYPPO_RETURN_NOT_OK(method_->AfterExecution(pipeline, planned, record));
   RunReport report;
   report.plan = planned.plan;
@@ -149,8 +173,10 @@ Result<HyppoSystem::RunReport> HyppoSystem::RetrieveArtifacts(
     const std::vector<std::string>& artifact_names) {
   HYPPO_ASSIGN_OR_RETURN(Method::Planned planned,
                          method_->PlanRetrieval(artifact_names));
-  HYPPO_ASSIGN_OR_RETURN(Runtime::ExecutionRecord record,
-                         runtime_->ExecutePlanOnly(planned.aug, planned.plan));
+  HYPPO_ASSIGN_OR_RETURN(
+      Runtime::ExecutionRecord record,
+      runtime_->ExecutePlanOnly(planned.aug, planned.plan,
+                                method_->MakeReplanner()));
   RunReport report;
   report.plan = planned.plan;
   report.execute_seconds = record.seconds;

@@ -34,6 +34,9 @@ class HyppoMethod final : public Method {
                         const Runtime::ExecutionRecord& record) override;
   Result<Planned> PlanRetrieval(
       const std::vector<std::string>& artifact_names) override;
+  /// Recovery re-planning with the same search strategy (and greedy
+  /// fallback) the original plan used.
+  Result<Plan> ReplanAugmentation(const Augmentation& aug) override;
 
   const PlanGenerator::SearchStats& last_search_stats() const {
     return last_stats_;

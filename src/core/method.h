@@ -49,6 +49,16 @@ class Method {
   virtual Result<Planned> PlanRetrieval(
       const std::vector<std::string>& artifact_names);
 
+  /// Re-plans a degraded augmentation during execution-layer recovery
+  /// (the runtime dropped dead load edges after storage faults). Default:
+  /// linear-time greedy search — always feasible, no optimality guarantee.
+  /// HyppoMethod overrides this with its configured search strategy.
+  virtual Result<Plan> ReplanAugmentation(const Augmentation& aug);
+
+  /// Binds ReplanAugmentation as a Runtime::Replanner, so the scenario
+  /// loop can pass `method.MakeReplanner()` into ExecuteAndRecord.
+  Runtime::Replanner MakeReplanner();
+
   Runtime& runtime() { return *runtime_; }
 
  protected:

@@ -44,6 +44,16 @@ class Monitor {
   void RecordArtifact(ArtifactKind kind, int64_t size_bytes,
                       double compute_seconds);
 
+  /// Recovery telemetry (execution-layer self-healing): one replan per
+  /// degrade-and-re-optimize round.
+  void RecordReplan() { ++num_replans_; }
+  /// Tasks that errored during execution (before recovery retried them).
+  void RecordTaskFailures(int64_t count) { num_task_failures_ += count; }
+  /// Tasks a recovery attempt skipped because their payloads survived.
+  void RecordRecoveredTasks(int64_t count) { num_recovered_tasks_ += count; }
+  /// Faults injected by an attached storage::FaultInjector.
+  void RecordInjectedFaults(int64_t count) { num_injected_faults_ += count; }
+
   const std::map<TaskType, Aggregate>& by_task_type() const {
     return by_task_type_;
   }
@@ -51,12 +61,20 @@ class Monitor {
     return by_artifact_kind_;
   }
   int64_t num_task_records() const { return num_task_records_; }
+  int64_t num_replans() const { return num_replans_; }
+  int64_t num_task_failures() const { return num_task_failures_; }
+  int64_t num_recovered_tasks() const { return num_recovered_tasks_; }
+  int64_t num_injected_faults() const { return num_injected_faults_; }
 
  private:
   CostEstimator* estimator_;
   std::map<TaskType, Aggregate> by_task_type_;
   std::map<ArtifactKind, Aggregate> by_artifact_kind_;
   int64_t num_task_records_ = 0;
+  int64_t num_replans_ = 0;
+  int64_t num_task_failures_ = 0;
+  int64_t num_recovered_tasks_ = 0;
+  int64_t num_injected_faults_ = 0;
 };
 
 }  // namespace hyppo::core

@@ -647,6 +647,21 @@ Status VerifyPlanStructure(const Augmentation& aug,
   return Status::OK();
 }
 
+Status VerifyAugmentationStructure(const Augmentation& aug) {
+  analysis::AugmentationSpec spec;
+  spec.graph = &aug.graph.hypergraph();
+  spec.source = aug.graph.source();
+  spec.targets = &aug.targets;
+  spec.edge_weight = &aug.edge_weight;
+  spec.edge_seconds = &aug.edge_seconds;
+  analysis::AnalysisReport report = analysis::CheckAugmentationStructure(spec);
+  if (!report.ok()) {
+    return Status::Internal("augmentation verification failed (" +
+                            report.Summary() + "):\n" + report.ToString());
+  }
+  return Status::OK();
+}
+
 Result<Plan> PlanGenerator::Optimize(const Augmentation& aug,
                                      const Options& options,
                                      SearchStats* stats) const {

@@ -136,6 +136,12 @@ Status VerifyPlanStructure(const Augmentation& aug,
                            const std::vector<NodeId>& targets,
                            const Plan& plan);
 
+/// \brief Structural verification of a (possibly degraded) augmentation:
+/// hypergraph invariants, weight-vector sizing, and B-reachability of
+/// every target from the source. The runtime's recovery loop runs this
+/// after dropping dead load edges, before re-planning.
+Status VerifyAugmentationStructure(const Augmentation& aug);
+
 }  // namespace hyppo::core
 
 #endif  // HYPPO_CORE_OPTIMIZER_H_

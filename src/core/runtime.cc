@@ -50,24 +50,113 @@ void Runtime::RegisterDatasetGenerator(
   sources_[dataset_id] = std::move(generator);
 }
 
+void Runtime::EnableFaultInjection(const storage::FaultPlan& plan) {
+  fault_injector_ = std::make_unique<storage::FaultInjector>(plan);
+  fault_store_ = std::make_unique<storage::FaultInjectingStore>(
+      &store_, fault_injector_.get());
+  executor_->set_store(fault_store_.get());
+}
+
+Status Runtime::DegradeAfterFailures(
+    const std::vector<Executor::TaskFailure>& failures, Augmentation* aug) {
+  for (const Executor::TaskFailure& failure : failures) {
+    const TaskInfo& task = aug->graph.task(failure.edge);
+    if (task.type != TaskType::kLoad) {
+      continue;  // operator fault: transient, the retry re-runs it
+    }
+    const NodeId head = aug->graph.ordered_head(failure.edge)[0];
+    const ArtifactInfo& artifact = aug->graph.artifact(head);
+    if (artifact.kind == ArtifactKind::kRaw) {
+      continue;  // resolver outage: transient, the source is not ours
+    }
+    // The materialized copy is dead: drop the load edge so no re-plan
+    // trusts it, and purge the entry from the store and the history.
+    HYPPO_RETURN_NOT_OK(aug->graph.RemoveTask(failure.edge));
+    (void)store_.Evict(artifact.name);
+    Result<NodeId> h_node = history_.graph().FindArtifact(artifact.name);
+    if (h_node.ok()) {
+      (void)history_.EvictMaterialized(*h_node);
+    }
+  }
+  return Status::OK();
+}
+
 Result<Runtime::ExecutionRecord> Runtime::ExecuteInternal(
-    const Augmentation& aug, const Plan& plan) {
+    const Augmentation& aug, const Plan& plan, const Replanner& replan) {
   Executor::Options exec_options;
   exec_options.simulate = options_.simulate;
   exec_options.parallelism = options_.parallelism;
   exec_options.verify_plans = options_.verify_plans;
-  HYPPO_ASSIGN_OR_RETURN(Executor::ExecutionResult result,
-                         executor_->Execute(aug, plan, exec_options));
+  exec_options.fault_injector = fault_injector_.get();
+
+  const int64_t faults_before =
+      fault_injector_ ? fault_injector_->counters().total() : 0;
 
   ExecutionRecord record;
-  record.seconds = result.total_seconds;
-  cumulative_seconds_ += result.total_seconds;
+  std::vector<Executor::TaskRun> all_runs;
+  std::map<NodeId, ArtifactPayload> surviving;
+  double total_seconds = 0.0;
+
+  // Attempt 0 runs the caller's plan. On failures, recovery degrades a
+  // copy of the augmentation (node/edge ids stay stable under edge
+  // removal, so payloads and task runs keep referring to `aug`), re-plans,
+  // and re-executes seeded with every surviving payload.
+  Augmentation degraded;
+  const Augmentation* current_aug = &aug;
+  Plan current_plan = plan;
+  for (int attempt = 0;; ++attempt) {
+    HYPPO_ASSIGN_OR_RETURN(
+        Executor::ExecutionResult result,
+        executor_->Execute(*current_aug, current_plan, exec_options));
+    total_seconds += result.total_seconds;
+    all_runs.insert(all_runs.end(), result.task_runs.begin(),
+                    result.task_runs.end());
+    for (auto& [node, payload] : result.payloads) {
+      surviving[node] = std::move(payload);
+    }
+    if (attempt > 0) {
+      record.recovered_tasks += result.reused_tasks;
+      monitor_.RecordRecoveredTasks(result.reused_tasks);
+    }
+    if (result.complete()) {
+      break;
+    }
+    record.failed_tasks += static_cast<int64_t>(result.failures.size());
+    monitor_.RecordTaskFailures(static_cast<int64_t>(result.failures.size()));
+    if (!replan || attempt >= options_.max_recovery_attempts) {
+      if (!result.failures.empty()) {
+        return result.failures.front().status;
+      }
+      return Status::Internal(
+          "execution left " + std::to_string(result.skipped_edges.size()) +
+          " tasks unexecuted with no failure to recover from");
+    }
+    if (attempt == 0) {
+      degraded = aug;
+      current_aug = &degraded;
+    }
+    HYPPO_RETURN_NOT_OK(DegradeAfterFailures(result.failures, &degraded));
+    if (options_.verify_plans) {
+      HYPPO_RETURN_NOT_OK(VerifyAugmentationStructure(degraded));
+    }
+    ++record.replans;
+    monitor_.RecordReplan();
+    HYPPO_ASSIGN_OR_RETURN(current_plan, replan(degraded));
+    exec_options.seed_payloads = &surviving;
+  }
+  if (fault_injector_) {
+    monitor_.RecordInjectedFaults(fault_injector_->counters().total() -
+                                  faults_before);
+  }
+
+  record.seconds = total_seconds;
+  cumulative_seconds_ += total_seconds;
 
   // Refresh artifact metadata with observed payload sizes, then record
   // artifacts, tasks, and durations into the history.
   const PipelineGraph& graph = aug.graph;
   std::map<NodeId, NodeId> to_history;
-  for (const auto& [node, payload] : result.payloads) {
+  for (const auto& [node, payload] : surviving) {
     ArtifactInfo info = graph.artifact(node);
     const int64_t observed = storage::PayloadSizeBytes(payload);
     if (observed > 0) {
@@ -85,7 +174,7 @@ Result<Runtime::ExecutionRecord> Runtime::ExecuteInternal(
     }
     record.payloads_by_name[info.name] = payload;
   }
-  for (const Executor::TaskRun& run : result.task_runs) {
+  for (const Executor::TaskRun& run : all_runs) {
     const TaskInfo& task = graph.task(run.edge);
     if (task.type == TaskType::kLoad) {
       continue;  // load edges are managed by materialization state
@@ -155,14 +244,15 @@ Status Runtime::RecordPipelineStructure(const Pipeline& pipeline) {
 }
 
 Result<Runtime::ExecutionRecord> Runtime::ExecuteAndRecord(
-    const Pipeline& pipeline, const Augmentation& aug, const Plan& plan) {
+    const Pipeline& pipeline, const Augmentation& aug, const Plan& plan,
+    const Replanner& replan) {
   HYPPO_RETURN_NOT_OK(RecordPipelineStructure(pipeline));
-  return ExecuteInternal(aug, plan);
+  return ExecuteInternal(aug, plan, replan);
 }
 
 Result<Runtime::ExecutionRecord> Runtime::ExecutePlanOnly(
-    const Augmentation& aug, const Plan& plan) {
-  return ExecuteInternal(aug, plan);
+    const Augmentation& aug, const Plan& plan, const Replanner& replan) {
+  return ExecuteInternal(aug, plan, replan);
 }
 
 Status Runtime::SaveCatalog(const std::string& directory) const {
@@ -171,7 +261,7 @@ Status Runtime::SaveCatalog(const std::string& directory) const {
 
 Status Runtime::LoadCatalog(const std::string& directory) {
   History history;
-  storage::ArtifactStore store(store_.tier());
+  storage::InMemoryArtifactStore store(store_.tier());
   HYPPO_RETURN_NOT_OK(core::LoadCatalog(directory, &history, &store));
   history_ = std::move(history);
   store_ = std::move(store);

@@ -15,6 +15,7 @@
 #include "core/history.h"
 #include "core/monitor.h"
 #include "storage/artifact_store.h"
+#include "storage/fault_injection.h"
 
 namespace hyppo::core {
 
@@ -38,8 +39,13 @@ struct RuntimeOptions {
   /// Debug-mode invariant verification: every plan is checked by the
   /// analysis verifier before execution, and methods that honor the flag
   /// (HyppoMethod) also verify plans as the search returns them. Tests
-  /// and the workload scenarios enable this.
+  /// and the workload scenarios enable this. The recovery loop also
+  /// verifies every degraded augmentation before re-planning.
   bool verify_plans = false;
+  /// Self-healing bound: how many degrade-and-re-plan rounds one
+  /// execution may take after task failures before the first failure
+  /// surfaces as an error. 0 disables recovery entirely.
+  int max_recovery_attempts = 3;
 };
 
 /// \brief Shared execution state: catalog (dictionary + history), cost
@@ -50,6 +56,12 @@ struct RuntimeOptions {
 /// policy — exactly the paper's setup.
 class Runtime {
  public:
+  /// Produces a fresh plan for a degraded augmentation during recovery.
+  /// Typically Method::ReplanAugmentation bound to the active method, so
+  /// recovery re-optimizes with the same strategy that planned the
+  /// original run.
+  using Replanner = std::function<Result<Plan>(const Augmentation&)>;
+
   explicit Runtime(RuntimeOptions options = RuntimeOptions(),
                    Dictionary dictionary = Dictionary::FromRegistry(
                        ml::OperatorRegistry::Global()));
@@ -60,6 +72,7 @@ class Runtime {
   const History& history() const { return history_; }
   CostEstimator& estimator() { return estimator_; }
   Monitor& monitor() { return monitor_; }
+  const Monitor& monitor() const { return monitor_; }
   storage::ArtifactStore& store() { return store_; }
   const Augmenter& augmenter() const { return augmenter_; }
   const Executor& executor() const { return *executor_; }
@@ -72,11 +85,28 @@ class Runtime {
       const std::string& dataset_id,
       std::function<Result<ml::DatasetPtr>()> generator);
 
+  /// Arms chaos mode: wraps the store in a storage::FaultInjectingStore
+  /// and hands the injector to the executor's operator/resolver hooks.
+  /// Idempotent per runtime; call before executing. Persistence and the
+  /// materializer keep talking to the undecorated store.
+  void EnableFaultInjection(const storage::FaultPlan& plan);
+
+  /// The active injector, or null when fault injection is disabled.
+  storage::FaultInjector* fault_injector() { return fault_injector_.get(); }
+
   struct ExecutionRecord {
-    /// Charged execution time of the plan in seconds.
+    /// Charged execution time of the plan in seconds (including recovery
+    /// attempts — failed work is billed like the paper's monetary model
+    /// bills retried cloud tasks).
     double seconds = 0.0;
     /// Payloads of every artifact produced or loaded, by canonical name.
     std::map<std::string, ArtifactPayload> payloads_by_name;
+    /// Degrade-and-re-plan rounds this execution needed (0 = clean run).
+    int replans = 0;
+    /// Task-level failures absorbed across all attempts.
+    int64_t failed_tasks = 0;
+    /// Tasks recovery attempts skipped because their payloads survived.
+    int64_t recovered_tasks = 0;
   };
 
   /// Executes `plan` and records everything into the history: artifact
@@ -84,14 +114,24 @@ class Runtime {
   /// for the pipeline's artifacts, and source-data registrations. The
   /// pipeline's *structure* is recorded even for tasks the plan skipped,
   /// so future augmentations can splice these derivations.
+  ///
+  /// When tasks fail and `replan` is provided, the runtime self-heals: it
+  /// drops the dead load edges from a copy of the augmentation, purges the
+  /// rotten artifacts from the store and the history, re-plans over the
+  /// degraded augmentation, and re-executes reusing every payload that
+  /// survived — bounded by RuntimeOptions::max_recovery_attempts, after
+  /// which the first failure's Status is returned. Without a replanner the
+  /// first failure surfaces immediately.
   Result<ExecutionRecord> ExecuteAndRecord(const Pipeline& pipeline,
                                            const Augmentation& aug,
-                                           const Plan& plan);
+                                           const Plan& plan,
+                                           const Replanner& replan = nullptr);
 
   /// Variant for retrieval requests (no defining pipeline; only the plan's
   /// own artifacts are recorded/accessed).
   Result<ExecutionRecord> ExecutePlanOnly(const Augmentation& aug,
-                                          const Plan& plan);
+                                          const Plan& plan,
+                                          const Replanner& replan = nullptr);
 
   /// Cumulative charged seconds so far — the experiment's logical clock
   /// (drives LRU timestamps).
@@ -107,16 +147,25 @@ class Runtime {
 
  private:
   Result<ExecutionRecord> ExecuteInternal(const Augmentation& aug,
-                                          const Plan& plan);
+                                          const Plan& plan,
+                                          const Replanner& replan);
   /// Mirrors the pipeline structure into the history without durations.
   Status RecordPipelineStructure(const Pipeline& pipeline);
+  /// Degrades `aug` in place after `failures`: dead materialized-artifact
+  /// loads lose their load edge and the rotten copies are purged from the
+  /// store and the history; everything else is transient and retried.
+  Status DegradeAfterFailures(
+      const std::vector<Executor::TaskFailure>& failures, Augmentation* aug);
 
   RuntimeOptions options_;
   Dictionary dictionary_;
   History history_;
   CostEstimator estimator_;
   Monitor monitor_;
-  storage::ArtifactStore store_;
+  storage::InMemoryArtifactStore store_;
+  /// Chaos-mode decorations (EnableFaultInjection); null when disabled.
+  std::unique_ptr<storage::FaultInjector> fault_injector_;
+  std::unique_ptr<storage::FaultInjectingStore> fault_store_;
   Augmenter augmenter_;
   std::unique_ptr<Executor> executor_;
   std::map<std::string, std::function<Result<ml::DatasetPtr>()>> sources_;

@@ -19,8 +19,40 @@ int64_t PayloadSizeBytes(const ArtifactPayload& payload) {
   return std::visit(Visitor{}, payload);
 }
 
-Status ArtifactStore::Put(const std::string& key, ArtifactPayload payload,
-                          int64_t size_bytes) {
+Result<ArtifactStore::Loaded> ArtifactStore::Load(
+    const std::string& key) const {
+  HYPPO_ASSIGN_OR_RETURN(ArtifactPayload payload, Get(key));
+  const int64_t bytes = PayloadSizeBytes(payload);
+  return Loaded{std::move(payload), LoadSeconds(bytes)};
+}
+
+InMemoryArtifactStore::InMemoryArtifactStore(
+    InMemoryArtifactStore&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  tier_ = other.tier_;
+  entries_ = std::move(other.entries_);
+  used_bytes_ = other.used_bytes_;
+  other.entries_.clear();
+  other.used_bytes_ = 0;
+}
+
+InMemoryArtifactStore& InMemoryArtifactStore::operator=(
+    InMemoryArtifactStore&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock lock(mutex_, other.mutex_);
+    tier_ = other.tier_;
+    entries_ = std::move(other.entries_);
+    used_bytes_ = other.used_bytes_;
+    other.entries_.clear();
+    other.used_bytes_ = 0;
+  }
+  return *this;
+}
+
+Status InMemoryArtifactStore::Put(const std::string& key,
+                                  ArtifactPayload payload,
+                                  int64_t size_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     used_bytes_ -= it->second.size_bytes;
@@ -33,7 +65,9 @@ Status ArtifactStore::Put(const std::string& key, ArtifactPayload payload,
   return Status::OK();
 }
 
-Result<ArtifactPayload> ArtifactStore::Get(const std::string& key) const {
+Result<ArtifactPayload> InMemoryArtifactStore::Get(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     return Status::NotFound("artifact '" + key + "' is not materialized");
@@ -41,7 +75,24 @@ Result<ArtifactPayload> ArtifactStore::Get(const std::string& key) const {
   return it->second.payload;
 }
 
-Status ArtifactStore::Evict(const std::string& key) {
+Result<ArtifactStore::Loaded> InMemoryArtifactStore::Load(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::NotFound("artifact '" + key + "' is not materialized");
+  }
+  const int64_t bytes = PayloadSizeBytes(it->second.payload);
+  return Loaded{it->second.payload, tier_.LoadSeconds(bytes)};
+}
+
+bool InMemoryArtifactStore::Contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(key) > 0;
+}
+
+Status InMemoryArtifactStore::Evict(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     return Status::NotFound("artifact '" + key + "' is not materialized");
@@ -51,21 +102,33 @@ Status ArtifactStore::Evict(const std::string& key) {
   return Status::OK();
 }
 
-std::vector<std::string> ArtifactStore::Keys() const {
+Result<int64_t> InMemoryArtifactStore::SizeOf(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::NotFound("artifact '" + key + "' is not materialized");
+  }
+  return it->second.size_bytes;
+}
+
+int64_t InMemoryArtifactStore::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return used_bytes_;
+}
+
+size_t InMemoryArtifactStore::num_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<std::string> InMemoryArtifactStore::Keys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> keys;
   keys.reserve(entries_.size());
   for (const auto& [key, entry] : entries_) {
     keys.push_back(key);
   }
   return keys;
-}
-
-Result<int64_t> ArtifactStore::SizeOf(const std::string& key) const {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    return Status::NotFound("artifact '" + key + "' is not materialized");
-  }
-  return it->second.size_bytes;
 }
 
 }  // namespace hyppo::storage

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "common/result.h"
 #include "ml/dataset.h"
@@ -54,44 +56,85 @@ struct StorageTier {
   }
 };
 
-/// \brief Key-value store of materialized artifacts with byte accounting.
+/// \brief Key-value store interface for materialized artifacts with byte
+/// accounting.
 ///
 /// The materializer (core/materializer.h) decides *what* lives here under
 /// the storage budget; the store tracks usage and answers load-cost
-/// queries. Keys are canonical artifact names.
+/// queries. Keys are canonical artifact names. Implementations:
+/// InMemoryArtifactStore (the production backend, safe under concurrent
+/// access from the parallel executor) and FaultInjectingStore
+/// (storage/fault_injection.h), a decorator that injects deterministic
+/// faults into the executor's load path for chaos testing.
 class ArtifactStore {
  public:
-  explicit ArtifactStore(StorageTier tier = StorageTier::Local())
-      : tier_(tier) {}
+  virtual ~ArtifactStore() = default;
 
   /// Stores a payload under `key`. `size_bytes` is charged against usage
   /// (passed explicitly so simulated artifacts can carry estimated sizes).
-  Status Put(const std::string& key, ArtifactPayload payload,
-             int64_t size_bytes);
+  virtual Status Put(const std::string& key, ArtifactPayload payload,
+                     int64_t size_bytes) = 0;
 
   /// Retrieves a payload; NotFound if absent.
-  Result<ArtifactPayload> Get(const std::string& key) const;
+  virtual Result<ArtifactPayload> Get(const std::string& key) const = 0;
 
-  bool Contains(const std::string& key) const {
-    return entries_.count(key) > 0;
-  }
+  virtual bool Contains(const std::string& key) const = 0;
 
   /// Removes an entry; NotFound if absent.
-  Status Evict(const std::string& key);
+  virtual Status Evict(const std::string& key) = 0;
 
   /// Size on storage of one entry; NotFound if absent.
-  Result<int64_t> SizeOf(const std::string& key) const;
+  virtual Result<int64_t> SizeOf(const std::string& key) const = 0;
 
-  int64_t used_bytes() const { return used_bytes_; }
-  size_t num_entries() const { return entries_.size(); }
+  virtual int64_t used_bytes() const = 0;
+  virtual size_t num_entries() const = 0;
   /// All stored keys, sorted (for persistence and inspection).
-  std::vector<std::string> Keys() const;
-  const StorageTier& tier() const { return tier_; }
+  virtual std::vector<std::string> Keys() const = 0;
+  virtual const StorageTier& tier() const = 0;
 
-  double LoadSeconds(int64_t bytes) const { return tier_.LoadSeconds(bytes); }
+  /// \brief One serviced load: the payload plus the charged load time
+  /// under the tier's cost model.
+  struct Loaded {
+    ArtifactPayload payload;
+    double seconds = 0.0;
+  };
+
+  /// Get + the tier's load-cost model in one call — the executor's load
+  /// path. Decorators override this to perturb payloads or timings
+  /// without affecting the bookkeeping entry points above.
+  virtual Result<Loaded> Load(const std::string& key) const;
+
+  double LoadSeconds(int64_t bytes) const { return tier().LoadSeconds(bytes); }
   double StoreSeconds(int64_t bytes) const {
-    return tier_.StoreSeconds(bytes);
+    return tier().StoreSeconds(bytes);
   }
+};
+
+/// \brief The production artifact store: an in-memory map guarded by a
+/// mutex, safe under concurrent Get/Put/Evict from the parallel executor's
+/// worker threads.
+class InMemoryArtifactStore final : public ArtifactStore {
+ public:
+  explicit InMemoryArtifactStore(StorageTier tier = StorageTier::Local())
+      : tier_(tier) {}
+
+  /// Movable so a freshly loaded catalog can replace a runtime's store
+  /// (single-threaded contexts only; concurrent access to a store being
+  /// moved from is a bug).
+  InMemoryArtifactStore(InMemoryArtifactStore&& other) noexcept;
+  InMemoryArtifactStore& operator=(InMemoryArtifactStore&& other) noexcept;
+
+  Status Put(const std::string& key, ArtifactPayload payload,
+             int64_t size_bytes) override;
+  Result<ArtifactPayload> Get(const std::string& key) const override;
+  bool Contains(const std::string& key) const override;
+  Status Evict(const std::string& key) override;
+  Result<int64_t> SizeOf(const std::string& key) const override;
+  int64_t used_bytes() const override;
+  size_t num_entries() const override;
+  std::vector<std::string> Keys() const override;
+  const StorageTier& tier() const override { return tier_; }
+  Result<Loaded> Load(const std::string& key) const override;
 
  private:
   struct Entry {
@@ -99,6 +142,7 @@ class ArtifactStore {
     int64_t size_bytes = 0;
   };
   StorageTier tier_;
+  mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;
   int64_t used_bytes_ = 0;
 };

@@ -9,6 +9,7 @@
 #include "baselines/no_optimization.h"
 #include "baselines/sharing.h"
 #include "core/hyppo.h"
+#include "storage/fault_injection.h"
 
 namespace hyppo::workload {
 
@@ -27,7 +28,9 @@ std::unique_ptr<core::Runtime> MakeRuntime(const UseCase& use_case,
                                            double multiplier,
                                            double budget_factor,
                                            bool simulate, uint64_t seed,
-                                           bool verify, int parallelism) {
+                                           bool verify, int parallelism,
+                                           double fault_rate = 0.0,
+                                           uint64_t fault_seed = 0) {
   core::RuntimeOptions options;
   options.storage_budget_bytes =
       BudgetBytes(use_case, multiplier, budget_factor);
@@ -42,7 +45,21 @@ std::unique_ptr<core::Runtime> MakeRuntime(const UseCase& use_case,
       [use_case, multiplier, seed]() -> Result<ml::DatasetPtr> {
         return GenerateUseCase(use_case, multiplier, seed);
       });
+  if (fault_rate > 0.0) {
+    runtime->EnableFaultInjection(storage::FaultPlan::Uniform(
+        fault_seed != 0 ? fault_seed : seed, fault_rate));
+  }
   return runtime;
+}
+
+// Copies the runtime's self-healing telemetry into a sequence result.
+void CollectRecoveryStats(const core::Runtime& runtime,
+                          SequenceResult* result) {
+  const core::Monitor& monitor = runtime.monitor();
+  result->replans = monitor.num_replans();
+  result->failed_tasks = monitor.num_task_failures();
+  result->recovered_tasks = monitor.num_recovered_tasks();
+  result->injected_faults = monitor.num_injected_faults();
 }
 
 // End-of-run invariant audit: the history the scenario grew (plus the
@@ -74,7 +91,8 @@ Result<SequenceResult> DrivePipelines(
                            method.PlanPipeline(pipeline));
     HYPPO_ASSIGN_OR_RETURN(
         core::Runtime::ExecutionRecord record,
-        runtime.ExecuteAndRecord(pipeline, planned.aug, planned.plan));
+        runtime.ExecuteAndRecord(pipeline, planned.aug, planned.plan,
+                                 method.MakeReplanner()));
     HYPPO_RETURN_NOT_OK(method.AfterExecution(pipeline, planned, record));
     result.per_pipeline_seconds.push_back(record.seconds);
     result.cumulative_seconds += record.seconds;
@@ -86,6 +104,7 @@ Result<SequenceResult> DrivePipelines(
   result.stored_artifacts =
       static_cast<int64_t>(runtime.history().MaterializedArtifacts().size());
   result.history_artifacts = runtime.history().num_artifacts();
+  CollectRecoveryStats(runtime, &result);
   HYPPO_RETURN_NOT_OK(VerifyRuntimeHistory(runtime));
   return result;
 }
@@ -127,7 +146,8 @@ Result<SequenceResult> RunIterativeScenario(const MethodFactory& factory,
   std::unique_ptr<core::Runtime> runtime =
       MakeRuntime(config.use_case, config.dataset_multiplier,
                   config.budget_factor, config.simulate, config.seed,
-                  config.verify, config.parallelism);
+                  config.verify, config.parallelism, config.fault_rate,
+                  config.fault_seed);
   std::unique_ptr<core::Method> method = factory(runtime.get());
   // The same seed yields the same pipeline sequence for every method.
   PipelineGenerator generator(config.use_case, config.dataset_multiplier,
@@ -146,7 +166,8 @@ Result<RetrievalResult> RunRetrievalScenario(const MethodFactory& factory,
   std::unique_ptr<core::Runtime> runtime =
       MakeRuntime(config.use_case, config.dataset_multiplier,
                   config.budget_factor, config.simulate, config.seed,
-                  config.verify, config.parallelism);
+                  config.verify, config.parallelism, config.fault_rate,
+                  config.fault_seed);
   std::unique_ptr<core::Method> method = factory(runtime.get());
   PipelineGenerator generator(config.use_case, config.dataset_multiplier,
                               config.seed);
@@ -157,7 +178,8 @@ Result<RetrievalResult> RunRetrievalScenario(const MethodFactory& factory,
                            method->PlanPipeline(pipeline));
     HYPPO_ASSIGN_OR_RETURN(
         core::Runtime::ExecutionRecord record,
-        runtime->ExecuteAndRecord(pipeline, planned.aug, planned.plan));
+        runtime->ExecuteAndRecord(pipeline, planned.aug, planned.plan,
+                                  method->MakeReplanner()));
     HYPPO_RETURN_NOT_OK(method->AfterExecution(pipeline, planned, record));
   }
   // Candidate artifacts for requests.
@@ -208,7 +230,8 @@ Result<RetrievalResult> RunRetrievalScenario(const MethodFactory& factory,
                            method->PlanRetrieval(names));
     HYPPO_ASSIGN_OR_RETURN(
         core::Runtime::ExecutionRecord record,
-        runtime->ExecutePlanOnly(planned.aug, planned.plan));
+        runtime->ExecutePlanOnly(planned.aug, planned.plan,
+                                 method->MakeReplanner()));
     result.total_seconds += record.seconds;
     result.mean_optimize_seconds += planned.optimize_seconds;
   }
@@ -241,7 +264,7 @@ Result<SequenceResult> RunEnsembleScenario(const MethodFactory& factory,
   std::unique_ptr<core::Runtime> runtime =
       MakeRuntime(use_case, config.dataset_multiplier, config.budget_factor,
                   config.simulate, config.seed, config.verify,
-                  config.parallelism);
+                  config.parallelism, config.fault_rate, config.fault_seed);
   std::unique_ptr<core::Method> method = factory(runtime.get());
   PipelineGenerator generator(use_case, config.dataset_multiplier,
                               config.seed);
@@ -253,7 +276,8 @@ Result<SequenceResult> RunEnsembleScenario(const MethodFactory& factory,
                            method->PlanPipeline(pipeline));
     HYPPO_ASSIGN_OR_RETURN(
         core::Runtime::ExecutionRecord record,
-        runtime->ExecuteAndRecord(pipeline, planned.aug, planned.plan));
+        runtime->ExecuteAndRecord(pipeline, planned.aug, planned.plan,
+                                  method->MakeReplanner()));
     HYPPO_RETURN_NOT_OK(method->AfterExecution(pipeline, planned, record));
   }
   // Ensemble workloads: each picks a past preprocessing prefix, reuses its
@@ -318,7 +342,8 @@ Result<TypeStudyResult> RunTypeStudy(const ScenarioConfig& config) {
                            method.PlanPipeline(pipeline));
     HYPPO_ASSIGN_OR_RETURN(
         core::Runtime::ExecutionRecord record,
-        runtime->ExecuteAndRecord(pipeline, planned.aug, planned.plan));
+        runtime->ExecuteAndRecord(pipeline, planned.aug, planned.plan,
+                                  method.MakeReplanner()));
     HYPPO_RETURN_NOT_OK(method.AfterExecution(pipeline, planned, record));
   }
   TypeStudyResult result;

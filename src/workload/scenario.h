@@ -44,6 +44,13 @@ struct ScenarioConfig {
   /// Worker threads for execution and for the parallel plan search
   /// (core::RuntimeOptions::parallelism); 0 = all hardware threads.
   int parallelism = 1;
+  /// Chaos knob: probability of injected execution-layer faults (store
+  /// loads vanishing/corrupting/slowing, resolver outages, operator
+  /// failures; see storage::FaultPlan::Uniform). 0 disables injection.
+  /// Failures are absorbed by the runtime's self-healing recovery loop.
+  double fault_rate = 0.0;
+  /// Seed of the fault plan; 0 reuses `seed`.
+  uint64_t fault_seed = 0;
 };
 
 /// \brief Result of running one pipeline sequence under one method.
@@ -58,6 +65,13 @@ struct SequenceResult {
   int64_t history_artifacts = 0;
   /// Cumulative seconds after each pipeline (for #pipelines sweeps).
   std::vector<double> cumulative_after;
+  /// Self-healing telemetry (non-zero only with a fault_rate or real
+  /// storage faults): degrade-and-re-plan rounds, task failures absorbed,
+  /// tasks recovered from surviving payloads, and faults injected.
+  int64_t replans = 0;
+  int64_t failed_tasks = 0;
+  int64_t recovered_tasks = 0;
+  int64_t injected_faults = 0;
 };
 
 /// Runs scenario 1: execute `num_pipelines` sequentially, materializing
@@ -78,6 +92,9 @@ struct RetrievalConfig {
   bool verify = true;
   /// See ScenarioConfig::parallelism.
   int parallelism = 1;
+  /// See ScenarioConfig::fault_rate / fault_seed.
+  double fault_rate = 0.0;
+  uint64_t fault_seed = 0;
   int request_size = 4;    // artifacts per request
   int num_requests = 50;
   bool models_only = false;  // request fitted models only
@@ -108,6 +125,9 @@ struct EnsembleConfig {
   bool verify = true;
   /// See ScenarioConfig::parallelism.
   int parallelism = 1;
+  /// See ScenarioConfig::fault_rate / fault_seed.
+  double fault_rate = 0.0;
+  uint64_t fault_seed = 0;
 };
 
 Result<SequenceResult> RunEnsembleScenario(const MethodFactory& factory,

@@ -476,7 +476,7 @@ TEST(VerifyWiringTest, PlanGeneratorVerifiesItsOwnPlans) {
 TEST(VerifyWiringTest, ExecutorRejectsCorruptPlanBeforeExecuting) {
   const Pipeline pipeline = *TinyPipeline();
   const Augmentation aug = AsAugmentation(pipeline);
-  storage::ArtifactStore store;
+  storage::InMemoryArtifactStore store;
   core::Monitor monitor;
   const core::Executor executor(&store, nullptr, &monitor);
   Plan plan = FullPlan(aug);
@@ -499,7 +499,7 @@ TEST(VerifyWiringTest, ExecutorRejectsInfeasiblePlan) {
   plan.edges.erase(plan.edges.begin());  // drop the raw load
   plan.cost -= 1.0;
   plan.seconds -= 1.0;
-  storage::ArtifactStore store;
+  storage::InMemoryArtifactStore store;
   core::Monitor monitor;
   const core::Executor executor(&store, nullptr, &monitor);
   core::Executor::Options options;

@@ -41,19 +41,26 @@ Plan FullPlan(const Augmentation& aug) {
   return plan;
 }
 
-TEST(ExecutorTest, MissingDatasetResolverFails) {
-  storage::ArtifactStore store;
+TEST(ExecutorTest, MissingDatasetResolverRecordedAsFailure) {
+  storage::InMemoryArtifactStore store;
   Monitor monitor;
   Executor executor(&store, /*resolver=*/nullptr, &monitor);
   Pipeline pipeline = *TinyPipeline();
   Augmentation aug = AsAugmentation(pipeline);
   Executor::Options options;
   auto result = executor.Execute(aug, FullPlan(aug), options);
-  EXPECT_TRUE(result.status().IsFailedPrecondition()) << result.status();
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->complete());
+  ASSERT_EQ(result->failures.size(), 1u);
+  EXPECT_TRUE(result->failures[0].status.IsFailedPrecondition())
+      << result->failures[0].status;
+  // Everything downstream of the dead load is starved, not attempted.
+  EXPECT_EQ(result->skipped_edges.size(), 2u);
+  EXPECT_TRUE(result->payloads.empty());
 }
 
 TEST(ExecutorTest, UnknownDatasetSurfacesResolverError) {
-  storage::ArtifactStore store;
+  storage::InMemoryArtifactStore store;
   Monitor monitor;
   Executor executor(
       &store,
@@ -64,12 +71,14 @@ TEST(ExecutorTest, UnknownDatasetSurfacesResolverError) {
   Pipeline pipeline = *TinyPipeline();
   Augmentation aug = AsAugmentation(pipeline);
   auto result = executor.Execute(aug, FullPlan(aug), Executor::Options());
-  EXPECT_TRUE(result.status().IsNotFound());
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->failures.size(), 1u);
+  EXPECT_TRUE(result->failures[0].status.IsNotFound());
 }
 
-TEST(ExecutorTest, MissingMaterializedPayloadFails) {
+TEST(ExecutorTest, MissingMaterializedPayloadRecordedAsFailure) {
   // A plan that loads a non-raw artifact not present in the store.
-  storage::ArtifactStore store;
+  storage::InMemoryArtifactStore store;
   Monitor monitor;
   Executor executor(&store, nullptr, &monitor);
   Augmentation aug;
@@ -85,17 +94,20 @@ TEST(ExecutorTest, MissingMaterializedPayloadFails) {
   aug.edge_seconds.assign(1, 1.0);
   Plan plan = FullPlan(aug);
   auto result = executor.Execute(aug, plan, Executor::Options());
-  EXPECT_TRUE(result.status().IsNotFound());
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->failures.size(), 1u);
+  EXPECT_TRUE(result->failures[0].status.IsNotFound());
   // In simulation mode the same plan succeeds with a placeholder payload.
   Executor::Options simulate;
   simulate.simulate = true;
   auto simulated = executor.Execute(aug, plan, simulate);
   ASSERT_TRUE(simulated.ok()) << simulated.status();
+  EXPECT_TRUE(simulated->complete());
   EXPECT_GT(simulated->total_seconds, 0.0);
 }
 
-TEST(ExecutorTest, UnknownImplFails) {
-  storage::ArtifactStore store;
+TEST(ExecutorTest, UnknownImplRecordedAsFailure) {
+  storage::InMemoryArtifactStore store;
   Monitor monitor;
   Executor executor(
       &store,
@@ -110,11 +122,16 @@ TEST(ExecutorTest, UnknownImplFails) {
   Pipeline pipeline = *std::move(builder).Build();
   Augmentation aug = AsAugmentation(pipeline);
   auto result = executor.Execute(aug, FullPlan(aug), Executor::Options());
-  EXPECT_TRUE(result.status().IsNotFound()) << result.status();
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->failures.size(), 1u);
+  EXPECT_TRUE(result->failures[0].status.IsNotFound())
+      << result->failures[0].status;
+  // The load and split upstream of the bad fit still ran.
+  EXPECT_EQ(result->task_runs.size(), 2u);
 }
 
 TEST(ExecutorTest, NonExecutablePlanRejectedUpFront) {
-  storage::ArtifactStore store;
+  storage::InMemoryArtifactStore store;
   Monitor monitor;
   Executor executor(&store, nullptr, &monitor);
   Pipeline pipeline = *TinyPipeline();
@@ -131,7 +148,7 @@ TEST(ExecutorTest, NonExecutablePlanRejectedUpFront) {
 }
 
 TEST(ExecutorTest, LoadChargesStorageModelTime) {
-  storage::ArtifactStore store;
+  storage::InMemoryArtifactStore store;
   Monitor monitor;
   Executor executor(&store, nullptr, &monitor);
   Augmentation aug;
@@ -159,7 +176,7 @@ TEST(ExecutorTest, LoadChargesStorageModelTime) {
 }
 
 TEST(ExecutorTest, MonitorReceivesTaskRecords) {
-  storage::ArtifactStore store;
+  storage::InMemoryArtifactStore store;
   CostEstimator estimator;
   Monitor monitor(&estimator);
   Executor executor(
@@ -177,7 +194,7 @@ TEST(ExecutorTest, MonitorReceivesTaskRecords) {
 }
 
 TEST(ExecutorTest, PartialPlanExecutesOnlyItsTasks) {
-  storage::ArtifactStore store;
+  storage::InMemoryArtifactStore store;
   Monitor monitor;
   Executor executor(
       &store,

@@ -267,7 +267,7 @@ TEST_F(MaterializerTest, UnstorablePayloadsSkipped) {
 
 TEST_F(MaterializerTest, EvictsWhenBudgetShrinks) {
   BuildHistory();
-  storage::ArtifactStore store;
+  storage::InMemoryArtifactStore store;
   Materializer::Options big;
   big.budget_bytes = 100000;
   Materializer::Decision decision =
@@ -321,7 +321,7 @@ TEST_F(MaterializerTest, RawDataNeverCandidate) {
 }
 
 TEST(ArtifactStoreTest, PutGetEvictAccounting) {
-  storage::ArtifactStore store;
+  storage::InMemoryArtifactStore store;
   ASSERT_TRUE(store.Put("k", ArtifactPayload(1.5), 100).ok());
   EXPECT_TRUE(store.Contains("k"));
   EXPECT_EQ(store.used_bytes(), 100);

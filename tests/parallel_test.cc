@@ -112,7 +112,7 @@ TEST_F(ParallelExecutorTest, MatchesSerialResults) {
   core::Plan plan;
   plan.edges = aug.graph.hypergraph().LiveEdges();
 
-  storage::ArtifactStore store;
+  storage::InMemoryArtifactStore store;
   core::Monitor monitor;
   core::Executor executor(&store, Resolver(), &monitor);
 
@@ -156,13 +156,19 @@ TEST_F(ParallelExecutorTest, FailureInOneBranchSurfaces) {
   }
   core::Plan plan;
   plan.edges = aug.graph.hypergraph().LiveEdges();
-  storage::ArtifactStore store;
+  storage::InMemoryArtifactStore store;
   core::Monitor monitor;
   core::Executor executor(&store, Resolver(), &monitor);
   core::Executor::Options parallel;
   parallel.parallelism = 4;
   auto result = executor.Execute(aug, plan, parallel);
-  EXPECT_TRUE(result.status().IsNotFound()) << result.status();
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->failures.size(), 1u);
+  EXPECT_TRUE(result->failures[0].status.IsNotFound())
+      << result->failures[0].status;
+  EXPECT_FALSE(result->complete());
+  // The healthy branch still produced its payloads.
+  EXPECT_FALSE(result->payloads.empty());
 }
 
 TEST_F(ParallelExecutorTest, RuntimeLevelParallelismEndToEnd) {

@@ -302,14 +302,14 @@ TEST(CatalogTest, MissingPayloadFilesAreEvictedOnLoad) {
   const NodeId state =
       history.Observe(MakeArtifact("state", ArtifactKind::kOpState, 100));
   history.MarkMaterialized(state).Abort("materialize");
-  storage::ArtifactStore store;
+  storage::InMemoryArtifactStore store;
   store.Put("state", ArtifactPayload(1.0), 100).Abort("put");
   ASSERT_TRUE(core::SaveCatalog(history, store, dir).ok());
   // Delete the payload file behind the catalog's back.
   std::filesystem::remove(std::filesystem::path(dir) / "artifacts" /
                           "state.bin");
   History loaded;
-  storage::ArtifactStore loaded_store;
+  storage::InMemoryArtifactStore loaded_store;
   ASSERT_TRUE(core::LoadCatalog(dir, &loaded, &loaded_store).ok());
   const NodeId restored = *loaded.graph().FindArtifact("state");
   EXPECT_FALSE(loaded.IsMaterialized(restored));
@@ -319,7 +319,7 @@ TEST(CatalogTest, MissingPayloadFilesAreEvictedOnLoad) {
 
 TEST(CatalogTest, LoadFromMissingDirectoryFails) {
   History history;
-  storage::ArtifactStore store;
+  storage::InMemoryArtifactStore store;
   EXPECT_TRUE(core::LoadCatalog("/nonexistent/hyppo/catalog", &history,
                                 &store)
                   .IsIoError());
