@@ -4,9 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <set>
+
 #include "baselines/collab_e.h"
 #include "baselines/dag_reuse.h"
 #include "core/hyppo.h"
+#include "hypergraph/algorithms.h"
 #include "core/naming.h"
 #include "core/parser.h"
 #include "workload/datagen.h"
@@ -115,6 +118,52 @@ BENCHMARK_DEFINE_F(PlannerFixture, AugmentAndOptimize)
   }
 }
 BENCHMARK_REGISTER_F(PlannerFixture, AugmentAndOptimize)->Arg(10)->Arg(30);
+
+// Materializer guards: the decision sweep is O(E + V log V) thanks to the
+// hoisted RecomputeCosts()/depth precomputation — Gain() per node against
+// shared vectors, not a per-node value iteration. A regression to the
+// O(V*E) shape shows up directly in GainSweep's scaling with history
+// size.
+BENCHMARK_DEFINE_F(PlannerFixture, MaterializerGainSweep)
+(benchmark::State& state) {
+  core::Materializer materializer(&runtime->augmenter());
+  core::Materializer::Options options;
+  options.budget_bytes = runtime->options().storage_budget_bytes;
+  const core::History& history = runtime->history();
+  for (auto _ : state) {
+    const std::vector<double> recompute =
+        materializer.RecomputeCosts(history);
+    const std::vector<double> depth = AverageDepthFromSource(
+        history.graph().hypergraph(), history.graph().source());
+    double total = 0.0;
+    for (NodeId v = 1; v < history.graph().num_artifacts(); ++v) {
+      total += materializer.Gain(history, v, options, recompute, depth);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (history.graph().num_artifacts() - 1));
+}
+BENCHMARK_REGISTER_F(PlannerFixture, MaterializerGainSweep)
+    ->Arg(10)
+    ->Arg(30);
+
+BENCHMARK_DEFINE_F(PlannerFixture, MaterializerDecide)
+(benchmark::State& state) {
+  core::Materializer materializer(&runtime->augmenter());
+  core::Materializer::Options options;
+  options.budget_bytes = runtime->options().storage_budget_bytes;
+  const core::History& history = runtime->history();
+  std::set<std::string> storable;
+  for (NodeId v = 1; v < history.graph().num_artifacts(); ++v) {
+    storable.insert(history.graph().artifact(v).name);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        materializer.Decide(history, storable, options));
+  }
+}
+BENCHMARK_REGISTER_F(PlannerFixture, MaterializerDecide)->Arg(10)->Arg(30);
 
 void BM_DagReuseMinCut(benchmark::State& state) {
   workload::SyntheticConfig config;

@@ -72,13 +72,18 @@ void PrintReport(const char* label,
 
 }  // namespace
 
-// Usage: quickstart [--parallelism <n|auto>] [catalog-dir]
+// Usage: quickstart [--parallelism <n|auto>] [--store-dir <dir>]
+//        [catalog-dir]
 //
 // --parallelism sets the worker-thread count for execution and for the
-// optimizer's parallel plan search ("auto" = all hardware threads). An
-// optional positional argument names a directory to save the session's
-// catalog into (history + materialized artifacts); `tools/hyppo_lint
-// <dir>` can then verify the saved history's invariants.
+// optimizer's parallel plan search ("auto" = all hardware threads).
+// --store-dir makes the session durable: materialized artifacts live in a
+// disk-backed tiered store under <dir> and the history is checkpointed
+// there, so running quickstart twice with the same --store-dir reuses the
+// first run's artifacts across the process boundary. An optional
+// positional argument names a directory to save the session's catalog
+// into (history + materialized artifacts); `tools/hyppo_lint <dir>` can
+// then verify the saved history's invariants.
 int main(int argc, char** argv) {
   using hyppo::core::HyppoSystem;
 
@@ -97,12 +102,27 @@ int main(int argc, char** argv) {
                      value.c_str());
         return 1;
       }
+    } else if (std::strcmp(argv[i], "--store-dir") == 0 && i + 1 < argc) {
+      options.runtime.store_dir = argv[++i];
     } else {
       catalog_dir = argv[i];
     }
   }
 
   HyppoSystem system(options);
+  system.runtime().session_status().Abort("open store");
+  if (!options.runtime.store_dir.empty()) {
+    const size_t restored =
+        system.runtime().history().MaterializedArtifacts().size();
+    if (restored > 0) {
+      // Marker line for the CI persistence check: the second run finds
+      // the first run's artifacts already on disk.
+      std::printf("reopened store with %zu artifacts\n", restored);
+    } else {
+      std::printf("opened fresh store at %s\n",
+                  options.runtime.store_dir.c_str());
+    }
+  }
 
   // Register the (synthetic) HIGGS dataset the pipelines load.
   auto higgs = hyppo::workload::GenerateHiggs(8000, 30, /*seed=*/42);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -434,6 +435,52 @@ AnalysisReport Verifier::CheckBudget(const History& history,
                     "materialized artifacts hold " + std::to_string(used) +
                         " bytes, over the budget of " +
                         std::to_string(budget_bytes));
+  }
+  return report;
+}
+
+AnalysisReport Verifier::CheckStoreConsistency(
+    const History& history, const storage::ArtifactStore& store) const {
+  AnalysisReport report;
+  std::set<std::string> materialized_names;
+  int64_t expected_used = 0;
+  for (NodeId v : history.MaterializedArtifacts()) {
+    const ArtifactInfo& info = history.graph().artifact(v);
+    materialized_names.insert(info.name);
+    const Result<int64_t> stored = store.SizeOf(info.name);
+    if (!stored.ok()) {
+      report.AddError("store.missing-entry",
+                      "artifact '" + info.display +
+                          "' is marked materialized but has no store entry",
+                      EntityKind::kNode, v);
+      continue;
+    }
+    expected_used += *stored;
+    if (*stored != info.size_bytes) {
+      report.AddError(
+          "store.size-mismatch",
+          "artifact '" + info.display + "' is charged " +
+              std::to_string(*stored) + " bytes in the store but " +
+              std::to_string(info.size_bytes) + " in the history",
+          EntityKind::kNode, v);
+    }
+  }
+  for (const std::string& key : store.Keys()) {
+    if (materialized_names.count(key) == 0) {
+      const Result<int64_t> stored = store.SizeOf(key);
+      expected_used += stored.ok() ? *stored : 0;
+      report.AddError("store.orphan-entry",
+                      "store holds '" + key +
+                          "' but no history artifact is materialized "
+                          "under that name");
+    }
+  }
+  const int64_t used = store.used_bytes();
+  if (used != expected_used) {
+    report.AddError("store.used-bytes-drift",
+                    "store reports " + std::to_string(used) +
+                        " used bytes but its entries sum to " +
+                        std::to_string(expected_used));
   }
   return report;
 }

@@ -10,6 +10,7 @@
 #include "core/graph.h"
 #include "core/history.h"
 #include "core/optimizer.h"
+#include "storage/artifact_store.h"
 
 namespace hyppo::analysis {
 
@@ -74,6 +75,16 @@ class Verifier {
   /// `budget_bytes`. A negative budget skips the check.
   AnalysisReport CheckBudget(const core::History& history,
                              int64_t budget_bytes) const;
+
+  /// Store <-> history consistency: every artifact the history marks
+  /// materialized has a store entry whose charged size matches
+  /// `ArtifactInfo::size_bytes`, no store entry lacks a materialized
+  /// history record (orphans waste budget), and the store's used_bytes
+  /// equals the sum of its entries. Backend-independent — holds for the
+  /// in-memory store and for a reopened disk/tiered store alike.
+  AnalysisReport CheckStoreConsistency(
+      const core::History& history,
+      const storage::ArtifactStore& store) const;
 
   /// Runs every history-level check: CheckHistory, the round-trip (when
   /// enabled), and budget compliance.

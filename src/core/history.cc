@@ -5,9 +5,14 @@ namespace hyppo::core {
 NodeId History::Observe(const ArtifactInfo& info) {
   Result<NodeId> existing = graph_.FindArtifact(info.name);
   if (existing.ok()) {
-    // Refresh metadata with the latest (typically observed) values.
+    // Refresh metadata with the latest (typically observed) values. The
+    // size of a *materialized* artifact is frozen: it was charged against
+    // the storage budget at Put time with its measured size, and letting
+    // a later plan-time estimate overwrite it would silently desync the
+    // history from the store's byte accounting. It thaws on eviction.
+    EnsureRecords();
     ArtifactInfo& stored = graph_.artifact(*existing);
-    if (info.size_bytes > 0) {
+    if (info.size_bytes > 0 && !IsMaterialized(*existing)) {
       stored.size_bytes = info.size_bytes;
     }
     if (info.rows > 0) {

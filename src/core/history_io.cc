@@ -15,7 +15,14 @@ using storage::BinaryWriter;
 constexpr uint32_t kHistoryMagic = 0x48595048;  // "HYPH"
 constexpr uint32_t kVersion = 1;
 
-Result<std::string> ReadFile(const std::string& path) {
+// URL-safe-ish file name for a canonical artifact name (already hex).
+std::string PayloadFileName(const std::string& name) {
+  return name + ".bin";
+}
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::IoError("cannot open '" + path + "' for reading");
@@ -28,24 +35,32 @@ Result<std::string> ReadFile(const std::string& path) {
   return bytes;
 }
 
-Status WriteFile(const std::string& path, const std::string& bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IoError("cannot open '" + path + "' for writing");
+Status AtomicWriteFile(const std::string& path, const std::string& bytes) {
+  namespace fs = std::filesystem;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open '" + tmp + "' for writing");
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return Status::IoError("error while writing '" + tmp + "'");
+    }
   }
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out.good()) {
-    return Status::IoError("error while writing '" + path + "'");
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return Status::IoError("cannot rename '" + tmp + "' into place: " +
+                           ec.message());
   }
   return Status::OK();
 }
-
-// URL-safe-ish file name for a canonical artifact name (already hex).
-std::string PayloadFileName(const std::string& name) {
-  return name + ".bin";
-}
-
-}  // namespace
 
 Result<std::string> SerializeHistory(const History& history) {
   const PipelineGraph& graph = history.graph();
@@ -208,13 +223,13 @@ Status SaveCatalog(const History& history,
   }
   HYPPO_ASSIGN_OR_RETURN(std::string history_bytes,
                          SerializeHistory(history));
-  HYPPO_RETURN_NOT_OK(WriteFile(
+  HYPPO_RETURN_NOT_OK(AtomicWriteFile(
       (fs::path(directory) / "history.hyppo").string(), history_bytes));
   for (const std::string& key : store.Keys()) {
     HYPPO_ASSIGN_OR_RETURN(storage::ArtifactPayload payload, store.Get(key));
     HYPPO_ASSIGN_OR_RETURN(std::string bytes,
                            storage::SerializePayload(payload));
-    HYPPO_RETURN_NOT_OK(WriteFile(
+    HYPPO_RETURN_NOT_OK(AtomicWriteFile(
         (fs::path(directory) / "artifacts" / PayloadFileName(key)).string(),
         bytes));
   }
@@ -226,7 +241,7 @@ Status LoadCatalog(const std::string& directory, History* history,
   namespace fs = std::filesystem;
   HYPPO_ASSIGN_OR_RETURN(
       std::string history_bytes,
-      ReadFile((fs::path(directory) / "history.hyppo").string()));
+      ReadFileToString((fs::path(directory) / "history.hyppo").string()));
   HYPPO_ASSIGN_OR_RETURN(History loaded, DeserializeHistory(history_bytes));
   // Restore payloads; evict history entries whose payload is missing.
   for (NodeId v : loaded.MaterializedArtifacts()) {
@@ -234,7 +249,7 @@ Status LoadCatalog(const std::string& directory, History* history,
     const std::string path =
         (fs::path(directory) / "artifacts" / PayloadFileName(info.name))
             .string();
-    Result<std::string> bytes = ReadFile(path);
+    Result<std::string> bytes = ReadFileToString(path);
     if (!bytes.ok()) {
       HYPPO_RETURN_NOT_OK(loaded.EvictMaterialized(v));
       continue;

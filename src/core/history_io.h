@@ -22,6 +22,13 @@ namespace hyppo::core {
 /// primitives); each materialized payload lives in
 /// `<directory>/artifacts/<canonical-name>.bin`.
 
+/// Reads a whole file into a byte string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Crash-safe file write: bytes land in `<path>.tmp` and are renamed into
+/// place, so `path` only ever holds a complete old or new version.
+Status AtomicWriteFile(const std::string& path, const std::string& bytes);
+
 /// Serializes the history graph + statistics to a byte buffer.
 Result<std::string> SerializeHistory(const History& history);
 

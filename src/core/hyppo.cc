@@ -134,6 +134,7 @@ Result<Pipeline> HyppoSystem::Parse(const std::string& code,
 
 Result<HyppoSystem::RunReport> HyppoSystem::RunPipeline(
     const Pipeline& pipeline) {
+  HYPPO_RETURN_NOT_OK(runtime_->session_status());
   HYPPO_ASSIGN_OR_RETURN(Method::Planned planned,
                          method_->PlanPipeline(pipeline));
   // Baseline estimate: executing the pipeline exactly as written.
@@ -147,6 +148,9 @@ Result<HyppoSystem::RunReport> HyppoSystem::RunPipeline(
       runtime_->ExecuteAndRecord(pipeline, planned.aug, planned.plan,
                                  method_->MakeReplanner()));
   HYPPO_RETURN_NOT_OK(method_->AfterExecution(pipeline, planned, record));
+  // Durable sessions checkpoint the history after every pipeline: the
+  // payloads are already on disk, and the snapshot makes them reloadable.
+  HYPPO_RETURN_NOT_OK(runtime_->PersistSession());
   RunReport report;
   report.plan = planned.plan;
   report.execute_seconds = record.seconds;

@@ -97,6 +97,15 @@ std::vector<double> Materializer::RecomputeCosts(
 double Materializer::Gain(const History& history, NodeId node,
                           const Options& options) const {
   const PipelineGraph& graph = history.graph();
+  return Gain(history, node, options, RecomputeCosts(history),
+              AverageDepthFromSource(graph.hypergraph(), graph.source()));
+}
+
+double Materializer::Gain(const History& history, NodeId node,
+                          const Options& options,
+                          const std::vector<double>& recompute_costs,
+                          const std::vector<double>& depths) const {
+  const PipelineGraph& graph = history.graph();
   const ArtifactInfo& artifact = graph.artifact(node);
   const ArtifactRecord& record = history.record(node);
   const double freq =
@@ -105,8 +114,7 @@ double Materializer::Gain(const History& history, NodeId node,
   // — the minimum cost of a plan s -> v (paper §III-D2), estimated by
   // value iteration over the history. Falls back to the observed task
   // time when v is not derivable.
-  const std::vector<double> costs = RecomputeCosts(history);
-  double compute = costs[static_cast<size_t>(node)];
+  double compute = recompute_costs[static_cast<size_t>(node)];
   if (compute == kInf || compute <= 0.0) {
     compute = record.compute_seconds;
   }
@@ -114,9 +122,7 @@ double Materializer::Gain(const History& history, NodeId node,
       1e-9, storage::StorageTier::Local().LoadSeconds(artifact.size_bytes));
   double gain = freq * compute / load;
   if (options.use_plan_locality) {
-    const std::vector<double> depth =
-        AverageDepthFromSource(graph.hypergraph(), graph.source());
-    const double d = depth[static_cast<size_t>(node)];
+    const double d = depths[static_cast<size_t>(node)];
     if (d > 0.0 && d != kInf) {
       gain *= 1.0 / std::exp(1.0 / d);
     }
@@ -156,25 +162,9 @@ Materializer::Decision Materializer::Decide(
     const ArtifactRecord& record = history.record(v);
     double score = 0.0;
     switch (options.policy) {
-      case Policy::kSpf: {
-        const double freq =
-            std::max<double>(1.0, static_cast<double>(record.access_count));
-        double compute = recompute[static_cast<size_t>(v)];
-        if (compute == kInf || compute <= 0.0) {
-          compute = record.compute_seconds;
-        }
-        const double load =
-            std::max(1e-9, storage::StorageTier::Local().LoadSeconds(
-                               artifact.size_bytes));
-        score = freq * compute / load;
-        if (options.use_plan_locality) {
-          const double d = depth[static_cast<size_t>(v)];
-          if (d > 0.0 && d != kInf) {
-            score *= 1.0 / std::exp(1.0 / d);
-          }
-        }
+      case Policy::kSpf:
+        score = Gain(history, v, options, recompute, depth);
         break;
-      }
       case Policy::kLru:
         score = record.last_access_seconds;
         break;
@@ -182,12 +172,19 @@ Materializer::Decision Materializer::Decide(
         score = static_cast<double>(record.access_count);
         break;
       case Policy::kSff:
-        score = static_cast<double>(artifact.size_bytes);
+        // Smaller-files-first: the candidates are ranked descending by
+        // score, so smaller artifacts must score *higher* (size itself
+        // as the score kept the largest ones — inverted policy).
+        score = 1.0 / static_cast<double>(
+                          std::max<int64_t>(1, artifact.size_bytes));
         break;
     }
-    if (score <= 0.0) {
-      continue;  // no benefit
+    if (score <= 0.0 && !already) {
+      continue;  // no benefit from newly storing it
     }
+    // A zero score does not force-evict an already-materialized artifact
+    // (an LRU/LFU entry that was never accessed): it stays a candidate,
+    // ranked last, and survives when budget headroom remains.
     candidates.push_back(Candidate{v, score, artifact.size_bytes});
   }
   std::sort(candidates.begin(), candidates.end(),
@@ -224,24 +221,48 @@ Materializer::Decision Materializer::Decide(
 Status Materializer::Apply(
     History& history, storage::ArtifactStore& store, const Decision& decision,
     const std::map<std::string, ArtifactPayload>& available) {
+  // Validate before mutating: every newly stored artifact needs its
+  // payload at hand, so a FailedPrecondition surfaces with history and
+  // store untouched.
+  for (NodeId v : decision.to_store) {
+    const ArtifactInfo& artifact = history.graph().artifact(v);
+    if (available.count(artifact.name) == 0) {
+      return Status::FailedPrecondition(
+          "payload for artifact '" + artifact.display +
+          "' is not available for materialization");
+    }
+  }
+  // Store phase first (evictions used to run first, so a Put failing
+  // mid-loop stranded history and store half-applied). A failed Put rolls
+  // back what this call already stored; the transient cost is holding
+  // old + new bytes until the evict phase trims back under budget.
+  std::vector<NodeId> stored;
+  for (NodeId v : decision.to_store) {
+    const ArtifactInfo& artifact = history.graph().artifact(v);
+    Status put = store.Put(artifact.name, available.at(artifact.name),
+                           artifact.size_bytes);
+    if (put.ok()) {
+      put = history.MarkMaterialized(v);
+      if (!put.ok()) {
+        (void)store.Evict(artifact.name);
+      }
+    }
+    if (!put.ok()) {
+      for (NodeId undo : stored) {
+        const std::string& name = history.graph().artifact(undo).name;
+        (void)history.EvictMaterialized(undo);
+        (void)store.Evict(name);
+      }
+      return put;
+    }
+    stored.push_back(v);
+  }
   for (NodeId v : decision.to_evict) {
     const std::string& name = history.graph().artifact(v).name;
     HYPPO_RETURN_NOT_OK(history.EvictMaterialized(v));
     if (store.Contains(name)) {
       HYPPO_RETURN_NOT_OK(store.Evict(name));
     }
-  }
-  for (NodeId v : decision.to_store) {
-    const ArtifactInfo& artifact = history.graph().artifact(v);
-    auto it = available.find(artifact.name);
-    if (it == available.end()) {
-      return Status::FailedPrecondition(
-          "payload for artifact '" + artifact.display +
-          "' is not available for materialization");
-    }
-    HYPPO_RETURN_NOT_OK(
-        store.Put(artifact.name, it->second, artifact.size_bytes));
-    HYPPO_RETURN_NOT_OK(history.MarkMaterialized(v));
   }
   return Status::OK();
 }

@@ -59,13 +59,26 @@ class Materializer {
   /// Applies a decision: updates the history's load edges and moves
   /// payloads in/out of the artifact store. Policy-independent (static):
   /// baseline methods apply their own decisions through it too.
+  ///
+  /// Failure-atomic: new artifacts are stored *before* anything is
+  /// evicted, and a failed Put rolls the already-stored ones back, so an
+  /// error leaves history and store exactly as they were (at the price
+  /// of transiently holding old + new bytes during the store phase).
   static Status Apply(History& history, storage::ArtifactStore& store,
                       const Decision& decision,
                       const std::map<std::string, ArtifactPayload>& available);
 
   /// The SPF gain of one artifact (exposed for tests and benches).
+  /// Computes the recompute-cost and depth vectors itself — O(V·E); use
+  /// the precomputed overload when scoring many nodes.
   double Gain(const History& history, NodeId node,
               const Options& options) const;
+
+  /// SPF gain against precomputed RecomputeCosts() / depth vectors, the
+  /// same scoring Decide() uses for its candidate sweep.
+  double Gain(const History& history, NodeId node, const Options& options,
+              const std::vector<double>& recompute_costs,
+              const std::vector<double>& depths) const;
 
   /// \brief The paper's cost(v) estimate: seconds to *re-compute* each
   /// history artifact if it were evicted, where inputs may be obtained as

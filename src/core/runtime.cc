@@ -1,8 +1,12 @@
 #include "core/runtime.h"
 
+#include <filesystem>
+#include <set>
 #include <thread>
 
 #include "core/history_io.h"
+#include "storage/disk_store.h"
+#include "storage/tiered_store.h"
 
 namespace hyppo::core {
 
@@ -12,15 +16,26 @@ int RuntimeOptions::DefaultParallelism() {
 }
 
 Runtime::Runtime(RuntimeOptions options, Dictionary dictionary)
-    : options_(options),
+    : options_(std::move(options)),
       dictionary_(std::move(dictionary)),
       estimator_(&ml::OperatorRegistry::Global()),
       monitor_(&estimator_),
-      store_(storage::StorageTier::Local()),
       augmenter_(&dictionary_, &estimator_, storage::StorageTier::Local(),
-                 storage::StorageTier::Remote(), options.pricing) {
+                 storage::StorageTier::Remote(), options_.pricing) {
+  if (options_.store_dir.empty()) {
+    store_ = std::make_unique<storage::InMemoryArtifactStore>(
+        storage::StorageTier::Local());
+  } else {
+    auto disk =
+        std::make_unique<storage::DiskArtifactStore>(options_.store_dir);
+    session_status_ = disk->init_status();
+    store_ = std::make_unique<storage::TieredArtifactStore>(std::move(disk));
+    if (session_status_.ok()) {
+      session_status_ = RestoreSession();
+    }
+  }
   executor_ = std::make_unique<Executor>(
-      &store_,
+      store_.get(),
       [this](const std::string& dataset_id) -> Result<ml::DatasetPtr> {
         std::lock_guard<std::mutex> lock(sources_mutex_);
         auto cached = resolved_sources_.find(dataset_id);
@@ -53,7 +68,7 @@ void Runtime::RegisterDatasetGenerator(
 void Runtime::EnableFaultInjection(const storage::FaultPlan& plan) {
   fault_injector_ = std::make_unique<storage::FaultInjector>(plan);
   fault_store_ = std::make_unique<storage::FaultInjectingStore>(
-      &store_, fault_injector_.get());
+      store_.get(), fault_injector_.get());
   executor_->set_store(fault_store_.get());
 }
 
@@ -72,7 +87,7 @@ Status Runtime::DegradeAfterFailures(
     // The materialized copy is dead: drop the load edge so no re-plan
     // trusts it, and purge the entry from the store and the history.
     HYPPO_RETURN_NOT_OK(aug->graph.RemoveTask(failure.edge));
-    (void)store_.Evict(artifact.name);
+    (void)store_->Evict(artifact.name);
     Result<NodeId> h_node = history_.graph().FindArtifact(artifact.name);
     if (h_node.ok()) {
       (void)history_.EvictMaterialized(*h_node);
@@ -256,16 +271,75 @@ Result<Runtime::ExecutionRecord> Runtime::ExecutePlanOnly(
 }
 
 Status Runtime::SaveCatalog(const std::string& directory) const {
-  return core::SaveCatalog(history_, store_, directory);
+  return core::SaveCatalog(history_, *store_, directory);
 }
 
 Status Runtime::LoadCatalog(const std::string& directory) {
+  // Stage into a scratch store first so a failed load leaves the runtime
+  // untouched; the live store object must survive (the executor and the
+  // fault decorator hold pointers to it), so commit by refilling it.
   History history;
-  storage::InMemoryArtifactStore store(store_.tier());
-  HYPPO_RETURN_NOT_OK(core::LoadCatalog(directory, &history, &store));
+  storage::InMemoryArtifactStore scratch(store_->tier());
+  HYPPO_RETURN_NOT_OK(core::LoadCatalog(directory, &history, &scratch));
+  for (const std::string& key : store_->Keys()) {
+    HYPPO_RETURN_NOT_OK(store_->Evict(key));
+  }
+  for (const std::string& key : scratch.Keys()) {
+    HYPPO_ASSIGN_OR_RETURN(storage::ArtifactPayload payload,
+                           scratch.Get(key));
+    HYPPO_ASSIGN_OR_RETURN(int64_t size_bytes, scratch.SizeOf(key));
+    HYPPO_RETURN_NOT_OK(store_->Put(key, std::move(payload), size_bytes));
+  }
   history_ = std::move(history);
-  store_ = std::move(store);
   return Status::OK();
+}
+
+Status Runtime::RestoreSession() {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::path(options_.store_dir) / "history.hyppo").string();
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    return Status::OK();  // fresh store: nothing to restore
+  }
+  HYPPO_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  HYPPO_ASSIGN_OR_RETURN(History loaded, DeserializeHistory(bytes));
+  // Reconcile with what the disk store actually recovered: the history
+  // snapshot and the payload files land independently, so a crash can
+  // leave either side ahead. The store <-> history consistency invariant
+  // (analysis CheckStoreConsistency) must hold when we are done.
+  std::set<std::string> claimed;
+  for (NodeId v : loaded.MaterializedArtifacts()) {
+    const ArtifactInfo& info = loaded.graph().artifact(v);
+    const Result<int64_t> stored_size = store_->SizeOf(info.name);
+    if (stored_size.ok() && *stored_size == info.size_bytes) {
+      claimed.insert(info.name);
+    } else {
+      // Payload missing or its size drifted: the entry is not trustworthy.
+      HYPPO_RETURN_NOT_OK(loaded.EvictMaterialized(v));
+      if (stored_size.ok()) {
+        HYPPO_RETURN_NOT_OK(store_->Evict(info.name));
+      }
+    }
+  }
+  for (const std::string& key : store_->Keys()) {
+    if (claimed.count(key) == 0) {
+      HYPPO_RETURN_NOT_OK(store_->Evict(key));  // orphan payload
+    }
+  }
+  history_ = std::move(loaded);
+  return Status::OK();
+}
+
+Status Runtime::PersistSession() {
+  if (options_.store_dir.empty()) {
+    return Status::OK();
+  }
+  HYPPO_RETURN_NOT_OK(session_status_);
+  namespace fs = std::filesystem;
+  HYPPO_ASSIGN_OR_RETURN(std::string bytes, SerializeHistory(history_));
+  return AtomicWriteFile(
+      (fs::path(options_.store_dir) / "history.hyppo").string(), bytes);
 }
 
 }  // namespace hyppo::core

@@ -46,6 +46,12 @@ struct RuntimeOptions {
   /// execution may take after task failures before the first failure
   /// surfaces as an error. 0 disables recovery entirely.
   int max_recovery_attempts = 3;
+  /// Directory of a durable artifact store. Empty (default) keeps the
+  /// session in memory; non-empty opens/creates a disk-backed tiered
+  /// store there (storage/disk_store.h behind a memory front cache) and
+  /// reloads the previous session's history + materialized set on
+  /// construction — check Runtime::session_status() before use.
+  std::string store_dir;
 };
 
 /// \brief Shared execution state: catalog (dictionary + history), cost
@@ -73,7 +79,13 @@ class Runtime {
   CostEstimator& estimator() { return estimator_; }
   Monitor& monitor() { return monitor_; }
   const Monitor& monitor() const { return monitor_; }
-  storage::ArtifactStore& store() { return store_; }
+  storage::ArtifactStore& store() { return *store_; }
+  const storage::ArtifactStore& store() const { return *store_; }
+
+  /// OK unless opening the durable store or restoring the previous
+  /// session failed (constructors cannot return a Status). An in-memory
+  /// runtime is always OK.
+  const Status& session_status() const { return session_status_; }
   const Augmenter& augmenter() const { return augmenter_; }
   const Executor& executor() const { return *executor_; }
 
@@ -145,7 +157,18 @@ class Runtime {
   /// Replaces this runtime's history and store with a saved catalog.
   Status LoadCatalog(const std::string& directory);
 
+  /// Writes the history snapshot into the durable store directory
+  /// (atomically), so a restarted session reloads its materialized set.
+  /// Payloads are already durable — the materializer's Puts land on disk
+  /// as they happen. No-op for in-memory runtimes.
+  Status PersistSession();
+
  private:
+  /// Reloads `<store_dir>/history.hyppo` (if present) and reconciles it
+  /// with the recovered store: history entries without a store payload
+  /// are evicted, store entries the history does not claim (or whose
+  /// size drifted) are dropped.
+  Status RestoreSession();
   Result<ExecutionRecord> ExecuteInternal(const Augmentation& aug,
                                           const Plan& plan,
                                           const Replanner& replan);
@@ -162,7 +185,11 @@ class Runtime {
   History history_;
   CostEstimator estimator_;
   Monitor monitor_;
-  storage::InMemoryArtifactStore store_;
+  /// InMemoryArtifactStore, or a TieredArtifactStore over a
+  /// DiskArtifactStore when options_.store_dir is set. Never replaced
+  /// after construction (the executor and fault decorator hold pointers).
+  std::unique_ptr<storage::ArtifactStore> store_;
+  Status session_status_;
   /// Chaos-mode decorations (EnableFaultInjection); null when disabled.
   std::unique_ptr<storage::FaultInjector> fault_injector_;
   std::unique_ptr<storage::FaultInjectingStore> fault_store_;

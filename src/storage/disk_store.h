@@ -1,0 +1,114 @@
+#ifndef HYPPO_STORAGE_DISK_STORE_H_
+#define HYPPO_STORAGE_DISK_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "storage/artifact_store.h"
+
+namespace hyppo::storage {
+
+/// \brief Durable artifact store backed by a directory on disk.
+///
+/// Layout under the store directory:
+///   store.manifest          index of every live entry ("HYPM" binary)
+///   payloads/<file>.bin     one encoded payload per entry (HYP1 codec)
+///
+/// Durability contract:
+///  - Every Put serializes the payload (storage/serialization.h), writes
+///    it to a temporary file, renames it into place, and then rewrites
+///    the manifest the same way. A crash at any point leaves either the
+///    old entry or the new one — never a torn payload: readers only trust
+///    files the manifest names, with the recorded byte count and FNV-1a
+///    checksum.
+///  - Evict removes the manifest entry first and the payload file second,
+///    so a crash in between leaves an orphan file (garbage-collected on
+///    the next open), never a manifest entry without bytes.
+///  - Opening a store recovers from whatever a previous session left:
+///    manifest entries whose payload file is missing or has the wrong
+///    length are dropped, `*.tmp` leftovers and orphan payload files are
+///    deleted.
+///
+/// Accounting is byte-accurate on two axes: `used_bytes()` charges the
+/// caller-declared logical `size_bytes` (what the materializer budgets
+/// against, matching `ArtifactInfo::size_bytes`), while
+/// `payload_bytes()` reports the physical encoded bytes on disk.
+///
+/// Load() reports *measured* wall-clock seconds for the read + decode —
+/// the disk tier charges real costs, not the StorageTier simulation
+/// (the tier model still answers cost *estimates* for planning).
+///
+/// Thread-safe: a single mutex guards the index; file writes happen
+/// under it (writers serialize, matching InMemoryArtifactStore's
+/// coarse-grained contract).
+class DiskArtifactStore final : public ArtifactStore {
+ public:
+  /// Opens (or creates) the store rooted at `directory` and recovers the
+  /// index from the manifest. Errors are reported through init_status();
+  /// a store that failed to open behaves as empty and rejects Puts.
+  explicit DiskArtifactStore(std::string directory,
+                             StorageTier tier = StorageTier::Local());
+
+  /// OK when the directory was opened/recovered successfully.
+  const Status& init_status() const { return init_status_; }
+
+  const std::string& directory() const { return directory_; }
+
+  Status Put(const std::string& key, ArtifactPayload payload,
+             int64_t size_bytes) override;
+  Result<ArtifactPayload> Get(const std::string& key) const override;
+  bool Contains(const std::string& key) const override;
+  Status Evict(const std::string& key) override;
+  Result<int64_t> SizeOf(const std::string& key) const override;
+  int64_t used_bytes() const override;
+  size_t num_entries() const override;
+  std::vector<std::string> Keys() const override;
+  const StorageTier& tier() const override { return tier_; }
+
+  /// Reads + decodes the payload and charges the measured wall-clock
+  /// seconds of the disk round-trip.
+  Result<Loaded> Load(const std::string& key) const override;
+
+  /// Physical bytes of all encoded payloads on disk (vs. the logical
+  /// used_bytes() the budget is charged in).
+  int64_t payload_bytes() const;
+
+ private:
+  struct Entry {
+    std::string file;        ///< payload file name under payloads/
+    int64_t size_bytes = 0;  ///< logical size charged against the budget
+    int64_t payload_bytes = 0;  ///< encoded bytes on disk
+    uint64_t checksum = 0;      ///< FNV-1a64 of the encoded payload
+  };
+
+  /// Scans the manifest + payload directory, drops unreadable entries,
+  /// and deletes *.tmp and orphan files. Called once from the ctor.
+  Status Recover();
+  /// Atomically rewrites store.manifest from entries_ (caller holds
+  /// mutex_).
+  Status WriteManifestLocked();
+  /// Reads + verifies one entry's payload bytes (caller holds mutex_).
+  Result<std::string> ReadPayloadLocked(const std::string& key,
+                                        const Entry& entry) const;
+
+  std::string PayloadPath(const std::string& file) const;
+  std::string ManifestPath() const;
+
+  std::string directory_;
+  StorageTier tier_;
+  WallClock clock_;
+  Status init_status_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  int64_t used_bytes_ = 0;
+  int64_t payload_bytes_ = 0;
+};
+
+}  // namespace hyppo::storage
+
+#endif  // HYPPO_STORAGE_DISK_STORE_H_

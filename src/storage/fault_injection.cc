@@ -30,6 +30,8 @@ const char* FaultSiteToString(FaultSite site) {
       return "resolver";
     case FaultSite::kCompute:
       return "compute";
+    case FaultSite::kStorePut:
+      return "store-put";
   }
   return "unknown";
 }
@@ -75,6 +77,8 @@ bool FaultInjector::SiteArmed(const FaultPlan& plan, FaultSite site) {
       return plan.resolver_failure_rate > 0.0;
     case FaultSite::kCompute:
       return plan.compute_failure_rate > 0.0;
+    case FaultSite::kStorePut:
+      return plan.put_failure_rate > 0.0;
   }
   return false;
 }
@@ -134,6 +138,11 @@ FaultInjector::Decision FaultInjector::Decide(FaultSite site,
           kind = FaultKind::kFail;
         }
         break;
+      case FaultSite::kStorePut:
+        if (u < plan_.put_failure_rate) {
+          kind = FaultKind::kFail;
+        }
+        break;
     }
   }
   Decision decision;
@@ -157,6 +166,8 @@ FaultInjector::Decision FaultInjector::Decide(FaultSite site,
       case FaultKind::kFail:
         if (site == FaultSite::kResolver) {
           ++counters_.injected_resolver;
+        } else if (site == FaultSite::kStorePut) {
+          ++counters_.injected_put;
         } else {
           ++counters_.injected_compute;
         }
@@ -171,6 +182,17 @@ FaultInjector::Decision FaultInjector::Decide(FaultSite site,
 FaultInjector::Counters FaultInjector::counters() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return counters_;
+}
+
+Status FaultInjectingStore::Put(const std::string& key,
+                                ArtifactPayload payload, int64_t size_bytes) {
+  const FaultInjector::Decision decision =
+      injector_->Decide(FaultSite::kStorePut, key);
+  if (decision.kind == FaultKind::kFail) {
+    return Status::IoError("injected fault: store refused to persist '" +
+                           key + "'");
+  }
+  return base_->Put(key, std::move(payload), size_bytes);
 }
 
 Result<ArtifactStore::Loaded> FaultInjectingStore::Load(

@@ -16,6 +16,7 @@ enum class FaultSite {
   kStoreLoad = 0,  ///< loading a materialized artifact from the store
   kResolver = 1,   ///< resolving a raw dataset id
   kCompute = 2,    ///< running a physical operator
+  kStorePut = 3,   ///< persisting an artifact into the store
 };
 
 const char* FaultSiteToString(FaultSite site);
@@ -53,6 +54,9 @@ struct FaultPlan {
   double slow_multiplier = 8.0;
   double resolver_failure_rate = 0.0;
   double compute_failure_rate = 0.0;
+  /// Store-put fault rate: a Put errors out with IoError (a full disk, a
+  /// failed rename). Exercises the materializer's Apply atomicity.
+  double put_failure_rate = 0.0;
   /// Transient-fault model: after this many injected faults on one
   /// (site, key), further draws pass. Guarantees a bounded-retry recovery
   /// loop converges; 0 means unlimited (faults may repeat forever).
@@ -82,7 +86,8 @@ class FaultInjector {
       : plan_(std::move(plan)),
         site_armed_{SiteArmed(plan_, FaultSite::kStoreLoad),
                     SiteArmed(plan_, FaultSite::kResolver),
-                    SiteArmed(plan_, FaultSite::kCompute)} {}
+                    SiteArmed(plan_, FaultSite::kCompute),
+                    SiteArmed(plan_, FaultSite::kStorePut)} {}
 
   struct Decision {
     FaultKind kind = FaultKind::kNone;
@@ -100,10 +105,11 @@ class FaultInjector {
     int64_t injected_slow = 0;
     int64_t injected_resolver = 0;
     int64_t injected_compute = 0;
+    int64_t injected_put = 0;
 
     int64_t total() const {
       return injected_not_found + injected_corrupt + injected_slow +
-             injected_resolver + injected_compute;
+             injected_resolver + injected_compute + injected_put;
     }
   };
 
@@ -119,7 +125,7 @@ class FaultInjector {
 
   FaultPlan plan_;
   /// Indexed by FaultSite; immutable after construction.
-  bool site_armed_[3];
+  bool site_armed_[4];
   mutable std::mutex mutex_;
   /// Occurrence count per "site|key".
   std::map<std::string, int> occurrences_;
@@ -129,18 +135,18 @@ class FaultInjector {
 };
 
 /// \brief ArtifactStore decorator that injects the plan's store-load
-/// faults into the executor's Load() path. Bookkeeping entry points
-/// (Put/Get/Evict/Keys/...) forward untouched, so persistence and the
-/// materializer see the real store.
+/// faults into the executor's Load() path and put faults into Put().
+/// The remaining bookkeeping entry points (Get/Evict/Keys/...) forward
+/// untouched, so persistence and inspection see the real store.
 class FaultInjectingStore final : public ArtifactStore {
  public:
   FaultInjectingStore(ArtifactStore* base, FaultInjector* injector)
       : base_(base), injector_(injector) {}
 
+  /// Injection point for kStorePut: may refuse the write with IoError
+  /// before it reaches the base store (a full disk, a failed rename).
   Status Put(const std::string& key, ArtifactPayload payload,
-             int64_t size_bytes) override {
-    return base_->Put(key, std::move(payload), size_bytes);
-  }
+             int64_t size_bytes) override;
   Result<ArtifactPayload> Get(const std::string& key) const override {
     return base_->Get(key);
   }

@@ -223,7 +223,9 @@ void BinaryWriter::WriteI32Vector(const std::vector<int32_t>& values) {
 }
 
 Status BinaryReader::Need(size_t bytes) const {
-  if (position_ + bytes > buffer_.size()) {
+  // Subtraction form: `position_ + bytes` can wrap for attacker-sized
+  // length prefixes, which would let a huge read past the bounds check.
+  if (bytes > buffer_.size() - position_) {
     return Status::ParseError("binary payload truncated");
   }
   return Status::OK();
@@ -282,7 +284,11 @@ Result<std::string> BinaryReader::ReadString() {
 
 Result<std::vector<double>> BinaryReader::ReadDoubleVector() {
   HYPPO_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
-  HYPPO_RETURN_NOT_OK(Need(size * 8));
+  // Divide instead of multiplying: `size * 8` wraps for huge corrupted
+  // prefixes, passing the bounds check and then aborting in reserve().
+  if (size > (buffer_.size() - position_) / 8) {
+    return Status::ParseError("binary payload truncated");
+  }
   std::vector<double> values;
   values.reserve(size);
   for (uint64_t i = 0; i < size; ++i) {
@@ -294,7 +300,9 @@ Result<std::vector<double>> BinaryReader::ReadDoubleVector() {
 
 Result<std::vector<int32_t>> BinaryReader::ReadI32Vector() {
   HYPPO_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
-  HYPPO_RETURN_NOT_OK(Need(size * 4));
+  if (size > (buffer_.size() - position_) / 4) {
+    return Status::ParseError("binary payload truncated");
+  }
   std::vector<int32_t> values;
   values.reserve(size);
   for (uint64_t i = 0; i < size; ++i) {
@@ -355,8 +363,17 @@ Result<ArtifactPayload> DeserializePayload(const std::string& bytes) {
     case PayloadTag::kDataset: {
       HYPPO_ASSIGN_OR_RETURN(int64_t rows, reader.ReadI64());
       HYPPO_ASSIGN_OR_RETURN(int64_t cols, reader.ReadI64());
-      if (rows < 0 || cols < 0 || rows * cols > (int64_t{1} << 34)) {
+      // Bound each dimension before multiplying: `rows * cols` on
+      // corrupt inputs is signed-overflow UB. The buffer must still hold
+      // the matrix itself, so a shape larger than the remaining bytes is
+      // corrupt — reject it *before* allocating the dataset.
+      constexpr int64_t kMaxCells = int64_t{1} << 34;
+      if (rows < 0 || cols < 0 || rows > kMaxCells || cols > kMaxCells ||
+          (rows > 0 && cols > kMaxCells / rows)) {
         return Status::ParseError("implausible dataset shape");
+      }
+      if (rows * cols > static_cast<int64_t>(reader.remaining() / 8)) {
+        return Status::ParseError("binary payload truncated");
       }
       HYPPO_ASSIGN_OR_RETURN(uint64_t names, reader.ReadU64());
       std::vector<std::string> column_names;

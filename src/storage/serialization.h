@@ -61,6 +61,9 @@ class BinaryReader {
   Result<std::vector<int32_t>> ReadI32Vector();
 
   bool AtEnd() const { return position_ == buffer_.size(); }
+  /// Bytes left to read — lets decoders sanity-check length prefixes
+  /// before allocating (a corrupt header must not drive a huge reserve).
+  size_t remaining() const { return buffer_.size() - position_; }
 
  private:
   Status Need(size_t bytes) const;

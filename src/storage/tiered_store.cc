@@ -1,0 +1,85 @@
+#include "storage/tiered_store.h"
+
+#include <utility>
+
+namespace hyppo::storage {
+
+StorageTier TieredArtifactStore::MemoryTier() {
+  StorageTier tier;
+  tier.read_bandwidth_bytes_per_sec = 20e9;
+  tier.write_bandwidth_bytes_per_sec = 20e9;
+  tier.latency_seconds = 5e-7;
+  return tier;
+}
+
+TieredArtifactStore::TieredArtifactStore(std::unique_ptr<ArtifactStore> back)
+    : back_(std::move(back)), front_(MemoryTier()) {}
+
+Status TieredArtifactStore::Put(const std::string& key,
+                                ArtifactPayload payload, int64_t size_bytes) {
+  // Durability first: only a payload the back tier accepted may be served
+  // from memory later.
+  HYPPO_RETURN_NOT_OK(back_->Put(key, payload, size_bytes));
+  return front_.Put(key, std::move(payload), size_bytes);
+}
+
+Result<ArtifactPayload> TieredArtifactStore::Get(const std::string& key) const {
+  Result<ArtifactPayload> hit = front_.Get(key);
+  if (hit.ok()) {
+    return hit;
+  }
+  HYPPO_ASSIGN_OR_RETURN(ArtifactPayload payload, back_->Get(key));
+  HYPPO_ASSIGN_OR_RETURN(int64_t size_bytes, back_->SizeOf(key));
+  (void)front_.Put(key, payload, size_bytes);
+  return payload;
+}
+
+bool TieredArtifactStore::Contains(const std::string& key) const {
+  return back_->Contains(key);
+}
+
+Status TieredArtifactStore::Evict(const std::string& key) {
+  if (front_.Contains(key)) {
+    (void)front_.Evict(key);
+  }
+  return back_->Evict(key);
+}
+
+Result<int64_t> TieredArtifactStore::SizeOf(const std::string& key) const {
+  return back_->SizeOf(key);
+}
+
+int64_t TieredArtifactStore::used_bytes() const {
+  return back_->used_bytes();
+}
+
+size_t TieredArtifactStore::num_entries() const {
+  return back_->num_entries();
+}
+
+std::vector<std::string> TieredArtifactStore::Keys() const {
+  return back_->Keys();
+}
+
+const StorageTier& TieredArtifactStore::tier() const { return back_->tier(); }
+
+Result<ArtifactStore::Loaded> TieredArtifactStore::Load(
+    const std::string& key) const {
+  // Serve hot keys from memory — but only keys the authoritative back
+  // tier still holds, so an Evict raced by a stale front copy cannot
+  // resurrect an artifact.
+  if (back_->Contains(key)) {
+    Result<Loaded> hit = front_.Load(key);
+    if (hit.ok()) {
+      return hit;
+    }
+  }
+  HYPPO_ASSIGN_OR_RETURN(Loaded loaded, back_->Load(key));
+  Result<int64_t> size_bytes = back_->SizeOf(key);
+  if (size_bytes.ok()) {
+    (void)front_.Put(key, loaded.payload, *size_bytes);
+  }
+  return loaded;
+}
+
+}  // namespace hyppo::storage

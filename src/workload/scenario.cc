@@ -24,13 +24,11 @@ int64_t BudgetBytes(const UseCase& use_case, double multiplier,
                               budget_factor);
 }
 
-std::unique_ptr<core::Runtime> MakeRuntime(const UseCase& use_case,
-                                           double multiplier,
-                                           double budget_factor,
-                                           bool simulate, uint64_t seed,
-                                           bool verify, int parallelism,
-                                           double fault_rate = 0.0,
-                                           uint64_t fault_seed = 0) {
+Result<std::unique_ptr<core::Runtime>> MakeRuntime(
+    const UseCase& use_case, double multiplier, double budget_factor,
+    bool simulate, uint64_t seed, bool verify, int parallelism,
+    double fault_rate = 0.0, uint64_t fault_seed = 0,
+    const std::string& store_dir = "") {
   core::RuntimeOptions options;
   options.storage_budget_bytes =
       BudgetBytes(use_case, multiplier, budget_factor);
@@ -39,7 +37,12 @@ std::unique_ptr<core::Runtime> MakeRuntime(const UseCase& use_case,
   options.parallelism = parallelism <= 0
                             ? core::RuntimeOptions::DefaultParallelism()
                             : parallelism;
+  options.store_dir = store_dir;
   auto runtime = std::make_unique<core::Runtime>(options);
+  // A durable session that failed to open (unwritable directory, torn
+  // manifest beyond recovery) must fail the scenario up front, not at
+  // the first materialization.
+  HYPPO_RETURN_NOT_OK(runtime->session_status());
   runtime->RegisterDatasetGenerator(
       use_case.DatasetId(multiplier),
       [use_case, multiplier, seed]() -> Result<ml::DatasetPtr> {
@@ -70,9 +73,13 @@ Status VerifyRuntimeHistory(const core::Runtime& runtime) {
     return Status::OK();
   }
   const analysis::Verifier verifier;
-  const analysis::AnalysisReport report = verifier.VerifyHistory(
+  analysis::AnalysisReport report = verifier.VerifyHistory(
       runtime.history(), &runtime.dictionary(),
       runtime.options().storage_budget_bytes);
+  // Store <-> history consistency: every materialized artifact is backed
+  // by a store entry of matching charged size, and vice versa.
+  report.Merge(
+      verifier.CheckStoreConsistency(runtime.history(), runtime.store()));
   if (!report.ok()) {
     return Status::Internal("history verification failed (" +
                             report.Summary() + "):\n" + report.ToString());
@@ -106,6 +113,9 @@ Result<SequenceResult> DrivePipelines(
   result.history_artifacts = runtime.history().num_artifacts();
   CollectRecoveryStats(runtime, &result);
   HYPPO_RETURN_NOT_OK(VerifyRuntimeHistory(runtime));
+  // Durable sessions snapshot the history so a re-run pointed at the
+  // same store_dir resumes with this materialized set (no-op otherwise).
+  HYPPO_RETURN_NOT_OK(runtime.PersistSession());
   return result;
 }
 
@@ -143,11 +153,12 @@ MethodFactory MakeHyppoFactory() {
 
 Result<SequenceResult> RunIterativeScenario(const MethodFactory& factory,
                                             const ScenarioConfig& config) {
-  std::unique_ptr<core::Runtime> runtime =
+  HYPPO_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::Runtime> runtime,
       MakeRuntime(config.use_case, config.dataset_multiplier,
                   config.budget_factor, config.simulate, config.seed,
                   config.verify, config.parallelism, config.fault_rate,
-                  config.fault_seed);
+                  config.fault_seed, config.store_dir));
   std::unique_ptr<core::Method> method = factory(runtime.get());
   // The same seed yields the same pipeline sequence for every method.
   PipelineGenerator generator(config.use_case, config.dataset_multiplier,
@@ -163,11 +174,12 @@ Result<SequenceResult> RunIterativeScenario(const MethodFactory& factory,
 
 Result<RetrievalResult> RunRetrievalScenario(const MethodFactory& factory,
                                              const RetrievalConfig& config) {
-  std::unique_ptr<core::Runtime> runtime =
+  HYPPO_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::Runtime> runtime,
       MakeRuntime(config.use_case, config.dataset_multiplier,
                   config.budget_factor, config.simulate, config.seed,
                   config.verify, config.parallelism, config.fault_rate,
-                  config.fault_seed);
+                  config.fault_seed, config.store_dir));
   std::unique_ptr<core::Method> method = factory(runtime.get());
   PipelineGenerator generator(config.use_case, config.dataset_multiplier,
                               config.seed);
@@ -255,16 +267,19 @@ Result<RetrievalResult> RunRetrievalScenario(const MethodFactory& factory,
       total > 0 ? static_cast<double>(stored) / static_cast<double>(total)
                 : 0.0;
   HYPPO_RETURN_NOT_OK(VerifyRuntimeHistory(*runtime));
+  HYPPO_RETURN_NOT_OK(runtime->PersistSession());
   return result;
 }
 
 Result<SequenceResult> RunEnsembleScenario(const MethodFactory& factory,
                                            const EnsembleConfig& config) {
   const UseCase use_case = UseCase::Taxi();
-  std::unique_ptr<core::Runtime> runtime =
+  HYPPO_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::Runtime> runtime,
       MakeRuntime(use_case, config.dataset_multiplier, config.budget_factor,
                   config.simulate, config.seed, config.verify,
-                  config.parallelism, config.fault_rate, config.fault_seed);
+                  config.parallelism, config.fault_rate, config.fault_seed,
+                  config.store_dir));
   std::unique_ptr<core::Method> method = factory(runtime.get());
   PipelineGenerator generator(use_case, config.dataset_multiplier,
                               config.seed);
@@ -329,10 +344,12 @@ Result<SequenceResult> RunEnsembleScenario(const MethodFactory& factory,
 }
 
 Result<TypeStudyResult> RunTypeStudy(const ScenarioConfig& config) {
-  std::unique_ptr<core::Runtime> runtime =
+  HYPPO_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::Runtime> runtime,
       MakeRuntime(config.use_case, config.dataset_multiplier,
                   config.budget_factor, config.simulate, config.seed,
-                  config.verify, config.parallelism);
+                  config.verify, config.parallelism, 0.0, 0,
+                  config.store_dir));
   core::HyppoMethod method(runtime.get());
   PipelineGenerator generator(config.use_case, config.dataset_multiplier,
                               config.seed);

@@ -51,6 +51,11 @@ struct ScenarioConfig {
   double fault_rate = 0.0;
   /// Seed of the fault plan; 0 reuses `seed`.
   uint64_t fault_seed = 0;
+  /// Durable session directory. Empty (default) keeps artifacts in the
+  /// in-memory store; non-empty puts a disk-backed tiered store under
+  /// this path and persists the history after every pipeline, so a later
+  /// run pointed at the same directory resumes with its materialized set.
+  std::string store_dir;
 };
 
 /// \brief Result of running one pipeline sequence under one method.
@@ -95,6 +100,8 @@ struct RetrievalConfig {
   /// See ScenarioConfig::fault_rate / fault_seed.
   double fault_rate = 0.0;
   uint64_t fault_seed = 0;
+  /// See ScenarioConfig::store_dir.
+  std::string store_dir;
   int request_size = 4;    // artifacts per request
   int num_requests = 50;
   bool models_only = false;  // request fitted models only
@@ -128,6 +135,8 @@ struct EnsembleConfig {
   /// See ScenarioConfig::fault_rate / fault_seed.
   double fault_rate = 0.0;
   uint64_t fault_seed = 0;
+  /// See ScenarioConfig::store_dir.
+  std::string store_dir;
 };
 
 Result<SequenceResult> RunEnsembleScenario(const MethodFactory& factory,

@@ -290,23 +290,25 @@ TEST_F(MaterializerTest, EvictsWhenBudgetShrinks) {
 
 TEST_F(MaterializerTest, PolicyOrderingsDiffer) {
   BuildHistory();
-  // LFU prefers deep (freq 2); SFF prefers mid (larger).
+  // Give mid the higher access frequency (3 vs deep's 2) so LFU and SFF
+  // disagree: LFU keeps the hot artifact, SFF keeps the small one.
+  history_.RecordAccess(mid_, 3.0);
+  history_.RecordAccess(mid_, 4.0);
   Materializer::Options lfu;
-  lfu.budget_bytes = 60000;  // not both
+  lfu.budget_bytes = 60000;  // not both (4000 + 60000 > 60000)
   lfu.policy = Materializer::Policy::kLfu;
   Materializer::Decision lfu_decision =
       materializer_.Decide(history_, {"mid", "deep"}, lfu);
-  ASSERT_FALSE(lfu_decision.to_store.empty());
-  // deep fits (4000) and mid fits (60000): LFU picks deep first, and mid
-  // still fits? 4000 + 60000 > 60000, so only deep.
-  EXPECT_EQ(lfu_decision.to_store, (std::vector<NodeId>{deep_}));
+  EXPECT_EQ(lfu_decision.to_store, (std::vector<NodeId>{mid_}));
 
+  // Smaller-files-first keeps the *smallest* artifacts: deep (4000)
+  // ranks first, then mid (60000) no longer fits.
   Materializer::Options sff;
   sff.budget_bytes = 60000;
   sff.policy = Materializer::Policy::kSff;
   Materializer::Decision sff_decision =
       materializer_.Decide(history_, {"mid", "deep"}, sff);
-  EXPECT_EQ(sff_decision.to_store, (std::vector<NodeId>{mid_}));
+  EXPECT_EQ(sff_decision.to_store, (std::vector<NodeId>{deep_}));
 }
 
 TEST_F(MaterializerTest, RawDataNeverCandidate) {

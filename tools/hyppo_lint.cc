@@ -5,7 +5,10 @@
 // hypergraph well-formedness, label consistency, canonical-name closure,
 // materialization flags, serialization round-trip, and — when a budget is
 // given — storage-budget compliance. Also cross-checks that every
-// materialized artifact has its payload file on disk.
+// materialized artifact has its payload file on disk. Durable store
+// directories (store.manifest + payloads/, written with --store-dir /
+// RuntimeOptions::store_dir) get the full history<->store consistency
+// audit instead of the per-file check.
 //
 // Usage:
 //   hyppo_lint <catalog-dir | history-file> [options]
@@ -26,6 +29,7 @@
 #include "analysis/verifier.h"
 #include "core/history_io.h"
 #include "ml/registry.h"
+#include "storage/disk_store.h"
 
 namespace {
 
@@ -74,11 +78,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Accept either a catalog directory or a bare history file.
+  // Accept a catalog directory (artifacts/<name>.bin layout), a durable
+  // store directory (store.manifest + payloads/, written by the tiered
+  // disk store), or a bare history file.
   std::string history_path = target;
   std::string artifacts_dir;
+  bool is_store_dir = false;
   if (fs::is_directory(history_path)) {
-    artifacts_dir = (fs::path(target) / "artifacts").string();
+    is_store_dir = fs::exists(fs::path(target) / "store.manifest");
+    if (!is_store_dir) {
+      artifacts_dir = (fs::path(target) / "artifacts").string();
+    }
     history_path = (fs::path(target) / "history.hyppo").string();
   }
   hyppo::Result<std::string> bytes = ReadFile(history_path);
@@ -103,6 +113,20 @@ int main(int argc, char** argv) {
           hyppo::ml::OperatorRegistry::Global());
   hyppo::analysis::AnalysisReport report =
       verifier.VerifyHistory(*history, &dictionary, budget_bytes);
+
+  // Store-dir layout: open the disk store (recovering its manifest) and
+  // run the full history<->store consistency check — entry presence,
+  // charged-size agreement, orphans, and used_bytes accounting.
+  if (is_store_dir) {
+    hyppo::storage::DiskArtifactStore store(target);
+    if (!store.init_status().ok()) {
+      std::fprintf(stderr, "hyppo_lint: cannot open store '%s': %s\n",
+                   target.c_str(),
+                   store.init_status().ToString().c_str());
+      return 2;
+    }
+    report.Merge(verifier.CheckStoreConsistency(*history, store));
+  }
 
   // Catalog-level check: a materialized artifact without its payload file
   // cannot actually be loaded by a plan.
