@@ -148,7 +148,9 @@ int main(int argc, char** argv) {
       "\nExpected: dominance pruning and A* cut expansions without\n"
       "changing plan cost; GREEDY trades a small cost gap for linear time;\n"
       "plan cost grows with c_exp (the price of exploration).\n");
-  if (!json.WriteTo(args.json_path)) {
+  const std::string json_path =
+      hyppo::bench::ResolveJsonPath(args, "BENCH_ablation_optimizer.json");
+  if (!json.WriteTo(json_path)) {
     return 1;
   }
   return 0;

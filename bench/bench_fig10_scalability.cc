@@ -6,7 +6,7 @@
 //  (b) runtime vs number of alternatives m at fixed n.
 // All methods find the same optimal cost (verified per row). Pass
 // `--json <path>` to also dump the measurements as a JSON document
-// (BENCH_fig10.json in the repo root is a committed snapshot).
+// (bench/BENCH_fig10.json is a committed snapshot).
 
 #include <cmath>
 #include <limits>
@@ -260,7 +260,9 @@ int main(int argc, char** argv) {
       "scalable of the serial variants and the parallel engine ahead of it\n"
       "(shared-bound pruning + full-state dominance dedup + state pooling);\n"
       "all methods return the same optimal plan cost.\n");
-  if (!json.WriteTo(args.json_path)) {
+  const std::string json_path =
+      hyppo::bench::ResolveJsonPath(args, "BENCH_fig10.json");
+  if (!json.WriteTo(json_path)) {
     return 1;
   }
   return 0;

@@ -118,7 +118,9 @@ int main(int argc, char** argv) {
       "while the price term keeps growing with B — storing more artifacts\n"
       "comes at a cost. The HYPPO-disk rows add durability at the same\n"
       "budget compliance (stored counts match the in-memory HYPPO rows).\n");
-  if (!json.WriteTo(args.json_path)) {
+  const std::string json_path =
+      hyppo::bench::ResolveJsonPath(args, "BENCH_fig4.json");
+  if (!json.WriteTo(json_path)) {
     return 1;
   }
   return 0;

@@ -8,7 +8,7 @@
 // (zero rates) at every load/resolver/compute site, versus running with
 // no injector at all. The hooks must stay within noise of the baseline.
 // Pass `--json <path>` to also dump the measurements as a JSON document
-// (BENCH_fig9b.json in the repo root is a committed snapshot).
+// (bench/BENCH_fig9b.json is a committed snapshot).
 
 #include "bench_util.h"
 #include "common/clock.h"
@@ -169,7 +169,9 @@ int main(int argc, char** argv) {
       "fast path (one flag check per task) and stays within noise of the\n"
       "no-injector baseline.\n");
 
-  if (!json.WriteTo(args.json_path)) {
+  const std::string json_path =
+      hyppo::bench::ResolveJsonPath(args, "BENCH_fig9b.json");
+  if (!json.WriteTo(json_path)) {
     return 1;
   }
   return 0;

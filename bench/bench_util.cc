@@ -1,5 +1,7 @@
 #include "bench_util.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
@@ -74,11 +76,38 @@ bool FullScale() { return BenchScale() == Scale::kFull; }
 BenchArgs ParseBenchArgs(int argc, char** argv) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      args.json_path = argv[++i];
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        args.json_path = argv[++i];
+      } else {
+        args.json_default = true;
+      }
     }
   }
   return args;
+}
+
+std::string BenchOutputDir() {
+  const char* env = std::getenv("HYPPO_BENCH_OUT");
+  if (env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  struct stat st{};
+  if (stat("bench", &st) == 0 && (st.st_mode & S_IFDIR) != 0) {
+    return "bench";
+  }
+  return ".";
+}
+
+std::string ResolveJsonPath(const BenchArgs& args,
+                            const std::string& default_filename) {
+  if (!args.json_path.empty()) {
+    return args.json_path;
+  }
+  if (args.json_default) {
+    return BenchOutputDir() + "/" + default_filename;
+  }
+  return std::string();
 }
 
 JsonWriter::JsonWriter(std::string bench_name)

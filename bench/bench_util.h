@@ -23,13 +23,28 @@ bool FullScale();
 /// Common command-line arguments shared by the bench binaries.
 struct BenchArgs {
   /// Destination for the machine-readable results (--json <path>); empty
-  /// means text output only.
+  /// means text output only unless `json_default` is set.
   std::string json_path;
+  /// `--json` was passed without a path: write to the bench output
+  /// directory under the bench's default filename (see ResolveJsonPath).
+  bool json_default = false;
 };
 
-/// Parses `--json <path>`; unknown arguments are ignored so benches can
-/// layer their own flags on top.
+/// Parses `--json [<path>]`; unknown arguments are ignored so benches can
+/// layer their own flags on top. A bare `--json` (no path, or followed by
+/// another flag) requests the default output location.
 BenchArgs ParseBenchArgs(int argc, char** argv);
+
+/// Directory where committed bench snapshots live: $HYPPO_BENCH_OUT if
+/// set, else "bench" when that directory exists (running from the repo
+/// root), else ".".
+std::string BenchOutputDir();
+
+/// The JSON destination for a bench: the explicit --json path when one was
+/// given, `<BenchOutputDir()>/<default_filename>` for a bare `--json`, and
+/// empty (no JSON output) when --json was absent.
+std::string ResolveJsonPath(const BenchArgs& args,
+                            const std::string& default_filename);
 
 /// \brief Accumulates bench measurements and serializes them as a single
 /// JSON document:

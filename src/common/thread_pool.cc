@@ -9,17 +9,9 @@ namespace hyppo {
 namespace {
 
 // Identifies the pool (if any) whose WorkerLoop is running on this thread,
-// so Submit/Wait can detect re-entrant use (see the class comment).
+// so Submit/Wait can apply the serial-when-nested fallback (see the class
+// comment).
 thread_local const ThreadPool* current_worker_pool = nullptr;
-
-[[noreturn]] void FatalReentrancy(const char* what) {
-  std::fprintf(stderr,
-               "ThreadPool::%s called from a worker thread of the same "
-               "pool; the pool is not re-entrant (this would deadlock via "
-               "Wait). Aborting.\n",
-               what);
-  std::abort();
-}
 
 }  // namespace
 
@@ -46,9 +38,12 @@ bool ThreadPool::InWorkerThread() const {
   return current_worker_pool == this;
 }
 
+bool ThreadPool::InAnyPoolWorker() { return current_worker_pool != nullptr; }
+
 void ThreadPool::Submit(std::function<void()> task) {
   if (InWorkerThread()) {
-    FatalReentrancy("Submit");
+    task();  // serial-when-nested: see the class comment
+    return;
   }
   {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -60,7 +55,7 @@ void ThreadPool::Submit(std::function<void()> task) {
 
 void ThreadPool::Wait() {
   if (InWorkerThread()) {
-    FatalReentrancy("Wait");
+    return;  // serial-when-nested: inline submissions already completed
   }
   std::unique_lock<std::mutex> lock(mutex_);
   all_idle_.wait(lock, [this]() { return in_flight_ == 0; });

@@ -14,18 +14,22 @@ namespace hyppo {
 /// \brief Fixed-size worker pool for executing independent tasks.
 ///
 /// Used by the parallel plan executor (hyperedges whose inputs are all
-/// available form a wave and run concurrently) and by the parallel
+/// available form a wave and run concurrently), by the parallel
 /// plan-search engine (one long-lived cooperating worker loop per
-/// thread). Submit() enqueues work; Wait() blocks until every submitted
-/// task has finished.
+/// thread), and by the ML kernel layer (src/ml/kernels). Submit()
+/// enqueues work; Wait() blocks until every submitted task has finished.
 ///
-/// The pool is NOT re-entrant: a task running on a pool worker must not
-/// call Submit() or Wait() on the same pool. Wait() from a worker is a
-/// guaranteed deadlock (the waiting task itself counts as in-flight, so
-/// the idle condition can never be reached), and Submit() from a worker
-/// is one Wait() away from the same deadlock. Both calls abort with a
-/// diagnostic instead of hanging; nest a second ThreadPool if a task
-/// genuinely needs helpers.
+/// Nesting policy ("serial-when-nested"): a task running on a pool
+/// worker may call Submit() and Wait() on the same pool. Submit() from a
+/// worker runs the task inline on the calling thread (queueing it and
+/// then Wait()ing would deadlock: the waiting task itself counts as
+/// in-flight, so the idle condition could never be reached), and Wait()
+/// from a worker returns immediately — every task this worker submitted
+/// has already run inline, and waiting for other threads' tasks from
+/// inside a task would re-introduce the deadlock. The net effect is that
+/// nested parallelism degrades to serial execution by construction
+/// instead of deadlocking or oversubscribing; parallel kernels inside
+/// parallel executor tasks rely on this (see docs/KERNELS.md).
 class ThreadPool {
  public:
   /// Creates `num_threads` workers (at least 1).
@@ -35,17 +39,23 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Must not be called from a worker of this pool
-  /// (aborts — see the class comment).
+  /// Enqueues a task. When called from a worker of this pool, runs the
+  /// task inline instead (see the nesting policy above).
   void Submit(std::function<void()> task);
 
-  /// Blocks until the queue is drained and all workers are idle. Must not
-  /// be called from a worker of this pool (aborts — see the class
-  /// comment).
+  /// Blocks until the queue is drained and all workers are idle. When
+  /// called from a worker of this pool, returns immediately (see the
+  /// nesting policy above).
   void Wait();
 
   /// True when the calling thread is one of this pool's workers.
   bool InWorkerThread() const;
+
+  /// True when the calling thread is a worker of ANY ThreadPool. The
+  /// kernel layer uses this to fall back to serial execution instead of
+  /// fanning out from an already-parallel context (oversubscription
+  /// guard).
+  static bool InAnyPoolWorker();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 

@@ -101,6 +101,7 @@ Result<Runtime::ExecutionRecord> Runtime::ExecuteInternal(
   Executor::Options exec_options;
   exec_options.simulate = options_.simulate;
   exec_options.parallelism = options_.parallelism;
+  exec_options.kernel_threads = options_.kernel_threads;
   exec_options.verify_plans = options_.verify_plans;
   exec_options.fault_injector = fault_injector_.get();
 

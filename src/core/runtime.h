@@ -34,6 +34,12 @@ struct RuntimeOptions {
   /// One worker per hardware thread (at least 1 when the hardware
   /// concurrency is unknown).
   static int DefaultParallelism();
+  /// Thread bound for intra-task kernel parallelism (ml/kernels): the
+  /// executor installs it around every operator call. 0 (default)
+  /// inherits `parallelism`. Kernels invoked from the parallel
+  /// executor's pool workers fall back to serial regardless, so this
+  /// composes with task-level parallelism without oversubscription.
+  int kernel_threads = 0;
   PricingModel pricing;
   Augmenter::Objective objective = Augmenter::Objective::kTime;
   /// Debug-mode invariant verification: every plan is checked by the

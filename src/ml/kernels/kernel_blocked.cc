@@ -1,0 +1,241 @@
+#include <algorithm>
+#include <vector>
+
+#include "ml/kernels/kernels.h"
+
+namespace hyppo::ml::kernels::blocked {
+
+namespace {
+
+// Blocking parameters (doubles): sized so the hot tiles sit in L1/L2 on
+// CI-class x86-64. They are fixed constants — never derived from thread
+// count — because they define the floating-point accumulation order and
+// that order must not change between serial and parallel dispatch.
+constexpr int64_t kGemmRowBlock = 48;   // A/C rows per tile
+constexpr int64_t kGemmKBlock = 256;    // inner-dimension panel
+constexpr int64_t kGemmColBlock = 256;  // B/C columns per tile
+constexpr int64_t kGramTile = 16;       // Gram output tile side
+constexpr int64_t kDistRowBlock = 256;  // distance rows per tile
+
+}  // namespace
+
+// C = A * B, restricted to output rows [row_begin, row_end). Loop order
+// i0 / k0 / j0 with a j-contiguous inner loop: C and B rows are walked
+// sequentially, so the inner loop has independent output lanes and
+// vectorizes without -ffast-math. For any fixed (i, j) the k updates run
+// in ascending order — the same order as the reference kernel.
+void GemmRows(const double* a, const double* b, double* c, int64_t m,
+              int64_t k, int64_t n, int64_t row_begin, int64_t row_end) {
+  row_end = std::min(row_end, m);
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    double* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      crow[j] = 0.0;
+    }
+  }
+  for (int64_t i0 = row_begin; i0 < row_end; i0 += kGemmRowBlock) {
+    const int64_t i1 = std::min(row_end, i0 + kGemmRowBlock);
+    for (int64_t k0 = 0; k0 < k; k0 += kGemmKBlock) {
+      const int64_t k1 = std::min(k, k0 + kGemmKBlock);
+      for (int64_t j0 = 0; j0 < n; j0 += kGemmColBlock) {
+        const int64_t j1 = std::min(n, j0 + kGemmColBlock);
+        for (int64_t i = i0; i < i1; ++i) {
+          const double* arow = a + i * k;
+          double* crow = c + i * n;
+          for (int64_t p = k0; p < k1; ++p) {
+            const double aip = arow[p];
+            const double* brow = b + p * n;
+            for (int64_t j = j0; j < j1; ++j) {
+              crow[j] += aip * brow[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void Gemm(const double* a, const double* b, double* c, int64_t m, int64_t k,
+          int64_t n) {
+  GemmRows(a, b, c, m, k, n, 0, m);
+}
+
+// One dot product with four accumulator banks. Plain single-accumulator
+// reductions cannot be vectorized under strict FP semantics; a fixed
+// 4-way split gives the compiler independent lanes while keeping the
+// accumulation order deterministic.
+namespace {
+inline double Dot4(const double* a, const double* b, int64_t n) {
+  double s0 = 0.0;
+  double s1 = 0.0;
+  double s2 = 0.0;
+  double s3 = 0.0;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    tail += a[i] * b[i];
+  }
+  return ((s0 + s1) + (s2 + s3)) + tail;
+}
+}  // namespace
+
+double Dot(const double* a, const double* b, int64_t n) {
+  return Dot4(a, b, n);
+}
+
+void GemvRows(const double* m, int64_t rows, int64_t cols, const double* x,
+              double* y, int64_t row_begin, int64_t row_end) {
+  row_end = std::min(row_end, rows);
+  for (int64_t r = row_begin; r < row_end; ++r) {
+    y[r] = Dot4(m + r * cols, x, cols);
+  }
+}
+
+void Gemv(const double* m, int64_t rows, int64_t cols, const double* x,
+          double* y) {
+  GemvRows(m, rows, cols, x, y, 0, rows);
+}
+
+// out[r] = bias + sum_c w[c] * (cols[c][r] - shift[c]) over a row range.
+// Column-at-a-time axpy over a contiguous row block: independent output
+// lanes, ascending-c accumulation — bitwise identical to the reference.
+void GemvColumnsRows(const double* const* cols, int64_t rows,
+                     int64_t num_cols, const double* shift, const double* w,
+                     double bias, double* out, int64_t row_begin,
+                     int64_t row_end) {
+  row_end = std::min(row_end, rows);
+  for (int64_t r = row_begin; r < row_end; ++r) {
+    out[r] = bias;
+  }
+  for (int64_t c = 0; c < num_cols; ++c) {
+    const double wc = w[c];
+    const double sc = shift ? shift[c] : 0.0;
+    const double* col = cols[c];
+    for (int64_t r = row_begin; r < row_end; ++r) {
+      out[r] += wc * (col[r] - sc);
+    }
+  }
+}
+
+void GemvColumns(const double* const* cols, int64_t rows, int64_t num_cols,
+                 const double* shift, const double* w, double bias,
+                 double* out) {
+  GemvColumnsRows(cols, rows, num_cols, shift, w, bias, out, 0, rows);
+}
+
+namespace {
+
+// One Gram entry, with optional shift/weight, 4-way unrolled.
+inline double GramPair(const double* ci, double si, const double* cj,
+                       double sj, const double* weight, int64_t rows) {
+  double s0 = 0.0;
+  double s1 = 0.0;
+  double s2 = 0.0;
+  double s3 = 0.0;
+  int64_t r = 0;
+  if (weight == nullptr) {
+    for (; r + 4 <= rows; r += 4) {
+      s0 += (ci[r] - si) * (cj[r] - sj);
+      s1 += (ci[r + 1] - si) * (cj[r + 1] - sj);
+      s2 += (ci[r + 2] - si) * (cj[r + 2] - sj);
+      s3 += (ci[r + 3] - si) * (cj[r + 3] - sj);
+    }
+    double tail = 0.0;
+    for (; r < rows; ++r) {
+      tail += (ci[r] - si) * (cj[r] - sj);
+    }
+    return ((s0 + s1) + (s2 + s3)) + tail;
+  }
+  for (; r + 4 <= rows; r += 4) {
+    s0 += weight[r] * (ci[r] - si) * (cj[r] - sj);
+    s1 += weight[r + 1] * (ci[r + 1] - si) * (cj[r + 1] - sj);
+    s2 += weight[r + 2] * (ci[r + 2] - si) * (cj[r + 2] - sj);
+    s3 += weight[r + 3] * (ci[r + 3] - si) * (cj[r + 3] - sj);
+  }
+  double tail = 0.0;
+  for (; r < rows; ++r) {
+    tail += weight[r] * (ci[r] - si) * (cj[r] - sj);
+  }
+  return ((s0 + s1) + (s2 + s3)) + tail;
+}
+
+}  // namespace
+
+// Upper-triangle tiles for i in [i_begin, i_end), mirrored into the lower
+// triangle. Element (r, c) with r > c is written only by the call owning
+// i == c, so row-partitioned parallel tasks never collide.
+void GramColumnsRows(const double* const* cols, int64_t rows,
+                     int64_t num_cols, const double* shift,
+                     const double* weight, double* out, int64_t i_begin,
+                     int64_t i_end) {
+  i_end = std::min(i_end, num_cols);
+  for (int64_t i0 = i_begin; i0 < i_end; i0 += kGramTile) {
+    const int64_t i1 = std::min(i_end, i0 + kGramTile);
+    for (int64_t j0 = i0; j0 < num_cols; j0 += kGramTile) {
+      const int64_t j1 = std::min(num_cols, j0 + kGramTile);
+      for (int64_t i = i0; i < i1; ++i) {
+        const double si = shift ? shift[i] : 0.0;
+        for (int64_t j = std::max(i, j0); j < j1; ++j) {
+          const double sj = shift ? shift[j] : 0.0;
+          const double v = GramPair(cols[i], si, cols[j], sj, weight, rows);
+          out[i * num_cols + j] = v;
+          out[j * num_cols + i] = v;
+        }
+      }
+    }
+  }
+}
+
+void GramColumns(const double* const* cols, int64_t rows, int64_t num_cols,
+                 const double* shift, const double* weight, double* out) {
+  GramColumnsRows(cols, rows, num_cols, shift, weight, out, 0, num_cols);
+}
+
+// Distance tiles: for each block of rows, accumulate (x - c)^2 one data
+// dimension at a time into a [center][row] scratch tile (contiguous inner
+// loop over rows, center coordinate broadcast), then write the tile out
+// row-major. Ascending-dimension accumulation per element — bitwise
+// identical to the reference.
+void PairwiseSquaredDistancesRows(const double* const* cols, int64_t rows,
+                                  int64_t dims, const double* centers,
+                                  int64_t k, double* out, int64_t row_begin,
+                                  int64_t row_end) {
+  row_end = std::min(row_end, rows);
+  std::vector<double> tile(static_cast<size_t>(kDistRowBlock));
+  for (int64_t r0 = row_begin; r0 < row_end; r0 += kDistRowBlock) {
+    const int64_t r1 = std::min(row_end, r0 + kDistRowBlock);
+    const int64_t width = r1 - r0;
+    for (int64_t i = 0; i < k; ++i) {
+      const double* center = centers + i * dims;
+      double* acc = tile.data();
+      for (int64_t t = 0; t < width; ++t) {
+        acc[t] = 0.0;
+      }
+      for (int64_t c = 0; c < dims; ++c) {
+        const double cc = center[c];
+        const double* col = cols[c] + r0;
+        for (int64_t t = 0; t < width; ++t) {
+          const double diff = col[t] - cc;
+          acc[t] += diff * diff;
+        }
+      }
+      for (int64_t t = 0; t < width; ++t) {
+        out[(r0 + t) * k + i] = acc[t];
+      }
+    }
+  }
+}
+
+void PairwiseSquaredDistances(const double* const* cols, int64_t rows,
+                              int64_t dims, const double* centers, int64_t k,
+                              double* out) {
+  PairwiseSquaredDistancesRows(cols, rows, dims, centers, k, out, 0, rows);
+}
+
+}  // namespace hyppo::ml::kernels::blocked

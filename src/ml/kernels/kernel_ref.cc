@@ -1,0 +1,90 @@
+#include "ml/kernels/kernels.h"
+
+namespace hyppo::ml::kernels::ref {
+
+// Naive textbook loops. These pin down the semantics of every kernel; the
+// blocked implementations must agree with them up to floating-point
+// association (asserted by tests/ml_kernels_test.cc with a max-abs-diff
+// bound).
+
+void Gemm(const double* a, const double* b, double* c, int64_t m, int64_t k,
+          int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        sum += a[i * k + p] * b[p * n + j];
+      }
+      c[i * n + j] = sum;
+    }
+  }
+}
+
+void Gemv(const double* m, int64_t rows, int64_t cols, const double* x,
+          double* y) {
+  for (int64_t r = 0; r < rows; ++r) {
+    double sum = 0.0;
+    const double* row = m + r * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      sum += row[c] * x[c];
+    }
+    y[r] = sum;
+  }
+}
+
+void GemvColumns(const double* const* cols, int64_t rows, int64_t num_cols,
+                 const double* shift, const double* w, double bias,
+                 double* out) {
+  for (int64_t r = 0; r < rows; ++r) {
+    double sum = bias;
+    for (int64_t c = 0; c < num_cols; ++c) {
+      const double v = shift ? cols[c][r] - shift[c] : cols[c][r];
+      sum += w[c] * v;
+    }
+    out[r] = sum;
+  }
+}
+
+void GramColumns(const double* const* cols, int64_t rows, int64_t num_cols,
+                 const double* shift, const double* weight, double* out) {
+  for (int64_t i = 0; i < num_cols; ++i) {
+    const double si = shift ? shift[i] : 0.0;
+    for (int64_t j = i; j < num_cols; ++j) {
+      const double sj = shift ? shift[j] : 0.0;
+      double sum = 0.0;
+      for (int64_t r = 0; r < rows; ++r) {
+        const double vi = cols[i][r] - si;
+        const double vj = cols[j][r] - sj;
+        sum += weight ? weight[r] * vi * vj : vi * vj;
+      }
+      out[i * num_cols + j] = sum;
+      out[j * num_cols + i] = sum;
+    }
+  }
+}
+
+void PairwiseSquaredDistances(const double* const* cols, int64_t rows,
+                              int64_t dims, const double* centers, int64_t k,
+                              double* out) {
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t i = 0; i < k; ++i) {
+      const double* center = centers + i * dims;
+      double sq = 0.0;
+      for (int64_t c = 0; c < dims; ++c) {
+        const double diff = cols[c][r] - center[c];
+        sq += diff * diff;
+      }
+      out[r * k + i] = sq;
+    }
+  }
+}
+
+double Dot(const double* a, const double* b, int64_t n) {
+  double sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+}  // namespace hyppo::ml::kernels::ref

@@ -1,0 +1,395 @@
+#include "ml/kernels/kernels.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace hyppo::ml::kernels {
+
+namespace {
+
+thread_local KernelOptions g_options;
+
+// Work thresholds (flop estimates). Path selection depends only on the
+// problem shape — never on thread count or nesting — so a given call
+// site always takes the same numeric path. Below kBlockedMinWork the
+// scalar reference is used (tiny problems; blocking overhead dominates
+// and the association difference is irrelevant). Above kParallelMinWork
+// the blocked computation is additionally split across the kernel pool —
+// which is bitwise neutral, because parallel tasks produce whole output
+// tiles whose accumulation order the blocked path already fixes.
+constexpr double kBlockedMinWork = 16.0 * 1024.0;
+constexpr double kParallelMinWork = 4.0 * 1024.0 * 1024.0;
+
+// Lazily created pool shared by every kernel call in the process, sized
+// to the hardware. KernelOptions::num_threads bounds how many chunks a
+// single call fans out, not the pool size.
+ThreadPool& SharedPool() {
+  static ThreadPool pool(
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency())));
+  return pool;
+}
+
+int EffectiveThreads(const KernelOptions* opts) {
+  return (opts != nullptr ? *opts : g_options).num_threads;
+}
+
+// Splits [0, items) into at most `threads` contiguous chunks and runs
+// `fn(begin, end)` for each: chunk 0..n-2 on the shared pool, the last
+// chunk on the calling thread. Completion is tracked with a private
+// latch (not ThreadPool::Wait) so concurrent kernel calls from different
+// threads do not wait on each other's work.
+void RunParallel(int64_t items, int threads,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (items <= 0) {
+    return;
+  }
+  ThreadPool& pool = SharedPool();
+  const int64_t chunks =
+      std::min<int64_t>(std::min(threads, pool.num_threads() + 1), items);
+  if (chunks <= 1) {
+    fn(0, items);
+    return;
+  }
+  const int64_t per_chunk = (items + chunks - 1) / chunks;
+  std::mutex mutex;
+  std::condition_variable done;
+  int64_t pending = 0;
+  for (int64_t begin = per_chunk; begin < items; begin += per_chunk) {
+    const int64_t end = std::min(items, begin + per_chunk);
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      ++pending;
+    }
+    pool.Submit([&, begin, end]() {
+      fn(begin, end);
+      std::unique_lock<std::mutex> lock(mutex);
+      if (--pending == 0) {
+        done.notify_all();
+      }
+    });
+  }
+  fn(0, std::min(items, per_chunk));  // caller takes the first chunk
+  std::unique_lock<std::mutex> lock(mutex);
+  done.wait(lock, [&]() { return pending == 0; });
+}
+
+}  // namespace
+
+const KernelOptions& CurrentOptions() { return g_options; }
+
+KernelScope::KernelScope(const KernelOptions& options)
+    : previous_(g_options) {
+  g_options = options;
+}
+
+KernelScope::~KernelScope() { g_options = previous_; }
+
+bool ParallelismSuppressed(const KernelOptions* opts) {
+  return ThreadPool::InAnyPoolWorker() || EffectiveThreads(opts) <= 1;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatching entry points.
+
+void Gemm(const double* a, const double* b, double* c, int64_t m, int64_t k,
+          int64_t n, const KernelOptions* opts) {
+  const double work = 2.0 * static_cast<double>(m) *
+                      static_cast<double>(k) * static_cast<double>(n);
+  if (work < kBlockedMinWork) {
+    ref::Gemm(a, b, c, m, k, n);
+    return;
+  }
+  if (work < kParallelMinWork || ParallelismSuppressed(opts)) {
+    blocked::Gemm(a, b, c, m, k, n);
+    return;
+  }
+  RunParallel(m, EffectiveThreads(opts),
+              [&](int64_t begin, int64_t end) {
+                blocked::GemmRows(a, b, c, m, k, n, begin, end);
+              });
+}
+
+void Gemv(const double* m, int64_t rows, int64_t cols, const double* x,
+          double* y, const KernelOptions* opts) {
+  const double work =
+      2.0 * static_cast<double>(rows) * static_cast<double>(cols);
+  if (work < kBlockedMinWork) {
+    ref::Gemv(m, rows, cols, x, y);
+    return;
+  }
+  if (work < kParallelMinWork || ParallelismSuppressed(opts)) {
+    blocked::Gemv(m, rows, cols, x, y);
+    return;
+  }
+  RunParallel(rows, EffectiveThreads(opts),
+              [&](int64_t begin, int64_t end) {
+                blocked::GemvRows(m, rows, cols, x, y, begin, end);
+              });
+}
+
+void GemvColumns(const double* const* cols, int64_t rows, int64_t num_cols,
+                 const double* shift, const double* w, double bias,
+                 double* out, const KernelOptions* opts) {
+  const double work =
+      2.0 * static_cast<double>(rows) * static_cast<double>(num_cols);
+  // The blocked path accumulates in the same order as the reference
+  // (ascending columns per output element); the split is purely about
+  // loop structure, so any threshold is numerically safe.
+  if (work < kBlockedMinWork) {
+    ref::GemvColumns(cols, rows, num_cols, shift, w, bias, out);
+    return;
+  }
+  if (work < kParallelMinWork || ParallelismSuppressed(opts)) {
+    blocked::GemvColumns(cols, rows, num_cols, shift, w, bias, out);
+    return;
+  }
+  RunParallel(rows, EffectiveThreads(opts),
+              [&](int64_t begin, int64_t end) {
+                blocked::GemvColumnsRows(cols, rows, num_cols, shift, w,
+                                         bias, out, begin, end);
+              });
+}
+
+void GramColumns(const double* const* cols, int64_t rows, int64_t num_cols,
+                 const double* shift, const double* weight, double* out,
+                 const KernelOptions* opts) {
+  const double work = static_cast<double>(rows) *
+                      static_cast<double>(num_cols) *
+                      static_cast<double>(num_cols);
+  if (work < kBlockedMinWork) {
+    ref::GramColumns(cols, rows, num_cols, shift, weight, out);
+    return;
+  }
+  if (work < kParallelMinWork || ParallelismSuppressed(opts)) {
+    blocked::GramColumns(cols, rows, num_cols, shift, weight, out);
+    return;
+  }
+  RunParallel(num_cols, EffectiveThreads(opts),
+              [&](int64_t begin, int64_t end) {
+                blocked::GramColumnsRows(cols, rows, num_cols, shift, weight,
+                                         out, begin, end);
+              });
+}
+
+void PairwiseSquaredDistances(const double* const* cols, int64_t rows,
+                              int64_t dims, const double* centers, int64_t k,
+                              double* out, const KernelOptions* opts) {
+  const double work = 3.0 * static_cast<double>(rows) *
+                      static_cast<double>(dims) * static_cast<double>(k);
+  if (work < kBlockedMinWork) {
+    ref::PairwiseSquaredDistances(cols, rows, dims, centers, k, out);
+    return;
+  }
+  if (work < kParallelMinWork || ParallelismSuppressed(opts)) {
+    blocked::PairwiseSquaredDistances(cols, rows, dims, centers, k, out);
+    return;
+  }
+  RunParallel(rows, EffectiveThreads(opts),
+              [&](int64_t begin, int64_t end) {
+                blocked::PairwiseSquaredDistancesRows(cols, rows, dims,
+                                                      centers, k, out, begin,
+                                                      end);
+              });
+}
+
+namespace {
+
+constexpr int64_t kArgminRowBlock = 256;
+
+// Distance tile + argmin for a row range. Accumulates squared distances
+// one dimension at a time (ascending — bitwise identical to the
+// reference distances) into a [center][row] scratch tile, then scans
+// centers in ascending order with a strict '<', so ties break toward the
+// lowest index exactly like the scalar loop it replaces.
+void NearestCentroidsRows(const double* const* cols, int64_t rows,
+                          int64_t dims, const double* centers, int64_t k,
+                          int64_t* index, double* sq, int64_t row_begin,
+                          int64_t row_end) {
+  row_end = std::min(row_end, rows);
+  std::vector<double> tile(static_cast<size_t>(k * kArgminRowBlock));
+  for (int64_t r0 = row_begin; r0 < row_end; r0 += kArgminRowBlock) {
+    const int64_t r1 = std::min(row_end, r0 + kArgminRowBlock);
+    const int64_t width = r1 - r0;
+    for (int64_t i = 0; i < k; ++i) {
+      const double* center = centers + i * dims;
+      double* acc = tile.data() + i * kArgminRowBlock;
+      for (int64_t t = 0; t < width; ++t) {
+        acc[t] = 0.0;
+      }
+      for (int64_t c = 0; c < dims; ++c) {
+        const double cc = center[c];
+        const double* col = cols[c] + r0;
+        for (int64_t t = 0; t < width; ++t) {
+          const double diff = col[t] - cc;
+          acc[t] += diff * diff;
+        }
+      }
+    }
+    for (int64_t t = 0; t < width; ++t) {
+      double best = tile[static_cast<size_t>(t)];
+      int64_t best_i = 0;
+      for (int64_t i = 1; i < k; ++i) {
+        const double d = tile[static_cast<size_t>(i * kArgminRowBlock + t)];
+        if (d < best) {
+          best = d;
+          best_i = i;
+        }
+      }
+      if (index != nullptr) {
+        index[r0 + t] = best_i;
+      }
+      if (sq != nullptr) {
+        sq[r0 + t] = best;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void NearestCentroids(const double* const* cols, int64_t rows, int64_t dims,
+                      const double* centers, int64_t k, int64_t* index,
+                      double* sq, const KernelOptions* opts) {
+  if (rows <= 0 || k <= 0) {
+    return;
+  }
+  const double work = 3.0 * static_cast<double>(rows) *
+                      static_cast<double>(dims) * static_cast<double>(k);
+  if (work < kParallelMinWork || ParallelismSuppressed(opts)) {
+    NearestCentroidsRows(cols, rows, dims, centers, k, index, sq, 0, rows);
+    return;
+  }
+  RunParallel(rows, EffectiveThreads(opts),
+              [&](int64_t begin, int64_t end) {
+                NearestCentroidsRows(cols, rows, dims, centers, k, index, sq,
+                                     begin, end);
+              });
+}
+
+// ---------------------------------------------------------------------------
+// Fused vector kernels. Serial (memory-bound); reductions use fixed 4-way
+// accumulator banks so they vectorize under strict FP semantics while
+// staying deterministic.
+
+double Dot(const double* a, const double* b, int64_t n) {
+  return blocked::Dot(a, b, n);
+}
+
+double ShiftedDot(const double* x, double shift, const double* y, int64_t n) {
+  double s0 = 0.0;
+  double s1 = 0.0;
+  double s2 = 0.0;
+  double s3 = 0.0;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += (x[i] - shift) * y[i];
+    s1 += (x[i + 1] - shift) * y[i + 1];
+    s2 += (x[i + 2] - shift) * y[i + 2];
+    s3 += (x[i + 3] - shift) * y[i + 3];
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    tail += (x[i] - shift) * y[i];
+  }
+  return ((s0 + s1) + (s2 + s3)) + tail;
+}
+
+void Axpy(double alpha, const double* x, double* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+void ShiftedAxpy(double alpha, const double* x, double shift, double* y,
+                 int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    y[i] += alpha * (x[i] - shift);
+  }
+}
+
+void Multiply(const double* a, const double* b, double* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = a[i] * b[i];
+  }
+}
+
+double Sum(const double* x, int64_t n) {
+  double s0 = 0.0;
+  double s1 = 0.0;
+  double s2 = 0.0;
+  double s3 = 0.0;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += x[i];
+    s1 += x[i + 1];
+    s2 += x[i + 2];
+    s3 += x[i + 3];
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    tail += x[i];
+  }
+  return ((s0 + s1) + (s2 + s3)) + tail;
+}
+
+double ShiftedSumSq(const double* x, double shift, int64_t n) {
+  double s0 = 0.0;
+  double s1 = 0.0;
+  double s2 = 0.0;
+  double s3 = 0.0;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double d0 = x[i] - shift;
+    const double d1 = x[i + 1] - shift;
+    const double d2 = x[i + 2] - shift;
+    const double d3 = x[i + 3] - shift;
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = x[i] - shift;
+    tail += d * d;
+  }
+  return ((s0 + s1) + (s2 + s3)) + tail;
+}
+
+void SumAndSumSq(const double* x, int64_t n, double* sum, double* sum_sq) {
+  double a0 = 0.0;
+  double a1 = 0.0;
+  double a2 = 0.0;
+  double a3 = 0.0;
+  double q0 = 0.0;
+  double q1 = 0.0;
+  double q2 = 0.0;
+  double q3 = 0.0;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    a0 += x[i];
+    a1 += x[i + 1];
+    a2 += x[i + 2];
+    a3 += x[i + 3];
+    q0 += x[i] * x[i];
+    q1 += x[i + 1] * x[i + 1];
+    q2 += x[i + 2] * x[i + 2];
+    q3 += x[i + 3] * x[i + 3];
+  }
+  double at = 0.0;
+  double qt = 0.0;
+  for (; i < n; ++i) {
+    at += x[i];
+    qt += x[i] * x[i];
+  }
+  *sum = ((a0 + a1) + (a2 + a3)) + at;
+  *sum_sq = ((q0 + q1) + (q2 + q3)) + qt;
+}
+
+}  // namespace hyppo::ml::kernels

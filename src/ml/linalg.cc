@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "ml/kernels/kernels.h"
+
 namespace hyppo::ml {
 
 Result<std::vector<double>> CholeskySolve(std::vector<double> a, int64_t n,
@@ -138,22 +140,11 @@ Result<EigenDecomposition> JacobiEigenSymmetric(std::vector<double> a,
 void MatVec(const std::vector<double>& m, int64_t rows, int64_t cols,
             const std::vector<double>& x, std::vector<double>& y) {
   y.assign(static_cast<size_t>(rows), 0.0);
-  for (int64_t r = 0; r < rows; ++r) {
-    double sum = 0.0;
-    const double* row = m.data() + r * cols;
-    for (int64_t c = 0; c < cols; ++c) {
-      sum += row[c] * x[static_cast<size_t>(c)];
-    }
-    y[static_cast<size_t>(r)] = sum;
-  }
+  kernels::Gemv(m.data(), rows, cols, x.data(), y.data());
 }
 
 double Dot(const double* a, const double* b, int64_t n) {
-  double sum = 0.0;
-  for (int64_t i = 0; i < n; ++i) {
-    sum += a[i] * b[i];
-  }
-  return sum;
+  return kernels::Dot(a, b, n);
 }
 
 double Norm2(const double* a, int64_t n) { return std::sqrt(Dot(a, a, n)); }

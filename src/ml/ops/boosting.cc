@@ -1,6 +1,7 @@
 #include <memory>
 #include <numeric>
 
+#include "ml/kernels/kernels.h"
 #include "ml/operator.h"
 #include "ml/ops/ops.h"
 #include "ml/ops/tree_builder.h"
@@ -52,11 +53,8 @@ class GradientBoostingOp final : public Estimator {
     options.seed = static_cast<uint64_t>(config.GetInt("seed", 5));
 
     auto state = std::make_shared<ForestState>(logical_op());
-    double mean = 0.0;
-    for (double y : data.target()) {
-      mean += y;
-    }
-    mean /= static_cast<double>(data.rows());
+    const double mean = kernels::Sum(data.target().data(), data.rows()) /
+                        static_cast<double>(data.rows());
     state->base_prediction = mean;
 
     std::vector<double> residual = data.target();
@@ -71,9 +69,8 @@ class GradientBoostingOp final : public Estimator {
                              BuildTree(data, residual, rows, options));
       std::fill(stage_pred.begin(), stage_pred.end(), 0.0);
       AccumulateTreePredictions(tree, data, 1.0, stage_pred);
-      for (size_t i = 0; i < residual.size(); ++i) {
-        residual[i] -= learning_rate * stage_pred[i];
-      }
+      kernels::Axpy(-learning_rate, stage_pred.data(), residual.data(),
+                    static_cast<int64_t>(residual.size()));
       state->trees.push_back(std::move(tree));
       state->tree_weights.push_back(learning_rate);
     }

@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "ml/kernels/kernels.h"
 #include "ml/operator.h"
 #include "ml/ops/ops.h"
 
@@ -43,19 +44,12 @@ Centered CenterStats(const Dataset& data) {
   Centered stats;
   stats.feature_mean.assign(static_cast<size_t>(data.cols()), 0.0);
   for (int64_t c = 0; c < data.cols(); ++c) {
-    const double* col = data.col_data(c);
-    double sum = 0.0;
-    for (int64_t r = 0; r < data.rows(); ++r) {
-      sum += col[r];
-    }
     stats.feature_mean[static_cast<size_t>(c)] =
-        sum / static_cast<double>(data.rows());
+        kernels::Sum(data.col_data(c), data.rows()) /
+        static_cast<double>(data.rows());
   }
-  double t = 0.0;
-  for (double y : data.target()) {
-    t += y;
-  }
-  stats.target_mean = t / static_cast<double>(data.rows());
+  stats.target_mean = kernels::Sum(data.target().data(), data.rows()) /
+                      static_cast<double>(data.rows());
   return stats;
 }
 
@@ -83,13 +77,13 @@ class ElasticNetBase : public Estimator {
     const std::vector<double>& w = vs->vec("weights");
     std::vector<double> preds(static_cast<size_t>(data.rows()),
                               vs->scalar("intercept"));
+    std::vector<const double*> cols(static_cast<size_t>(data.cols()));
     for (int64_t c = 0; c < data.cols(); ++c) {
-      const double* col = data.col_data(c);
-      const double wc = w[static_cast<size_t>(c)];
-      for (int64_t r = 0; r < data.rows(); ++r) {
-        preds[static_cast<size_t>(r)] += wc * col[r];
-      }
+      cols[static_cast<size_t>(c)] = data.col_data(c);
     }
+    kernels::GemvColumns(cols.data(), data.rows(), data.cols(),
+                         /*shift=*/nullptr, w.data(), vs->scalar("intercept"),
+                         preds.data());
     return preds;
   }
 
@@ -127,14 +121,11 @@ class SklElasticNet final : public ElasticNetBase {
     }
     std::vector<double> col_sq(static_cast<size_t>(d), 0.0);
     for (int64_t c = 0; c < d; ++c) {
-      const double* col = data.col_data(c);
-      const double mu = stats.feature_mean[static_cast<size_t>(c)];
-      double sq = 0.0;
-      for (int64_t r = 0; r < n; ++r) {
-        const double x = col[r] - mu;
-        sq += x * x;
-      }
-      col_sq[static_cast<size_t>(c)] = sq / static_cast<double>(n);
+      col_sq[static_cast<size_t>(c)] =
+          kernels::ShiftedSumSq(data.col_data(c),
+                                stats.feature_mean[static_cast<size_t>(c)],
+                                n) /
+          static_cast<double>(n);
     }
     for (int sweep = 0; sweep < 1000; ++sweep) {
       double max_delta = 0.0;
@@ -144,20 +135,15 @@ class SklElasticNet final : public ElasticNetBase {
         }
         const double* col = data.col_data(c);
         const double mu = stats.feature_mean[static_cast<size_t>(c)];
-        double rho = 0.0;
-        for (int64_t r = 0; r < n; ++r) {
-          rho += (col[r] - mu) * residual[static_cast<size_t>(r)];
-        }
-        rho /= static_cast<double>(n);
+        double rho = kernels::ShiftedDot(col, mu, residual.data(), n) /
+                     static_cast<double>(n);
         const double old_w = w[static_cast<size_t>(c)];
         rho += col_sq[static_cast<size_t>(c)] * old_w;
         const double new_w = SoftThreshold(rho, l1) /
                              (col_sq[static_cast<size_t>(c)] + l2);
         const double delta = new_w - old_w;
         if (delta != 0.0) {
-          for (int64_t r = 0; r < n; ++r) {
-            residual[static_cast<size_t>(r)] -= delta * (col[r] - mu);
-          }
+          kernels::ShiftedAxpy(-delta, col, mu, residual.data(), n);
           w[static_cast<size_t>(c)] = new_w;
         }
         max_delta = std::max(max_delta, std::fabs(delta));
@@ -192,14 +178,11 @@ class TflElasticNet final : public ElasticNetBase {
     const Centered stats = CenterStats(data);
     double lipschitz = l2;
     for (int64_t c = 0; c < d; ++c) {
-      const double* col = data.col_data(c);
-      const double mu = stats.feature_mean[static_cast<size_t>(c)];
-      double sq = 0.0;
-      for (int64_t r = 0; r < n; ++r) {
-        const double x = col[r] - mu;
-        sq += x * x;
-      }
-      lipschitz += sq / static_cast<double>(n);
+      lipschitz +=
+          kernels::ShiftedSumSq(data.col_data(c),
+                                stats.feature_mean[static_cast<size_t>(c)],
+                                n) /
+          static_cast<double>(n);
     }
     const double step = 1.0 / std::max(lipschitz, 1e-12);
     std::vector<double> w(static_cast<size_t>(d), 0.0);
@@ -215,21 +198,17 @@ class TflElasticNet final : public ElasticNetBase {
         if (wc == 0.0) {
           continue;
         }
-        const double* col = data.col_data(c);
-        const double mu = stats.feature_mean[static_cast<size_t>(c)];
-        for (int64_t r = 0; r < n; ++r) {
-          residual[static_cast<size_t>(r)] -= wc * (col[r] - mu);
-        }
+        kernels::ShiftedAxpy(-wc, data.col_data(c),
+                             stats.feature_mean[static_cast<size_t>(c)],
+                             residual.data(), n);
       }
       for (int64_t c = 0; c < d; ++c) {
-        const double* col = data.col_data(c);
-        const double mu = stats.feature_mean[static_cast<size_t>(c)];
-        double g = l2 * w[static_cast<size_t>(c)];
-        for (int64_t r = 0; r < n; ++r) {
-          g -= (col[r] - mu) * residual[static_cast<size_t>(r)] /
-               static_cast<double>(n);
-        }
-        grad[static_cast<size_t>(c)] = g;
+        grad[static_cast<size_t>(c)] =
+            l2 * w[static_cast<size_t>(c)] -
+            kernels::ShiftedDot(data.col_data(c),
+                                stats.feature_mean[static_cast<size_t>(c)],
+                                residual.data(), n) /
+                static_cast<double>(n);
       }
       double max_delta = 0.0;
       for (int64_t c = 0; c < d; ++c) {

@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "ml/kernels/kernels.h"
 #include "ml/operator.h"
 #include "ml/ops/ops.h"
 
@@ -85,11 +86,8 @@ class SklPolynomialFeatures final : public PolynomialFeaturesBase {
     for (int64_t i = 0; i < c_in; ++i) {
       const double* a = data.col_data(i);
       for (int64_t j = i; j < c_in; ++j) {
-        const double* b = data.col_data(j);
-        double* dst = out.col_data(k++);
-        for (int64_t r = 0; r < data.rows(); ++r) {
-          dst[r] = a[r] * b[r];
-        }
+        kernels::Multiply(a, data.col_data(j), out.col_data(k++),
+                          data.rows());
       }
     }
     if (data.has_target()) {
@@ -183,16 +181,9 @@ class SklVarianceThreshold final : public VarianceThresholdBase {
     std::vector<double> kept;
     for (int64_t c = 0; c < data.cols(); ++c) {
       const double* col = data.col_data(c);
-      double sum = 0.0;
-      for (int64_t r = 0; r < data.rows(); ++r) {
-        sum += col[r];
-      }
-      const double mu = sum / static_cast<double>(data.rows());
-      double sq = 0.0;
-      for (int64_t r = 0; r < data.rows(); ++r) {
-        const double d = col[r] - mu;
-        sq += d * d;
-      }
+      const double mu = kernels::Sum(col, data.rows()) /
+                        static_cast<double>(data.rows());
+      const double sq = kernels::ShiftedSumSq(col, mu, data.rows());
       if (sq / static_cast<double>(data.rows()) > threshold) {
         kept.push_back(static_cast<double>(c));
       }
@@ -216,13 +207,9 @@ class TflVarianceThreshold final : public VarianceThresholdBase {
     const double threshold = config.GetDouble("threshold", 0.0);
     std::vector<double> kept;
     for (int64_t c = 0; c < data.cols(); ++c) {
-      const double* col = data.col_data(c);
       double sum = 0.0;
       double sq = 0.0;
-      for (int64_t r = 0; r < data.rows(); ++r) {
-        sum += col[r];
-        sq += col[r] * col[r];
-      }
+      kernels::SumAndSumSq(data.col_data(c), data.rows(), &sum, &sq);
       const double n = static_cast<double>(data.rows());
       const double variance = sq / n - (sum / n) * (sum / n);
       if (variance > threshold) {

@@ -4,12 +4,22 @@
 #include <memory>
 
 #include "common/rng.h"
+#include "ml/kernels/kernels.h"
 #include "ml/operator.h"
 #include "ml/ops/ops.h"
 
 namespace hyppo::ml {
 
 namespace {
+
+// Column-pointer view of a dataset for the column-layout kernels.
+std::vector<const double*> ColumnPointers(const Dataset& data) {
+  std::vector<const double*> cols(static_cast<size_t>(data.cols()));
+  for (int64_t c = 0; c < data.cols(); ++c) {
+    cols[static_cast<size_t>(c)] = data.col_data(c);
+  }
+  return cols;
+}
 
 // KMeans clustering. fit -> centroids (VectorState "centroids", row-major
 // k x d); transform -> per-cluster distances as features; predict ->
@@ -63,17 +73,14 @@ class KMeansBase : public Estimator {
       names.push_back("dist_c" + std::to_string(i));
     }
     Dataset out = Dataset::WithColumns(data.rows(), std::move(names));
-    std::vector<double> row(static_cast<size_t>(d));
-    for (int64_t r = 0; r < data.rows(); ++r) {
-      data.CopyRow(r, row.data());
-      for (int64_t i = 0; i < k; ++i) {
-        const double* centroid = centroids.data() + i * d;
-        double sq = 0.0;
-        for (int64_t c = 0; c < d; ++c) {
-          const double diff = row[static_cast<size_t>(c)] - centroid[c];
-          sq += diff * diff;
-        }
-        out.at(r, i) = std::sqrt(sq);
+    const std::vector<const double*> cols = ColumnPointers(data);
+    std::vector<double> sq(static_cast<size_t>(data.rows() * k));
+    kernels::PairwiseSquaredDistances(cols.data(), data.rows(), d,
+                                      centroids.data(), k, sq.data());
+    for (int64_t i = 0; i < k; ++i) {
+      double* dst = out.col_data(i);
+      for (int64_t r = 0; r < data.rows(); ++r) {
+        dst[r] = std::sqrt(sq[static_cast<size_t>(r * k + i)]);
       }
     }
     if (data.has_target()) {
@@ -90,24 +97,13 @@ class KMeansBase : public Estimator {
     const int64_t d = data.cols();
     const std::vector<double>& centroids = vs->vec("centroids");
     std::vector<double> assignment(static_cast<size_t>(data.rows()), 0.0);
-    std::vector<double> row(static_cast<size_t>(d));
+    const std::vector<const double*> cols = ColumnPointers(data);
+    std::vector<int64_t> index(static_cast<size_t>(data.rows()), 0);
+    kernels::NearestCentroids(cols.data(), data.rows(), d, centroids.data(),
+                              k, index.data(), /*sq=*/nullptr);
     for (int64_t r = 0; r < data.rows(); ++r) {
-      data.CopyRow(r, row.data());
-      double best = std::numeric_limits<double>::infinity();
-      int64_t best_i = 0;
-      for (int64_t i = 0; i < k; ++i) {
-        const double* centroid = centroids.data() + i * d;
-        double sq = 0.0;
-        for (int64_t c = 0; c < d; ++c) {
-          const double diff = row[static_cast<size_t>(c)] - centroid[c];
-          sq += diff * diff;
-        }
-        if (sq < best) {
-          best = sq;
-          best_i = i;
-        }
-      }
-      assignment[static_cast<size_t>(r)] = static_cast<double>(best_i);
+      assignment[static_cast<size_t>(r)] =
+          static_cast<double>(index[static_cast<size_t>(r)]);
     }
     return assignment;
   }
@@ -124,19 +120,17 @@ class KMeansBase : public Estimator {
     std::copy(row.begin(), row.end(), centroids.begin());
     std::vector<double> min_sq(static_cast<size_t>(data.rows()),
                                std::numeric_limits<double>::infinity());
+    const std::vector<const double*> cols = ColumnPointers(data);
+    std::vector<double> sq(static_cast<size_t>(data.rows()));
     for (int64_t i = 1; i < k; ++i) {
       // Update distances against the last placed centroid.
       const double* last = centroids.data() + (i - 1) * d;
+      kernels::PairwiseSquaredDistances(cols.data(), data.rows(), d, last,
+                                        /*k=*/1, sq.data());
       double total = 0.0;
       for (int64_t r = 0; r < data.rows(); ++r) {
-        data.CopyRow(r, row.data());
-        double sq = 0.0;
-        for (int64_t c = 0; c < d; ++c) {
-          const double diff = row[static_cast<size_t>(c)] - last[c];
-          sq += diff * diff;
-        }
         min_sq[static_cast<size_t>(r)] =
-            std::min(min_sq[static_cast<size_t>(r)], sq);
+            std::min(min_sq[static_cast<size_t>(r)], sq[static_cast<size_t>(r)]);
         total += min_sq[static_cast<size_t>(r)];
       }
       double draw = rng.NextDouble() * total;
@@ -177,32 +171,25 @@ class SklKMeans final : public KMeansBase {
     Rng rng(static_cast<uint64_t>(config.GetInt("seed", 17)));
     const int64_t d = data.cols();
     std::vector<double> centroids = SeedCentroids(data, k, rng);
-    std::vector<double> row(static_cast<size_t>(d));
+    const std::vector<const double*> cols = ColumnPointers(data);
+    std::vector<int64_t> assign(static_cast<size_t>(data.rows()), 0);
     std::vector<double> sums(static_cast<size_t>(k * d));
     std::vector<int64_t> counts(static_cast<size_t>(k));
     for (int iter = 0; iter < max_iter; ++iter) {
       std::fill(sums.begin(), sums.end(), 0.0);
       std::fill(counts.begin(), counts.end(), 0);
+      kernels::NearestCentroids(cols.data(), data.rows(), d, centroids.data(),
+                                k, assign.data(), /*sq=*/nullptr);
       for (int64_t r = 0; r < data.rows(); ++r) {
-        data.CopyRow(r, row.data());
-        double best = std::numeric_limits<double>::infinity();
-        int64_t best_i = 0;
-        for (int64_t i = 0; i < k; ++i) {
-          const double* centroid = centroids.data() + i * d;
-          double sq = 0.0;
-          for (int64_t c = 0; c < d; ++c) {
-            const double diff = row[static_cast<size_t>(c)] - centroid[c];
-            sq += diff * diff;
-          }
-          if (sq < best) {
-            best = sq;
-            best_i = i;
-          }
-        }
-        ++counts[static_cast<size_t>(best_i)];
-        double* sum = sums.data() + best_i * d;
-        for (int64_t c = 0; c < d; ++c) {
-          sum[c] += row[static_cast<size_t>(c)];
+        ++counts[static_cast<size_t>(assign[static_cast<size_t>(r)])];
+      }
+      // Per (center, dim) the accumulation stays row-ascending — the same
+      // order as the previous row-at-a-time loop.
+      for (int64_t c = 0; c < d; ++c) {
+        const double* col = cols[static_cast<size_t>(c)];
+        for (int64_t r = 0; r < data.rows(); ++r) {
+          sums[static_cast<size_t>(assign[static_cast<size_t>(r)] * d + c)] +=
+              col[r];
         }
       }
       double shift = 0.0;

@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "ml/kernels/kernels.h"
 #include "ml/linalg.h"
 #include "ml/operator.h"
 #include "ml/ops/ops.h"
@@ -10,6 +11,15 @@
 namespace hyppo::ml {
 
 namespace {
+
+// Column-pointer view of a dataset for the column-layout kernels.
+std::vector<const double*> ColumnPointers(const Dataset& data) {
+  std::vector<const double*> cols(static_cast<size_t>(data.cols()));
+  for (int64_t c = 0; c < data.cols(); ++c) {
+    cols[static_cast<size_t>(c)] = data.col_data(c);
+  }
+  return cols;
+}
 
 // Linear models learn weights over the features plus an intercept, stored
 // in a VectorState as "weights" (size d) and scalar "intercept".
@@ -33,13 +43,9 @@ Result<std::vector<double>> LinearPredict(const OpState& state,
   const std::vector<double>& w = vs->vec("weights");
   const double b = vs->scalar("intercept");
   std::vector<double> preds(static_cast<size_t>(data.rows()), b);
-  for (int64_t c = 0; c < data.cols(); ++c) {
-    const double* col = data.col_data(c);
-    const double wc = w[static_cast<size_t>(c)];
-    for (int64_t r = 0; r < data.rows(); ++r) {
-      preds[static_cast<size_t>(r)] += wc * col[r];
-    }
-  }
+  const std::vector<const double*> cols = ColumnPointers(data);
+  kernels::GemvColumns(cols.data(), data.rows(), data.cols(),
+                       /*shift=*/nullptr, w.data(), b, preds.data());
   return preds;
 }
 
@@ -52,33 +58,27 @@ void AugmentedNormalEquations(const Dataset& data, std::vector<double>& gram,
   const int64_t a = d + 1;
   gram.assign(static_cast<size_t>(a * a), 0.0);
   moment.assign(static_cast<size_t>(a), 0.0);
+  const std::vector<const double*> cols = ColumnPointers(data);
+  // d x d Gram block via the SYRK kernel, spread into the augmented layout.
+  std::vector<double> body(static_cast<size_t>(d * d), 0.0);
+  kernels::GramColumns(cols.data(), n, d, /*shift=*/nullptr,
+                       /*weight=*/nullptr, body.data());
   for (int64_t i = 0; i < d; ++i) {
-    const double* ci = data.col_data(i);
-    for (int64_t j = i; j < d; ++j) {
-      const double* cj = data.col_data(j);
-      double sum = 0.0;
-      for (int64_t r = 0; r < n; ++r) {
-        sum += ci[r] * cj[r];
-      }
-      gram[static_cast<size_t>(i * a + j)] = sum;
-      gram[static_cast<size_t>(j * a + i)] = sum;
+    for (int64_t j = 0; j < d; ++j) {
+      gram[static_cast<size_t>(i * a + j)] =
+          body[static_cast<size_t>(i * d + j)];
     }
-    double col_sum = 0.0;
-    double y_sum = 0.0;
-    for (int64_t r = 0; r < n; ++r) {
-      col_sum += ci[r];
-      y_sum += ci[r] * data.target()[static_cast<size_t>(r)];
-    }
+  }
+  const double* y = data.target().data();
+  for (int64_t i = 0; i < d; ++i) {
+    const double* ci = cols[static_cast<size_t>(i)];
+    const double col_sum = kernels::Sum(ci, n);
     gram[static_cast<size_t>(i * a + d)] = col_sum;
     gram[static_cast<size_t>(d * a + i)] = col_sum;
-    moment[static_cast<size_t>(i)] = y_sum;
+    moment[static_cast<size_t>(i)] = kernels::Dot(ci, y, n);
   }
   gram[static_cast<size_t>(d * a + d)] = static_cast<double>(n);
-  double target_sum = 0.0;
-  for (int64_t r = 0; r < n; ++r) {
-    target_sum += data.target()[static_cast<size_t>(r)];
-  }
-  moment[static_cast<size_t>(d)] = target_sum;
+  moment[static_cast<size_t>(d)] = kernels::Sum(y, n);
 }
 
 // Conjugate gradient for symmetric positive definite systems; the
@@ -93,23 +93,16 @@ std::vector<double> ConjugateGradient(const std::vector<double>& a, int64_t n,
   std::vector<double> ap(static_cast<size_t>(n));
   double rs_old = Dot(r.data(), r.data(), n);
   for (int it = 0; it < max_iters && rs_old > tol; ++it) {
-    for (int64_t i = 0; i < n; ++i) {
-      double sum = ridge * p[static_cast<size_t>(i)];
-      const double* row = a.data() + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        sum += row[j] * p[static_cast<size_t>(j)];
-      }
-      ap[static_cast<size_t>(i)] = sum;
-    }
+    // ap = (A + ridge I) p as a GEMV plus a fused axpy.
+    kernels::Gemv(a.data(), n, n, p.data(), ap.data());
+    kernels::Axpy(ridge, p.data(), ap.data(), n);
     const double denom = Dot(p.data(), ap.data(), n);
     if (std::fabs(denom) < 1e-300) {
       break;
     }
     const double alpha = rs_old / denom;
-    for (int64_t i = 0; i < n; ++i) {
-      x[static_cast<size_t>(i)] += alpha * p[static_cast<size_t>(i)];
-      r[static_cast<size_t>(i)] -= alpha * ap[static_cast<size_t>(i)];
-    }
+    kernels::Axpy(alpha, p.data(), x.data(), n);
+    kernels::Axpy(-alpha, ap.data(), r.data(), n);
     const double rs_new = Dot(r.data(), r.data(), n);
     const double beta = rs_new / rs_old;
     for (int64_t i = 0; i < n; ++i) {
@@ -237,19 +230,12 @@ CenteredDesign CenterStats(const Dataset& data) {
   CenteredDesign stats;
   stats.feature_mean.assign(static_cast<size_t>(data.cols()), 0.0);
   for (int64_t c = 0; c < data.cols(); ++c) {
-    const double* col = data.col_data(c);
-    double sum = 0.0;
-    for (int64_t r = 0; r < data.rows(); ++r) {
-      sum += col[r];
-    }
     stats.feature_mean[static_cast<size_t>(c)] =
-        sum / static_cast<double>(data.rows());
+        kernels::Sum(data.col_data(c), data.rows()) /
+        static_cast<double>(data.rows());
   }
-  double t = 0.0;
-  for (double y : data.target()) {
-    t += y;
-  }
-  stats.target_mean = t / static_cast<double>(data.rows());
+  stats.target_mean = kernels::Sum(data.target().data(), data.rows()) /
+                      static_cast<double>(data.rows());
   return stats;
 }
 
@@ -284,14 +270,11 @@ class SklLasso final : public LinearModelBase {
     }
     std::vector<double> col_sq(static_cast<size_t>(d), 0.0);
     for (int64_t c = 0; c < d; ++c) {
-      const double* col = data.col_data(c);
-      const double mu = stats.feature_mean[static_cast<size_t>(c)];
-      double sq = 0.0;
-      for (int64_t r = 0; r < n; ++r) {
-        const double x = col[r] - mu;
-        sq += x * x;
-      }
-      col_sq[static_cast<size_t>(c)] = sq / static_cast<double>(n);
+      col_sq[static_cast<size_t>(c)] =
+          kernels::ShiftedSumSq(data.col_data(c),
+                                stats.feature_mean[static_cast<size_t>(c)],
+                                n) /
+          static_cast<double>(n);
     }
     for (int sweep = 0; sweep < 1000; ++sweep) {
       double max_delta = 0.0;
@@ -301,20 +284,15 @@ class SklLasso final : public LinearModelBase {
         }
         const double* col = data.col_data(c);
         const double mu = stats.feature_mean[static_cast<size_t>(c)];
-        double rho = 0.0;
-        for (int64_t r = 0; r < n; ++r) {
-          rho += (col[r] - mu) * residual[static_cast<size_t>(r)];
-        }
-        rho /= static_cast<double>(n);
+        double rho = kernels::ShiftedDot(col, mu, residual.data(), n) /
+                     static_cast<double>(n);
         const double old_w = w[static_cast<size_t>(c)];
         rho += col_sq[static_cast<size_t>(c)] * old_w;
         const double new_w =
             SoftThreshold(rho, alpha) / col_sq[static_cast<size_t>(c)];
         const double delta = new_w - old_w;
         if (delta != 0.0) {
-          for (int64_t r = 0; r < n; ++r) {
-            residual[static_cast<size_t>(r)] -= delta * (col[r] - mu);
-          }
+          kernels::ShiftedAxpy(-delta, col, mu, residual.data(), n);
           w[static_cast<size_t>(c)] = new_w;
         }
         max_delta = std::max(max_delta, std::fabs(delta));
@@ -348,14 +326,11 @@ class TflLasso final : public LinearModelBase {
     // upper-bounded by its trace.
     double lipschitz = 0.0;
     for (int64_t c = 0; c < d; ++c) {
-      const double* col = data.col_data(c);
-      const double mu = stats.feature_mean[static_cast<size_t>(c)];
-      double sq = 0.0;
-      for (int64_t r = 0; r < n; ++r) {
-        const double x = col[r] - mu;
-        sq += x * x;
-      }
-      lipschitz += sq / static_cast<double>(n);
+      lipschitz +=
+          kernels::ShiftedSumSq(data.col_data(c),
+                                stats.feature_mean[static_cast<size_t>(c)],
+                                n) /
+          static_cast<double>(n);
     }
     lipschitz = std::max(lipschitz, 1e-12);
     const double step = 1.0 / lipschitz;
@@ -375,20 +350,16 @@ class TflLasso final : public LinearModelBase {
         if (zc == 0.0) {
           continue;
         }
-        const double* col = data.col_data(c);
-        const double mu = stats.feature_mean[static_cast<size_t>(c)];
-        for (int64_t r = 0; r < n; ++r) {
-          residual[static_cast<size_t>(r)] -= zc * (col[r] - mu);
-        }
+        kernels::ShiftedAxpy(-zc, data.col_data(c),
+                             stats.feature_mean[static_cast<size_t>(c)],
+                             residual.data(), n);
       }
       for (int64_t c = 0; c < d; ++c) {
-        const double* col = data.col_data(c);
-        const double mu = stats.feature_mean[static_cast<size_t>(c)];
-        double g = 0.0;
-        for (int64_t r = 0; r < n; ++r) {
-          g -= (col[r] - mu) * residual[static_cast<size_t>(r)];
-        }
-        grad[static_cast<size_t>(c)] = g / static_cast<double>(n);
+        grad[static_cast<size_t>(c)] =
+            -kernels::ShiftedDot(data.col_data(c),
+                                 stats.feature_mean[static_cast<size_t>(c)],
+                                 residual.data(), n) /
+            static_cast<double>(n);
       }
       double max_delta = 0.0;
       const double t_next =
@@ -447,77 +418,60 @@ class LogisticBase : public LinearModelBase {
     const int64_t d = data.cols();
     const int64_t a = d + 1;
     std::vector<double> w(static_cast<size_t>(a), 0.0);  // last = intercept
+    const std::vector<const double*> cols = ColumnPointers(data);
     std::vector<double> margins(static_cast<size_t>(n));
     std::vector<double> probs(static_cast<size_t>(n));
+    std::vector<double> diff(static_cast<size_t>(n));
+    std::vector<double> row_weight(static_cast<size_t>(n));
     std::vector<double> gradient(static_cast<size_t>(a));
     std::vector<double> hessian(static_cast<size_t>(a * a));
-    std::vector<double> row_buf(static_cast<size_t>(d));
+    std::vector<double> hess_body(static_cast<size_t>(d * d));
     for (int newton = 0; newton < 50; ++newton) {
       // margins = Xw + b, probs = sigmoid(margins).
-      for (int64_t r = 0; r < n; ++r) {
-        margins[static_cast<size_t>(r)] = w[static_cast<size_t>(d)];
-      }
-      for (int64_t c = 0; c < d; ++c) {
-        const double* col = data.col_data(c);
-        const double wc = w[static_cast<size_t>(c)];
-        if (wc == 0.0) {
-          continue;
-        }
-        for (int64_t r = 0; r < n; ++r) {
-          margins[static_cast<size_t>(r)] += wc * col[r];
-        }
-      }
+      kernels::GemvColumns(cols.data(), n, d, /*shift=*/nullptr, w.data(),
+                           /*bias=*/w[static_cast<size_t>(d)], margins.data());
       for (int64_t r = 0; r < n; ++r) {
         probs[static_cast<size_t>(r)] =
             1.0 / (1.0 + std::exp(-margins[static_cast<size_t>(r)]));
+        diff[static_cast<size_t>(r)] = probs[static_cast<size_t>(r)] -
+                                       data.target()[static_cast<size_t>(r)];
       }
       // gradient = X'(p - y)/n + alpha w (intercept unpenalized).
       std::fill(gradient.begin(), gradient.end(), 0.0);
       for (int64_t c = 0; c < d; ++c) {
-        const double* col = data.col_data(c);
-        double g = 0.0;
-        for (int64_t r = 0; r < n; ++r) {
-          g += col[r] * (probs[static_cast<size_t>(r)] -
-                         data.target()[static_cast<size_t>(r)]);
-        }
         gradient[static_cast<size_t>(c)] =
-            g / static_cast<double>(n) + alpha * w[static_cast<size_t>(c)];
+            kernels::Dot(cols[static_cast<size_t>(c)], diff.data(), n) /
+                static_cast<double>(n) +
+            alpha * w[static_cast<size_t>(c)];
       }
-      double g0 = 0.0;
-      for (int64_t r = 0; r < n; ++r) {
-        g0 += probs[static_cast<size_t>(r)] -
-              data.target()[static_cast<size_t>(r)];
-      }
-      gradient[static_cast<size_t>(d)] = g0 / static_cast<double>(n);
+      gradient[static_cast<size_t>(d)] =
+          kernels::Sum(diff.data(), n) / static_cast<double>(n);
       double gnorm = Norm2(gradient.data(), a);
       if (gnorm < 1e-10) {
         break;
       }
-      // Hessian = X'RX/n + alpha I with R = diag(p(1-p)).
-      std::fill(hessian.begin(), hessian.end(), 0.0);
+      // Hessian = X'RX/n + alpha I with R = diag(p(1-p)): the d x d body is
+      // a row-weighted SYRK; the border column is X'r and sum(r).
       for (int64_t r = 0; r < n; ++r) {
-        const double weight = probs[static_cast<size_t>(r)] *
-                              (1.0 - probs[static_cast<size_t>(r)]);
-        if (weight < 1e-12) {
-          continue;
-        }
-        data.CopyRow(r, row_buf.data());
-        for (int64_t i = 0; i < d; ++i) {
-          const double wi = weight * row_buf[static_cast<size_t>(i)];
-          for (int64_t j = i; j < d; ++j) {
-            hessian[static_cast<size_t>(i * a + j)] +=
-                wi * row_buf[static_cast<size_t>(j)];
-          }
-          hessian[static_cast<size_t>(i * a + d)] += wi;
-        }
-        hessian[static_cast<size_t>(d * a + d)] += weight;
+        row_weight[static_cast<size_t>(r)] =
+            probs[static_cast<size_t>(r)] *
+            (1.0 - probs[static_cast<size_t>(r)]);
       }
-      for (int64_t i = 0; i < a; ++i) {
-        for (int64_t j = 0; j < i; ++j) {
+      kernels::GramColumns(cols.data(), n, d, /*shift=*/nullptr,
+                           row_weight.data(), hess_body.data());
+      std::fill(hessian.begin(), hessian.end(), 0.0);
+      for (int64_t i = 0; i < d; ++i) {
+        for (int64_t j = 0; j < d; ++j) {
           hessian[static_cast<size_t>(i * a + j)] =
-              hessian[static_cast<size_t>(j * a + i)];
+              hess_body[static_cast<size_t>(i * d + j)];
         }
+        const double border = kernels::Dot(cols[static_cast<size_t>(i)],
+                                           row_weight.data(), n);
+        hessian[static_cast<size_t>(i * a + d)] = border;
+        hessian[static_cast<size_t>(d * a + i)] = border;
       }
+      hessian[static_cast<size_t>(d * a + d)] =
+          kernels::Sum(row_weight.data(), n);
       for (size_t i = 0; i < hessian.size(); ++i) {
         hessian[i] /= static_cast<double>(n);
       }

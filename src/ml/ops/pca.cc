@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "ml/kernels/kernels.h"
 #include "ml/linalg.h"
 #include "ml/operator.h"
 #include "ml/ops/ops.h"
@@ -12,38 +13,37 @@ namespace hyppo::ml {
 
 namespace {
 
+// Column-pointer view of a dataset for the column-layout kernels.
+std::vector<const double*> ColumnPointers(const Dataset& data) {
+  std::vector<const double*> cols(static_cast<size_t>(data.cols()));
+  for (int64_t c = 0; c < data.cols(); ++c) {
+    cols[static_cast<size_t>(c)] = data.col_data(c);
+  }
+  return cols;
+}
+
 // Column means of a dataset.
 std::vector<double> ColumnMeans(const Dataset& data) {
   std::vector<double> mean(static_cast<size_t>(data.cols()), 0.0);
   for (int64_t c = 0; c < data.cols(); ++c) {
-    const double* col = data.col_data(c);
-    double sum = 0.0;
-    for (int64_t r = 0; r < data.rows(); ++r) {
-      sum += col[r];
-    }
-    mean[static_cast<size_t>(c)] = sum / static_cast<double>(data.rows());
+    mean[static_cast<size_t>(c)] =
+        kernels::Sum(data.col_data(c), data.rows()) /
+        static_cast<double>(data.rows());
   }
   return mean;
 }
 
-// Row-major d x d covariance of mean-centered data.
+// Row-major d x d covariance of mean-centered data — a shifted SYRK.
 std::vector<double> Covariance(const Dataset& data,
                                const std::vector<double>& mean) {
   const int64_t d = data.cols();
+  const std::vector<const double*> cols = ColumnPointers(data);
   std::vector<double> cov(static_cast<size_t>(d * d), 0.0);
-  for (int64_t i = 0; i < d; ++i) {
-    const double* ci = data.col_data(i);
-    for (int64_t j = i; j < d; ++j) {
-      const double* cj = data.col_data(j);
-      double sum = 0.0;
-      for (int64_t r = 0; r < data.rows(); ++r) {
-        sum += (ci[r] - mean[static_cast<size_t>(i)]) *
-               (cj[r] - mean[static_cast<size_t>(j)]);
-      }
-      const double v = sum / static_cast<double>(data.rows() - 1);
-      cov[static_cast<size_t>(i * d + j)] = v;
-      cov[static_cast<size_t>(j * d + i)] = v;
-    }
+  kernels::GramColumns(cols.data(), data.rows(), d, mean.data(),
+                       /*weight=*/nullptr, cov.data());
+  const double scale = 1.0 / static_cast<double>(data.rows() - 1);
+  for (double& v : cov) {
+    v *= scale;
   }
   return cov;
 }
@@ -118,20 +118,10 @@ class PcaBase : public Estimator {
       names.push_back("pc" + std::to_string(i));
     }
     Dataset out = Dataset::WithColumns(data.rows(), std::move(names));
+    const std::vector<const double*> cols = ColumnPointers(data);
     for (int64_t i = 0; i < k; ++i) {
-      const double* w = comp.data() + i * d;
-      double* dst = out.col_data(i);
-      for (int64_t r = 0; r < data.rows(); ++r) {
-        dst[r] = 0.0;
-      }
-      for (int64_t c = 0; c < d; ++c) {
-        const double* src = data.col_data(c);
-        const double wc = w[c];
-        const double mc = mean[static_cast<size_t>(c)];
-        for (int64_t r = 0; r < data.rows(); ++r) {
-          dst[r] += (src[r] - mc) * wc;
-        }
-      }
+      kernels::GemvColumns(cols.data(), data.rows(), d, mean.data(),
+                           comp.data() + i * d, /*bias=*/0.0, out.col_data(i));
     }
     if (data.has_target()) {
       out.set_target(data.target());

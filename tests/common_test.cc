@@ -304,26 +304,47 @@ TEST(ThreadPoolReentrancyTest, InWorkerThreadDetection) {
   EXPECT_TRUE(seen_inside);
 }
 
-TEST(ThreadPoolDeathTest, WaitFromWorkerAborts) {
-  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
-  EXPECT_DEATH(
-      {
-        ThreadPool pool(1);
-        pool.Submit([&pool]() { pool.Wait(); });
-        pool.Wait();
-      },
-      "not re-entrant");
+// Serial-when-nested policy: Wait from a worker returns immediately
+// instead of deadlocking/aborting, and Submit from a worker runs the task
+// inline on that worker before returning.
+TEST(ThreadPoolNestingTest, WaitFromWorkerReturns) {
+  ThreadPool pool(1);
+  bool returned = false;
+  pool.Submit([&pool, &returned]() {
+    pool.Wait();  // must not block on the task that is running it
+    returned = true;
+  });
+  pool.Wait();
+  EXPECT_TRUE(returned);
 }
 
-TEST(ThreadPoolDeathTest, SubmitFromWorkerAborts) {
-  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
-  EXPECT_DEATH(
-      {
-        ThreadPool pool(1);
-        pool.Submit([&pool]() { pool.Submit([]() {}); });
-        pool.Wait();
-      },
-      "not re-entrant");
+TEST(ThreadPoolNestingTest, SubmitFromWorkerRunsInline) {
+  ThreadPool pool(1);
+  std::thread::id outer_id;
+  std::thread::id inner_id;
+  bool inner_done_before_outer_returned = false;
+  pool.Submit([&]() {
+    outer_id = std::this_thread::get_id();
+    bool inner_ran = false;
+    pool.Submit([&]() {
+      inner_id = std::this_thread::get_id();
+      inner_ran = true;
+    });
+    inner_done_before_outer_returned = inner_ran;
+  });
+  pool.Wait();
+  EXPECT_TRUE(inner_done_before_outer_returned);
+  EXPECT_EQ(outer_id, inner_id);
+}
+
+TEST(ThreadPoolNestingTest, InAnyPoolWorkerDetection) {
+  EXPECT_FALSE(ThreadPool::InAnyPoolWorker());
+  ThreadPool pool(2);
+  bool seen_inside = false;
+  pool.Submit([&seen_inside]() { seen_inside = ThreadPool::InAnyPoolWorker(); });
+  pool.Wait();
+  EXPECT_TRUE(seen_inside);
+  EXPECT_FALSE(ThreadPool::InAnyPoolWorker());
 }
 
 }  // namespace

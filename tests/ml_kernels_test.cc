@@ -1,0 +1,409 @@
+#include "ml/kernels/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace hyppo::ml::kernels {
+namespace {
+
+std::vector<double> RandomVector(size_t n, Rng& rng) {
+  std::vector<double> out(n);
+  for (double& v : out) {
+    v = rng.Gaussian();
+  }
+  return out;
+}
+
+// Column-pointer array over a column-major buffer (rows per column).
+std::vector<const double*> Columns(const std::vector<double>& values,
+                                   int64_t rows, int64_t cols) {
+  std::vector<const double*> out(static_cast<size_t>(cols));
+  for (int64_t c = 0; c < cols; ++c) {
+    out[static_cast<size_t>(c)] = values.data() + c * rows;
+  }
+  return out;
+}
+
+double MaxAbsDiff(const std::vector<double>& a, const std::vector<double>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double max_diff = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(a[i] - b[i]));
+  }
+  return max_diff;
+}
+
+// Shapes deliberately straddle the blocking parameters (48/256 for GEMM,
+// 16 for Gram tiles, 256 for distance row blocks) and include the empty
+// and single-row degenerate cases.
+struct GemmShape {
+  int64_t m, k, n;
+};
+const GemmShape kGemmShapes[] = {{0, 5, 4},   {1, 1, 1},   {3, 7, 2},
+                                 {48, 16, 8}, {49, 17, 9}, {97, 300, 31},
+                                 {53, 257, 65}};
+
+// --- bitwise contracts -----------------------------------------------------
+// blocked::Gemm, blocked::GemvColumns, and the blocked distance kernel fix
+// the same per-element accumulation order as the reference, so they must
+// agree bit for bit, not just within tolerance.
+
+TEST(KernelsGemm, BlockedMatchesReferenceBitwise) {
+  Rng rng(1);
+  for (const GemmShape& s : kGemmShapes) {
+    const auto a = RandomVector(static_cast<size_t>(s.m * s.k), rng);
+    const auto b = RandomVector(static_cast<size_t>(s.k * s.n), rng);
+    std::vector<double> c_ref(static_cast<size_t>(s.m * s.n), -1.0);
+    std::vector<double> c_blocked(static_cast<size_t>(s.m * s.n), -2.0);
+    ref::Gemm(a.data(), b.data(), c_ref.data(), s.m, s.k, s.n);
+    blocked::Gemm(a.data(), b.data(), c_blocked.data(), s.m, s.k, s.n);
+    for (size_t i = 0; i < c_ref.size(); ++i) {
+      ASSERT_EQ(c_ref[i], c_blocked[i])
+          << "m=" << s.m << " k=" << s.k << " n=" << s.n << " at " << i;
+    }
+  }
+}
+
+TEST(KernelsGemvColumns, BlockedMatchesReferenceBitwise) {
+  Rng rng(2);
+  for (int64_t rows : {0, 1, 7, 255, 256, 301}) {
+    for (int64_t d : {1, 3, 16, 33}) {
+      const auto values = RandomVector(static_cast<size_t>(rows * d), rng);
+      const auto cols = Columns(values, rows, d);
+      const auto w = RandomVector(static_cast<size_t>(d), rng);
+      const auto shift = RandomVector(static_cast<size_t>(d), rng);
+      std::vector<double> y_ref(static_cast<size_t>(rows), -1.0);
+      std::vector<double> y_blocked(static_cast<size_t>(rows), -2.0);
+      ref::GemvColumns(cols.data(), rows, d, shift.data(), w.data(), 0.25,
+                       y_ref.data());
+      blocked::GemvColumns(cols.data(), rows, d, shift.data(), w.data(), 0.25,
+                           y_blocked.data());
+      for (size_t i = 0; i < y_ref.size(); ++i) {
+        ASSERT_EQ(y_ref[i], y_blocked[i]) << "rows=" << rows << " d=" << d;
+      }
+      // Null shift variant.
+      ref::GemvColumns(cols.data(), rows, d, nullptr, w.data(), 0.0,
+                       y_ref.data());
+      blocked::GemvColumns(cols.data(), rows, d, nullptr, w.data(), 0.0,
+                           y_blocked.data());
+      for (size_t i = 0; i < y_ref.size(); ++i) {
+        ASSERT_EQ(y_ref[i], y_blocked[i]);
+      }
+    }
+  }
+}
+
+TEST(KernelsDistances, BlockedMatchesReferenceBitwise) {
+  Rng rng(3);
+  for (int64_t rows : {0, 1, 100, 256, 511}) {
+    for (int64_t d : {1, 5, 17}) {
+      for (int64_t k : {1, 3, 8}) {
+        const auto values = RandomVector(static_cast<size_t>(rows * d), rng);
+        const auto cols = Columns(values, rows, d);
+        const auto centers = RandomVector(static_cast<size_t>(k * d), rng);
+        std::vector<double> sq_ref(static_cast<size_t>(rows * k), -1.0);
+        std::vector<double> sq_blocked(static_cast<size_t>(rows * k), -2.0);
+        ref::PairwiseSquaredDistances(cols.data(), rows, d, centers.data(), k,
+                                      sq_ref.data());
+        blocked::PairwiseSquaredDistancesRows(cols.data(), rows, d,
+                                              centers.data(), k,
+                                              sq_blocked.data(), 0, rows);
+        for (size_t i = 0; i < sq_ref.size(); ++i) {
+          ASSERT_EQ(sq_ref[i], sq_blocked[i])
+              << "rows=" << rows << " d=" << d << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+// --- tolerance contracts ---------------------------------------------------
+// The unrolled reductions (Gemv rows, Gram, Dot, Sum) change only the
+// association, so ref and blocked agree within a max-abs-diff bound that
+// scales with the reduction length.
+
+TEST(KernelsGemv, BlockedWithinTolerance) {
+  Rng rng(4);
+  for (int64_t rows : {0, 1, 31, 97}) {
+    for (int64_t cols : {1, 4, 63, 300}) {
+      const auto m = RandomVector(static_cast<size_t>(rows * cols), rng);
+      const auto x = RandomVector(static_cast<size_t>(cols), rng);
+      std::vector<double> y_ref(static_cast<size_t>(rows), -1.0);
+      std::vector<double> y_blocked(static_cast<size_t>(rows), -2.0);
+      ref::Gemv(m.data(), rows, cols, x.data(), y_ref.data());
+      blocked::Gemv(m.data(), rows, cols, x.data(), y_blocked.data());
+      EXPECT_LE(MaxAbsDiff(y_ref, y_blocked),
+                1e-12 * static_cast<double>(cols + 1))
+          << "rows=" << rows << " cols=" << cols;
+    }
+  }
+}
+
+TEST(KernelsGram, BlockedWithinTolerance) {
+  Rng rng(5);
+  for (int64_t rows : {0, 1, 77, 501}) {
+    for (int64_t d : {1, 2, 15, 16, 17, 40}) {
+      const auto values = RandomVector(static_cast<size_t>(rows * d), rng);
+      const auto cols = Columns(values, rows, d);
+      const auto shift = RandomVector(static_cast<size_t>(d), rng);
+      const auto weight = RandomVector(static_cast<size_t>(rows), rng);
+      std::vector<double> g_ref(static_cast<size_t>(d * d), -1.0);
+      std::vector<double> g_blocked(static_cast<size_t>(d * d), -2.0);
+      const double bound = 1e-12 * static_cast<double>(rows + 1);
+      ref::GramColumns(cols.data(), rows, d, shift.data(), nullptr,
+                       g_ref.data());
+      blocked::GramColumns(cols.data(), rows, d, shift.data(), nullptr,
+                           g_blocked.data());
+      EXPECT_LE(MaxAbsDiff(g_ref, g_blocked), bound)
+          << "rows=" << rows << " d=" << d;
+      // Weighted (Hessian-style) variant, no shift.
+      ref::GramColumns(cols.data(), rows, d, nullptr, weight.data(),
+                       g_ref.data());
+      blocked::GramColumns(cols.data(), rows, d, nullptr, weight.data(),
+                           g_blocked.data());
+      EXPECT_LE(MaxAbsDiff(g_ref, g_blocked), bound)
+          << "weighted rows=" << rows << " d=" << d;
+    }
+  }
+}
+
+TEST(KernelsFused, ReductionsWithinTolerance) {
+  Rng rng(6);
+  for (int64_t n : {0, 1, 2, 3, 4, 5, 63, 1000}) {
+    const auto x = RandomVector(static_cast<size_t>(n), rng);
+    const auto y = RandomVector(static_cast<size_t>(n), rng);
+    const double bound = 1e-12 * static_cast<double>(n + 1);
+    double dot_naive = 0.0;
+    double sum_naive = 0.0;
+    double sq_naive = 0.0;
+    double shifted_dot_naive = 0.0;
+    double shifted_sq_naive = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      dot_naive += x[static_cast<size_t>(i)] * y[static_cast<size_t>(i)];
+      sum_naive += x[static_cast<size_t>(i)];
+      sq_naive += x[static_cast<size_t>(i)] * x[static_cast<size_t>(i)];
+      shifted_dot_naive +=
+          (x[static_cast<size_t>(i)] - 0.5) * y[static_cast<size_t>(i)];
+      const double dv = x[static_cast<size_t>(i)] - 0.5;
+      shifted_sq_naive += dv * dv;
+    }
+    EXPECT_NEAR(Dot(x.data(), y.data(), n), dot_naive, bound);
+    EXPECT_NEAR(Sum(x.data(), n), sum_naive, bound);
+    EXPECT_NEAR(ShiftedDot(x.data(), 0.5, y.data(), n), shifted_dot_naive,
+                bound);
+    EXPECT_NEAR(ShiftedSumSq(x.data(), 0.5, n), shifted_sq_naive, bound);
+    double sum_out = -1.0;
+    double sq_out = -1.0;
+    SumAndSumSq(x.data(), n, &sum_out, &sq_out);
+    EXPECT_NEAR(sum_out, sum_naive, bound);
+    EXPECT_NEAR(sq_out, sq_naive, bound);
+  }
+}
+
+TEST(KernelsFused, AxpyAndMultiplyExact) {
+  Rng rng(7);
+  const int64_t n = 257;
+  const auto x = RandomVector(static_cast<size_t>(n), rng);
+  std::vector<double> y_kernel = RandomVector(static_cast<size_t>(n), rng);
+  std::vector<double> y_naive = y_kernel;
+  Axpy(-0.75, x.data(), y_kernel.data(), n);
+  for (int64_t i = 0; i < n; ++i) {
+    y_naive[static_cast<size_t>(i)] += -0.75 * x[static_cast<size_t>(i)];
+  }
+  EXPECT_EQ(y_kernel, y_naive);
+  ShiftedAxpy(0.5, x.data(), 0.25, y_kernel.data(), n);
+  for (int64_t i = 0; i < n; ++i) {
+    y_naive[static_cast<size_t>(i)] +=
+        0.5 * (x[static_cast<size_t>(i)] - 0.25);
+  }
+  EXPECT_EQ(y_kernel, y_naive);
+  std::vector<double> product(static_cast<size_t>(n));
+  Multiply(x.data(), y_kernel.data(), product.data(), n);
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(product[static_cast<size_t>(i)],
+              x[static_cast<size_t>(i)] * y_kernel[static_cast<size_t>(i)]);
+  }
+}
+
+// --- parallel dispatch determinism -----------------------------------------
+// Shapes above the parallel threshold (4M flop estimate): dispatch with 8
+// threads must produce exactly the bits the serial dispatch produces.
+// These run under TSan in CI, so they double as race tests for the
+// row/tile partitioning (including the Gram lower-triangle mirror).
+
+TEST(KernelsParallel, GemmDispatchBitwiseEqualAcrossThreads) {
+  Rng rng(8);
+  const int64_t m = 131;
+  const int64_t k = 129;
+  const int64_t n = 127;  // 2*m*k*n ~ 4.3M flops: parallel path engages
+  const auto a = RandomVector(static_cast<size_t>(m * k), rng);
+  const auto b = RandomVector(static_cast<size_t>(k * n), rng);
+  std::vector<double> c_serial(static_cast<size_t>(m * n));
+  std::vector<double> c_parallel(static_cast<size_t>(m * n));
+  KernelOptions serial;
+  serial.num_threads = 1;
+  KernelOptions parallel;
+  parallel.num_threads = 8;
+  Gemm(a.data(), b.data(), c_serial.data(), m, k, n, &serial);
+  Gemm(a.data(), b.data(), c_parallel.data(), m, k, n, &parallel);
+  EXPECT_EQ(c_serial, c_parallel);
+}
+
+TEST(KernelsParallel, GramDispatchBitwiseEqualAcrossThreads) {
+  Rng rng(9);
+  const int64_t rows = 20000;
+  const int64_t d = 15;  // rows*d*d = 4.5M: parallel path engages
+  const auto values = RandomVector(static_cast<size_t>(rows * d), rng);
+  const auto cols = Columns(values, rows, d);
+  const auto shift = RandomVector(static_cast<size_t>(d), rng);
+  std::vector<double> g_serial(static_cast<size_t>(d * d));
+  std::vector<double> g_parallel(static_cast<size_t>(d * d));
+  KernelOptions serial;
+  serial.num_threads = 1;
+  KernelOptions parallel;
+  parallel.num_threads = 8;
+  GramColumns(cols.data(), rows, d, shift.data(), nullptr, g_serial.data(),
+              &serial);
+  GramColumns(cols.data(), rows, d, shift.data(), nullptr, g_parallel.data(),
+              &parallel);
+  EXPECT_EQ(g_serial, g_parallel);
+}
+
+TEST(KernelsParallel, DistanceAndArgminDispatchBitwiseEqualAcrossThreads) {
+  Rng rng(10);
+  const int64_t rows = 60000;
+  const int64_t d = 8;
+  const int64_t k = 3;  // 3*rows*d*k = 4.3M: parallel path engages
+  const auto values = RandomVector(static_cast<size_t>(rows * d), rng);
+  const auto cols = Columns(values, rows, d);
+  const auto centers = RandomVector(static_cast<size_t>(k * d), rng);
+  KernelOptions serial;
+  serial.num_threads = 1;
+  KernelOptions parallel;
+  parallel.num_threads = 8;
+  std::vector<double> sq_serial(static_cast<size_t>(rows * k));
+  std::vector<double> sq_parallel(static_cast<size_t>(rows * k));
+  PairwiseSquaredDistances(cols.data(), rows, d, centers.data(), k,
+                           sq_serial.data(), &serial);
+  PairwiseSquaredDistances(cols.data(), rows, d, centers.data(), k,
+                           sq_parallel.data(), &parallel);
+  EXPECT_EQ(sq_serial, sq_parallel);
+  std::vector<int64_t> idx_serial(static_cast<size_t>(rows));
+  std::vector<int64_t> idx_parallel(static_cast<size_t>(rows));
+  std::vector<double> best_serial(static_cast<size_t>(rows));
+  std::vector<double> best_parallel(static_cast<size_t>(rows));
+  NearestCentroids(cols.data(), rows, d, centers.data(), k, idx_serial.data(),
+                   best_serial.data(), &serial);
+  NearestCentroids(cols.data(), rows, d, centers.data(), k,
+                   idx_parallel.data(), best_parallel.data(), &parallel);
+  EXPECT_EQ(idx_serial, idx_parallel);
+  EXPECT_EQ(best_serial, best_parallel);
+}
+
+TEST(KernelsParallel, GemvColumnsDispatchBitwiseEqualAcrossThreads) {
+  Rng rng(11);
+  const int64_t rows = 300000;
+  const int64_t d = 7;  // 2*rows*d = 4.2M: parallel path engages
+  const auto values = RandomVector(static_cast<size_t>(rows * d), rng);
+  const auto cols = Columns(values, rows, d);
+  const auto w = RandomVector(static_cast<size_t>(d), rng);
+  KernelOptions serial;
+  serial.num_threads = 1;
+  KernelOptions parallel;
+  parallel.num_threads = 8;
+  std::vector<double> y_serial(static_cast<size_t>(rows));
+  std::vector<double> y_parallel(static_cast<size_t>(rows));
+  GemvColumns(cols.data(), rows, d, nullptr, w.data(), 1.5, y_serial.data(),
+              &serial);
+  GemvColumns(cols.data(), rows, d, nullptr, w.data(), 1.5, y_parallel.data(),
+              &parallel);
+  EXPECT_EQ(y_serial, y_parallel);
+}
+
+// --- argmin semantics ------------------------------------------------------
+
+TEST(KernelsArgmin, TiesBreakTowardLowestIndex) {
+  // Two identical centers: every row is equidistant, so the argmin must be
+  // center 0 for all rows.
+  const int64_t rows = 600;  // spans multiple argmin row blocks (256)
+  const int64_t d = 2;
+  std::vector<double> values(static_cast<size_t>(rows * d));
+  Rng rng(12);
+  for (double& v : values) {
+    v = rng.Gaussian();
+  }
+  const auto cols = Columns(values, rows, d);
+  const std::vector<double> centers = {0.5, -0.5, 0.5, -0.5};
+  std::vector<int64_t> idx(static_cast<size_t>(rows), -1);
+  NearestCentroids(cols.data(), rows, d, centers.data(), 2, idx.data(),
+                   nullptr);
+  for (int64_t r = 0; r < rows; ++r) {
+    EXPECT_EQ(idx[static_cast<size_t>(r)], 0) << "row " << r;
+  }
+}
+
+// --- nesting policy --------------------------------------------------------
+
+TEST(KernelsNesting, SuppressedOnPoolWorkers) {
+  EXPECT_FALSE(ThreadPool::InAnyPoolWorker());
+  KernelOptions eight;
+  eight.num_threads = 8;
+  EXPECT_FALSE(ParallelismSuppressed(&eight));
+  KernelOptions one;
+  one.num_threads = 1;
+  EXPECT_TRUE(ParallelismSuppressed(&one));
+  ThreadPool pool(2);
+  bool suppressed_inside = false;
+  pool.Submit([&]() { suppressed_inside = ParallelismSuppressed(&eight); });
+  pool.Wait();
+  EXPECT_TRUE(suppressed_inside);
+}
+
+TEST(KernelsNesting, DispatchFromPoolWorkerMatchesSerialBits) {
+  // A kernel call made from an executor-style pool worker must degrade to
+  // the serial blocked path and produce identical bits.
+  Rng rng(13);
+  const int64_t m = 131;
+  const int64_t k = 129;
+  const int64_t n = 127;
+  const auto a = RandomVector(static_cast<size_t>(m * k), rng);
+  const auto b = RandomVector(static_cast<size_t>(k * n), rng);
+  std::vector<double> c_outside(static_cast<size_t>(m * n));
+  std::vector<double> c_inside(static_cast<size_t>(m * n));
+  KernelOptions eight;
+  eight.num_threads = 8;
+  Gemm(a.data(), b.data(), c_outside.data(), m, k, n, &eight);
+  ThreadPool pool(2);
+  pool.Submit([&]() {
+    Gemm(a.data(), b.data(), c_inside.data(), m, k, n, &eight);
+  });
+  pool.Wait();
+  EXPECT_EQ(c_outside, c_inside);
+}
+
+TEST(KernelsScope, InstallsAndRestoresThreadLocalOptions) {
+  EXPECT_EQ(CurrentOptions().num_threads, 1);
+  {
+    KernelOptions opts;
+    opts.num_threads = 6;
+    KernelScope scope(opts);
+    EXPECT_EQ(CurrentOptions().num_threads, 6);
+    {
+      KernelOptions inner;
+      inner.num_threads = 2;
+      KernelScope nested(inner);
+      EXPECT_EQ(CurrentOptions().num_threads, 2);
+    }
+    EXPECT_EQ(CurrentOptions().num_threads, 6);
+  }
+  EXPECT_EQ(CurrentOptions().num_threads, 1);
+}
+
+}  // namespace
+}  // namespace hyppo::ml::kernels
