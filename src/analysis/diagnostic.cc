@@ -33,8 +33,25 @@ std::string Diagnostic::ToString() const {
     os << " " << EntityKindToString(entity) << " " << entity_id;
   }
   os << ": " << message;
+  if (line > 0) {
+    os << " (line " << line;
+    if (column > 0) {
+      os << ", col " << column;
+    }
+    os << ")";
+  }
   return os.str();
 }
+
+namespace {
+
+bool SameDiagnostic(const Diagnostic& a, const Diagnostic& b) {
+  return a.severity == b.severity && a.entity == b.entity &&
+         a.entity_id == b.entity_id && a.line == b.line &&
+         a.column == b.column && a.check == b.check && a.message == b.message;
+}
+
+}  // namespace
 
 void AnalysisReport::Add(Diagnostic diagnostic) {
   if (diagnostic.severity == Severity::kError) {
@@ -67,7 +84,16 @@ void AnalysisReport::AddWarning(std::string check, std::string message,
 
 void AnalysisReport::Merge(AnalysisReport other) {
   for (Diagnostic& d : other.diagnostics_) {
-    Add(std::move(d));
+    bool duplicate = false;
+    for (const Diagnostic& existing : diagnostics_) {
+      if (SameDiagnostic(existing, d)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      Add(std::move(d));
+    }
   }
 }
 

@@ -39,9 +39,14 @@ struct Diagnostic {
   std::string check;
   EntityKind entity = EntityKind::kNone;
   int64_t entity_id = -1;
+  /// 1-based DSL source location, when the diagnostic traces back to a
+  /// parsed pipeline statement; 0 means "no source location".
+  int line = 0;
+  int column = 0;
   std::string message;
 
-  /// "error [plan.unsatisfied-input] edge 7: ...message...".
+  /// "error [plan.unsatisfied-input] edge 7: ...message..."; appends
+  /// " (line L, col C)" when a source location is attached.
   std::string ToString() const;
 };
 
@@ -64,7 +69,9 @@ class AnalysisReport {
                   EntityKind entity = EntityKind::kNone,
                   int64_t entity_id = -1);
 
-  /// Moves every diagnostic of `other` into this report.
+  /// Moves every diagnostic of `other` into this report, dropping exact
+  /// duplicates of diagnostics already present (repeated store/history
+  /// audits would otherwise double-report the same violation).
   void Merge(AnalysisReport other);
 
   bool ok() const { return num_errors_ == 0; }

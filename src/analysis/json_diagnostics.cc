@@ -1,0 +1,74 @@
+#include "analysis/json_diagnostics.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace hyppo::analysis {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (raw) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ReportToJson(const AnalysisReport& report,
+                         const std::string& target) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"target\": \"" << JsonEscape(target) << "\",\n";
+  os << "  \"summary\": {\"errors\": " << report.num_errors()
+     << ", \"warnings\": " << report.num_warnings()
+     << ", \"clean\": " << (report.ok() ? "true" : "false") << "},\n";
+  os << "  \"diagnostics\": [";
+  bool first = true;
+  for (const Diagnostic& d : report.diagnostics()) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"severity\": \"" << SeverityToString(d.severity)
+       << "\", \"check\": \"" << JsonEscape(d.check) << "\"";
+    if (d.entity != EntityKind::kNone) {
+      os << ", \"entity\": \"" << EntityKindToString(d.entity)
+         << "\", \"entity_id\": " << d.entity_id;
+    }
+    if (d.line > 0) {
+      os << ", \"line\": " << d.line;
+      if (d.column > 0) {
+        os << ", \"column\": " << d.column;
+      }
+    }
+    os << ", \"message\": \"" << JsonEscape(d.message) << "\"}";
+  }
+  os << (first ? "]\n" : "\n  ]\n");
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace hyppo::analysis

@@ -1,0 +1,39 @@
+#ifndef HYPPO_ANALYSIS_JSON_DIAGNOSTICS_H_
+#define HYPPO_ANALYSIS_JSON_DIAGNOSTICS_H_
+
+#include <string>
+
+#include "analysis/diagnostic.h"
+
+namespace hyppo::analysis {
+
+/// \brief Renders an analysis report as a machine-readable JSON document.
+///
+/// Shared by `hyppo_lint --json` and the CI lint gate so automation can
+/// consume diagnostics without parsing human-oriented text. The layout is
+/// stable:
+///
+/// ```json
+/// {
+///   "target": "<what was analyzed>",
+///   "summary": {"errors": 1, "warnings": 0, "clean": false},
+///   "diagnostics": [
+///     {"severity": "error", "check": "plan.unsatisfied-input",
+///      "entity": "edge", "entity_id": 7, "line": 3, "column": 12,
+///      "message": "..."}
+///   ]
+/// }
+/// ```
+///
+/// `line`/`column` are emitted only when > 0; `entity`/`entity_id` only
+/// when the diagnostic points at a graph entity.
+std::string ReportToJson(const AnalysisReport& report,
+                         const std::string& target);
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace hyppo::analysis
+
+#endif  // HYPPO_ANALYSIS_JSON_DIAGNOSTICS_H_

@@ -53,6 +53,12 @@ class Monitor {
   void RecordRecoveredTasks(int64_t count) { num_recovered_tasks_ += count; }
   /// Faults injected by an attached storage::FaultInjector.
   void RecordInjectedFaults(int64_t count) { num_injected_faults_ += count; }
+  /// Static-analysis telemetry: one clear per plan the submit-time
+  /// pre-check proved well-formed before execution.
+  void RecordStaticClear() { ++num_static_clears_; }
+  /// Runtime plan re-verifications skipped because the static pre-check
+  /// already cleared the plan (the fig9b plan-overhead win).
+  void RecordPlanCheckSkipped() { ++num_plan_checks_skipped_; }
 
   const std::map<TaskType, Aggregate>& by_task_type() const {
     return by_task_type_;
@@ -65,6 +71,8 @@ class Monitor {
   int64_t num_task_failures() const { return num_task_failures_; }
   int64_t num_recovered_tasks() const { return num_recovered_tasks_; }
   int64_t num_injected_faults() const { return num_injected_faults_; }
+  int64_t num_static_clears() const { return num_static_clears_; }
+  int64_t num_plan_checks_skipped() const { return num_plan_checks_skipped_; }
 
  private:
   CostEstimator* estimator_;
@@ -75,6 +83,8 @@ class Monitor {
   int64_t num_task_failures_ = 0;
   int64_t num_recovered_tasks_ = 0;
   int64_t num_injected_faults_ = 0;
+  int64_t num_static_clears_ = 0;
+  int64_t num_plan_checks_skipped_ = 0;
 };
 
 }  // namespace hyppo::core

@@ -901,7 +901,7 @@ Result<Plan> PlanGenerator::OptimizeForTargets(
       return Status::FailedPrecondition(
           "no executable plan connects the source to the targets");
     }
-    return std::move(best_plan);
+    return best_plan;
   }();
 
   HYPPO_ASSIGN_OR_RETURN(Partial best_plan, std::move(best));

@@ -177,7 +177,11 @@ Result<std::vector<NodeId>> PipelineBuilder::ApplyTask(
   for (ArtifactInfo& out : outputs) {
     heads.push_back(graph_.GetOrAddArtifact(out));
   }
-  HYPPO_RETURN_NOT_OK(graph_.AddTask(task, inputs, heads).status());
+  TaskInfo stamped = task;
+  if (stamped.source_line == 0) {
+    stamped.source_line = next_source_line_;
+  }
+  HYPPO_RETURN_NOT_OK(graph_.AddTask(stamped, inputs, heads).status());
   return heads;
 }
 

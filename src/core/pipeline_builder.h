@@ -76,6 +76,10 @@ class PipelineBuilder {
 
   const PipelineGraph& graph() const { return graph_; }
 
+  /// Source line stamped onto subsequently applied tasks (DSL parser sets
+  /// this per statement so static-analysis diagnostics carry locations).
+  void set_next_source_line(int line) { next_source_line_ = line; }
+
   /// Finalizes: targets are the sink artifacts.
   Result<Pipeline> Build() &&;
 
@@ -89,6 +93,7 @@ class PipelineBuilder {
 
   std::string id_;
   PipelineGraph graph_;
+  int next_source_line_ = 0;
 };
 
 }  // namespace hyppo::core

@@ -4,11 +4,37 @@
 #include <set>
 #include <thread>
 
+#include "analysis/graph_checks.h"
+#include "analysis/static/static_analyzer.h"
 #include "core/history_io.h"
 #include "storage/disk_store.h"
 #include "storage/tiered_store.h"
 
 namespace hyppo::core {
+
+namespace {
+
+// Static plan pre-check mirroring exactly what the executor's
+// VerifyPlanStructure would verify (structure + claimed cost totals): a
+// plan that clears here can provably skip the runtime re-verification.
+bool StaticPlanPrecheck(const Augmentation& aug, const Plan& plan) {
+  const analysis::StaticAnalyzer analyzer;
+  analysis::AnalysisReport report =
+      analyzer.CheckCostMonotonicity(aug.edge_weight, aug.edge_seconds);
+  analysis::PlanSpec spec;
+  spec.graph = &aug.graph.hypergraph();
+  spec.edges = &plan.edges;
+  spec.source = aug.graph.source();
+  spec.targets = &aug.targets;
+  spec.edge_weight = &aug.edge_weight;
+  spec.claimed_cost = plan.cost;
+  spec.edge_seconds = &aug.edge_seconds;
+  spec.claimed_seconds = plan.seconds;
+  report.Merge(analysis::CheckPlanStructure(spec));
+  return report.ok();
+}
+
+}  // namespace
 
 int RuntimeOptions::DefaultParallelism() {
   const unsigned hardware = std::thread::hardware_concurrency();
@@ -105,6 +131,17 @@ Result<Runtime::ExecutionRecord> Runtime::ExecuteInternal(
   exec_options.verify_plans = options_.verify_plans;
   exec_options.fault_injector = fault_injector_.get();
 
+  // Statically-cleared plans skip the executor's re-verification: the
+  // pre-check proves the same invariants once, up front. Plans the
+  // pre-check cannot clear fall back to the configured behavior.
+  if (options_.static_checks && StaticPlanPrecheck(aug, plan)) {
+    monitor_.RecordStaticClear();
+    if (exec_options.verify_plans) {
+      exec_options.verify_plans = false;
+      monitor_.RecordPlanCheckSkipped();
+    }
+  }
+
   const int64_t faults_before =
       fault_injector_ ? fault_injector_->counters().total() : 0;
 
@@ -158,6 +195,17 @@ Result<Runtime::ExecutionRecord> Runtime::ExecuteInternal(
     ++record.replans;
     monitor_.RecordReplan();
     HYPPO_ASSIGN_OR_RETURN(current_plan, replan(degraded));
+    // Re-planned plans are new objects: pre-check each one afresh before
+    // deciding whether this attempt may skip the executor verification.
+    exec_options.verify_plans = options_.verify_plans;
+    if (options_.static_checks &&
+        StaticPlanPrecheck(degraded, current_plan)) {
+      monitor_.RecordStaticClear();
+      if (exec_options.verify_plans) {
+        exec_options.verify_plans = false;
+        monitor_.RecordPlanCheckSkipped();
+      }
+    }
     exec_options.seed_payloads = &surviving;
   }
   if (fault_injector_) {
@@ -262,6 +310,22 @@ Status Runtime::RecordPipelineStructure(const Pipeline& pipeline) {
 Result<Runtime::ExecutionRecord> Runtime::ExecuteAndRecord(
     const Pipeline& pipeline, const Augmentation& aug, const Plan& plan,
     const Replanner& replan) {
+  // Fail-fast admission check: a malformed pipeline is rejected before it
+  // touches the history, the planner, or shared-store budget. Bitwise
+  // reproduction becomes a hard requirement once fault injection is
+  // armed (recovery re-executes tasks and must reproduce payloads).
+  if (options_.static_checks) {
+    analysis::StaticAnalyzerOptions sa_options;
+    sa_options.require_bitwise = fault_injector_ != nullptr;
+    const analysis::StaticAnalyzer analyzer(sa_options);
+    const analysis::AnalysisReport report = analyzer.AnalyzePipeline(
+        pipeline.graph, dictionary_, ml::OperatorRegistry::Global());
+    if (!report.ok()) {
+      return Status::InvalidArgument(
+          "static analysis rejected pipeline '" + pipeline.id + "' (" +
+          report.Summary() + "):\n" + report.ToString());
+    }
+  }
   HYPPO_RETURN_NOT_OK(RecordPipelineStructure(pipeline));
   return ExecuteInternal(aug, plan, replan);
 }

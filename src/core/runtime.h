@@ -48,6 +48,13 @@ struct RuntimeOptions {
   /// and the workload scenarios enable this. The recovery loop also
   /// verifies every degraded augmentation before re-planning.
   bool verify_plans = false;
+  /// Submit-time static analysis (analysis/static): pipelines are
+  /// shape-checked and determinism-linted before any planning, rejecting
+  /// malformed submissions fail-fast with source-located diagnostics. A
+  /// plan the static pre-check clears also skips the runtime
+  /// `verify_plans` re-verification (Monitor::num_plan_checks_skipped),
+  /// since the pre-check proves the same invariants.
+  bool static_checks = true;
   /// Self-healing bound: how many degrade-and-re-plan rounds one
   /// execution may take after task failures before the first failure
   /// surfaces as an error. 0 disables recovery entirely.

@@ -38,6 +38,10 @@ struct TaskInfo {
   /// leave this empty. The augmenter creates parallel hyperedges for
   /// alternative implementations of the same logical operator.
   std::string impl;
+  /// 1-based DSL source line that declared this task; 0 for tasks built
+  /// programmatically. Diagnostic-only: excluded from task signatures and
+  /// from history serialization.
+  int source_line = 0;
 };
 
 inline constexpr const char* kLoadOp = "__load__";

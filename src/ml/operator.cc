@@ -29,6 +29,26 @@ Result<MlTask> MlTaskFromString(const std::string& name) {
   return Status::InvalidArgument("unknown task type '" + name + "'");
 }
 
+const char* DeterminismToString(Determinism determinism) {
+  switch (determinism) {
+    case Determinism::kDeterministic:
+      return "deterministic";
+    case Determinism::kNonDeterministic:
+      return "non-deterministic";
+  }
+  return "unknown";
+}
+
+const char* ToleranceToString(Tolerance tolerance) {
+  switch (tolerance) {
+    case Tolerance::kExact:
+      return "exact";
+    case Tolerance::kNumeric:
+      return "numeric";
+  }
+  return "unknown";
+}
+
 double PhysicalOperator::CostHint(MlTask task, int64_t rows, int64_t cols,
                                   const Config& /*config*/) const {
   // Generic fallback: linear in the number of cells, fit 10x heavier.

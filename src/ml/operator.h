@@ -31,6 +31,36 @@ Result<MlTask> MlTaskFromString(const std::string& name);
 
 using PredictionsPtr = std::shared_ptr<const std::vector<double>>;
 
+/// \brief Reproducibility contract of a physical implementation.
+///
+/// `kDeterministic` implementations produce byte-identical payloads for
+/// identical (inputs, config) — the contract the executor differential and
+/// chaos suites enforce, and the property fault-recovery re-execution
+/// depends on. `kNonDeterministic` marks implementations whose output may
+/// vary across runs (wall-clock seeding, unordered iteration, thread
+/// scheduling); the static determinism lint rejects them on bitwise paths.
+enum class Determinism {
+  kDeterministic = 0,
+  kNonDeterministic = 1,
+};
+
+const char* DeterminismToString(Determinism determinism);
+
+/// \brief How tightly implementations of one logical operator agree.
+///
+/// `kExact` families produce byte-identical outputs across every
+/// registered implementation (e.g. both split implementations derive the
+/// same permutation from the seed). `kNumeric` families agree only up to
+/// floating-point tolerance (e.g. two-pass vs streaming variance). The
+/// equivalence soundness audit requires the class to be consistent across
+/// a logical operator's implementations.
+enum class Tolerance {
+  kExact = 0,
+  kNumeric = 1,
+};
+
+const char* ToleranceToString(Tolerance tolerance);
+
 /// Artifacts consumed by one task execution, grouped by kind. Order within
 /// each kind follows the task's tail order in the pipeline.
 struct TaskInputs {
@@ -70,6 +100,11 @@ class PhysicalOperator {
   /// Fully qualified implementation name, e.g. "skl.StandardScaler".
   std::string impl_name() const { return framework_ + "." + logical_op_; }
 
+  /// Reproducibility contract; all builtins are deterministic.
+  Determinism determinism() const { return determinism_; }
+  /// Cross-implementation agreement class for this logical operator.
+  Tolerance tolerance() const { return tolerance_; }
+
   /// True if this implementation exposes the given task type.
   virtual bool SupportsTask(MlTask task) const = 0;
 
@@ -86,9 +121,17 @@ class PhysicalOperator {
   virtual double CostHint(MlTask task, int64_t rows, int64_t cols,
                           const Config& config) const;
 
+ protected:
+  /// Subclass constructors declare their contract; defaults are the common
+  /// case (seed-derived determinism, float-tolerant cross-impl agreement).
+  void set_determinism(Determinism determinism) { determinism_ = determinism; }
+  void set_tolerance(Tolerance tolerance) { tolerance_ = tolerance; }
+
  private:
   std::string logical_op_;
   std::string framework_;
+  Determinism determinism_ = Determinism::kDeterministic;
+  Tolerance tolerance_ = Tolerance::kNumeric;
 };
 
 /// \brief Convenience base for fit/transform/predict estimators.

@@ -148,7 +148,9 @@ class TflStandardScaler final : public AffineScalerBase {
 
 class SklMinMaxScaler final : public AffineScalerBase {
  public:
-  SklMinMaxScaler() : AffineScalerBase("MinMaxScaler", "skl") {}
+  SklMinMaxScaler() : AffineScalerBase("MinMaxScaler", "skl") {
+    set_tolerance(Tolerance::kExact);
+  }
 
  protected:
   Result<OpStatePtr> DoFit(const Dataset& data,
@@ -177,7 +179,9 @@ class SklMinMaxScaler final : public AffineScalerBase {
 // comparisons, different constant factor), identical result.
 class TflMinMaxScaler final : public AffineScalerBase {
  public:
-  TflMinMaxScaler() : AffineScalerBase("MinMaxScaler", "tfl") {}
+  TflMinMaxScaler() : AffineScalerBase("MinMaxScaler", "tfl") {
+    set_tolerance(Tolerance::kExact);
+  }
 
  protected:
   Result<OpStatePtr> DoFit(const Dataset& data,
@@ -226,7 +230,9 @@ double QuantileOfSorted(const std::vector<double>& sorted, double q) {
 // skl: full sort per column, O(n log n).
 class SklRobustScaler final : public AffineScalerBase {
  public:
-  SklRobustScaler() : AffineScalerBase("RobustScaler", "skl") {}
+  SklRobustScaler() : AffineScalerBase("RobustScaler", "skl") {
+    set_tolerance(Tolerance::kExact);
+  }
 
   double CostHint(MlTask task, int64_t rows, int64_t cols,
                   const Config& /*config*/) const override {
@@ -262,7 +268,9 @@ class SklRobustScaler final : public AffineScalerBase {
 // genuinely cheaper algorithm for the same statistics.
 class TflRobustScaler final : public AffineScalerBase {
  public:
-  TflRobustScaler() : AffineScalerBase("RobustScaler", "tfl") {}
+  TflRobustScaler() : AffineScalerBase("RobustScaler", "tfl") {
+    set_tolerance(Tolerance::kExact);
+  }
 
   double CostHint(MlTask task, int64_t rows, int64_t cols,
                   const Config& /*config*/) const override {
@@ -318,7 +326,9 @@ class TflRobustScaler final : public AffineScalerBase {
 
 class SklMaxAbsScaler final : public AffineScalerBase {
  public:
-  SklMaxAbsScaler() : AffineScalerBase("MaxAbsScaler", "skl") {}
+  SklMaxAbsScaler() : AffineScalerBase("MaxAbsScaler", "skl") {
+    set_tolerance(Tolerance::kExact);
+  }
 
  protected:
   Result<OpStatePtr> DoFit(const Dataset& data,
@@ -343,7 +353,9 @@ class SklMaxAbsScaler final : public AffineScalerBase {
 // tfl: tracks min and max separately, derives max-abs; same output.
 class TflMaxAbsScaler final : public AffineScalerBase {
  public:
-  TflMaxAbsScaler() : AffineScalerBase("MaxAbsScaler", "tfl") {}
+  TflMaxAbsScaler() : AffineScalerBase("MaxAbsScaler", "tfl") {
+    set_tolerance(Tolerance::kExact);
+  }
 
  protected:
   Result<OpStatePtr> DoFit(const Dataset& data,

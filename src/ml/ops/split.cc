@@ -80,7 +80,9 @@ class TrainTestSplitBase : public PhysicalOperator {
 // Column-at-a-time gather (cache friendly on the column-major layout).
 class SklTrainTestSplit final : public TrainTestSplitBase {
  public:
-  SklTrainTestSplit() : TrainTestSplitBase("TrainTestSplit", "skl") {}
+  SklTrainTestSplit() : TrainTestSplitBase("TrainTestSplit", "skl") {
+    set_tolerance(Tolerance::kExact);
+  }
 
  protected:
   Result<Dataset> Materialize(const Dataset& data,
@@ -92,7 +94,9 @@ class SklTrainTestSplit final : public TrainTestSplitBase {
 // Row-at-a-time gather; identical output, worse locality (higher cost).
 class TflTrainTestSplit final : public TrainTestSplitBase {
  public:
-  TflTrainTestSplit() : TrainTestSplitBase("TrainTestSplit", "tfl") {}
+  TflTrainTestSplit() : TrainTestSplitBase("TrainTestSplit", "tfl") {
+    set_tolerance(Tolerance::kExact);
+  }
 
  protected:
   Result<Dataset> Materialize(const Dataset& data,

@@ -57,6 +57,39 @@ TEST(DiagnosticTest, MergeMovesEverything) {
   EXPECT_EQ(a.num_warnings(), 1);
 }
 
+// Merging overlapping reports (e.g. the lint tool running several passes
+// over one catalog) must not duplicate identical diagnostics.
+TEST(DiagnosticTest, MergeDeduplicatesIdenticalDiagnostics) {
+  AnalysisReport a;
+  a.AddError("x", "one", EntityKind::kEdge, 7);
+  a.AddWarning("y", "two");
+  AnalysisReport b;
+  b.AddError("x", "one", EntityKind::kEdge, 7);   // exact duplicate
+  b.AddError("x", "one", EntityKind::kEdge, 8);   // different entity id
+  b.AddWarning("y", "two");                       // exact duplicate
+  b.AddError("y", "two");                         // same text, other severity
+  a.Merge(std::move(b));
+  EXPECT_EQ(a.num_errors(), 3);
+  EXPECT_EQ(a.num_warnings(), 1);
+
+  // Location participates in identity: same check at two source lines is
+  // two findings.
+  AnalysisReport c;
+  Diagnostic located;
+  located.severity = Severity::kError;
+  located.check = "shape.bad-arity";
+  located.message = "m";
+  located.line = 3;
+  c.Add(located);
+  AnalysisReport d;
+  d.Add(located);
+  Diagnostic other_line = located;
+  other_line.line = 9;
+  d.Add(other_line);
+  c.Merge(std::move(d));
+  EXPECT_EQ(c.num_errors(), 2);
+}
+
 // ---------------------------------------------------------------------------
 // Structural hypergraph checks
 

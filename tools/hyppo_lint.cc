@@ -1,22 +1,34 @@
-// hyppo_lint: standalone invariant checker for serialized HYPPO catalogs.
+// hyppo_lint: standalone invariant checker for serialized HYPPO catalogs
+// and (via --pipeline) for DSL pipeline sources before anything executes.
 //
-// Loads `<catalog-dir>/history.hyppo` (written by Runtime::SaveCatalog or
-// core::SerializeHistory) and runs the full analysis verifier over it:
-// hypergraph well-formedness, label consistency, canonical-name closure,
-// materialization flags, serialization round-trip, and — when a budget is
-// given — storage-budget compliance. Also cross-checks that every
-// materialized artifact has its payload file on disk. Durable store
-// directories (store.manifest + payloads/, written with --store-dir /
-// RuntimeOptions::store_dir) get the full history<->store consistency
-// audit instead of the per-file check.
+// Catalog mode loads `<catalog-dir>/history.hyppo` (written by
+// Runtime::SaveCatalog or core::SerializeHistory) and runs the full
+// analysis verifier over it: hypergraph well-formedness, label
+// consistency, canonical-name closure, materialization flags,
+// serialization round-trip, and — when a budget is given — storage-budget
+// compliance. Also cross-checks that every materialized artifact has its
+// payload file on disk. Durable store directories (store.manifest +
+// payloads/, written with --store-dir / RuntimeOptions::store_dir) get
+// the full history<->store consistency audit instead of the per-file
+// check.
+//
+// Pipeline mode (--pipeline <dsl-file>) parses the DSL source and runs
+// the static analyzer passes over it: shape & schema inference,
+// determinism lint, and the equivalence soundness audit of the built-in
+// operator catalog — the same passes the Runtime applies at submit time.
 //
 // Usage:
 //   hyppo_lint <catalog-dir | history-file> [options]
-//     --budget <bytes>   also enforce the storage budget
+//   hyppo_lint --pipeline <dsl-file> [options]
+//     --budget <bytes>   also enforce the storage budget (catalog mode)
 //     --no-roundtrip     skip the serialize/deserialize round-trip check
 //     --quiet            print only the summary line
+//     --json             emit machine-readable JSON diagnostics on stdout
 //
-// Exit codes: 0 clean (warnings allowed), 1 errors found, 2 usage/IO.
+// Exit-code contract (stable, CI gates on it):
+//   0  clean — no error-severity diagnostics (warnings allowed)
+//   1  one or more error-severity diagnostics found
+//   2  usage error, unreadable input, or unparseable history file
 
 #include <cstdint>
 #include <cstdio>
@@ -26,8 +38,11 @@
 #include <fstream>
 #include <string>
 
+#include "analysis/json_diagnostics.h"
+#include "analysis/static/static_analyzer.h"
 #include "analysis/verifier.h"
 #include "core/history_io.h"
+#include "core/parser.h"
 #include "ml/registry.h"
 #include "storage/disk_store.h"
 
@@ -38,8 +53,11 @@ namespace fs = std::filesystem;
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <catalog-dir | history-file> "
-               "[--budget <bytes>] [--no-roundtrip] [--quiet]\n",
-               argv0);
+               "[--budget <bytes>] [--no-roundtrip] [--quiet] [--json]\n"
+               "       %s --pipeline <dsl-file> [--quiet] [--json]\n"
+               "exit codes: 0 clean (warnings allowed), 1 errors found, "
+               "2 usage/IO\n",
+               argv0, argv0);
   return 2;
 }
 
@@ -56,26 +74,111 @@ hyppo::Result<std::string> ReadFile(const std::string& path) {
   return bytes;
 }
 
+// Prints the report (text or JSON) and maps it onto the exit contract.
+int Finish(const hyppo::analysis::AnalysisReport& report,
+           const std::string& target, const std::string& detail, bool quiet,
+           bool json) {
+  if (json) {
+    std::fputs(hyppo::analysis::ReportToJson(report, target).c_str(), stdout);
+  } else {
+    if (!quiet && !report.diagnostics().empty()) {
+      std::fputs(report.ToString().c_str(), stdout);
+    }
+    std::printf("%s: %s%s\n", target.c_str(), detail.c_str(),
+                report.Summary().c_str());
+  }
+  return report.ok() ? 0 : 1;
+}
+
+// Parses "line N, col M:" / "line N:" prefixes out of a parser error
+// message so the diagnostic keeps its source location in the JSON output.
+void LocateParseError(const std::string& message,
+                      hyppo::analysis::Diagnostic& d) {
+  int line = 0;
+  int col = 0;
+  if (std::sscanf(message.c_str(), "PARSE_ERROR: line %d, col %d", &line,
+                  &col) == 2 ||
+      std::sscanf(message.c_str(), "line %d, col %d", &line, &col) == 2 ||
+      std::sscanf(message.c_str(), "PARSE_ERROR: line %d", &line) == 1 ||
+      std::sscanf(message.c_str(), "line %d", &line) == 1) {
+    d.line = line;
+    d.column = col;
+  }
+}
+
+int LintPipeline(const std::string& path, bool quiet, bool json) {
+  hyppo::Result<std::string> source = ReadFile(path);
+  if (!source.ok()) {
+    std::fprintf(stderr, "hyppo_lint: %s\n",
+                 source.status().ToString().c_str());
+    return 2;
+  }
+  const hyppo::ml::OperatorRegistry& registry =
+      hyppo::ml::OperatorRegistry::Global();
+  const hyppo::core::Dictionary dictionary =
+      hyppo::core::Dictionary::FromRegistry(registry);
+  hyppo::analysis::AnalysisReport report;
+  hyppo::Result<hyppo::core::Pipeline> pipeline =
+      hyppo::core::ParsePipeline(*source, fs::path(path).stem().string(),
+                                 dictionary);
+  if (!pipeline.ok()) {
+    hyppo::analysis::Diagnostic d;
+    d.severity = hyppo::analysis::Severity::kError;
+    d.check = "pipeline.parse-error";
+    d.message = pipeline.status().ToString();
+    LocateParseError(pipeline.status().message(), d);
+    report.Add(std::move(d));
+    return Finish(report, path, "", quiet, json);
+  }
+  const hyppo::analysis::StaticAnalyzer analyzer;
+  report.Merge(analyzer.AnalyzePipeline(pipeline->graph, dictionary,
+                                        registry));
+  report.Merge(analyzer.CheckCatalog(dictionary, registry));
+  const std::string detail =
+      std::to_string(pipeline->graph.num_artifacts()) + " artifacts, " +
+      std::to_string(pipeline->graph.num_tasks()) + " tasks: ";
+  return Finish(report, path, detail, quiet, json);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     return Usage(argv[0]);
   }
-  const std::string target = argv[1];
+  std::string target;
+  std::string pipeline_path;
   int64_t budget_bytes = -1;
   bool roundtrip = true;
   bool quiet = false;
-  for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--pipeline") == 0 && i + 1 < argc) {
+      pipeline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
       budget_bytes = std::strtoll(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--no-roundtrip") == 0) {
       roundtrip = false;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (argv[i][0] == '-') {
+      return Usage(argv[0]);
+    } else if (target.empty()) {
+      target = argv[i];
     } else {
       return Usage(argv[0]);
     }
+  }
+  if (!pipeline_path.empty()) {
+    if (!target.empty()) {
+      return Usage(argv[0]);
+    }
+    return LintPipeline(pipeline_path, quiet, json);
+  }
+  if (target.empty()) {
+    return Usage(argv[0]);
   }
 
   // Accept a catalog directory (artifacts/<name>.bin layout), a durable
@@ -114,6 +217,12 @@ int main(int argc, char** argv) {
   hyppo::analysis::AnalysisReport report =
       verifier.VerifyHistory(*history, &dictionary, budget_bytes);
 
+  // Equivalence soundness audit: the catalog the history will be planned
+  // against must be internally consistent.
+  const hyppo::analysis::StaticAnalyzer analyzer;
+  report.Merge(analyzer.CheckCatalog(dictionary,
+                                     hyppo::ml::OperatorRegistry::Global()));
+
   // Store-dir layout: open the disk store (recovering its manifest) and
   // run the full history<->store consistency check — entry presence,
   // charged-size agreement, orphans, and used_bytes accounting.
@@ -142,11 +251,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!quiet && !report.diagnostics().empty()) {
-    std::fputs(report.ToString().c_str(), stdout);
-  }
-  std::printf("%s: %d artifacts, %d tasks: %s\n", history_path.c_str(),
-              history->num_artifacts(), history->num_tasks(),
-              report.Summary().c_str());
-  return report.ok() ? 0 : 1;
+  const std::string detail = std::to_string(history->num_artifacts()) +
+                             " artifacts, " +
+                             std::to_string(history->num_tasks()) +
+                             " tasks: ";
+  return Finish(report, history_path, detail, quiet, json);
 }
