@@ -12,14 +12,28 @@
 // `verify_plans`: the submit-time static pre-check clears plans and
 // skips the executor's CheckPlan re-verification, versus paying the
 // runtime re-check on every execution.
+//
+// A fourth section sweeps history sizes an order of magnitude past the
+// execution-driven section (the history is grown synthetically from
+// pipeline structure observations, no execution) and compares the
+// augmenter's indexed equivalence-lookup path against the reference
+// full-graph scan, asserting cost-identical plans along the way.
 // Pass `--json <path>` to also dump the measurements as a JSON document
 // (bench/BENCH_fig9b.json is a committed snapshot).
+
+#include <cmath>
+#include <map>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/clock.h"
 #include "common/string_util.h"
+#include "core/augmenter.h"
+#include "core/dictionary.h"
 #include "core/hyppo.h"
+#include "core/optimizer.h"
 #include "storage/fault_injection.h"
+#include "workload/pipeline_generator.h"
 #include "workload/scenario.h"
 
 namespace {
@@ -163,6 +177,84 @@ VerifyOverhead MeasureVerifyOverhead(bool static_checks, int executions,
   return result;
 }
 
+// Grows a history from pipeline structure alone — the exact observation
+// sequence Runtime::RecordPipelineStructure performs after an execution
+// (artifact observes + access stamps, raw-source registration, compute
+// task observes), minus the execution. This reaches history sizes an
+// order of magnitude beyond what the execution-driven sweep can afford.
+void GrowHistorySynthetically(core::History& history,
+                              PipelineGenerator& generator, int pipelines,
+                              double* clock_seconds) {
+  for (int i = 0; i < pipelines; ++i) {
+    auto pipeline = generator.Next();
+    pipeline.status().Abort("generate");
+    const core::PipelineGraph& graph = pipeline->graph;
+    std::map<NodeId, NodeId> to_history;
+    for (NodeId v = 1; v < graph.num_artifacts(); ++v) {
+      const core::ArtifactInfo& info = graph.artifact(v);
+      const NodeId node = history.Observe(info);
+      to_history[v] = node;
+      history.RecordAccess(node, *clock_seconds);
+      if (info.kind == core::ArtifactKind::kRaw) {
+        history.RegisterSourceData(node).status().Abort("source");
+      }
+    }
+    for (EdgeId e : graph.hypergraph().LiveEdges()) {
+      const core::TaskInfo& task = graph.task(e);
+      if (task.type == core::TaskType::kLoad) {
+        continue;
+      }
+      std::vector<NodeId> tails;
+      for (NodeId t : graph.ordered_tail(e)) {
+        if (t != graph.source()) {
+          tails.push_back(to_history[t]);
+        }
+      }
+      std::vector<NodeId> heads;
+      for (NodeId h : graph.ordered_head(e)) {
+        heads.push_back(to_history[h]);
+        history.RecordComputeSeconds(to_history[h], 0.1);
+      }
+      history.ObserveTask(task, tails, heads, 0.1).status().Abort("task");
+    }
+    *clock_seconds += 1.0;
+  }
+}
+
+// Mean augmentation time over the probe pipelines with the equivalence
+// lookups answered by the HistoryIndex (`use_index`) or by the reference
+// full-graph scan. Plan costs are summed so the caller can assert the
+// two paths produce cost-identical plans.
+struct LookupOverhead {
+  double augment_seconds = 0.0;
+  double plan_cost_sum = 0.0;
+};
+
+LookupOverhead MeasureLookupOverhead(
+    const core::History& history,
+    const std::vector<core::Pipeline>& probes, bool use_index) {
+  core::Dictionary dictionary =
+      core::Dictionary::FromRegistry(ml::OperatorRegistry::Global());
+  core::CostEstimator estimator;
+  core::Augmenter augmenter(&dictionary, &estimator);
+  core::Augmenter::Options options;
+  options.use_index = use_index;
+  core::PlanGenerator plan_generator;
+  WallClock clock;
+  LookupOverhead result;
+  for (const core::Pipeline& probe : probes) {
+    Stopwatch watch(clock);
+    auto aug = augmenter.Augment(probe, history, options);
+    result.augment_seconds += watch.Elapsed();
+    aug.status().Abort("augment");
+    auto plan = plan_generator.Optimize(*aug, core::PlanGenerator::Options());
+    plan.status().Abort("plan");
+    result.plan_cost_sum += plan->cost;
+  }
+  result.augment_seconds /= static_cast<double>(probes.size());
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -256,6 +348,65 @@ int main(int argc, char** argv) {
       "executor's CheckPlan re-verification (checks-skipped column), so\n"
       "verified execution stays within noise of the baseline while each\n"
       "plan is proven well-formed before any task runs.\n");
+
+  Banner("Indexed equivalence lookup vs reference scan", "large history");
+  const std::vector<int> big_histories =
+      full ? std::vector<int>{50, 200, 500, 1000, 2000}
+           : std::vector<int>{20, 80, 400};
+  Table lookup(
+      {"#pipelines in H", "#H nodes", "#H tasks", "mode", "augment time",
+       "vs scan"});
+  for (int history_pipelines : big_histories) {
+    core::History history;
+    PipelineGenerator generator(UseCase::Higgs(), multiplier, 42);
+    double clock_seconds = 0.0;
+    GrowHistorySynthetically(history, generator, history_pipelines,
+                             &clock_seconds);
+    std::vector<core::Pipeline> probes;
+    for (int i = 0; i < 5; ++i) {
+      auto probe = generator.Next();
+      probe.status().Abort("probe");
+      probes.push_back(std::move(*probe));
+    }
+    const LookupOverhead scan =
+        MeasureLookupOverhead(history, probes, /*use_index=*/false);
+    const LookupOverhead indexed =
+        MeasureLookupOverhead(history, probes, /*use_index=*/true);
+    if (std::fabs(scan.plan_cost_sum - indexed.plan_cost_sum) >
+        1e-6 * (1.0 + std::fabs(scan.plan_cost_sum))) {
+      std::fprintf(stderr,
+                   "FATAL: indexed and scan plans diverged (%f vs %f)\n",
+                   indexed.plan_cost_sum, scan.plan_cost_sum);
+      return 1;
+    }
+    lookup.AddRow({std::to_string(history_pipelines),
+                   std::to_string(history.num_artifacts()),
+                   std::to_string(history.num_tasks()), "scan",
+                   FormatSeconds(scan.augment_seconds), "1.0x"});
+    lookup.AddRow({std::to_string(history_pipelines),
+                   std::to_string(history.num_artifacts()),
+                   std::to_string(history.num_tasks()), "indexed",
+                   FormatSeconds(indexed.augment_seconds),
+                   Speedup(scan.augment_seconds, indexed.augment_seconds)});
+    for (const auto& [mode, measured] :
+         {std::pair<const char*, const LookupOverhead*>{"scan", &scan},
+          std::pair<const char*, const LookupOverhead*>{"indexed",
+                                                        &indexed}}) {
+      json.AddRow("indexed_lookup")
+          .Set("history_pipelines", history_pipelines)
+          .Set("history_nodes", history.num_artifacts())
+          .Set("history_tasks", history.num_tasks())
+          .Set("mode", mode)
+          .Set("augment_seconds", measured->augment_seconds)
+          .Set("plan_cost_sum", measured->plan_cost_sum);
+    }
+  }
+  lookup.Print();
+  std::printf(
+      "\nExpected shape: the scan path's augmentation time grows linearly\n"
+      "with total history size while the indexed path tracks only the\n"
+      "backward-relevant subgraph, so the gap widens with history growth\n"
+      "(plan costs are asserted identical between the two paths).\n");
 
   const std::string json_path =
       hyppo::bench::ResolveJsonPath(args, "BENCH_fig9b.json");

@@ -333,6 +333,131 @@ AnalysisReport Verifier::CheckHistory(const History& history,
   return report;
 }
 
+AnalysisReport Verifier::CheckHistoryIndex(const History& history) const {
+  AnalysisReport report;
+  const PipelineGraph& graph = history.graph();
+  const Hypergraph& hg = graph.hypergraph();
+  const core::HistoryIndex& index = history.index();
+
+  // Name index: a bijection onto the nodes (source included). Checking
+  // both the per-node lookup and the total count catches stale entries
+  // left behind by direct graph mutation.
+  for (NodeId v = 0; v < hg.num_nodes(); ++v) {
+    const std::string& name = graph.artifact(v).name;
+    auto it = index.artifact_by_name.find(name);
+    if (it == index.artifact_by_name.end()) {
+      report.AddError("index.artifact-missing",
+                      "artifact '" + name + "' is not in the name index",
+                      EntityKind::kNode, v);
+    } else if (it->second != v) {
+      report.AddError("index.artifact-mismatch",
+                      "name index resolves '" + name + "' to node " +
+                          std::to_string(it->second),
+                      EntityKind::kNode, v);
+    }
+  }
+  if (static_cast<int32_t>(index.artifact_by_name.size()) != hg.num_nodes()) {
+    report.AddError("index.artifact-count",
+                    "name index holds " +
+                        std::to_string(index.artifact_by_name.size()) +
+                        " entries for " + std::to_string(hg.num_nodes()) +
+                        " nodes");
+  }
+
+  // Task-signature index: exactly the live compute edges, keyed by
+  // PipelineGraph::TaskSignature. Load edges are derived state and must
+  // stay out.
+  int32_t live_compute_edges = 0;
+  for (EdgeId e : hg.LiveEdges()) {
+    if (graph.task(e).type == TaskType::kLoad) {
+      continue;
+    }
+    ++live_compute_edges;
+    const std::string signature = graph.TaskSignature(e);
+    auto it = index.task_by_signature.find(signature);
+    if (it == index.task_by_signature.end()) {
+      report.AddError("index.task-missing",
+                      "live compute task is not in the signature index",
+                      EntityKind::kEdge, e);
+    } else if (it->second != e) {
+      report.AddError("index.task-mismatch",
+                      "signature index resolves this task's signature to "
+                      "edge " +
+                          std::to_string(it->second),
+                      EntityKind::kEdge, e);
+    }
+  }
+  if (static_cast<int32_t>(index.task_by_signature.size()) !=
+      live_compute_edges) {
+    report.AddError("index.task-count",
+                    "signature index holds " +
+                        std::to_string(index.task_by_signature.size()) +
+                        " entries for " + std::to_string(live_compute_edges) +
+                        " live compute edges");
+  }
+
+  // Logical-operator buckets: together they must partition the live
+  // compute edges; each edge sits in its own operator's bucket once.
+  std::set<EdgeId> bucketed;
+  int64_t bucket_entries = 0;
+  for (const auto& [op, edges] : index.tasks_by_logical_op) {
+    for (EdgeId e : edges) {
+      ++bucket_entries;
+      if (!hg.IsLiveEdge(e)) {
+        report.AddError("index.op-dead-edge",
+                        "operator bucket '" + op + "' lists a dead edge",
+                        EntityKind::kEdge, e);
+        continue;
+      }
+      const TaskInfo& task = graph.task(e);
+      if (task.type == TaskType::kLoad || task.logical_op != op) {
+        report.AddError("index.op-mismatch",
+                        "edge of operator '" + task.logical_op +
+                            "' sits in bucket '" + op + "'",
+                        EntityKind::kEdge, e);
+      }
+      if (!bucketed.insert(e).second) {
+        report.AddError("index.op-duplicate",
+                        "edge appears in operator buckets more than once",
+                        EntityKind::kEdge, e);
+      }
+    }
+  }
+  if (bucket_entries != live_compute_edges &&
+      static_cast<int32_t>(bucketed.size()) != live_compute_edges) {
+    report.AddError("index.op-count",
+                    "operator buckets hold " +
+                        std::to_string(bucket_entries) + " entries for " +
+                        std::to_string(live_compute_edges) +
+                        " live compute edges");
+  }
+
+  // Materialized set: exactly the non-source artifacts whose record says
+  // materialized.
+  for (NodeId v = 1; v < std::min(hg.num_nodes(), history.num_records());
+       ++v) {
+    const bool expected =
+        history.record(v).materialized && !history.IsSourceData(v);
+    const bool indexed = index.materialized.count(v) > 0;
+    if (expected != indexed) {
+      report.AddError("index.materialized-drift",
+                      expected
+                          ? "materialized artifact missing from the index"
+                          : "index lists a non-materialized (or source) "
+                            "artifact as materialized",
+                      EntityKind::kNode, v);
+    }
+  }
+  for (NodeId v : index.materialized) {
+    if (!hg.IsValidNode(v)) {
+      report.AddError("index.materialized-drift",
+                      "materialized index holds a nonexistent node",
+                      EntityKind::kNode, v);
+    }
+  }
+  return report;
+}
+
 AnalysisReport Verifier::CheckHistoryRoundTrip(const History& history) const {
   AnalysisReport report;
   Result<std::string> bytes = core::SerializeHistory(history);
@@ -489,6 +614,7 @@ AnalysisReport Verifier::VerifyHistory(const History& history,
                                        const Dictionary* dictionary,
                                        int64_t budget_bytes) const {
   AnalysisReport report = CheckHistory(history, dictionary);
+  report.Merge(CheckHistoryIndex(history));
   if (options_.check_roundtrip) {
     report.Merge(CheckHistoryRoundTrip(history));
   }

@@ -1,0 +1,158 @@
+#ifndef HYPPO_COMMON_ANTICHAIN_H_
+#define HYPPO_COMMON_ANTICHAIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace hyppo {
+
+/// \brief Wordwise bitset-subset test: true iff b ⊆ a. Both vectors must
+/// have the same word count (one search space = one fixed bitset width).
+inline bool BitsetContains(const std::vector<uint64_t>& a,
+                           const std::vector<uint64_t>& b) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] & b[i]) != b[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// \brief Concurrent antichain-per-key dominance table.
+///
+/// Keys partition the state space (the optimizer keys by the exact search
+/// frontier); within one key the table keeps an *antichain* of
+/// (bitset, cost) entries under the dominance partial order
+///
+///   A dominates B  ⇔  A.bits ⊇ B.bits  ∧  A.cost ≤ B.cost.
+///
+/// Unlike a flat best-cost-per-full-state map, which only prunes exact
+/// revisits, the antichain prunes every state whose progress bitset is a
+/// subset of a recorded state that was reached at most as expensively —
+/// the downset-quotient idea from antichain-based games/automata solvers
+/// (acacia-bonsai line of work), applied to best-first plan search.
+///
+/// Inserting a new entry erases recorded entries it dominates, so each
+/// bucket stays an antichain and lookups stay proportional to the number
+/// of incomparable frontiersome states, not all states ever seen.
+///
+/// Concurrency contract (same as ShardedMinTable): one mutex per shard,
+/// shard chosen by key hash, so all probes for one key serialize on one
+/// lock; Insert/BestDominating are safe to call concurrently. Shard count
+/// is rounded up to a power of two.
+template <typename Key, typename Hash = std::hash<Key>,
+          typename Eq = std::equal_to<Key>>
+class ShardedAntichainTable {
+ public:
+  explicit ShardedAntichainTable(int num_shards = 1) {
+    size_t shards = 1;
+    while (shards < static_cast<size_t>(num_shards < 1 ? 1 : num_shards)) {
+      shards <<= 1;
+    }
+    mask_ = shards - 1;
+    shards_ = std::make_unique<Shard[]>(shards);
+  }
+
+  /// Insert-unless-dominated: records (bits, cost) for `key` unless an
+  /// entry with a superset bitset and cost <= `cost` already exists, in
+  /// which case the probe is dominated and false is returned. On
+  /// insertion, entries the new one dominates are erased.
+  bool Improve(const Key& key, const std::vector<uint64_t>& bits,
+               double cost) {
+    Shard& shard = shards_[Hash{}(key)&mask_];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      it = shard.map.emplace(key, Bucket{}).first;
+      it->second.push_back(Entry{bits, cost});
+      return true;
+    }
+    Bucket& bucket = it->second;
+    for (const Entry& entry : bucket) {
+      if (entry.cost <= cost && BitsetContains(entry.bits, bits)) {
+        return false;
+      }
+    }
+    // Swap-erase entries the new state dominates; order within a bucket
+    // carries no meaning.
+    for (size_t i = 0; i < bucket.size();) {
+      if (cost <= bucket[i].cost && BitsetContains(bits, bucket[i].bits)) {
+        bucket[i] = std::move(bucket.back());
+        bucket.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    bucket.push_back(Entry{bits, cost});
+    return true;
+  }
+
+  /// Minimum cost over recorded entries whose bitset contains `bits`
+  /// (i.e. states at least as advanced), or `fallback` if none. A state
+  /// popped from an open list is stale when this is strictly below its
+  /// own cost: some recorded state supersedes it.
+  double BestDominating(const Key& key, const std::vector<uint64_t>& bits,
+                        double fallback) const {
+    const Shard& shard = shards_[Hash{}(key)&mask_];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      return fallback;
+    }
+    double best = fallback;
+    for (const Entry& entry : it->second) {
+      if (entry.cost < best && BitsetContains(entry.bits, bits)) {
+        best = entry.cost;
+      }
+    }
+    return best;
+  }
+
+  /// Total number of antichain entries across all shards.
+  int64_t size() const {
+    int64_t total = 0;
+    for (size_t s = 0; s <= mask_; ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s].mutex);
+      for (const auto& [key, bucket] : shards_[s].map) {
+        total += static_cast<int64_t>(bucket.size());
+      }
+    }
+    return total;
+  }
+
+  /// Number of distinct keys (antichain buckets) across all shards.
+  int64_t num_keys() const {
+    int64_t total = 0;
+    for (size_t s = 0; s <= mask_; ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s].mutex);
+      total += static_cast<int64_t>(shards_[s].map.size());
+    }
+    return total;
+  }
+
+  int num_shards() const { return static_cast<int>(mask_ + 1); }
+
+ private:
+  struct Entry {
+    std::vector<uint64_t> bits;
+    double cost = 0.0;
+  };
+  using Bucket = std::vector<Entry>;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, Bucket, Hash, Eq> map;
+  };
+
+  std::unique_ptr<Shard[]> shards_;
+  size_t mask_ = 0;
+};
+
+}  // namespace hyppo
+
+#endif  // HYPPO_COMMON_ANTICHAIN_H_

@@ -1,6 +1,5 @@
 #include "core/augmenter.h"
 
-#include <map>
 #include <set>
 #include <string>
 
@@ -10,26 +9,74 @@ namespace hyppo::core {
 
 namespace {
 
+// Hit/miss telemetry of one augmentation's probes against the history
+// index, flushed to the monitor at the end.
+struct ProbeCounts {
+  int64_t hits = 0;
+  int64_t misses = 0;
+
+  void Count(bool hit) { hit ? ++hits : ++misses; }
+};
+
 // Copies a history node's label into the augmentation if absent; returns
 // the augmentation node id.
 NodeId ImportNode(PipelineGraph& aug, const PipelineGraph& src, NodeId node) {
   return aug.GetOrAddArtifact(src.artifact(node));
 }
 
+// Reference O(V + E) relevance pass over the whole history — the
+// pre-index behaviour, kept as the `use_index = false` baseline and the
+// validation oracle for the indexed path.
+std::vector<EdgeId> ScanRelevantEdges(const PipelineGraph& hist,
+                                      const std::vector<NodeId>& matched) {
+  std::vector<EdgeId> relevant;
+  RelevanceClosure closure = BackwardRelevance(hist.hypergraph(), matched);
+  for (EdgeId e = 0; e < hist.hypergraph().num_edge_slots(); ++e) {
+    if (hist.hypergraph().IsLiveEdge(e) &&
+        closure.edge_relevant[static_cast<size_t>(e)]) {
+      relevant.push_back(e);
+    }
+  }
+  return relevant;
+}
+
+// Live history edges backward-relevant to `matched`, ascending. Both
+// paths return the same list; the indexed one only visits the relevant
+// sub-hypergraph.
+Result<std::vector<EdgeId>> RelevantEdges(const History& history,
+                                          const std::vector<NodeId>& matched,
+                                          const Augmenter::Options& options) {
+  if (!options.use_index) {
+    return ScanRelevantEdges(history.graph(), matched);
+  }
+  std::vector<EdgeId> relevant = history.CollectBackwardRelevantEdges(matched);
+  if (options.validate_index) {
+    const std::vector<EdgeId> reference =
+        ScanRelevantEdges(history.graph(), matched);
+    if (relevant != reference) {
+      return Status::Internal(
+          "history index diverged from reference scan: indexed backward "
+          "relevance found " +
+          std::to_string(relevant.size()) + " edge(s), the scan found " +
+          std::to_string(reference.size()));
+    }
+  }
+  return relevant;
+}
+
 // Splices the backward-relevant part of the history rooted at `matched`
 // (history node ids) into `aug`, deduplicating by task signature.
-Status SpliceHistory(PipelineGraph& aug, const PipelineGraph& hist,
+Status SpliceHistory(PipelineGraph& aug, const History& history,
                      const std::vector<NodeId>& matched,
-                     std::set<std::string>& signatures) {
+                     std::set<std::string>& signatures,
+                     const Augmenter::Options& options) {
   if (matched.empty()) {
     return Status::OK();
   }
-  RelevanceClosure closure = BackwardRelevance(hist.hypergraph(), matched);
-  for (EdgeId e = 0; e < hist.hypergraph().num_edge_slots(); ++e) {
-    if (!hist.hypergraph().IsLiveEdge(e) ||
-        !closure.edge_relevant[static_cast<size_t>(e)]) {
-      continue;
-    }
+  const PipelineGraph& hist = history.graph();
+  HYPPO_ASSIGN_OR_RETURN(std::vector<EdgeId> relevant,
+                         RelevantEdges(history, matched, options));
+  for (EdgeId e : relevant) {
     const TaskInfo& task = hist.task(e);
     if (task.type == TaskType::kLoad) {
       continue;  // load edges are added uniformly later
@@ -87,13 +134,17 @@ Status AddDictionaryAlternatives(PipelineGraph& aug,
 // Adds load edges for raw sources and (optionally) artifacts the history
 // has materialized.
 Status AddLoadEdges(PipelineGraph& aug, const History& history,
-                    bool use_materialized) {
-  const PipelineGraph& hist = history.graph();
+                    const Augmenter::Options& options, ProbeCounts* counts) {
   for (NodeId v = 1; v < aug.num_artifacts(); ++v) {
     const ArtifactInfo& artifact = aug.artifact(v);
     bool loadable = artifact.kind == ArtifactKind::kRaw;
-    if (!loadable && use_materialized) {
-      Result<NodeId> h_node = hist.FindArtifact(artifact.name);
+    if (!loadable && options.use_materialized) {
+      Result<NodeId> h_node = options.use_index
+                                  ? history.FindArtifact(artifact.name)
+                                  : history.graph().FindArtifact(artifact.name);
+      if (options.use_index) {
+        counts->Count(h_node.ok());
+      }
       if (h_node.ok() && history.IsMaterialized(*h_node)) {
         loadable = true;
       }
@@ -110,6 +161,44 @@ Status AddLoadEdges(PipelineGraph& aug, const History& history,
     }
     if (!has_load) {
       HYPPO_RETURN_NOT_OK(aug.AddLoadTask(v).status());
+    }
+  }
+  return Status::OK();
+}
+
+// Collects the compute edges of `graph` whose signature the history has
+// not seen. The indexed path probes History::HasTaskSignature per edge;
+// the scan path materializes every history signature per submission (the
+// dominant pre-index cost at large histories).
+Status CollectNewTasks(const PipelineGraph& graph, const History& history,
+                       const Augmenter::Options& options,
+                       std::vector<EdgeId>& new_tasks, ProbeCounts* counts) {
+  std::set<std::string> scan_signatures;
+  if (!options.use_index || options.validate_index) {
+    for (EdgeId e : history.graph().hypergraph().LiveEdges()) {
+      scan_signatures.insert(history.graph().TaskSignature(e));
+    }
+  }
+  for (EdgeId e : graph.hypergraph().LiveEdges()) {
+    if (graph.task(e).type == TaskType::kLoad) {
+      continue;
+    }
+    const std::string signature = graph.TaskSignature(e);
+    bool known;
+    if (options.use_index) {
+      known = history.HasTaskSignature(signature);
+      counts->Count(known);
+      if (options.validate_index &&
+          known != (scan_signatures.count(signature) > 0)) {
+        return Status::Internal(
+            "history index diverged from reference scan on task signature '" +
+            signature + "'");
+      }
+    } else {
+      known = scan_signatures.count(signature) > 0;
+    }
+    if (!known) {
+      new_tasks.push_back(e);
     }
   }
   return Status::OK();
@@ -134,7 +223,7 @@ double Augmenter::EdgeSeconds(const PipelineGraph& graph, EdgeId edge,
     const auto& heads = graph.ordered_head(edge);
     HYPPO_ASSIGN_OR_RETURN(
         NodeId h_node,
-        history.graph().FindArtifact(graph.artifact(heads[0]).name));
+        history.FindArtifact(graph.artifact(heads[0]).name));
     for (EdgeId e : history.graph().hypergraph().bstar(h_node)) {
       const TaskInfo& h_task = history.graph().task(e);
       if (h_task.type == task.type && h_task.impl == task.impl) {
@@ -191,6 +280,7 @@ Result<Augmentation> Augmenter::Augment(const Pipeline& pipeline,
   }
 
   const PipelineGraph& hist = history.graph();
+  ProbeCounts counts;
 
   // 2. Splice in every history derivation that can contribute to an
   //    artifact (equivalent to one) in the pipeline. Equivalent artifacts
@@ -198,12 +288,18 @@ Result<Augmentation> Augmenter::Augment(const Pipeline& pipeline,
   if (options.use_history) {
     std::vector<NodeId> matched;
     for (NodeId v = 1; v < aug.graph.num_artifacts(); ++v) {
-      Result<NodeId> h_node = hist.FindArtifact(aug.graph.artifact(v).name);
+      Result<NodeId> h_node =
+          options.use_index ? history.FindArtifact(aug.graph.artifact(v).name)
+                            : hist.FindArtifact(aug.graph.artifact(v).name);
+      if (options.use_index) {
+        counts.Count(h_node.ok());
+      }
       if (h_node.ok()) {
         matched.push_back(*h_node);
       }
     }
-    HYPPO_RETURN_NOT_OK(SpliceHistory(aug.graph, hist, matched, signatures));
+    HYPPO_RETURN_NOT_OK(
+        SpliceHistory(aug.graph, history, matched, signatures, options));
   }
 
   // 3. Dictionary alternatives.
@@ -213,22 +309,11 @@ Result<Augmentation> Augmenter::Augment(const Pipeline& pipeline,
   }
 
   // 4. Load edges.
-  HYPPO_RETURN_NOT_OK(
-      AddLoadEdges(aug.graph, history, options.use_materialized));
+  HYPPO_RETURN_NOT_OK(AddLoadEdges(aug.graph, history, options, &counts));
 
   // 5. New tasks: compute edges whose signature the history has not seen.
-  std::set<std::string> history_signatures;
-  for (EdgeId e : hist.hypergraph().LiveEdges()) {
-    history_signatures.insert(hist.TaskSignature(e));
-  }
-  for (EdgeId e : aug.graph.hypergraph().LiveEdges()) {
-    if (aug.graph.task(e).type == TaskType::kLoad) {
-      continue;
-    }
-    if (history_signatures.count(aug.graph.TaskSignature(e)) == 0) {
-      aug.new_tasks.push_back(e);
-    }
-  }
+  HYPPO_RETURN_NOT_OK(
+      CollectNewTasks(aug.graph, history, options, aug.new_tasks, &counts));
 
   // 6. Weights.
   const int32_t slots = aug.graph.hypergraph().num_edge_slots();
@@ -245,6 +330,10 @@ Result<Augmentation> Augmenter::Augment(const Pipeline& pipeline,
             ? aug.edge_seconds[static_cast<size_t>(e)]
             : EdgeWeight(aug.graph, e, history, options.objective);
   }
+  if (monitor_ != nullptr && options.use_index) {
+    monitor_->RecordIndexHits(counts.hits);
+    monitor_->RecordIndexMisses(counts.misses);
+  }
   return aug;
 }
 
@@ -252,20 +341,26 @@ Result<Augmentation> Augmenter::AugmentForRetrieval(
     const History& history, const std::vector<std::string>& target_names,
     const Options& options) const {
   const PipelineGraph& hist = history.graph();
+  ProbeCounts counts;
   std::vector<NodeId> matched;
   for (const std::string& name : target_names) {
-    HYPPO_ASSIGN_OR_RETURN(NodeId node, hist.FindArtifact(name));
-    matched.push_back(node);
+    Result<NodeId> node = options.use_index ? history.FindArtifact(name)
+                                            : hist.FindArtifact(name);
+    if (options.use_index) {
+      counts.Count(node.ok());
+    }
+    HYPPO_RETURN_NOT_OK(node.status());
+    matched.push_back(*node);
   }
   Augmentation aug;
   std::set<std::string> signatures;
-  HYPPO_RETURN_NOT_OK(SpliceHistory(aug.graph, hist, matched, signatures));
+  HYPPO_RETURN_NOT_OK(
+      SpliceHistory(aug.graph, history, matched, signatures, options));
   if (options.use_equivalences) {
     HYPPO_RETURN_NOT_OK(
         AddDictionaryAlternatives(aug.graph, *dictionary_, signatures));
   }
-  HYPPO_RETURN_NOT_OK(
-      AddLoadEdges(aug.graph, history, options.use_materialized));
+  HYPPO_RETURN_NOT_OK(AddLoadEdges(aug.graph, history, options, &counts));
   for (const std::string& name : target_names) {
     HYPPO_ASSIGN_OR_RETURN(NodeId node, aug.graph.FindArtifact(name));
     aug.targets.push_back(node);
@@ -273,10 +368,8 @@ Result<Augmentation> Augmenter::AugmentForRetrieval(
   // Weights; retrieval plans contain no new tasks from the pipeline's
   // perspective except spliced dictionary alternatives, which stay
   // eligible for exploration.
-  std::set<std::string> history_signatures;
-  for (EdgeId e : hist.hypergraph().LiveEdges()) {
-    history_signatures.insert(hist.TaskSignature(e));
-  }
+  HYPPO_RETURN_NOT_OK(
+      CollectNewTasks(aug.graph, history, options, aug.new_tasks, &counts));
   const int32_t slots = aug.graph.hypergraph().num_edge_slots();
   aug.edge_weight.assign(static_cast<size_t>(slots), 0.0);
   aug.edge_seconds.assign(static_cast<size_t>(slots), 0.0);
@@ -284,16 +377,16 @@ Result<Augmentation> Augmenter::AugmentForRetrieval(
     if (!aug.graph.hypergraph().IsLiveEdge(e)) {
       continue;
     }
-    if (aug.graph.task(e).type != TaskType::kLoad &&
-        history_signatures.count(aug.graph.TaskSignature(e)) == 0) {
-      aug.new_tasks.push_back(e);
-    }
     aug.edge_seconds[static_cast<size_t>(e)] =
         EdgeSeconds(aug.graph, e, history);
     aug.edge_weight[static_cast<size_t>(e)] =
         options.objective == Objective::kTime
             ? aug.edge_seconds[static_cast<size_t>(e)]
             : EdgeWeight(aug.graph, e, history, options.objective);
+  }
+  if (monitor_ != nullptr && options.use_index) {
+    monitor_->RecordIndexHits(counts.hits);
+    monitor_->RecordIndexMisses(counts.misses);
   }
   return aug;
 }

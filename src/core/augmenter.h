@@ -8,6 +8,7 @@
 #include "core/dictionary.h"
 #include "core/graph.h"
 #include "core/history.h"
+#include "core/monitor.h"
 #include "storage/artifact_store.h"
 
 namespace hyppo::core {
@@ -49,6 +50,15 @@ class Augmenter {
     bool use_history = true;
     /// Add load edges for materialized artifacts.
     bool use_materialized = true;
+    /// Answer equivalence lookups from the History's incremental index
+    /// (O(1) per probe) instead of scanning all history nodes/edges per
+    /// submission. Off = the reference scan path, kept as the
+    /// differential-testing baseline.
+    bool use_index = true;
+    /// Cross-check every indexed lookup against the reference scan and
+    /// fail with an internal error on divergence. Costs O(history) per
+    /// submission — for tests only.
+    bool validate_index = false;
     Objective objective = Objective::kTime;
   };
 
@@ -86,12 +96,16 @@ class Augmenter {
   double EdgeSeconds(const PipelineGraph& graph, EdgeId edge,
                      const History& history) const;
 
+  /// Attaches a monitor receiving index hit/miss telemetry (not owned).
+  void set_monitor(Monitor* monitor) { monitor_ = monitor; }
+
  private:
   const Dictionary* dictionary_;
   const CostEstimator* estimator_;
   storage::StorageTier local_tier_;
   storage::StorageTier remote_tier_;
   PricingModel pricing_;
+  Monitor* monitor_ = nullptr;
 };
 
 }  // namespace hyppo::core

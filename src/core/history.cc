@@ -1,29 +1,45 @@
 #include "core/history.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace hyppo::core {
 
+History::History() {
+  // The graph constructor creates the source node s; mirror it so the
+  // index covers every named node from the start.
+  IndexArtifact(graph_.artifact(graph_.source()).name, graph_.source());
+}
+
 NodeId History::Observe(const ArtifactInfo& info) {
-  Result<NodeId> existing = graph_.FindArtifact(info.name);
-  if (existing.ok()) {
+  auto it = index_.artifact_by_name.find(info.name);
+  if (it != index_.artifact_by_name.end()) {
+    const NodeId existing = it->second;
     // Refresh metadata with the latest (typically observed) values. The
     // size of a *materialized* artifact is frozen: it was charged against
     // the storage budget at Put time with its measured size, and letting
     // a later plan-time estimate overwrite it would silently desync the
     // history from the store's byte accounting. It thaws on eviction.
     EnsureRecords();
-    ArtifactInfo& stored = graph_.artifact(*existing);
-    if (info.size_bytes > 0 && !IsMaterialized(*existing)) {
+    ArtifactInfo& stored = graph_.artifact(existing);
+    if (info.size_bytes > 0 && !IsMaterialized(existing)) {
       stored.size_bytes = info.size_bytes;
     }
     if (info.rows > 0) {
       stored.rows = info.rows;
       stored.cols = info.cols;
     }
-    return *existing;
+    return existing;
   }
   NodeId node = graph_.AddArtifact(info).ValueOrDie();
   EnsureRecords();
+  IndexArtifact(info.name, node);
   return node;
+}
+
+void History::IndexTask(std::string signature, EdgeId edge) {
+  index_.task_by_signature.emplace(std::move(signature), edge);
+  index_.tasks_by_logical_op[graph_.task(edge).logical_op].push_back(edge);
 }
 
 Result<EdgeId> History::ObserveTask(const TaskInfo& info,
@@ -31,7 +47,9 @@ Result<EdgeId> History::ObserveTask(const TaskInfo& info,
                                     const std::vector<NodeId>& heads,
                                     double seconds) {
   // Deduplicate by signature: the same task re-executed does not add a
-  // parallel edge.
+  // parallel edge. Built to match PipelineGraph::TaskSignature exactly,
+  // so the augmenter can probe HasTaskSignature with signatures computed
+  // on the augmentation side.
   TaskInfo copy = info;
   std::string signature = copy.logical_op;
   signature += '|';
@@ -51,12 +69,12 @@ Result<EdgeId> History::ObserveTask(const TaskInfo& info,
     signature += ',';
   }
   EdgeId edge = kInvalidEdge;
-  auto it = edge_by_signature_.find(signature);
-  if (it != edge_by_signature_.end()) {
+  auto it = index_.task_by_signature.find(signature);
+  if (it != index_.task_by_signature.end()) {
     edge = it->second;
   } else {
     HYPPO_ASSIGN_OR_RETURN(edge, graph_.AddTask(std::move(copy), tails, heads));
-    edge_by_signature_.emplace(std::move(signature), edge);
+    IndexTask(std::move(signature), edge);
     EnsureEdgeStats();
   }
   if (seconds >= 0.0) {
@@ -77,6 +95,9 @@ Result<EdgeId> History::RegisterSourceData(NodeId node) {
   EnsureEdgeStats();
   rec.load_edge = edge;
   rec.materialized = true;  // retrievable from its source location
+  if (!IsSourceData(node)) {
+    index_.materialized.insert(node);
+  }
   return edge;
 }
 
@@ -107,6 +128,9 @@ Status History::MarkMaterialized(NodeId node) {
   EnsureEdgeStats();
   rec.load_edge = edge;
   rec.materialized = true;
+  if (!IsSourceData(node)) {
+    index_.materialized.insert(node);
+  }
   return Status::OK();
 }
 
@@ -124,23 +148,76 @@ Status History::EvictMaterialized(NodeId node) {
   rec.load_edge = kInvalidEdge;
   rec.materialized = false;
   ++rec.version;
+  index_.materialized.erase(node);
   return Status::OK();
 }
 
-std::vector<NodeId> History::MaterializedArtifacts() const {
-  std::vector<NodeId> nodes;
-  for (NodeId v = 1; v < graph_.num_artifacts(); ++v) {
-    if (static_cast<size_t>(v) < records_.size() && record(v).materialized &&
-        !IsSourceData(v)) {
-      nodes.push_back(v);
+Result<NodeId> History::FindArtifact(const std::string& name) const {
+  auto it = index_.artifact_by_name.find(name);
+  if (it == index_.artifact_by_name.end()) {
+    return Status::NotFound("no artifact named '" + name + "'");
+  }
+  return it->second;
+}
+
+const std::vector<EdgeId>& History::TasksForLogicalOp(
+    const std::string& op) const {
+  static const std::vector<EdgeId> kEmpty;
+  auto it = index_.tasks_by_logical_op.find(op);
+  return it == index_.tasks_by_logical_op.end() ? kEmpty : it->second;
+}
+
+std::vector<EdgeId> History::CollectBackwardRelevantEdges(
+    const std::vector<NodeId>& matched) const {
+  const Hypergraph& hg = graph_.hypergraph();
+  node_mark_.resize(static_cast<size_t>(hg.num_nodes()), 0);
+  edge_mark_.resize(static_cast<size_t>(hg.num_edge_slots()), 0);
+  if (++mark_epoch_ == 0) {
+    // Epoch wrapped: stale cells could alias the new epoch, so pay one
+    // full clear every 2^32 calls.
+    std::fill(node_mark_.begin(), node_mark_.end(), 0u);
+    std::fill(edge_mark_.begin(), edge_mark_.end(), 0u);
+    mark_epoch_ = 1;
+  }
+  const uint32_t epoch = mark_epoch_;
+  std::vector<NodeId> stack;
+  std::vector<EdgeId> out;
+  for (NodeId v : matched) {
+    if (hg.IsValidNode(v) && node_mark_[static_cast<size_t>(v)] != epoch) {
+      node_mark_[static_cast<size_t>(v)] = epoch;
+      stack.push_back(v);
     }
   }
-  return nodes;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (EdgeId e : hg.bstar(v)) {
+      if (!hg.IsLiveEdge(e) || edge_mark_[static_cast<size_t>(e)] == epoch) {
+        continue;
+      }
+      edge_mark_[static_cast<size_t>(e)] = epoch;
+      out.push_back(e);
+      for (NodeId t : hg.edge(e).tail) {
+        if (node_mark_[static_cast<size_t>(t)] != epoch) {
+          node_mark_[static_cast<size_t>(t)] = epoch;
+          stack.push_back(t);
+        }
+      }
+    }
+  }
+  // Ascending edge order keeps downstream splicing deterministic and
+  // byte-identical to the historical full-scan path.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> History::MaterializedArtifacts() const {
+  return {index_.materialized.begin(), index_.materialized.end()};
 }
 
 int64_t History::MaterializedBytes() const {
   int64_t bytes = 0;
-  for (NodeId v : MaterializedArtifacts()) {
+  for (NodeId v : index_.materialized) {
     bytes += graph_.artifact(v).size_bytes;
   }
   return bytes;
@@ -168,6 +245,196 @@ std::pair<double, int64_t> History::TaskObservation(EdgeId edge) const {
   }
   const EdgeStats& stats = edge_stats_[static_cast<size_t>(edge)];
   return {stats.total_seconds, stats.count};
+}
+
+Result<History::CompactionStats> History::Compact(
+    const CompactionOptions& options, double now_seconds) {
+  CompactionStats stats;
+  stats.nodes_before = num_artifacts();
+  stats.nodes_after = stats.nodes_before;
+  if (options.max_nodes <= 0 || num_artifacts() <= options.max_nodes) {
+    return stats;
+  }
+  const double fraction =
+      std::min(1.0, std::max(0.0, options.retain_fraction));
+  const int32_t target = std::max(
+      1, static_cast<int32_t>(static_cast<double>(options.max_nodes) *
+                              fraction));
+
+  // Partition non-source nodes into protected (data sources and
+  // materialized artifacts survive unconditionally: they back load edges
+  // the store still honours) and eviction candidates.
+  std::vector<NodeId> kept;
+  std::vector<NodeId> candidates;
+  for (NodeId v = 1; v < graph_.num_artifacts(); ++v) {
+    if (IsSourceData(v) || record(v).materialized) {
+      kept.push_back(v);
+    } else {
+      candidates.push_back(v);
+    }
+  }
+
+  const int32_t slots =
+      std::max(0, target - static_cast<int32_t>(kept.size()));
+  if (static_cast<int32_t>(candidates.size()) > slots) {
+    // Pareto retention over (reuse count, observed compute seconds,
+    // recency). Exact skylines are O(n^2); instead retain the frontier's
+    // per-criterion extreme points (top-K anchors, K = slots/8) and fill
+    // the remaining slots by a max-normalised scalarized score — every
+    // per-criterion maximum is provably retained, the rest approximates
+    // the dominated-volume order.
+    struct Scored {
+      NodeId node;
+      double access = 0.0;
+      double compute = 0.0;
+      double recency = 0.0;
+      double combined = 0.0;
+    };
+    std::vector<Scored> scored;
+    scored.reserve(candidates.size());
+    double max_access = 0.0, max_compute = 0.0, max_recency = 0.0;
+    for (NodeId v : candidates) {
+      const ArtifactRecord& rec = record(v);
+      Scored s;
+      s.node = v;
+      s.access = static_cast<double>(rec.access_count);
+      s.compute = rec.compute_seconds;
+      // Age decays linearly toward 0; never-accessed nodes stay at 0.
+      s.recency =
+          rec.access_count > 0
+              ? 1.0 / (1.0 + std::max(0.0, now_seconds -
+                                               rec.last_access_seconds))
+              : 0.0;
+      max_access = std::max(max_access, s.access);
+      max_compute = std::max(max_compute, s.compute);
+      max_recency = std::max(max_recency, s.recency);
+      scored.push_back(s);
+    }
+    for (Scored& s : scored) {
+      s.combined = (max_access > 0.0 ? s.access / max_access : 0.0) +
+                   (max_compute > 0.0 ? s.compute / max_compute : 0.0) +
+                   (max_recency > 0.0 ? s.recency / max_recency : 0.0);
+    }
+    const int32_t anchors = std::max(1, slots / 8);
+    std::vector<char> retained(scored.size(), 0);
+    int32_t retained_count = 0;
+    auto retain_top = [&](auto key) {
+      std::vector<size_t> order(scored.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        const double ka = key(scored[a]);
+        const double kb = key(scored[b]);
+        if (ka != kb) return ka > kb;
+        // Canonical names are the stable identity across rebuilds; node
+        // ids are not (they are re-assigned below).
+        return graph_.artifact(scored[a].node).name <
+               graph_.artifact(scored[b].node).name;
+      });
+      int32_t taken = 0;
+      for (size_t i : order) {
+        if (taken >= anchors || retained_count >= slots) break;
+        ++taken;
+        if (!retained[i]) {
+          retained[i] = 1;
+          ++retained_count;
+        }
+      }
+    };
+    retain_top([](const Scored& s) { return s.access; });
+    retain_top([](const Scored& s) { return s.compute; });
+    retain_top([](const Scored& s) { return s.recency; });
+    std::vector<size_t> order(scored.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (scored[a].combined != scored[b].combined) {
+        return scored[a].combined > scored[b].combined;
+      }
+      return graph_.artifact(scored[a].node).name <
+             graph_.artifact(scored[b].node).name;
+    });
+    for (size_t i : order) {
+      if (retained_count >= slots) break;
+      if (!retained[i]) {
+        retained[i] = 1;
+        ++retained_count;
+      }
+    }
+    for (size_t i = 0; i < scored.size(); ++i) {
+      if (retained[i]) {
+        kept.push_back(scored[i].node);
+      }
+    }
+  } else {
+    kept.insert(kept.end(), candidates.begin(), candidates.end());
+  }
+  std::sort(kept.begin(), kept.end());
+
+  // Rebuild a fresh history from the retained nodes; hypergraph node and
+  // edge slots cannot be reclaimed in place (the structure is
+  // append-only), so the survivors are replayed through the public
+  // mutators — which also rebuilds the index from scratch.
+  const int32_t edges_before = graph_.num_tasks();
+  History fresh;
+  std::vector<NodeId> to_fresh(static_cast<size_t>(graph_.num_artifacts()),
+                               kInvalidNode);
+  to_fresh[static_cast<size_t>(graph_.source())] = fresh.graph_.source();
+  for (NodeId v : kept) {
+    const NodeId nv = fresh.Observe(graph_.artifact(v));
+    to_fresh[static_cast<size_t>(v)] = nv;
+    const ArtifactRecord& old_rec = record(v);
+    ArtifactRecord& new_rec = fresh.record(nv);
+    new_rec.compute_seconds = old_rec.compute_seconds;
+    new_rec.compute_observations = old_rec.compute_observations;
+    new_rec.access_count = old_rec.access_count;
+    new_rec.last_access_seconds = old_rec.last_access_seconds;
+    new_rec.version = old_rec.version;
+    if (old_rec.materialized) {
+      if (IsSourceData(v)) {
+        HYPPO_RETURN_NOT_OK(fresh.RegisterSourceData(nv).status());
+      } else {
+        HYPPO_RETURN_NOT_OK(fresh.MarkMaterialized(nv));
+      }
+    }
+  }
+  for (EdgeId e : graph_.hypergraph().LiveEdges()) {
+    if (graph_.task(e).type == TaskType::kLoad) {
+      continue;  // load edges were re-derived from materialization state
+    }
+    bool alive = true;
+    std::vector<NodeId> tails;
+    std::vector<NodeId> heads;
+    for (NodeId t : graph_.ordered_tail(e)) {
+      const NodeId nt = to_fresh[static_cast<size_t>(t)];
+      if (nt == kInvalidNode) {
+        alive = false;
+        break;
+      }
+      tails.push_back(nt);
+    }
+    if (alive) {
+      for (NodeId h : graph_.ordered_head(e)) {
+        const NodeId nh = to_fresh[static_cast<size_t>(h)];
+        if (nh == kInvalidNode) {
+          alive = false;
+          break;
+        }
+        heads.push_back(nh);
+      }
+    }
+    if (!alive) {
+      continue;  // an endpoint was evicted; the derivation goes with it
+    }
+    HYPPO_ASSIGN_OR_RETURN(
+        const EdgeId ne,
+        fresh.ObserveTask(graph_.task(e), tails, heads, /*seconds=*/-1.0));
+    fresh.edge_stats_[static_cast<size_t>(ne)] =
+        edge_stats_[static_cast<size_t>(e)];
+  }
+  stats.nodes_after = fresh.num_artifacts();
+  stats.nodes_dropped = stats.nodes_before - stats.nodes_after;
+  stats.edges_dropped = edges_before - fresh.graph_.num_tasks();
+  *this = std::move(fresh);
+  return stats;
 }
 
 }  // namespace hyppo::core

@@ -1,8 +1,9 @@
 #ifndef HYPPO_CORE_HISTORY_H_
 #define HYPPO_CORE_HISTORY_H_
 
-#include <map>
+#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -26,6 +27,27 @@ struct ArtifactRecord {
   EdgeId load_edge = kInvalidEdge;
 };
 
+/// \brief Incrementally maintained hash index over the history graph.
+///
+/// Every History mutator keeps these maps in sync with the labelled
+/// hypergraph, so the augmenter answers its per-submission equivalence
+/// queries in O(1) instead of scanning all history nodes/edges (the
+/// fig9b plan-overhead flattening). The analysis verifier cross-checks
+/// index and graph (Verifier::CheckHistoryIndex); exposed read-only.
+struct HistoryIndex {
+  /// Canonical artifact name -> node (mirrors the graph's name map,
+  /// including the source node).
+  std::unordered_map<std::string, NodeId> artifact_by_name;
+  /// PipelineGraph::TaskSignature -> compute edge. Load edges are
+  /// excluded: they are derived from materialization state instead.
+  std::unordered_map<std::string, EdgeId> task_by_signature;
+  /// Logical-operator class -> live compute edges of that class, in
+  /// insertion (= edge id) order.
+  std::unordered_map<std::string, std::vector<EdgeId>> tasks_by_logical_op;
+  /// Materialized non-source artifacts (ordered: deterministic sweeps).
+  std::set<NodeId> materialized;
+};
+
 /// \brief The history H: a labelled hypergraph archiving all artifacts and
 /// tasks observed across pipeline executions, plus their statistics — the
 /// "dual cache" of §III-C4.
@@ -35,11 +57,18 @@ struct ArtifactRecord {
 /// statistics. Raw datasets keep a permanent 'load' edge from s (data
 /// sources are never evicted); derived artifacts gain a 'load' edge when
 /// materialized and lose it when evicted (§IV-H).
+///
+/// Mutators are single-owner (not thread-safe); concurrent readers are
+/// fine between mutations except for CollectBackwardRelevantEdges, which
+/// reuses marker scratch across calls.
 class History {
  public:
-  History() = default;
+  History();
 
   const PipelineGraph& graph() const { return graph_; }
+  /// Mutable graph access is a test-only backdoor (corruption fixtures):
+  /// mutating the graph directly desyncs the index, which
+  /// Verifier::CheckHistoryIndex is designed to catch.
   PipelineGraph& graph() { return graph_; }
 
   /// Finds or creates the artifact node for `info`, updating its metadata
@@ -84,11 +113,66 @@ class History {
     return records_[static_cast<size_t>(node)];
   }
 
-  /// All currently materialized (non-source) artifacts.
+  // -- Indexed lookups (O(1); backed by the incremental HistoryIndex) ----
+
+  /// Looks up an artifact node by canonical name.
+  Result<NodeId> FindArtifact(const std::string& name) const;
+
+  /// True iff a live compute edge with this PipelineGraph::TaskSignature
+  /// exists — the augmenter's new-task test, previously an O(E) scan.
+  bool HasTaskSignature(const std::string& signature) const {
+    return index_.task_by_signature.count(signature) > 0;
+  }
+
+  /// Live compute edges of one logical-operator class (empty if none).
+  const std::vector<EdgeId>& TasksForLogicalOp(const std::string& op) const;
+
+  /// Read-only view of the index for the analysis verifier.
+  const HistoryIndex& index() const { return index_; }
+
+  /// Ascending ids of all live edges backward-relevant to `matched`
+  /// (every hyperedge that can participate in deriving one of them,
+  /// recursively through tails). Cost is proportional to the relevant
+  /// sub-hypergraph, not the history size: marker scratch is epoch-reused
+  /// across calls instead of reallocated per submission.
+  std::vector<EdgeId> CollectBackwardRelevantEdges(
+      const std::vector<NodeId>& matched) const;
+
+  /// All currently materialized (non-source) artifacts, ascending.
   std::vector<NodeId> MaterializedArtifacts() const;
 
   /// Total bytes of materialized (non-source) artifacts.
   int64_t MaterializedBytes() const;
+
+  // -- Pareto history compaction (§IV-H extension) -----------------------
+
+  struct CompactionOptions {
+    /// Compact only when num_artifacts() exceeds this; <= 0 disables.
+    int32_t max_nodes = 0;
+    /// Compaction target as a fraction of max_nodes (hysteresis: dropping
+    /// to exactly max_nodes would re-trigger on the next observation).
+    double retain_fraction = 0.75;
+  };
+
+  struct CompactionStats {
+    int32_t nodes_before = 0;
+    int32_t nodes_after = 0;
+    int32_t nodes_dropped = 0;
+    int32_t edges_dropped = 0;
+  };
+
+  /// Drops dominated, unmaterialized derivations so the history stays
+  /// bounded as it grows without limit: data sources and materialized
+  /// artifacts are always retained, per-criterion anchors of the Pareto
+  /// frontier (reuse count, observed compute seconds, recency) are
+  /// retained next, and the remaining slots go to the highest combined
+  /// scores. Task edges incident to a dropped node are dropped with it.
+  ///
+  /// Rebuilds the graph: outstanding NodeId/EdgeId handles are
+  /// invalidated; canonical names remain the stable keys. No-op (zero
+  /// stats) while the history fits. `now_seconds` anchors recency.
+  Result<CompactionStats> Compact(const CompactionOptions& options,
+                                  double now_seconds);
 
   /// Mean observed duration of a task edge; falls back to `fallback` when
   /// never observed.
@@ -118,13 +202,24 @@ class History {
     records_.resize(static_cast<size_t>(graph_.num_artifacts()));
   }
   void EnsureEdgeStats() {
-    edge_stats_.resize(static_cast<size_t>(graph_.hypergraph().num_edge_slots()));
+    edge_stats_.resize(
+        static_cast<size_t>(graph_.hypergraph().num_edge_slots()));
   }
+  void IndexArtifact(const std::string& name, NodeId node) {
+    index_.artifact_by_name.emplace(name, node);
+  }
+  void IndexTask(std::string signature, EdgeId edge);
 
   PipelineGraph graph_;
   std::vector<ArtifactRecord> records_;
   std::vector<EdgeStats> edge_stats_;
-  std::map<std::string, EdgeId> edge_by_signature_;
+  HistoryIndex index_;
+  /// Epoch-marked scratch for CollectBackwardRelevantEdges: a cell is
+  /// "marked" iff it holds the current epoch, so clearing between calls
+  /// is one counter bump instead of an O(V + E) fill.
+  mutable std::vector<uint32_t> node_mark_;
+  mutable std::vector<uint32_t> edge_mark_;
+  mutable uint32_t mark_epoch_ = 0;
 };
 
 }  // namespace hyppo::core

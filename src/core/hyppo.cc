@@ -51,6 +51,9 @@ HyppoMethod::HyppoMethod(Runtime* runtime, Options options)
 Result<Method::Planned> HyppoMethod::PlanAugmentation(Augmentation aug) {
   WallClock clock;
   Stopwatch stopwatch(clock);
+  // last_stats_ accumulates across searches; the monitor wants this
+  // search's contribution, so record the delta.
+  const int64_t pruned_before = last_stats_.pruned_by_dominance;
   Result<Plan> search = generator_.Optimize(aug, options_.search,
                                             &last_stats_);
   if (!search.ok() && search.status().IsResourceExhausted()) {
@@ -59,6 +62,8 @@ Result<Method::Planned> HyppoMethod::PlanAugmentation(Augmentation aug) {
     greedy.strategy = PlanGenerator::Strategy::kGreedy;
     search = generator_.Optimize(aug, greedy, &last_stats_);
   }
+  runtime_->monitor().RecordStatesPruned(last_stats_.pruned_by_dominance -
+                                         pruned_before);
   HYPPO_ASSIGN_OR_RETURN(Plan plan, std::move(search));
   Planned planned;
   planned.aug = std::move(aug);
@@ -68,6 +73,7 @@ Result<Method::Planned> HyppoMethod::PlanAugmentation(Augmentation aug) {
 }
 
 Result<Plan> HyppoMethod::ReplanAugmentation(const Augmentation& aug) {
+  const int64_t pruned_before = last_stats_.pruned_by_dominance;
   Result<Plan> search = generator_.Optimize(aug, options_.search,
                                             &last_stats_);
   if (!search.ok() && search.status().IsResourceExhausted()) {
@@ -75,6 +81,8 @@ Result<Plan> HyppoMethod::ReplanAugmentation(const Augmentation& aug) {
     greedy.strategy = PlanGenerator::Strategy::kGreedy;
     search = generator_.Optimize(aug, greedy, &last_stats_);
   }
+  runtime_->monitor().RecordStatesPruned(last_stats_.pruned_by_dominance -
+                                         pruned_before);
   return search;
 }
 

@@ -59,6 +59,16 @@ class Monitor {
   /// Runtime plan re-verifications skipped because the static pre-check
   /// already cleared the plan (the fig9b plan-overhead win).
   void RecordPlanCheckSkipped() { ++num_plan_checks_skipped_; }
+  /// History-index telemetry: augmentation-time equivalence probes that
+  /// found (hit) / did not find (miss) an indexed entry.
+  void RecordIndexHits(int64_t count) { num_index_hits_ += count; }
+  void RecordIndexMisses(int64_t count) { num_index_misses_ += count; }
+  /// Search states the optimizer's dominance structure discarded.
+  void RecordStatesPruned(int64_t count) { num_states_pruned_ += count; }
+  /// History artifacts dropped by History::Compact.
+  void RecordHistoryCompacted(int64_t count) {
+    num_history_compacted_ += count;
+  }
 
   const std::map<TaskType, Aggregate>& by_task_type() const {
     return by_task_type_;
@@ -73,6 +83,10 @@ class Monitor {
   int64_t num_injected_faults() const { return num_injected_faults_; }
   int64_t num_static_clears() const { return num_static_clears_; }
   int64_t num_plan_checks_skipped() const { return num_plan_checks_skipped_; }
+  int64_t num_index_hits() const { return num_index_hits_; }
+  int64_t num_index_misses() const { return num_index_misses_; }
+  int64_t num_states_pruned() const { return num_states_pruned_; }
+  int64_t num_history_compacted() const { return num_history_compacted_; }
 
  private:
   CostEstimator* estimator_;
@@ -85,6 +99,10 @@ class Monitor {
   int64_t num_injected_faults_ = 0;
   int64_t num_static_clears_ = 0;
   int64_t num_plan_checks_skipped_ = 0;
+  int64_t num_index_hits_ = 0;
+  int64_t num_index_misses_ = 0;
+  int64_t num_states_pruned_ = 0;
+  int64_t num_history_compacted_ = 0;
 };
 
 }  // namespace hyppo::core

@@ -9,9 +9,9 @@
 #include <thread>
 
 #include "analysis/graph_checks.h"
+#include "common/antichain.h"
 #include "common/hash.h"
 #include "common/object_pool.h"
-#include "common/sharded_table.h"
 #include "common/thread_pool.h"
 #include "hypergraph/algorithms.h"
 
@@ -46,61 +46,27 @@ void SetBit(std::vector<uint64_t>& bits, NodeId node) {
       uint64_t{1} << (static_cast<size_t>(node) & 63);
 }
 
-// Full dominance key: two partial plans are interchangeable (up to cost)
-// exactly when they agree on BOTH the visited set and the frontier. The
-// dominance table stores this full state — a bare 64-bit hash would merge
+// Antichain dominance, keyed by the exact frontier. Two partial plans
+// with the same frontier face the same remaining choices, so one that has
+// visited a superset of the other's nodes at no greater cost can replay
+// any completion of the weaker plan at most as expensively — the weaker
+// plan is prunable. The table stores, per frontier, the antichain of
+// (visited, cost) entries; a full-state min-table (the previous
+// structure) is the degenerate case that only prunes exact revisits.
+// The full frontier is stored as the key — a bare 64-bit hash would merge
 // colliding states and could prune a cheaper optimal plan.
-struct StateKey {
-  std::vector<uint64_t> visited;
-  std::vector<NodeId> frontier;
-
-  StateKey() = default;
-  explicit StateKey(const Partial& p)
-      : visited(p.visited), frontier(p.frontier) {}
-  bool operator==(const StateKey& other) const = default;
-};
-
-uint64_t StateSignature(const std::vector<uint64_t>& visited,
-                        const std::vector<NodeId>& frontier) {
-  uint64_t hash = 0x9e3779b97f4a7c15ULL;
-  for (uint64_t word : visited) {
-    hash = HashCombine(hash, word);
-  }
-  for (NodeId v : frontier) {
-    hash = HashCombine(hash, static_cast<uint64_t>(v) + 1);
-  }
-  return hash;
-}
-
-// Transparent hash/equality: dominance probes pass the Partial itself and
-// only materialize a StateKey (two vector copies) on first insertion.
-struct StateHash {
-  using is_transparent = void;
-  size_t operator()(const StateKey& k) const {
-    return static_cast<size_t>(StateSignature(k.visited, k.frontier));
-  }
-  size_t operator()(const Partial& p) const {
-    return static_cast<size_t>(StateSignature(p.visited, p.frontier));
+struct FrontierHash {
+  size_t operator()(const std::vector<NodeId>& frontier) const {
+    uint64_t hash = 0x9e3779b97f4a7c15ULL;
+    for (NodeId v : frontier) {
+      hash = HashCombine(hash, static_cast<uint64_t>(v) + 1);
+    }
+    return static_cast<size_t>(hash);
   }
 };
 
-struct StateEq {
-  using is_transparent = void;
-  bool operator()(const StateKey& a, const StateKey& b) const {
-    return a.visited == b.visited && a.frontier == b.frontier;
-  }
-  bool operator()(const StateKey& a, const Partial& b) const {
-    return a.visited == b.visited && a.frontier == b.frontier;
-  }
-  bool operator()(const Partial& a, const StateKey& b) const {
-    return a.visited == b.visited && a.frontier == b.frontier;
-  }
-  bool operator()(const Partial& a, const Partial& b) const {
-    return a.visited == b.visited && a.frontier == b.frontier;
-  }
-};
-
-using DominanceTable = ShardedMinTable<StateKey, StateHash, StateEq>;
+using DominanceTable = ShardedAntichainTable<std::vector<NodeId>,
+                                             FrontierHash>;
 
 // Admissible priority (lower bound on the final cost of any completion):
 //   max( cost + max_{v in frontier} min_incoming(v),
@@ -464,9 +430,10 @@ class ParallelSearch {
         FinishOne();
         continue;
       }
-      // A strictly better same-state plan was recorded since this state
+      // A strictly better dominating plan was recorded since this state
       // was pushed.
-      if (dominance_.GetOr(current, kInf) < current.cost - kCostEps) {
+      if (dominance_.BestDominating(current.frontier, current.visited, kInf) <
+          current.cost - kCostEps) {
         ++pruned_dominance;
         pool.Release(std::move(current));
         FinishOne();
@@ -484,7 +451,7 @@ class ParallelSearch {
               pool.Release(std::move(next));
               return;
             }
-            if (!dominance_.Improve(next, next.cost)) {
+            if (!dominance_.Improve(next.frontier, next.visited, next.cost)) {
               ++pruned_dominance;
               pool.Release(std::move(next));
               return;
@@ -770,7 +737,7 @@ Result<Plan> PlanGenerator::OptimizeForTargets(
     bool found = false;
     int64_t budget = options.max_expansions;
     auto take_budget = [&budget]() { return --budget >= 0; };
-    // Full-state dominance (single shard: the serial engines are
+    // Antichain dominance (single shard: the serial engines are
     // single-threaded, so the shard mutex is uncontended). With dominance
     // pruning on, states are also filtered at insertion time; this bounds
     // the open containers' memory, which would otherwise balloon on
@@ -780,18 +747,19 @@ Result<Plan> PlanGenerator::OptimizeForTargets(
       if (!options.dominance_pruning) {
         return false;
       }
-      if (!dominance.Improve(p, p.cost)) {
+      if (!dominance.Improve(p.frontier, p.visited, p.cost)) {
         ++st.pruned_by_dominance;
         return true;
       }
       return false;
     };
-    // A strictly better same-state plan was pushed since.
+    // A strictly better dominating plan was pushed since.
     auto dominated_at_pop = [&](const Partial& p) {
       if (!options.dominance_pruning) {
         return false;
       }
-      if (dominance.GetOr(p, kInf) < p.cost - kCostEps) {
+      if (dominance.BestDominating(p.frontier, p.visited, kInf) <
+          p.cost - kCostEps) {
         ++st.pruned_by_dominance;
         return true;
       }

@@ -48,6 +48,7 @@ Runtime::Runtime(RuntimeOptions options, Dictionary dictionary)
       monitor_(&estimator_),
       augmenter_(&dictionary_, &estimator_, storage::StorageTier::Local(),
                  storage::StorageTier::Remote(), options_.pricing) {
+  augmenter_.set_monitor(&monitor_);
   if (options_.store_dir.empty()) {
     store_ = std::make_unique<storage::InMemoryArtifactStore>(
         storage::StorageTier::Local());
@@ -270,6 +271,20 @@ Result<Runtime::ExecutionRecord> Runtime::ExecuteInternal(
     }
     HYPPO_RETURN_NOT_OK(
         history_.ObserveTask(task, tails, heads, run.seconds).status());
+  }
+
+  // Bound history growth: compaction runs after all of this execution's
+  // observations landed, so the Pareto criteria see fresh access times and
+  // durations. The materializer only consumes canonical names (never node
+  // ids) after this returns, so rebuilding the history here is safe.
+  if (options_.history_max_artifacts > 0 &&
+      history_.num_artifacts() > options_.history_max_artifacts) {
+    History::CompactionOptions copts;
+    copts.max_nodes = options_.history_max_artifacts;
+    copts.retain_fraction = options_.history_retain_fraction;
+    HYPPO_ASSIGN_OR_RETURN(History::CompactionStats cstats,
+                           history_.Compact(copts, cumulative_seconds_));
+    monitor_.RecordHistoryCompacted(cstats.nodes_dropped);
   }
   return record;
 }

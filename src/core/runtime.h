@@ -59,6 +59,16 @@ struct RuntimeOptions {
   /// execution may take after task failures before the first failure
   /// surfaces as an error. 0 disables recovery entirely.
   int max_recovery_attempts = 3;
+  /// History growth bound: when the history holds more than this many
+  /// artifacts after an execution, Pareto compaction (History::Compact)
+  /// trims it back to the bound, keeping materialized, recently accessed,
+  /// expensive-to-recompute, and frequently reused artifacts. <= 0
+  /// (default) disables compaction — the history grows without bound.
+  int32_t history_max_artifacts = 0;
+  /// Fraction of `history_max_artifacts` that survives one compaction
+  /// (hysteresis: compacting below the trigger keeps compaction from
+  /// firing on every subsequent execution).
+  double history_retain_fraction = 0.75;
   /// Directory of a durable artifact store. Empty (default) keeps the
   /// session in memory; non-empty opens/creates a disk-backed tiered
   /// store there (storage/disk_store.h behind a memory front cache) and

@@ -63,6 +63,10 @@ void CollectRecoveryStats(const core::Runtime& runtime,
   result->failed_tasks = monitor.num_task_failures();
   result->recovered_tasks = monitor.num_recovered_tasks();
   result->injected_faults = monitor.num_injected_faults();
+  result->index_hits = monitor.num_index_hits();
+  result->index_misses = monitor.num_index_misses();
+  result->states_pruned = monitor.num_states_pruned();
+  result->history_compacted = monitor.num_history_compacted();
 }
 
 // End-of-run invariant audit: the history the scenario grew (plus the

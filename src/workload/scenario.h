@@ -77,6 +77,14 @@ struct SequenceResult {
   int64_t failed_tasks = 0;
   int64_t recovered_tasks = 0;
   int64_t injected_faults = 0;
+  /// Plan-overhead telemetry: equivalence probes the augmenter answered
+  /// from the history index (hits found an entry, misses did not), search
+  /// states the optimizer's dominance antichain discarded, and history
+  /// artifacts dropped by Pareto compaction.
+  int64_t index_hits = 0;
+  int64_t index_misses = 0;
+  int64_t states_pruned = 0;
+  int64_t history_compacted = 0;
 };
 
 /// Runs scenario 1: execute `num_pipelines` sequentially, materializing

@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/antichain.h"
 #include "common/clock.h"
 #include "common/hash.h"
 #include "common/object_pool.h"
@@ -293,6 +294,89 @@ TEST(ShardedMinTableTest, ConcurrentImprovesKeepGlobalMinimum) {
     // No thread ever offered a value above 96.
     EXPECT_LE(value, 96.0);
   }
+}
+
+TEST(BitsetContainsTest, SubsetSemantics) {
+  EXPECT_TRUE(BitsetContains({0b1110, 0b1}, {0b0110, 0b1}));
+  EXPECT_TRUE(BitsetContains({0b1110, 0b1}, {0b1110, 0b1}));  // equality
+  EXPECT_FALSE(BitsetContains({0b0110, 0b1}, {0b1110, 0b1}));
+  EXPECT_FALSE(BitsetContains({0b1110, 0b0}, {0b0010, 0b1}));
+  EXPECT_TRUE(BitsetContains({}, {}));  // empty contains empty
+}
+
+TEST(AntichainTableTest, SupersetAtLowerCostDominates) {
+  ShardedAntichainTable<int> table(4);
+  // visited {0,1} at cost 2 dominates visited {0} at cost >= 2.
+  EXPECT_TRUE(table.Improve(7, {0b011}, 2.0));
+  EXPECT_FALSE(table.Improve(7, {0b001}, 2.0));  // subset, equal cost
+  EXPECT_FALSE(table.Improve(7, {0b011}, 3.0));  // equal set, worse cost
+  EXPECT_TRUE(table.Improve(7, {0b001}, 1.0));   // subset but cheaper
+  EXPECT_EQ(table.size(), 2);
+  EXPECT_EQ(table.num_keys(), 1);
+}
+
+TEST(AntichainTableTest, InsertErasesEntriesItDominates) {
+  ShardedAntichainTable<int> table(1);
+  EXPECT_TRUE(table.Improve(0, {0b001}, 5.0));
+  EXPECT_TRUE(table.Improve(0, {0b010}, 5.0));  // incomparable: coexists
+  EXPECT_EQ(table.size(), 2);
+  // A superset at lower cost swallows both.
+  EXPECT_TRUE(table.Improve(0, {0b011}, 4.0));
+  EXPECT_EQ(table.size(), 1);
+  EXPECT_DOUBLE_EQ(table.BestDominating(0, {0b001}, 1e18), 4.0);
+}
+
+TEST(AntichainTableTest, BestDominatingFindsSupersetsOnly) {
+  ShardedAntichainTable<int> table(2);
+  EXPECT_TRUE(table.Improve(3, {0b110}, 2.0));
+  // {0b010} is a subset of the stored {0b110}: dominated at cost 2.
+  EXPECT_DOUBLE_EQ(table.BestDominating(3, {0b010}, 99.0), 2.0);
+  // {0b001} is not contained in {0b110}: fallback.
+  EXPECT_DOUBLE_EQ(table.BestDominating(3, {0b001}, 99.0), 99.0);
+  // Unknown key: fallback.
+  EXPECT_DOUBLE_EQ(table.BestDominating(4, {0b010}, 99.0), 99.0);
+}
+
+TEST(AntichainTableTest, KeysPartitionTheSpace) {
+  // Same bitset and cost under different keys never interact (the
+  // optimizer keys by frontier: dominance only holds frontier-to-equal-
+  // frontier).
+  ShardedAntichainTable<std::string> table(8);
+  EXPECT_TRUE(table.Improve("f1", {0b111}, 1.0));
+  EXPECT_TRUE(table.Improve("f2", {0b001}, 5.0));
+  EXPECT_DOUBLE_EQ(table.BestDominating("f2", {0b001}, 1e18), 5.0);
+  EXPECT_EQ(table.num_keys(), 2);
+}
+
+TEST(AntichainTableTest, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(ShardedAntichainTable<int>(0).num_shards(), 1);
+  EXPECT_EQ(ShardedAntichainTable<int>(3).num_shards(), 4);
+  EXPECT_EQ(ShardedAntichainTable<int>(8).num_shards(), 8);
+}
+
+TEST(AntichainTableTest, ConcurrentImprovesKeepAntichainSound) {
+  ShardedAntichainTable<int> table(8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&table, t]() {
+      for (int i = 0; i < 400; ++i) {
+        const uint64_t bits = 1ull << ((i + t) % 8);
+        const double cost = static_cast<double>((i * 13 + t * 7) % 31);
+        table.Improve(i % 6, {bits}, cost);
+        table.BestDominating(i % 6, {bits}, 1e18);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  // The full set at cost 0 dominates everything: each key collapses to
+  // one entry, proving insertion kept erasing dominated entries safely.
+  for (int key = 0; key < 6; ++key) {
+    table.Improve(key, {0xFFull}, 0.0);
+    EXPECT_DOUBLE_EQ(table.BestDominating(key, {0x01ull}, 1e18), 0.0);
+  }
+  EXPECT_EQ(table.size(), 6);
 }
 
 TEST(ThreadPoolReentrancyTest, InWorkerThreadDetection) {

@@ -261,5 +261,70 @@ TEST_P(ParallelPropertyTest, AllEnginesAgreeAtEveryThreadCount) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelPropertyTest,
                          ::testing::Range<uint64_t>(0, 12));
 
+// The antichain dominance structure (common/antichain.h) must be
+// cost-transparent: with pruning on, every exact engine still returns the
+// brute-force optimum at 1, 2, and 8 threads. This is the differential
+// guarantee for the frontier-keyed superset-visited dominance order — an
+// unsound prune would surface here as a cost regression.
+TEST_P(ParallelPropertyTest, DominanceAntichainPreservesOptimum) {
+  workload::SyntheticConfig config;
+  config.num_artifacts = 9 + static_cast<int32_t>(GetParam() % 4);
+  config.alternatives = 2 + static_cast<int32_t>(GetParam() % 2);
+  config.seed = GetParam() * 6271 + 17;
+  auto synthetic = workload::GenerateSyntheticHypergraph(config);
+  ASSERT_TRUE(synthetic.ok()) << synthetic.status();
+  const Augmentation& aug = synthetic->aug;
+  PlanGenerator generator;
+  auto brute = generator.BruteForce(aug);
+  ASSERT_TRUE(brute.ok()) << brute.status();
+  for (Strategy strategy : {Strategy::kStack, Strategy::kPriority,
+                            Strategy::kAStar, Strategy::kParallel}) {
+    for (int threads : {1, 2, 8}) {
+      if (strategy == Strategy::kStack && threads > 1) {
+        continue;
+      }
+      PlanGenerator::SearchStats stats;
+      auto plan = generator.Optimize(
+          aug, MakeOptions(strategy, threads, /*dominance=*/true), &stats);
+      ASSERT_TRUE(plan.ok())
+          << PlanGenerator::StrategyToString(strategy) << " threads="
+          << threads << ": " << plan.status();
+      EXPECT_NEAR(plan->cost, brute->cost, 1e-9)
+          << PlanGenerator::StrategyToString(strategy)
+          << " threads=" << threads;
+      EXPECT_TRUE(IsValidPlan(aug.graph.hypergraph(), plan->edges,
+                              {aug.graph.source()}, aug.targets));
+      EXPECT_GE(stats.pruned_by_dominance, 0);
+    }
+  }
+}
+
+// On alternative-rich instances the antichain must actually prune: a
+// dominance structure that never fires is dead weight, and one that fires
+// without changing the optimum is exactly what we want.
+TEST(ParallelOptimizerTest, DominancePrunesOnAlternativeRichInstances) {
+  workload::SyntheticConfig config;
+  config.num_artifacts = 12;
+  config.alternatives = 3;
+  config.seed = 97;
+  auto synthetic = workload::GenerateSyntheticHypergraph(config);
+  ASSERT_TRUE(synthetic.ok()) << synthetic.status();
+  PlanGenerator generator;
+  PlanGenerator::SearchStats pruned_stats;
+  auto pruned = generator.Optimize(
+      synthetic->aug, MakeOptions(Strategy::kPriority, 1, /*dominance=*/true),
+      &pruned_stats);
+  PlanGenerator::SearchStats plain_stats;
+  auto plain = generator.Optimize(
+      synthetic->aug, MakeOptions(Strategy::kPriority, 1, /*dominance=*/false),
+      &plain_stats);
+  ASSERT_TRUE(pruned.ok()) << pruned.status();
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  EXPECT_NEAR(pruned->cost, plain->cost, 1e-9);
+  EXPECT_GT(pruned_stats.pruned_by_dominance, 0);
+  // Pruning may only shrink the explored state space.
+  EXPECT_LE(pruned_stats.expansions, plain_stats.expansions);
+}
+
 }  // namespace
 }  // namespace hyppo::core
