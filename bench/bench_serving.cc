@@ -1,0 +1,208 @@
+// Multi-tenant serving throughput: N concurrent sessions share one
+// history + artifact store through serving::SessionManager, so one
+// session's materialized artifacts serve every other session's
+// equivalent plans. Reports per-configuration throughput, p50/p99
+// session latency, and the cross-session reuse that produces the
+// scaling (ROADMAP "Multi-tenant serving runtime"; docs/SERVING.md).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "core/pipeline_builder.h"
+#include "serving/session_manager.h"
+#include "workload/datagen.h"
+
+namespace {
+
+using hyppo::NodeId;
+using hyppo::Result;
+
+struct Config {
+  int64_t rows = 240;
+  int64_t cols = 6;
+  int pipelines_per_session = 3;
+  std::vector<int> sessions = {1, 2, 4, 8};
+};
+
+Config ConfigForScale() {
+  switch (hyppo::bench::BenchScale()) {
+    case hyppo::bench::Scale::kSmoke:
+      return {120, 5, 2, {1, 2}};
+    case hyppo::bench::Scale::kFull:
+      return {800, 10, 4, {1, 2, 4, 8}};
+    default:
+      return Config();
+  }
+}
+
+// The step-th pipeline of every session's exploratory sequence: shared
+// split + imputer + scaler preprocessing, model hyper-parameters varying
+// by step. Sessions run the same logical sequence — the serving analogue
+// of many users exploring the same dataset — so whichever session runs a
+// step first materializes the artifacts everyone else loads.
+Result<hyppo::core::Pipeline> StepPipeline(const Config& config, int session,
+                                           int step) {
+  hyppo::core::PipelineBuilder builder("serve-s" + std::to_string(session) +
+                                       "-p" + std::to_string(step));
+  HYPPO_ASSIGN_OR_RETURN(
+      NodeId data,
+      builder.LoadDataset("serving-unit", config.rows, config.cols));
+  HYPPO_ASSIGN_OR_RETURN(auto split, builder.Split(data));
+  hyppo::ml::Config impute;
+  impute.Set("strategy", "mean");
+  HYPPO_ASSIGN_OR_RETURN(
+      NodeId imputer,
+      builder.Fit("SimpleImputer", "skl.SimpleImputer", split.first, impute));
+  HYPPO_ASSIGN_OR_RETURN(NodeId train_i,
+                         builder.Transform(imputer, split.first));
+  HYPPO_ASSIGN_OR_RETURN(NodeId test_i,
+                         builder.Transform(imputer, split.second));
+  HYPPO_ASSIGN_OR_RETURN(
+      NodeId scaler,
+      builder.Fit("StandardScaler", "skl.StandardScaler", train_i));
+  HYPPO_ASSIGN_OR_RETURN(NodeId train_s, builder.Transform(scaler, train_i));
+  HYPPO_ASSIGN_OR_RETURN(NodeId test_s, builder.Transform(scaler, test_i));
+  hyppo::ml::Config model_config;
+  model_config.SetInt("max_depth", 3 + step);
+  HYPPO_ASSIGN_OR_RETURN(
+      NodeId model,
+      builder.Fit("DecisionTreeClassifier", "skl.DecisionTreeClassifier",
+                  train_s, model_config));
+  HYPPO_ASSIGN_OR_RETURN(NodeId preds, builder.Predict(model, test_s));
+  HYPPO_RETURN_NOT_OK(builder.Evaluate(preds, test_s, "accuracy").status());
+  return std::move(builder).Build();
+}
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+struct RunOutcome {
+  double wall_seconds = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  int64_t pipelines = 0;
+  int64_t reuse_loads = 0;
+  int64_t cross_session_loads = 0;
+  int64_t replans = 0;
+};
+
+Result<RunOutcome> RunConfiguration(const Config& config, int num_sessions) {
+  hyppo::serving::ServingOptions options;
+  options.runtime.simulate = false;
+  options.runtime.storage_budget_bytes = 8ll << 20;
+  options.max_in_flight_sessions = num_sessions;
+  hyppo::serving::SessionManager manager(options);
+  const Config cfg = config;
+  manager.runtime().RegisterDatasetGenerator("serving-unit", [cfg]() {
+    return hyppo::workload::GenerateHiggs(cfg.rows, cfg.cols, /*seed=*/7);
+  });
+  std::vector<hyppo::serving::SessionRequest> requests;
+  for (int s = 0; s < num_sessions; ++s) {
+    hyppo::serving::SessionRequest request;
+    request.session_id = "bench-" + std::to_string(s);
+    for (int p = 0; p < config.pipelines_per_session; ++p) {
+      HYPPO_ASSIGN_OR_RETURN(hyppo::core::Pipeline pipeline,
+                             StepPipeline(config, s, p));
+      request.pipelines.push_back(std::move(pipeline));
+    }
+    requests.push_back(std::move(request));
+  }
+  const hyppo::WallClock clock;
+  const hyppo::Stopwatch watch(clock);
+  const std::vector<hyppo::serving::SessionReport> reports =
+      manager.RunSessions(requests);
+  RunOutcome outcome;
+  outcome.wall_seconds = watch.Elapsed();
+  std::vector<double> session_walls;
+  for (const hyppo::serving::SessionReport& report : reports) {
+    HYPPO_RETURN_NOT_OK(report.status);
+    outcome.pipelines += report.pipelines_completed;
+    outcome.reuse_loads += report.reuse_loads;
+    outcome.cross_session_loads += report.cross_session_loads;
+    outcome.replans += report.replans;
+    session_walls.push_back(report.wall_seconds);
+  }
+  outcome.p50 = Quantile(session_walls, 0.5);
+  outcome.p99 = Quantile(session_walls, 0.99);
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const hyppo::bench::BenchArgs args =
+      hyppo::bench::ParseBenchArgs(argc, argv);
+  const Config config = ConfigForScale();
+  hyppo::bench::Banner(
+      "Multi-tenant serving: sessions sharing one history/store",
+      "ROADMAP serving runtime; cross-session reuse per Helix/Li et al.");
+
+  hyppo::bench::JsonWriter json("serving");
+  hyppo::bench::Table table({"sessions", "threads", "pipelines", "wall_s",
+                             "pipelines/s", "p50_s", "p99_s", "reuse",
+                             "x-session", "replans", "throughput"});
+  double base_throughput = 0.0;
+  for (int num_sessions : config.sessions) {
+    auto outcome = RunConfiguration(config, num_sessions);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "sessions=%d failed: %s\n", num_sessions,
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    const double throughput =
+        outcome->wall_seconds > 0.0
+            ? static_cast<double>(outcome->pipelines) / outcome->wall_seconds
+            : 0.0;
+    if (num_sessions == 1) {
+      base_throughput = throughput;
+    }
+    char wall[32], p50[32], p99[32], tput[32];
+    std::snprintf(wall, sizeof(wall), "%.3f", outcome->wall_seconds);
+    std::snprintf(p50, sizeof(p50), "%.3f", outcome->p50);
+    std::snprintf(p99, sizeof(p99), "%.3f", outcome->p99);
+    std::snprintf(tput, sizeof(tput), "%.2f", throughput);
+    table.AddRow({std::to_string(num_sessions),
+                  std::to_string(num_sessions),
+                  std::to_string(outcome->pipelines), wall, tput, p50, p99,
+                  std::to_string(outcome->reuse_loads),
+                  std::to_string(outcome->cross_session_loads),
+                  std::to_string(outcome->replans),
+                  hyppo::bench::Speedup(throughput, base_throughput)});
+    json.AddRow("serving")
+        .Set("sessions", num_sessions)
+        .Set("threads", num_sessions)
+        .Set("pipelines", static_cast<double>(outcome->pipelines))
+        .Set("wall_seconds", outcome->wall_seconds)
+        .Set("throughput_pipelines_per_second", throughput)
+        .Set("p50_session_seconds", outcome->p50)
+        .Set("p99_session_seconds", outcome->p99)
+        .Set("reuse_loads", static_cast<double>(outcome->reuse_loads))
+        .Set("cross_session_loads",
+             static_cast<double>(outcome->cross_session_loads))
+        .Set("replans", static_cast<double>(outcome->replans));
+  }
+  table.Print();
+  std::printf(
+      "\nThroughput scales with sessions because later sessions load the\n"
+      "prefix artifacts the first session materialized instead of\n"
+      "recomputing them (cross-session reuse; x-session > 0).\n");
+  const std::string json_path =
+      hyppo::bench::ResolveJsonPath(args, "BENCH_serving.json");
+  if (!json_path.empty() && !json.WriteTo(json_path)) {
+    return 1;
+  }
+  return 0;
+}

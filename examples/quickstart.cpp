@@ -12,9 +12,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/string_util.h"
 #include "core/hyppo.h"
+#include "serving/session_manager.h"
 #include "workload/datagen.h"
 
 namespace {
@@ -70,17 +72,80 @@ void PrintReport(const char* label,
   }
 }
 
+// Multi-tenant serving demo (--sessions N, N > 1): N concurrent client
+// sessions share one runtime (history + store) through a
+// serving::SessionManager. Every session submits both Fig. 1 iterations;
+// whichever session materializes the shared prefix first serves everyone
+// else's plans (cross-session reuse, docs/SERVING.md).
+int RunServingDemo(const hyppo::core::HyppoSystem::Options& base,
+                   int num_sessions) {
+  namespace serving = hyppo::serving;
+  serving::ServingOptions options;
+  options.runtime = base.runtime;
+  options.method = base.method;
+  options.max_in_flight_sessions = num_sessions;
+  serving::SessionManager manager(options);
+  manager.session_status().Abort("open store");
+
+  auto higgs = hyppo::workload::GenerateHiggs(8000, 30, /*seed=*/42);
+  higgs.status().Abort("GenerateHiggs");
+  manager.runtime().RegisterDataset("higgs", *higgs);
+
+  std::vector<serving::SessionRequest> requests;
+  for (int s = 0; s < num_sessions; ++s) {
+    serving::SessionRequest request;
+    request.session_id = "client-" + std::to_string(s);
+    auto v1 = hyppo::core::ParsePipeline(
+        kPipelineV1, "fig1-v1-s" + std::to_string(s),
+        manager.runtime().dictionary());
+    v1.status().Abort("parse v1");
+    auto v2 = hyppo::core::ParsePipeline(
+        kPipelineV2, "fig1-v2-s" + std::to_string(s),
+        manager.runtime().dictionary());
+    v2.status().Abort("parse v2");
+    request.pipelines.push_back(*std::move(v1));
+    request.pipelines.push_back(*std::move(v2));
+    requests.push_back(std::move(request));
+  }
+
+  std::printf("serving %d concurrent sessions against one shared history\n",
+              num_sessions);
+  const auto reports = manager.RunSessions(requests);
+  for (const auto& report : reports) {
+    report.status.Abort(report.session_id.c_str());
+    std::printf(
+        "  %s: %d pipelines, exec %s, reuse loads %lld "
+        "(%lld cross-session)\n",
+        report.session_id.c_str(), report.pipelines_completed,
+        hyppo::FormatSeconds(report.charged_seconds).c_str(),
+        static_cast<long long>(report.reuse_loads),
+        static_cast<long long>(report.cross_session_loads));
+  }
+  const serving::SessionManager::Stats stats = manager.stats();
+  // Marker line for the CI serving check.
+  std::printf(
+      "served %lld sessions with %lld cross-session reuse loads\n",
+      static_cast<long long>(stats.sessions_completed),
+      static_cast<long long>(stats.cross_session_loads));
+  std::printf("history: %d artifacts, %zu materialized\n",
+              manager.runtime().history().num_artifacts(),
+              manager.runtime().history().MaterializedArtifacts().size());
+  return 0;
+}
+
 }  // namespace
 
 // Usage: quickstart [--parallelism <n|auto>] [--store-dir <dir>]
-//        [catalog-dir]
+//        [--sessions <n>] [catalog-dir]
 //
 // --parallelism sets the worker-thread count for execution and for the
 // optimizer's parallel plan search ("auto" = all hardware threads).
 // --store-dir makes the session durable: materialized artifacts live in a
 // disk-backed tiered store under <dir> and the history is checkpointed
 // there, so running quickstart twice with the same --store-dir reuses the
-// first run's artifacts across the process boundary. An optional
+// first run's artifacts across the process boundary. --sessions N (N > 1)
+// switches to the multi-tenant serving demo: N concurrent sessions share
+// one history/store and reuse each other's materializations. An optional
 // positional argument names a directory to save the session's catalog
 // into (history + materialized artifacts); `tools/hyppo_lint <dir>` can
 // then verify the saved history's invariants.
@@ -91,6 +156,7 @@ int main(int argc, char** argv) {
   options.runtime.storage_budget_bytes = 8ll << 20;  // 8 MiB budget
 
   const char* catalog_dir = nullptr;
+  int sessions = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--parallelism") == 0 && i + 1 < argc) {
       const std::string value = argv[++i];
@@ -104,9 +170,19 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--store-dir") == 0 && i + 1 < argc) {
       options.runtime.store_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
+      sessions = std::atoi(argv[++i]);
+      if (sessions < 1) {
+        std::fprintf(stderr, "invalid --sessions value '%s'\n", argv[i]);
+        return 1;
+      }
     } else {
       catalog_dir = argv[i];
     }
+  }
+
+  if (sessions > 1) {
+    return RunServingDemo(options, sessions);
   }
 
   HyppoSystem system(options);

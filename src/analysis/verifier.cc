@@ -432,6 +432,21 @@ AnalysisReport Verifier::CheckHistoryIndex(const History& history) const {
                         " live compute edges");
   }
 
+  // Statistics records must cover every node. A short records vector —
+  // e.g. a node added to the graph behind the History mutators' back, or
+  // an unsynchronized Observe racing a reader — would silently clamp the
+  // materialized sweep below, so it is an explicit error, not a mask.
+  // (A fresh history legitimately holds the source node with no records:
+  // the vector is allocated lazily by the first mutator.)
+  if (hg.num_nodes() > 1 && history.num_records() < hg.num_nodes()) {
+    report.AddError("index.records-short",
+                    "history holds " +
+                        std::to_string(history.num_records()) +
+                        " statistics records for " +
+                        std::to_string(hg.num_nodes()) +
+                        " nodes; the newest artifacts have no records");
+  }
+
   // Materialized set: exactly the non-source artifacts whose record says
   // materialized.
   for (NodeId v = 1; v < std::min(hg.num_nodes(), history.num_records());

@@ -13,12 +13,16 @@ int CostEstimator::CellBucket(int64_t rows, int64_t cols) {
 
 void CostEstimator::Observe(const std::string& impl, TaskType type,
                             int64_t rows, int64_t cols, double seconds) {
-  BucketStats& bucket = stats_[StatsKey(impl, type)][CellBucket(rows, cols)];
-  bucket.total_seconds += seconds;
-  bucket.total_cells += static_cast<double>(rows) *
-                        static_cast<double>(std::max<int64_t>(1, cols));
-  ++bucket.count;
-  ++num_observations_;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    BucketStats& bucket =
+        stats_[StatsKey(impl, type)][CellBucket(rows, cols)];
+    bucket.total_seconds += seconds;
+    bucket.total_cells += static_cast<double>(rows) *
+                          static_cast<double>(std::max<int64_t>(1, cols));
+    ++bucket.count;
+  }
+  num_observations_.fetch_add(1, std::memory_order_relaxed);
 }
 
 double CostEstimator::EstimateTaskSeconds(const TaskInfo& task, int64_t rows,
@@ -26,30 +30,33 @@ double CostEstimator::EstimateTaskSeconds(const TaskInfo& task, int64_t rows,
   const double cells = std::max<double>(
       1.0, static_cast<double>(rows) *
                static_cast<double>(std::max<int64_t>(1, cols)));
-  auto key_it = stats_.find(StatsKey(task.impl, task.type));
-  if (key_it != stats_.end() && !key_it->second.empty()) {
-    const int bucket = CellBucket(rows, cols);
-    // Exact bucket, else nearest observed bucket scaled linearly by cell
-    // count (operators in the catalog are near-linear in cells at fixed
-    // configuration).
-    auto exact = key_it->second.find(bucket);
-    if (exact != key_it->second.end()) {
-      return exact->second.total_seconds /
-             static_cast<double>(exact->second.count);
-    }
-    int best_distance = 1 << 30;
-    const BucketStats* best = nullptr;
-    for (const auto& [b, stats] : key_it->second) {
-      const int distance = std::abs(b - bucket);
-      if (distance < best_distance) {
-        best_distance = distance;
-        best = &stats;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    auto key_it = stats_.find(StatsKey(task.impl, task.type));
+    if (key_it != stats_.end() && !key_it->second.empty()) {
+      const int bucket = CellBucket(rows, cols);
+      // Exact bucket, else nearest observed bucket scaled linearly by cell
+      // count (operators in the catalog are near-linear in cells at fixed
+      // configuration).
+      auto exact = key_it->second.find(bucket);
+      if (exact != key_it->second.end()) {
+        return exact->second.total_seconds /
+               static_cast<double>(exact->second.count);
       }
-    }
-    if (best != nullptr && best->total_cells > 0.0) {
-      const double seconds_per_cell =
-          best->total_seconds / best->total_cells;
-      return seconds_per_cell * cells;
+      int best_distance = 1 << 30;
+      const BucketStats* best = nullptr;
+      for (const auto& [b, stats] : key_it->second) {
+        const int distance = std::abs(b - bucket);
+        if (distance < best_distance) {
+          best_distance = distance;
+          best = &stats;
+        }
+      }
+      if (best != nullptr && best->total_cells > 0.0) {
+        const double seconds_per_cell =
+            best->total_seconds / best->total_cells;
+        return seconds_per_cell * cells;
+      }
     }
   }
   // Fallback: the implementation's registered cost formula.

@@ -1,8 +1,10 @@
 #ifndef HYPPO_CORE_COST_MODEL_H_
 #define HYPPO_CORE_COST_MODEL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "common/result.h"
@@ -45,6 +47,10 @@ struct PricingModel {
 /// registered cost formula (PhysicalOperator::CostHint). The monitor feeds
 /// observations after every executed task, so estimates sharpen as the
 /// history grows.
+///
+/// Thread-safe: concurrent serving sessions (src/serving) Observe from
+/// their execution threads while other sessions estimate during
+/// planning, so the bucket map is guarded by an internal mutex.
 class CostEstimator {
  public:
   explicit CostEstimator(
@@ -62,7 +68,9 @@ class CostEstimator {
                              int64_t cols) const;
 
   /// Number of recorded observations.
-  int64_t num_observations() const { return num_observations_; }
+  int64_t num_observations() const {
+    return num_observations_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct BucketStats {
@@ -77,8 +85,11 @@ class CostEstimator {
   static int CellBucket(int64_t rows, int64_t cols);
 
   const ml::OperatorRegistry* registry_;
+  /// Guards stats_ (observations land from execution threads while
+  /// planners estimate concurrently).
+  mutable std::mutex stats_mutex_;
   std::map<std::string, std::map<int, BucketStats>> stats_;
-  int64_t num_observations_ = 0;
+  std::atomic<int64_t> num_observations_{0};
 };
 
 }  // namespace hyppo::core

@@ -167,24 +167,43 @@ const std::vector<EdgeId>& History::TasksForLogicalOp(
   return it == index_.tasks_by_logical_op.end() ? kEmpty : it->second;
 }
 
+namespace {
+
+/// Epoch-marked traversal scratch for CollectBackwardRelevantEdges.
+/// Thread-local (not a History member) so concurrent planning sessions —
+/// which reach the traversal under the catalog lock's *reader* side —
+/// never share or race on it, and History stays freely movable. Sharing
+/// one scratch across History objects on a thread is safe: cells are
+/// valid only while they hold the thread's current epoch.
+struct MarkScratch {
+  std::vector<uint32_t> node_mark;
+  std::vector<uint32_t> edge_mark;
+  uint32_t epoch = 0;
+};
+
+}  // namespace
+
 std::vector<EdgeId> History::CollectBackwardRelevantEdges(
     const std::vector<NodeId>& matched) const {
+  static thread_local MarkScratch scratch;
   const Hypergraph& hg = graph_.hypergraph();
-  node_mark_.resize(static_cast<size_t>(hg.num_nodes()), 0);
-  edge_mark_.resize(static_cast<size_t>(hg.num_edge_slots()), 0);
-  if (++mark_epoch_ == 0) {
+  std::vector<uint32_t>& node_mark = scratch.node_mark;
+  std::vector<uint32_t>& edge_mark = scratch.edge_mark;
+  node_mark.resize(static_cast<size_t>(hg.num_nodes()), 0);
+  edge_mark.resize(static_cast<size_t>(hg.num_edge_slots()), 0);
+  if (++scratch.epoch == 0) {
     // Epoch wrapped: stale cells could alias the new epoch, so pay one
     // full clear every 2^32 calls.
-    std::fill(node_mark_.begin(), node_mark_.end(), 0u);
-    std::fill(edge_mark_.begin(), edge_mark_.end(), 0u);
-    mark_epoch_ = 1;
+    std::fill(node_mark.begin(), node_mark.end(), 0u);
+    std::fill(edge_mark.begin(), edge_mark.end(), 0u);
+    scratch.epoch = 1;
   }
-  const uint32_t epoch = mark_epoch_;
+  const uint32_t epoch = scratch.epoch;
   std::vector<NodeId> stack;
   std::vector<EdgeId> out;
   for (NodeId v : matched) {
-    if (hg.IsValidNode(v) && node_mark_[static_cast<size_t>(v)] != epoch) {
-      node_mark_[static_cast<size_t>(v)] = epoch;
+    if (hg.IsValidNode(v) && node_mark[static_cast<size_t>(v)] != epoch) {
+      node_mark[static_cast<size_t>(v)] = epoch;
       stack.push_back(v);
     }
   }
@@ -192,14 +211,14 @@ std::vector<EdgeId> History::CollectBackwardRelevantEdges(
     const NodeId v = stack.back();
     stack.pop_back();
     for (EdgeId e : hg.bstar(v)) {
-      if (!hg.IsLiveEdge(e) || edge_mark_[static_cast<size_t>(e)] == epoch) {
+      if (!hg.IsLiveEdge(e) || edge_mark[static_cast<size_t>(e)] == epoch) {
         continue;
       }
-      edge_mark_[static_cast<size_t>(e)] = epoch;
+      edge_mark[static_cast<size_t>(e)] = epoch;
       out.push_back(e);
       for (NodeId t : hg.edge(e).tail) {
-        if (node_mark_[static_cast<size_t>(t)] != epoch) {
-          node_mark_[static_cast<size_t>(t)] = epoch;
+        if (node_mark[static_cast<size_t>(t)] != epoch) {
+          node_mark[static_cast<size_t>(t)] = epoch;
           stack.push_back(t);
         }
       }

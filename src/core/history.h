@@ -59,8 +59,10 @@ struct HistoryIndex {
 /// materialized and lose it when evicted (§IV-H).
 ///
 /// Mutators are single-owner (not thread-safe); concurrent readers are
-/// fine between mutations except for CollectBackwardRelevantEdges, which
-/// reuses marker scratch across calls.
+/// fine between mutations, *including* CollectBackwardRelevantEdges:
+/// its marker scratch is thread-local, so concurrent planners
+/// (serving::SessionManager holds them under the reader side of the
+/// catalog lock) never contend on it.
 class History {
  public:
   History();
@@ -134,7 +136,8 @@ class History {
   /// (every hyperedge that can participate in deriving one of them,
   /// recursively through tails). Cost is proportional to the relevant
   /// sub-hypergraph, not the history size: marker scratch is epoch-reused
-  /// across calls instead of reallocated per submission.
+  /// across calls instead of reallocated per submission. Scratch lives in
+  /// thread-local storage, so concurrent readers are safe and share-free.
   std::vector<EdgeId> CollectBackwardRelevantEdges(
       const std::vector<NodeId>& matched) const;
 
@@ -214,12 +217,6 @@ class History {
   std::vector<ArtifactRecord> records_;
   std::vector<EdgeStats> edge_stats_;
   HistoryIndex index_;
-  /// Epoch-marked scratch for CollectBackwardRelevantEdges: a cell is
-  /// "marked" iff it holds the current epoch, so clearing between calls
-  /// is one counter bump instead of an O(V + E) fill.
-  mutable std::vector<uint32_t> node_mark_;
-  mutable std::vector<uint32_t> edge_mark_;
-  mutable uint32_t mark_epoch_ = 0;
 };
 
 }  // namespace hyppo::core

@@ -4,10 +4,13 @@ namespace hyppo::core {
 
 void Monitor::RecordTask(const std::string& impl, TaskType type, int64_t rows,
                          int64_t cols, double seconds) {
-  Aggregate& agg = by_task_type_[type];
-  agg.total_seconds += seconds;
-  ++agg.count;
-  ++num_task_records_;
+  {
+    std::lock_guard<std::mutex> lock(aggregates_mutex_);
+    Aggregate& agg = by_task_type_[type];
+    agg.total_seconds += seconds;
+    ++agg.count;
+  }
+  Add(&num_task_records_, 1);
   if (estimator_ != nullptr && type != TaskType::kLoad && !impl.empty()) {
     estimator_->Observe(impl, type, rows, cols, seconds);
   }
@@ -15,6 +18,7 @@ void Monitor::RecordTask(const std::string& impl, TaskType type, int64_t rows,
 
 void Monitor::RecordArtifact(ArtifactKind kind, int64_t size_bytes,
                              double compute_seconds) {
+  std::lock_guard<std::mutex> lock(aggregates_mutex_);
   Aggregate& agg = by_artifact_kind_[kind];
   agg.total_seconds += compute_seconds;
   agg.total_bytes += size_bytes;

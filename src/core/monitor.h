@@ -1,8 +1,10 @@
 #ifndef HYPPO_CORE_MONITOR_H_
 #define HYPPO_CORE_MONITOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "core/artifact.h"
@@ -14,6 +16,12 @@ namespace hyppo::core {
 /// \brief Execution monitor (paper §IV-F): collects task traces, feeds the
 /// cost estimator, and aggregates the per-task-type / per-artifact-kind
 /// statistics reported in the paper's Fig. 5 study.
+///
+/// Thread-safe: concurrent serving sessions (src/serving) record task
+/// runs and telemetry outside the catalog lock, so counters are atomics
+/// and the aggregate maps are guarded by an internal mutex. The map
+/// accessors return references; read them only after concurrent
+/// execution has quiesced (end of a scenario / session batch).
 class Monitor {
  public:
   explicit Monitor(CostEstimator* estimator = nullptr)
@@ -46,28 +54,40 @@ class Monitor {
 
   /// Recovery telemetry (execution-layer self-healing): one replan per
   /// degrade-and-re-optimize round.
-  void RecordReplan() { ++num_replans_; }
+  void RecordReplan() { Add(&num_replans_, 1); }
   /// Tasks that errored during execution (before recovery retried them).
-  void RecordTaskFailures(int64_t count) { num_task_failures_ += count; }
+  void RecordTaskFailures(int64_t count) { Add(&num_task_failures_, count); }
   /// Tasks a recovery attempt skipped because their payloads survived.
-  void RecordRecoveredTasks(int64_t count) { num_recovered_tasks_ += count; }
+  void RecordRecoveredTasks(int64_t count) {
+    Add(&num_recovered_tasks_, count);
+  }
   /// Faults injected by an attached storage::FaultInjector.
-  void RecordInjectedFaults(int64_t count) { num_injected_faults_ += count; }
+  void RecordInjectedFaults(int64_t count) {
+    Add(&num_injected_faults_, count);
+  }
   /// Static-analysis telemetry: one clear per plan the submit-time
   /// pre-check proved well-formed before execution.
-  void RecordStaticClear() { ++num_static_clears_; }
+  void RecordStaticClear() { Add(&num_static_clears_, 1); }
   /// Runtime plan re-verifications skipped because the static pre-check
   /// already cleared the plan (the fig9b plan-overhead win).
-  void RecordPlanCheckSkipped() { ++num_plan_checks_skipped_; }
+  void RecordPlanCheckSkipped() { Add(&num_plan_checks_skipped_, 1); }
   /// History-index telemetry: augmentation-time equivalence probes that
   /// found (hit) / did not find (miss) an indexed entry.
-  void RecordIndexHits(int64_t count) { num_index_hits_ += count; }
-  void RecordIndexMisses(int64_t count) { num_index_misses_ += count; }
+  void RecordIndexHits(int64_t count) { Add(&num_index_hits_, count); }
+  void RecordIndexMisses(int64_t count) { Add(&num_index_misses_, count); }
   /// Search states the optimizer's dominance structure discarded.
-  void RecordStatesPruned(int64_t count) { num_states_pruned_ += count; }
+  void RecordStatesPruned(int64_t count) { Add(&num_states_pruned_, count); }
   /// History artifacts dropped by History::Compact.
   void RecordHistoryCompacted(int64_t count) {
-    num_history_compacted_ += count;
+    Add(&num_history_compacted_, count);
+  }
+  /// Serving telemetry (src/serving): planned loads of materialized
+  /// non-raw artifacts (reuse of earlier work), and the subset whose
+  /// artifact a *different* session materialized (cross-session reuse —
+  /// the multi-tenant payoff).
+  void RecordReuseLoads(int64_t count) { Add(&num_reuse_loads_, count); }
+  void RecordCrossSessionLoads(int64_t count) {
+    Add(&num_cross_session_loads_, count);
   }
 
   const std::map<TaskType, Aggregate>& by_task_type() const {
@@ -76,33 +96,52 @@ class Monitor {
   const std::map<ArtifactKind, Aggregate>& by_artifact_kind() const {
     return by_artifact_kind_;
   }
-  int64_t num_task_records() const { return num_task_records_; }
-  int64_t num_replans() const { return num_replans_; }
-  int64_t num_task_failures() const { return num_task_failures_; }
-  int64_t num_recovered_tasks() const { return num_recovered_tasks_; }
-  int64_t num_injected_faults() const { return num_injected_faults_; }
-  int64_t num_static_clears() const { return num_static_clears_; }
-  int64_t num_plan_checks_skipped() const { return num_plan_checks_skipped_; }
-  int64_t num_index_hits() const { return num_index_hits_; }
-  int64_t num_index_misses() const { return num_index_misses_; }
-  int64_t num_states_pruned() const { return num_states_pruned_; }
-  int64_t num_history_compacted() const { return num_history_compacted_; }
+  int64_t num_task_records() const { return Get(num_task_records_); }
+  int64_t num_replans() const { return Get(num_replans_); }
+  int64_t num_task_failures() const { return Get(num_task_failures_); }
+  int64_t num_recovered_tasks() const { return Get(num_recovered_tasks_); }
+  int64_t num_injected_faults() const { return Get(num_injected_faults_); }
+  int64_t num_static_clears() const { return Get(num_static_clears_); }
+  int64_t num_plan_checks_skipped() const {
+    return Get(num_plan_checks_skipped_);
+  }
+  int64_t num_index_hits() const { return Get(num_index_hits_); }
+  int64_t num_index_misses() const { return Get(num_index_misses_); }
+  int64_t num_states_pruned() const { return Get(num_states_pruned_); }
+  int64_t num_history_compacted() const {
+    return Get(num_history_compacted_);
+  }
+  int64_t num_reuse_loads() const { return Get(num_reuse_loads_); }
+  int64_t num_cross_session_loads() const {
+    return Get(num_cross_session_loads_);
+  }
 
  private:
+  static void Add(std::atomic<int64_t>* counter, int64_t count) {
+    counter->fetch_add(count, std::memory_order_relaxed);
+  }
+  static int64_t Get(const std::atomic<int64_t>& counter) {
+    return counter.load(std::memory_order_relaxed);
+  }
+
   CostEstimator* estimator_;
+  /// Guards the aggregate maps (counters are lock-free atomics).
+  mutable std::mutex aggregates_mutex_;
   std::map<TaskType, Aggregate> by_task_type_;
   std::map<ArtifactKind, Aggregate> by_artifact_kind_;
-  int64_t num_task_records_ = 0;
-  int64_t num_replans_ = 0;
-  int64_t num_task_failures_ = 0;
-  int64_t num_recovered_tasks_ = 0;
-  int64_t num_injected_faults_ = 0;
-  int64_t num_static_clears_ = 0;
-  int64_t num_plan_checks_skipped_ = 0;
-  int64_t num_index_hits_ = 0;
-  int64_t num_index_misses_ = 0;
-  int64_t num_states_pruned_ = 0;
-  int64_t num_history_compacted_ = 0;
+  std::atomic<int64_t> num_task_records_{0};
+  std::atomic<int64_t> num_replans_{0};
+  std::atomic<int64_t> num_task_failures_{0};
+  std::atomic<int64_t> num_recovered_tasks_{0};
+  std::atomic<int64_t> num_injected_faults_{0};
+  std::atomic<int64_t> num_static_clears_{0};
+  std::atomic<int64_t> num_plan_checks_skipped_{0};
+  std::atomic<int64_t> num_index_hits_{0};
+  std::atomic<int64_t> num_index_misses_{0};
+  std::atomic<int64_t> num_states_pruned_{0};
+  std::atomic<int64_t> num_history_compacted_{0};
+  std::atomic<int64_t> num_reuse_loads_{0};
+  std::atomic<int64_t> num_cross_session_loads_{0};
 };
 
 }  // namespace hyppo::core

@@ -17,6 +17,28 @@ namespace {
 // Static plan pre-check mirroring exactly what the executor's
 // VerifyPlanStructure would verify (structure + claimed cost totals): a
 // plan that clears here can provably skip the runtime re-verification.
+// Writer-side guard of the serving catalog lock (see
+// Runtime::set_catalog_mutex); a no-op when no lock is installed, so the
+// single-owner path stays lock-free.
+class CatalogWriteLock {
+ public:
+  explicit CatalogWriteLock(std::shared_mutex* mutex) : mutex_(mutex) {
+    if (mutex_ != nullptr) {
+      mutex_->lock();
+    }
+  }
+  ~CatalogWriteLock() {
+    if (mutex_ != nullptr) {
+      mutex_->unlock();
+    }
+  }
+  CatalogWriteLock(const CatalogWriteLock&) = delete;
+  CatalogWriteLock& operator=(const CatalogWriteLock&) = delete;
+
+ private:
+  std::shared_mutex* mutex_;
+};
+
 bool StaticPlanPrecheck(const Augmentation& aug, const Plan& plan) {
   const analysis::StaticAnalyzer analyzer;
   analysis::AnalysisReport report =
@@ -189,7 +211,12 @@ Result<Runtime::ExecutionRecord> Runtime::ExecuteInternal(
       degraded = aug;
       current_aug = &degraded;
     }
-    HYPPO_RETURN_NOT_OK(DegradeAfterFailures(result.failures, &degraded));
+    {
+      // Degradation purges rotten history/store entries: a catalog
+      // mutation, serialized against concurrent sessions' planning.
+      CatalogWriteLock commit(catalog_mutex_);
+      HYPPO_RETURN_NOT_OK(DegradeAfterFailures(result.failures, &degraded));
+    }
     if (options_.verify_plans) {
       HYPPO_RETURN_NOT_OK(VerifyAugmentationStructure(degraded));
     }
@@ -215,7 +242,15 @@ Result<Runtime::ExecutionRecord> Runtime::ExecuteInternal(
   }
 
   record.seconds = total_seconds;
-  cumulative_seconds_ += total_seconds;
+
+  // Commit phase: everything below mutates the shared catalog (history
+  // records + estimator feedback via the monitor already landed, clock,
+  // compaction), so it runs under the writer lock while concurrent
+  // sessions' planners wait on the reader side.
+  CatalogWriteLock commit(catalog_mutex_);
+  cumulative_seconds_.store(
+      cumulative_seconds_.load(std::memory_order_relaxed) + total_seconds,
+      std::memory_order_relaxed);
 
   // Refresh artifact metadata with observed payload sizes, then record
   // artifacts, tasks, and durations into the history.
@@ -233,7 +268,7 @@ Result<Runtime::ExecutionRecord> Runtime::ExecuteInternal(
     }
     const NodeId h_node = history_.Observe(info);
     to_history[node] = h_node;
-    history_.RecordAccess(h_node, cumulative_seconds_);
+    history_.RecordAccess(h_node, now_seconds());
     if (info.kind == ArtifactKind::kRaw) {
       HYPPO_RETURN_NOT_OK(history_.RegisterSourceData(h_node).status());
     }
@@ -283,7 +318,7 @@ Result<Runtime::ExecutionRecord> Runtime::ExecuteInternal(
     copts.max_nodes = options_.history_max_artifacts;
     copts.retain_fraction = options_.history_retain_fraction;
     HYPPO_ASSIGN_OR_RETURN(History::CompactionStats cstats,
-                           history_.Compact(copts, cumulative_seconds_));
+                           history_.Compact(copts, now_seconds()));
     monitor_.RecordHistoryCompacted(cstats.nodes_dropped);
   }
   return record;
@@ -296,7 +331,7 @@ Status Runtime::RecordPipelineStructure(const Pipeline& pipeline) {
     const ArtifactInfo& info = graph.artifact(v);
     const NodeId h_node = history_.Observe(info);
     to_history[v] = h_node;
-    history_.RecordAccess(h_node, cumulative_seconds_);
+    history_.RecordAccess(h_node, now_seconds());
     if (info.kind == ArtifactKind::kRaw) {
       HYPPO_RETURN_NOT_OK(history_.RegisterSourceData(h_node).status());
     }
@@ -341,7 +376,12 @@ Result<Runtime::ExecutionRecord> Runtime::ExecuteAndRecord(
           report.Summary() + "):\n" + report.ToString());
     }
   }
-  HYPPO_RETURN_NOT_OK(RecordPipelineStructure(pipeline));
+  {
+    // Structure recording mutates the history; commit it under the
+    // serving catalog writer lock (no-op single-owner).
+    CatalogWriteLock commit(catalog_mutex_);
+    HYPPO_RETURN_NOT_OK(RecordPipelineStructure(pipeline));
+  }
   return ExecuteInternal(aug, plan, replan);
 }
 

@@ -1,10 +1,12 @@
 #ifndef HYPPO_CORE_RUNTIME_H_
 #define HYPPO_CORE_RUNTIME_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "common/result.h"
@@ -129,6 +131,18 @@ class Runtime {
   /// The active injector, or null when fault injection is disabled.
   storage::FaultInjector* fault_injector() { return fault_injector_.get(); }
 
+  /// Serving hook (serving::SessionManager): when set, every
+  /// catalog-mutating section of ExecuteAndRecord — pipeline-structure
+  /// recording, post-execution history/estimator observations, recovery
+  /// degradation, and Pareto compaction — takes the writer side of this
+  /// lock. Concurrent sessions plan under the reader side against a
+  /// consistent history snapshot while executions commit serially; task
+  /// execution itself (operator runs, store I/O) stays outside the lock.
+  /// Null (default): single-owner, no locking. The mutex must outlive
+  /// every execution.
+  void set_catalog_mutex(std::shared_mutex* mutex) { catalog_mutex_ = mutex; }
+  std::shared_mutex* catalog_mutex() const { return catalog_mutex_; }
+
   struct ExecutionRecord {
     /// Charged execution time of the plan in seconds (including recovery
     /// attempts — failed work is billed like the paper's monetary model
@@ -169,8 +183,11 @@ class Runtime {
                                           const Replanner& replan = nullptr);
 
   /// Cumulative charged seconds so far — the experiment's logical clock
-  /// (drives LRU timestamps).
-  double now_seconds() const { return cumulative_seconds_; }
+  /// (drives LRU timestamps). Atomic so concurrent sessions can read it
+  /// while one commits.
+  double now_seconds() const {
+    return cumulative_seconds_.load(std::memory_order_relaxed);
+  }
 
   /// Persists the catalog (history + materialized payloads) to a
   /// directory; a later session — or another user's — can LoadCatalog and
@@ -223,7 +240,11 @@ class Runtime {
   /// Guards the lazy source cache: parallel plan execution may resolve
   /// raw loads concurrently.
   std::mutex sources_mutex_;
-  double cumulative_seconds_ = 0.0;
+  /// Serving catalog lock (see set_catalog_mutex); null = single-owner.
+  std::shared_mutex* catalog_mutex_ = nullptr;
+  /// Mutated only under the catalog writer lock (when one is installed);
+  /// atomic so readers need no lock.
+  std::atomic<double> cumulative_seconds_{0.0};
 };
 
 }  // namespace hyppo::core

@@ -1,5 +1,9 @@
 #include "storage/disk_store.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -84,6 +88,35 @@ DiskArtifactStore::DiskArtifactStore(std::string directory, StorageTier tier)
   init_status_ = Recover();
 }
 
+DiskArtifactStore::~DiskArtifactStore() {
+  if (lock_fd_ >= 0) {
+    ::flock(lock_fd_, LOCK_UN);
+    ::close(lock_fd_);
+  }
+}
+
+Status DiskArtifactStore::AcquireDirectoryLock() {
+  const std::string path = (fs::path(directory_) / "store.lock").string();
+  lock_fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (lock_fd_ < 0) {
+    return Status::IoError("cannot open store lock file '" + path + "'");
+  }
+  // flock locks are per open file description, so two stores in one
+  // process conflict just like stores in different processes — and the
+  // kernel releases the lock when the holder closes or dies, so a crash
+  // never strands the directory.
+  if (::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    return Status::FailedPrecondition(
+        "store directory '" + directory_ +
+        "' is locked by another live session (store.lock is held); a "
+        "store_dir must back exactly one runtime at a time — close the "
+        "other session or point this one at a different directory");
+  }
+  return Status::OK();
+}
+
 std::string DiskArtifactStore::PayloadPath(const std::string& file) const {
   return (fs::path(directory_) / "payloads" / file).string();
 }
@@ -99,6 +132,11 @@ Status DiskArtifactStore::Recover() {
     return Status::IoError("cannot create store directory '" + directory_ +
                            "': " + ec.message());
   }
+  // Claim exclusive ownership before reading anything: a second live
+  // store over the same directory must fail fast here, not race the
+  // manifest. store.lock lives at the directory root, outside payloads/,
+  // so recovery GC below never touches it.
+  HYPPO_RETURN_NOT_OK(AcquireDirectoryLock());
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
   used_bytes_ = 0;

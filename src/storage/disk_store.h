@@ -17,7 +17,16 @@ namespace hyppo::storage {
 ///
 /// Layout under the store directory:
 ///   store.manifest          index of every live entry ("HYPM" binary)
+///   store.lock              advisory flock(2) guard (see below)
 ///   payloads/<file>.bin     one encoded payload per entry (HYP1 codec)
+///
+/// Exclusive-ownership contract: a store directory backs exactly one
+/// live DiskArtifactStore at a time. The constructor takes an exclusive
+/// advisory lock on `store.lock` (non-blocking) and fails fast through
+/// init_status() when another live store — in this process or any other
+/// — already holds it, instead of letting two sessions race the
+/// manifest. The lock dies with the owning store (or its process), so
+/// crashes never leave a stale lock behind.
 ///
 /// Durability contract:
 ///  - Every Put serializes the payload (storage/serialization.h), writes
@@ -48,11 +57,14 @@ namespace hyppo::storage {
 /// coarse-grained contract).
 class DiskArtifactStore final : public ArtifactStore {
  public:
-  /// Opens (or creates) the store rooted at `directory` and recovers the
-  /// index from the manifest. Errors are reported through init_status();
-  /// a store that failed to open behaves as empty and rejects Puts.
+  /// Opens (or creates) the store rooted at `directory`, acquires its
+  /// exclusive directory lock, and recovers the index from the manifest.
+  /// Errors — including the directory being locked by another live store
+  /// — are reported through init_status(); a store that failed to open
+  /// behaves as empty and rejects Puts.
   explicit DiskArtifactStore(std::string directory,
                              StorageTier tier = StorageTier::Local());
+  ~DiskArtifactStore() override;
 
   /// OK when the directory was opened/recovered successfully.
   const Status& init_status() const { return init_status_; }
@@ -86,6 +98,9 @@ class DiskArtifactStore final : public ArtifactStore {
     uint64_t checksum = 0;      ///< FNV-1a64 of the encoded payload
   };
 
+  /// Takes the exclusive advisory lock on `<directory>/store.lock`;
+  /// FailedPrecondition when another live store holds it.
+  Status AcquireDirectoryLock();
   /// Scans the manifest + payload directory, drops unreadable entries,
   /// and deletes *.tmp and orphan files. Called once from the ctor.
   Status Recover();
@@ -103,6 +118,9 @@ class DiskArtifactStore final : public ArtifactStore {
   StorageTier tier_;
   WallClock clock_;
   Status init_status_;
+  /// File descriptor holding the advisory directory lock; -1 when the
+  /// lock was never acquired (init failure).
+  int lock_fd_ = -1;
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;
   int64_t used_bytes_ = 0;

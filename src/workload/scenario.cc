@@ -9,6 +9,7 @@
 #include "baselines/no_optimization.h"
 #include "baselines/sharing.h"
 #include "core/hyppo.h"
+#include "serving/session_manager.h"
 #include "storage/fault_injection.h"
 
 namespace hyppo::workload {
@@ -67,6 +68,8 @@ void CollectRecoveryStats(const core::Runtime& runtime,
   result->index_misses = monitor.num_index_misses();
   result->states_pruned = monitor.num_states_pruned();
   result->history_compacted = monitor.num_history_compacted();
+  result->reuse_loads = monitor.num_reuse_loads();
+  result->cross_session_loads = monitor.num_cross_session_loads();
 }
 
 // End-of-run invariant audit: the history the scenario grew (plus the
@@ -123,6 +126,87 @@ Result<SequenceResult> DrivePipelines(
   return result;
 }
 
+// Multi-session variant of DrivePipelines: the sequence is partitioned
+// round-robin across `config.sessions` concurrent sessions of one
+// serving::SessionManager, so later pipelines load artifacts earlier
+// sessions materialized (cross-session reuse).
+Result<SequenceResult> DriveSessions(const MethodFactory& factory,
+                                     const ScenarioConfig& config,
+                                     std::vector<core::Pipeline> pipelines) {
+  const int num_sessions = config.sessions;
+  serving::ServingOptions options;
+  options.runtime.storage_budget_bytes = BudgetBytes(
+      config.use_case, config.dataset_multiplier, config.budget_factor);
+  options.runtime.simulate = config.simulate;
+  options.runtime.verify_plans = config.verify;
+  options.runtime.parallelism =
+      config.parallelism <= 0 ? core::RuntimeOptions::DefaultParallelism()
+                              : config.parallelism;
+  options.runtime.store_dir = config.store_dir;
+  options.make_method = factory;
+  options.max_in_flight_sessions = num_sessions;
+  options.fault_rate = config.fault_rate;
+  options.fault_seed =
+      config.fault_seed != 0 ? config.fault_seed : config.seed;
+  serving::SessionManager manager(options);
+  HYPPO_RETURN_NOT_OK(manager.session_status());
+  const UseCase use_case = config.use_case;
+  const double multiplier = config.dataset_multiplier;
+  const uint64_t seed = config.seed;
+  manager.runtime().RegisterDatasetGenerator(
+      use_case.DatasetId(multiplier),
+      [use_case, multiplier, seed]() -> Result<ml::DatasetPtr> {
+        return GenerateUseCase(use_case, multiplier, seed);
+      });
+
+  std::vector<serving::SessionRequest> requests(
+      static_cast<size_t>(num_sessions));
+  for (int s = 0; s < num_sessions; ++s) {
+    requests[static_cast<size_t>(s)].session_id =
+        "session-" + std::to_string(s);
+  }
+  for (size_t i = 0; i < pipelines.size(); ++i) {
+    requests[i % static_cast<size_t>(num_sessions)].pipelines.push_back(
+        std::move(pipelines[i]));
+  }
+  const std::vector<serving::SessionReport> reports =
+      manager.RunSessions(requests);
+
+  SequenceResult result;
+  result.method = factory(&manager.runtime())->name();
+  result.sessions = num_sessions;
+  result.budget_bytes = manager.runtime().options().storage_budget_bytes;
+  // Reassemble the per-pipeline latencies in original submission order
+  // (session s holds original indices s, s + N, s + 2N, ...).
+  size_t total_pipelines = 0;
+  for (const serving::SessionRequest& request : requests) {
+    total_pipelines += request.pipelines.size();
+  }
+  result.per_pipeline_seconds.assign(total_pipelines, 0.0);
+  for (size_t s = 0; s < reports.size(); ++s) {
+    const serving::SessionReport& report = reports[s];
+    HYPPO_RETURN_NOT_OK(report.status);
+    for (size_t k = 0; k < report.per_pipeline_seconds.size(); ++k) {
+      const size_t original = k * static_cast<size_t>(num_sessions) + s;
+      result.per_pipeline_seconds[original] = report.per_pipeline_seconds[k];
+    }
+    result.optimize_seconds += report.optimize_seconds;
+  }
+  for (double seconds : result.per_pipeline_seconds) {
+    result.cumulative_seconds += seconds;
+    result.cumulative_after.push_back(result.cumulative_seconds);
+  }
+  result.price_eur = manager.runtime().options().pricing.ExperimentPrice(
+      result.cumulative_seconds, result.budget_bytes);
+  result.stored_artifacts = static_cast<int64_t>(
+      manager.runtime().history().MaterializedArtifacts().size());
+  result.history_artifacts = manager.runtime().history().num_artifacts();
+  CollectRecoveryStats(manager.runtime(), &result);
+  result.sessions_queued = manager.stats().sessions_queued;
+  HYPPO_RETURN_NOT_OK(VerifyRuntimeHistory(manager.runtime()));
+  return result;
+}
+
 }  // namespace
 
 MethodFactory MakeNoOptimizationFactory() {
@@ -157,13 +241,6 @@ MethodFactory MakeHyppoFactory() {
 
 Result<SequenceResult> RunIterativeScenario(const MethodFactory& factory,
                                             const ScenarioConfig& config) {
-  HYPPO_ASSIGN_OR_RETURN(
-      std::unique_ptr<core::Runtime> runtime,
-      MakeRuntime(config.use_case, config.dataset_multiplier,
-                  config.budget_factor, config.simulate, config.seed,
-                  config.verify, config.parallelism, config.fault_rate,
-                  config.fault_seed, config.store_dir));
-  std::unique_ptr<core::Method> method = factory(runtime.get());
   // The same seed yields the same pipeline sequence for every method.
   PipelineGenerator generator(config.use_case, config.dataset_multiplier,
                               config.seed);
@@ -173,6 +250,16 @@ Result<SequenceResult> RunIterativeScenario(const MethodFactory& factory,
     HYPPO_ASSIGN_OR_RETURN(core::Pipeline pipeline, generator.Next());
     pipelines.push_back(std::move(pipeline));
   }
+  if (config.sessions > 1) {
+    return DriveSessions(factory, config, std::move(pipelines));
+  }
+  HYPPO_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::Runtime> runtime,
+      MakeRuntime(config.use_case, config.dataset_multiplier,
+                  config.budget_factor, config.simulate, config.seed,
+                  config.verify, config.parallelism, config.fault_rate,
+                  config.fault_seed, config.store_dir));
+  std::unique_ptr<core::Method> method = factory(runtime.get());
   return DrivePipelines(*method, *runtime, pipelines);
 }
 

@@ -56,6 +56,12 @@ struct ScenarioConfig {
   /// this path and persists the history after every pipeline, so a later
   /// run pointed at the same directory resumes with its materialized set.
   std::string store_dir;
+  /// Concurrent client sessions sharing one runtime (history + store).
+  /// 1 (default) keeps the classic single-owner loop; > 1 partitions the
+  /// pipeline sequence round-robin across this many sessions driven
+  /// concurrently by serving::SessionManager, so sessions reuse each
+  /// other's materialized artifacts (docs/SERVING.md).
+  int sessions = 1;
 };
 
 /// \brief Result of running one pipeline sequence under one method.
@@ -85,6 +91,14 @@ struct SequenceResult {
   int64_t index_misses = 0;
   int64_t states_pruned = 0;
   int64_t history_compacted = 0;
+  /// Serving telemetry (ScenarioConfig::sessions > 1): how many sessions
+  /// drove the sequence, planned loads of materialized artifacts
+  /// (reuse), the subset another session materialized (cross-session
+  /// reuse), and sessions that waited in the admission queue.
+  int sessions = 1;
+  int64_t reuse_loads = 0;
+  int64_t cross_session_loads = 0;
+  int64_t sessions_queued = 0;
 };
 
 /// Runs scenario 1: execute `num_pipelines` sequentially, materializing

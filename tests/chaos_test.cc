@@ -6,6 +6,7 @@
 
 #include "core/hyppo.h"
 #include "core/pipeline_builder.h"
+#include "serving/session_manager.h"
 #include "storage/fault_injection.h"
 #include "storage/serialization.h"
 #include "workload/datagen.h"
@@ -364,6 +365,68 @@ TEST(ChaosTest, PermanentOutageExhaustsRetryBoundAndFails) {
 // ---------------------------------------------------------------------------
 // Scenario-level wiring: the fault knob reaches the runtime and the
 // recovery telemetry reaches the scenario result.
+
+// ---------------------------------------------------------------------------
+// Multi-session chaos: N tenants share one store through the serving
+// layer while faults strike it. Every session must still end with the
+// fault-free sequence's exact bytes — no tenant observes another
+// tenant's injected failure (or its recovery) as corruption.
+
+TEST(ChaosTest, MultiSessionSharedStoreSweepMatchesFaultFree) {
+  auto baseline = RunSequence(0.0, 1, 1);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  ASSERT_FALSE(baseline->payload_bytes.empty());
+
+  int64_t swept_faults = 0;
+  for (int sessions : {2, 4}) {
+    for (double fault_rate : {0.05, 0.2}) {
+      for (uint64_t seed = 1; seed <= 5; ++seed) {
+        SCOPED_TRACE("sessions=" + std::to_string(sessions) +
+                     " rate=" + std::to_string(fault_rate) +
+                     " seed=" + std::to_string(seed));
+        serving::ServingOptions options;
+        options.runtime.simulate = false;
+        options.runtime.verify_plans = true;
+        options.runtime.storage_budget_bytes = 1 << 20;
+        options.runtime.max_recovery_attempts = 6;
+        options.method.augment.use_equivalences = false;
+        options.max_in_flight_sessions = sessions;
+        options.fault_rate = fault_rate;
+        options.fault_seed = seed;
+        serving::SessionManager manager(options);
+        manager.runtime().RegisterDatasetGenerator("chaos-unit", []() {
+          return workload::GenerateHiggs(160, 5, 7);
+        });
+        std::vector<serving::SessionRequest> requests;
+        for (int s = 0; s < sessions; ++s) {
+          serving::SessionRequest request;
+          request.session_id = "chaos-tenant-" + std::to_string(s);
+          for (int i = 0; i < kSequenceLength; ++i) {
+            auto pipeline = SequencePipeline(i);
+            ASSERT_TRUE(pipeline.ok()) << pipeline.status();
+            request.pipelines.push_back(*std::move(pipeline));
+          }
+          requests.push_back(std::move(request));
+        }
+        for (const serving::SessionReport& report :
+             manager.RunSessions(requests)) {
+          SCOPED_TRACE(report.session_id);
+          ASSERT_TRUE(report.status.ok()) << report.status;
+          EXPECT_EQ(report.pipelines_completed, kSequenceLength);
+          std::map<std::string, std::string> bytes;
+          for (const auto& [name, payload] : report.target_payloads) {
+            auto serialized = storage::SerializePayload(payload);
+            ASSERT_TRUE(serialized.ok()) << serialized.status();
+            bytes[name] = *std::move(serialized);
+          }
+          EXPECT_EQ(bytes, baseline->payload_bytes);
+        }
+        swept_faults += manager.runtime().monitor().num_injected_faults();
+      }
+    }
+  }
+  EXPECT_GT(swept_faults, 0);
+}
 
 TEST(ChaosTest, IterativeScenarioAbsorbsInjectedFaults) {
   workload::ScenarioConfig config;

@@ -324,6 +324,22 @@ TEST(VerifierIndexTest, GraphBackdoorArtifactDesyncsIndex) {
   EXPECT_TRUE(report.HasCheck("index.artifact-count"));
 }
 
+TEST(VerifierIndexTest, RecordsShorterThanGraphDetected) {
+  // A node slipped into the graph behind the History mutators (the
+  // signature of an unsynchronized writer racing readers) leaves the
+  // statistics-record vector short. The verifier must flag the gap
+  // explicitly instead of silently clamping the materialized sweep.
+  History history;
+  history.Observe(MakeArtifact("a", ArtifactKind::kData, 64));
+  const Verifier verifier;
+  EXPECT_FALSE(
+      verifier.CheckHistoryIndex(history).HasCheck("index.records-short"));
+  ArtifactInfo rogue = MakeArtifact("rogue", ArtifactKind::kData, 64);
+  history.graph().AddArtifact(rogue).ValueOrDie();
+  const AnalysisReport report = verifier.CheckHistoryIndex(history);
+  EXPECT_TRUE(report.HasCheck("index.records-short")) << report.ToString();
+}
+
 TEST(VerifierIndexTest, GraphBackdoorTaskDesyncsIndex) {
   History history;
   const NodeId a = history.Observe(MakeArtifact("a", ArtifactKind::kData, 64));

@@ -1,0 +1,259 @@
+// Concurrency battery for the multi-tenant serving runtime, built to run
+// under ThreadSanitizer: sessions hammering one shared history/store
+// (with compaction firing mid-run), chaos sweeps proving no session
+// observes another's injected faults as corruption, and concurrent
+// history readers exercising the thread-local traversal scratch.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/verifier.h"
+#include "core/hyppo.h"
+#include "core/pipeline_builder.h"
+#include "serving/session_manager.h"
+#include "storage/serialization.h"
+#include "workload/datagen.h"
+
+namespace hyppo {
+namespace {
+
+// Same family as serving_test.cc: shared preprocessing prefix, model
+// unique per (session, step), implementations pinned for byte identity.
+Result<core::Pipeline> ServePipeline(int session, int step) {
+  core::PipelineBuilder builder("hammer-s" + std::to_string(session) + "-p" +
+                                std::to_string(step));
+  HYPPO_ASSIGN_OR_RETURN(NodeId data,
+                         builder.LoadDataset("serving-unit", 160, 5));
+  HYPPO_ASSIGN_OR_RETURN(auto split, builder.Split(data));
+  ml::Config impute;
+  impute.Set("strategy", "mean");
+  HYPPO_ASSIGN_OR_RETURN(
+      NodeId imputer,
+      builder.Fit("SimpleImputer", "skl.SimpleImputer", split.first, impute));
+  HYPPO_ASSIGN_OR_RETURN(NodeId train_i,
+                         builder.Transform(imputer, split.first));
+  HYPPO_ASSIGN_OR_RETURN(NodeId test_i,
+                         builder.Transform(imputer, split.second));
+  HYPPO_ASSIGN_OR_RETURN(
+      NodeId scaler,
+      builder.Fit("StandardScaler", "skl.StandardScaler", train_i));
+  HYPPO_ASSIGN_OR_RETURN(NodeId train_s, builder.Transform(scaler, train_i));
+  HYPPO_ASSIGN_OR_RETURN(NodeId test_s, builder.Transform(scaler, test_i));
+  ml::Config model_config;
+  model_config.SetInt("max_depth", 2 + 3 * step + session);
+  HYPPO_ASSIGN_OR_RETURN(
+      NodeId model,
+      builder.Fit("DecisionTreeClassifier", "skl.DecisionTreeClassifier",
+                  train_s, model_config));
+  HYPPO_ASSIGN_OR_RETURN(NodeId preds, builder.Predict(model, test_s));
+  HYPPO_RETURN_NOT_OK(builder.Evaluate(preds, test_s, "accuracy").status());
+  return std::move(builder).Build();
+}
+
+void RegisterServingDataset(core::Runtime* runtime) {
+  runtime->RegisterDatasetGenerator(
+      "serving-unit", []() { return workload::GenerateHiggs(160, 5, 7); });
+}
+
+serving::ServingOptions BaseOptions() {
+  serving::ServingOptions options;
+  options.runtime.simulate = false;
+  options.runtime.verify_plans = true;
+  options.runtime.storage_budget_bytes = 1 << 20;
+  options.runtime.max_recovery_attempts = 6;
+  options.method.augment.use_equivalences = false;
+  return options;
+}
+
+Result<std::vector<serving::SessionRequest>> MakeRequests(int num_sessions,
+                                                          int num_pipelines) {
+  std::vector<serving::SessionRequest> requests;
+  for (int s = 0; s < num_sessions; ++s) {
+    serving::SessionRequest request;
+    request.session_id = "hammer-" + std::to_string(s);
+    for (int p = 0; p < num_pipelines; ++p) {
+      HYPPO_ASSIGN_OR_RETURN(core::Pipeline pipeline, ServePipeline(s, p));
+      request.pipelines.push_back(std::move(pipeline));
+    }
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+Status VerifyManagerHistory(const serving::SessionManager& manager) {
+  const analysis::Verifier verifier;
+  analysis::AnalysisReport report = verifier.VerifyHistory(
+      manager.runtime().history(), &manager.runtime().dictionary(),
+      manager.runtime().options().storage_budget_bytes);
+  report.Merge(verifier.CheckStoreConsistency(manager.runtime().history(),
+                                              manager.runtime().store()));
+  if (!report.ok()) {
+    return Status::Internal(report.ToString());
+  }
+  return Status::OK();
+}
+
+Result<std::map<std::string, std::string>> PayloadBytes(
+    const std::map<std::string, storage::ArtifactPayload>& payloads) {
+  std::map<std::string, std::string> bytes;
+  for (const auto& [name, payload] : payloads) {
+    HYPPO_ASSIGN_OR_RETURN(std::string serialized,
+                           storage::SerializePayload(payload));
+    bytes[name] = std::move(serialized);
+  }
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// The hammer: 2/4/8 sessions submit/plan/execute concurrently against
+// one history small enough that Pareto compaction rewrites it mid-run.
+// Everything must complete, and the final catalog must verify clean.
+
+TEST(ServingConcurrencyTest, SessionsHammerSharedHistoryAcrossCompaction) {
+  for (int num_sessions : {2, 4, 8}) {
+    SCOPED_TRACE("sessions=" + std::to_string(num_sessions));
+    serving::ServingOptions options = BaseOptions();
+    // ~12 artifacts per pipeline: compaction fires repeatedly under the
+    // concurrent planners/committers.
+    options.runtime.history_max_artifacts = 24;
+    options.max_in_flight_sessions = num_sessions;
+    serving::SessionManager manager(options);
+    RegisterServingDataset(&manager.runtime());
+    auto requests = MakeRequests(num_sessions, 4);
+    ASSERT_TRUE(requests.ok()) << requests.status();
+    const std::vector<serving::SessionReport> reports =
+        manager.RunSessions(*requests);
+    for (const serving::SessionReport& report : reports) {
+      ASSERT_TRUE(report.status.ok())
+          << report.session_id << ": " << report.status;
+      EXPECT_EQ(report.pipelines_completed, 4);
+    }
+    EXPECT_GT(manager.runtime().monitor().num_history_compacted(), 0);
+    const Status verified = VerifyManagerHistory(manager);
+    EXPECT_TRUE(verified.ok()) << verified;
+    const serving::SessionManager::Stats stats = manager.stats();
+    EXPECT_EQ(stats.sessions_completed, num_sessions);
+    EXPECT_EQ(stats.pipelines_completed, num_sessions * 4);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos isolation: with storage/compute faults injected into the shared
+// store, every session still returns payloads byte-identical to its
+// fault-free isolated reference — no tenant observes another tenant's
+// fault (or its recovery) as corruption.
+
+TEST(ServingConcurrencyTest, InjectedFaultsNeverLeakAcrossSessions) {
+  constexpr int kPipelines = 3;
+  // Fault-free isolated references, one per session index.
+  std::vector<std::map<std::string, std::string>> references;
+  for (int s = 0; s < 4; ++s) {
+    core::HyppoSystem::Options options;
+    options.runtime = BaseOptions().runtime;
+    options.method = BaseOptions().method;
+    core::HyppoSystem system(options);
+    RegisterServingDataset(&system.runtime());
+    std::map<std::string, storage::ArtifactPayload> payloads;
+    for (int p = 0; p < kPipelines; ++p) {
+      auto pipeline = ServePipeline(s, p);
+      ASSERT_TRUE(pipeline.ok()) << pipeline.status();
+      auto report = system.RunPipeline(*pipeline);
+      ASSERT_TRUE(report.ok()) << report.status();
+      for (const auto& [name, payload] : report->target_payloads) {
+        payloads[name] = payload;
+      }
+    }
+    auto bytes = PayloadBytes(payloads);
+    ASSERT_TRUE(bytes.ok()) << bytes.status();
+    references.push_back(*std::move(bytes));
+  }
+
+  int64_t swept_faults = 0;
+  for (int num_sessions : {2, 4}) {
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      SCOPED_TRACE("sessions=" + std::to_string(num_sessions) +
+                   " seed=" + std::to_string(seed));
+      serving::ServingOptions options = BaseOptions();
+      options.max_in_flight_sessions = num_sessions;
+      options.fault_rate = 0.2;
+      options.fault_seed = seed;
+      serving::SessionManager manager(options);
+      RegisterServingDataset(&manager.runtime());
+      auto requests = MakeRequests(num_sessions, kPipelines);
+      ASSERT_TRUE(requests.ok()) << requests.status();
+      const std::vector<serving::SessionReport> reports =
+          manager.RunSessions(*requests);
+      for (int s = 0; s < num_sessions; ++s) {
+        SCOPED_TRACE("session " + std::to_string(s));
+        ASSERT_TRUE(reports[s].status.ok())
+            << reports[s].session_id << ": " << reports[s].status;
+        auto served = PayloadBytes(reports[s].target_payloads);
+        ASSERT_TRUE(served.ok()) << served.status();
+        EXPECT_EQ(*served, references[s]);
+      }
+      swept_faults += manager.runtime().monitor().num_injected_faults();
+      const Status verified = VerifyManagerHistory(manager);
+      EXPECT_TRUE(verified.ok()) << verified;
+    }
+  }
+  // The sweep actually exercised the fault paths.
+  EXPECT_GT(swept_faults, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent readers: CollectBackwardRelevantEdges keeps its marker
+// scratch in thread-local storage, so any number of threads may traverse
+// one history concurrently (TSan verifies share-freedom) and every
+// thread sees the same answer.
+
+TEST(ServingConcurrencyTest, BackwardTraversalIsSafeUnderConcurrentReaders) {
+  serving::SessionManager manager(BaseOptions());
+  RegisterServingDataset(&manager.runtime());
+  auto requests = MakeRequests(2, 3);
+  ASSERT_TRUE(requests.ok()) << requests.status();
+  for (const serving::SessionReport& report :
+       manager.RunSessions(*requests)) {
+    ASSERT_TRUE(report.status.ok()) << report.status;
+  }
+  const core::History& history = manager.runtime().history();
+  const std::vector<NodeId> matched = history.MaterializedArtifacts();
+  ASSERT_FALSE(matched.empty());
+  const std::vector<EdgeId> expected =
+      history.CollectBackwardRelevantEdges(matched);
+
+  std::vector<std::thread> threads;
+  // Plain chars, one per thread: vector<bool>'s packed bit proxies
+  // would make neighbouring writes race.
+  std::vector<char> agreed(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      bool all_equal = true;
+      for (int i = 0; i < 200; ++i) {
+        // Alternate between the full matched set and a suffix so threads
+        // drive the epoch counter at different rates.
+        const std::vector<NodeId> query(
+            matched.begin() + (i % 2 == 0 ? 0 : t % matched.size()),
+            matched.end());
+        const std::vector<EdgeId> got =
+            history.CollectBackwardRelevantEdges(query);
+        if (query.size() == matched.size() && got != expected) {
+          all_equal = false;
+        }
+      }
+      agreed[t] = all_equal;
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (int t = 0; t < 8; ++t) {
+    EXPECT_TRUE(agreed[t]) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace hyppo

@@ -186,17 +186,19 @@ TEST(DiskStoreTest, RecoveryDropsTornEntriesAndOrphans) {
 
 TEST(DiskStoreTest, UnsafeKeysGetHashedFileNames) {
   const std::string dir = TempDir("unsafe");
-  DiskArtifactStore store(dir);
   const std::string key = "../weird key/with:stuff";
-  ASSERT_TRUE(store.Put(key, ArtifactPayload(9.0), 8).ok());
-  // The payload file must live inside payloads/, never escape via "..".
-  size_t files = 0;
-  for (const auto& entry :
-       fs::directory_iterator(fs::path(dir) / "payloads")) {
-    ++files;
-    EXPECT_EQ(entry.path().extension(), ".bin");
+  {
+    DiskArtifactStore store(dir);
+    ASSERT_TRUE(store.Put(key, ArtifactPayload(9.0), 8).ok());
+    // The payload file must live inside payloads/, never escape via "..".
+    size_t files = 0;
+    for (const auto& entry :
+         fs::directory_iterator(fs::path(dir) / "payloads")) {
+      ++files;
+      EXPECT_EQ(entry.path().extension(), ".bin");
+    }
+    EXPECT_EQ(files, 1u);
   }
-  EXPECT_EQ(files, 1u);
   DiskArtifactStore reopened(dir);
   auto payload = reopened.Get(key);
   ASSERT_TRUE(payload.ok());
@@ -213,9 +215,18 @@ TEST(TieredStoreTest, BackIsAuthoritativeFrontCaches) {
   EXPECT_EQ(store.num_entries(), 1u);
   EXPECT_EQ(store.used_bytes(), 64);
   EXPECT_EQ(store.front_entries(), 1u);
-  // Durable: a second store over the same directory sees the entry.
-  DiskArtifactStore direct(dir);
-  EXPECT_TRUE(direct.Contains("k"));
+  // Exclusive ownership: while the back store is live, a second store
+  // over the same directory must refuse to open (store.lock is held)
+  // rather than race the owner's manifest.
+  {
+    DiskArtifactStore contender(dir);
+    EXPECT_FALSE(contender.init_status().ok());
+    EXPECT_TRUE(contender.init_status().IsFailedPrecondition())
+        << contender.init_status();
+    EXPECT_NE(contender.init_status().ToString().find("locked"),
+              std::string::npos)
+        << contender.init_status();
+  }
 
   // Front hits are charged at the memory tier (effectively free), and
   // the payload matches.
@@ -227,6 +238,19 @@ TEST(TieredStoreTest, BackIsAuthoritativeFrontCaches) {
   EXPECT_EQ(store.front_entries(), 0u);
   EXPECT_FALSE(store.Contains("k"));
   EXPECT_TRUE(store.Load("k").status().IsNotFound());
+}
+
+TEST(TieredStoreTest, DirectoryLockReleasedWithOwner) {
+  const std::string dir = TempDir("lockcycle");
+  {
+    DiskArtifactStore owner(dir);
+    ASSERT_TRUE(owner.init_status().ok()) << owner.init_status();
+    ASSERT_TRUE(owner.Put("k", ArtifactPayload(1.25), 8).ok());
+  }
+  // Owner destroyed: the durable entry is visible to the next opener.
+  DiskArtifactStore reopened(dir);
+  ASSERT_TRUE(reopened.init_status().ok()) << reopened.init_status();
+  EXPECT_TRUE(reopened.Contains("k"));
 }
 
 TEST(TieredStoreTest, LoadPromotesBackHitsIntoFront) {
