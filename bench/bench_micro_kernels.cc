@@ -1,22 +1,27 @@
 // Micro-benchmark of the ml/kernels compute layer: scalar reference vs
-// cache-blocked vs thread-parallel dispatch for GEMM, GEMV, covariance
-// (shifted SYRK), and pairwise squared distances, at several shapes.
+// cache-blocked vs explicitly vectorized (simd) vs thread-parallel
+// dispatch for GEMM, GEMV, covariance (shifted SYRK), and pairwise
+// squared distances, at several shapes.
 //
 // Every timed variant is also checked against the scalar reference with a
-// max-abs-diff bound; a violation exits non-zero, so this binary doubles
-// as the CI smoke check for the kernel layer. Pass `--json [<path>]` to
-// dump the measurements (bench/BENCH_kernels.json is a committed
-// snapshot).
+// max-abs-diff bound (the cross-tier equivalence gate), and each tier's
+// dispatch is checked bitwise for dispatch(1 thread) == dispatch(8
+// threads); a violation exits non-zero, so this binary doubles as the CI
+// smoke check for the kernel layer. Pass `--json [<path>]` to dump the
+// measurements (bench/BENCH_kernels.json is a committed snapshot).
 //
-// Note: the parallel column only shows scaling when the machine actually
-// has cores available; on single-core runners it matches the blocked
-// column (the dispatch layer degrades to the serial blocked path), and
-// the determinism contract guarantees identical numeric results either
-// way.
+// The simd columns appear only when the build's simd tier can run here
+// (kernels::SimdEnabled() — cpuid probe plus the HYPPO_SIMD override, so
+// HYPPO_SIMD=off exercises the blocked-only configuration). The parallel
+// columns only show scaling when the machine actually has cores
+// available; on single-core runners they match the serial tier (the
+// dispatch layer degrades to the serial path), and the determinism
+// contract guarantees identical numeric results either way.
 
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
@@ -85,6 +90,31 @@ struct Variant {
   const std::vector<double>* out;
 };
 
+// Per-tier bitwise determinism gate: runs the dispatcher at 1 and at 8
+// threads into the same buffer and requires identical bytes — the
+// dispatch(1)==dispatch(N) contract the differential/chaos/serving
+// suites rely on, checked here for whichever tier dispatch picks under
+// `base` (allow_simd toggles the tier).
+void CheckDispatchBitwise(
+    const std::string& label, const kernels::KernelOptions& base,
+    const std::function<void(const kernels::KernelOptions*)>& run,
+    std::vector<double>* out) {
+  kernels::KernelOptions opts = base;
+  opts.num_threads = 1;
+  run(&opts);
+  const std::vector<double> serial = *out;
+  opts.num_threads = 8;
+  run(&opts);
+  if (std::memcmp(serial.data(), out->data(),
+                  serial.size() * sizeof(double)) != 0) {
+    std::fprintf(stderr,
+                 "EQUIVALENCE FAILURE: %s dispatch(1) != dispatch(8) "
+                 "bitwise\n",
+                 label.c_str());
+    g_equivalence_ok = false;
+  }
+}
+
 // Times every variant, checks it against the first (the scalar
 // reference), prints a table row per variant, and appends JSON rows.
 void RunCase(const std::string& kernel, const Shape& shape, double flops,
@@ -139,8 +169,15 @@ std::vector<double> RandomVector(size_t n, Rng& rng) {
 
 int main(int argc, char** argv) {
   const BenchArgs args = ParseBenchArgs(argc, argv);
-  Banner("Kernel micro-benchmarks: scalar vs blocked vs parallel",
+  Banner("Kernel micro-benchmarks: scalar vs blocked vs simd vs parallel",
          "ml/kernels dispatch layer (docs/KERNELS.md)");
+
+  const bool simd_on = kernels::SimdEnabled();
+  std::printf(
+      "simd tier: build=%s backend=%s runtime_supported=%s enabled=%s\n\n",
+      kernels::SimdBuildIsa(), kernels::simd::BackendName(),
+      kernels::SimdRuntimeSupported() ? "yes" : "no",
+      simd_on ? "yes" : "no (simd columns skipped)");
 
   const Scale scale = BenchScale();
   // GEMM shapes (m x k x n). The 512-cube is the headline shape the
@@ -162,13 +199,23 @@ int main(int argc, char** argv) {
       break;
   }
 
+  // parallel8 pins the blocked tier (allow_simd = false) so the column
+  // stays comparable across simd configurations; simd_parallel8 is the
+  // full dispatch path (simd tier + thread split).
   kernels::KernelOptions parallel_opts;
   parallel_opts.num_threads = 8;
+  parallel_opts.allow_simd = false;
+  kernels::KernelOptions simd_parallel_opts;
+  simd_parallel_opts.num_threads = 8;
 
   Table table({"kernel", "shape", "variant", "time", "GFLOP/s",
                "vs scalar", "max|diff|"});
   JsonWriter json("bench_micro_kernels");
   Rng rng(42);
+
+  // GEMM throughputs at the headline 512-cube, for the closing summary.
+  double gemm512_blocked_gflops = 0.0;
+  double gemm512_simd_gflops = 0.0;
 
   for (const Shape& shape : gemm_shapes) {
     const int64_t m = shape.rows;
@@ -178,21 +225,53 @@ int main(int argc, char** argv) {
     const std::vector<double> b = RandomVector(static_cast<size_t>(k * n), rng);
     std::vector<double> c_ref(static_cast<size_t>(m * n));
     std::vector<double> c_blocked(static_cast<size_t>(m * n));
+    std::vector<double> c_simd(static_cast<size_t>(m * n));
     std::vector<double> c_parallel(static_cast<size_t>(m * n));
-    RunCase("gemm", shape, 2.0 * static_cast<double>(m * k * n),
-            {{"scalar",
-              [&]() { kernels::ref::Gemm(a.data(), b.data(), c_ref.data(), m,
-                                         k, n); },
-              &c_ref},
-             {"blocked",
-              [&]() { kernels::blocked::Gemm(a.data(), b.data(),
-                                             c_blocked.data(), m, k, n); },
-              &c_blocked},
-             {"parallel8",
-              [&]() { kernels::Gemm(a.data(), b.data(), c_parallel.data(), m,
-                                    k, n, &parallel_opts); },
-              &c_parallel}},
-            1e-9 * static_cast<double>(k), table, json);
+    const double flops = 2.0 * static_cast<double>(m * k * n);
+    std::vector<Variant> variants = {
+        {"scalar",
+         [&]() { kernels::ref::Gemm(a.data(), b.data(), c_ref.data(), m, k,
+                                    n); },
+         &c_ref},
+        {"blocked",
+         [&]() { kernels::blocked::Gemm(a.data(), b.data(), c_blocked.data(),
+                                        m, k, n); },
+         &c_blocked},
+        {"parallel8",
+         [&]() { kernels::Gemm(a.data(), b.data(), c_parallel.data(), m, k,
+                               n, &parallel_opts); },
+         &c_parallel}};
+    if (simd_on) {
+      variants.push_back(
+          {"simd",
+           [&]() { kernels::simd::Gemm(a.data(), b.data(), c_simd.data(), m,
+                                       k, n); },
+           &c_simd});
+      variants.push_back(
+          {"simd_parallel8",
+           [&]() { kernels::Gemm(a.data(), b.data(), c_parallel.data(), m, k,
+                                 n, &simd_parallel_opts); },
+           &c_parallel});
+    }
+    RunCase("gemm", shape, flops, variants, 1e-9 * static_cast<double>(k),
+            table, json);
+    if (m == 512 && k == 512 && n == 512) {
+      gemm512_blocked_gflops = flops / TimeIt(variants[1].run) / 1e9;
+      if (simd_on) {
+        gemm512_simd_gflops = flops / TimeIt(variants[3].run) / 1e9;
+      }
+    }
+    const std::string shape_str = std::to_string(m) + "x" +
+                                  std::to_string(k) + "x" + std::to_string(n);
+    const auto dispatch_gemm = [&](const kernels::KernelOptions* o) {
+      kernels::Gemm(a.data(), b.data(), c_parallel.data(), m, k, n, o);
+    };
+    CheckDispatchBitwise("gemm/" + shape_str + "/blocked", parallel_opts,
+                         dispatch_gemm, &c_parallel);
+    if (simd_on) {
+      CheckDispatchBitwise("gemm/" + shape_str + "/simd", simd_parallel_opts,
+                           dispatch_gemm, &c_parallel);
+    }
   }
 
   for (const Shape& shape : data_shapes) {
@@ -215,86 +294,179 @@ int main(int argc, char** argv) {
     {
       std::vector<double> y_ref(static_cast<size_t>(rows));
       std::vector<double> y_blocked(static_cast<size_t>(rows));
+      std::vector<double> y_simd(static_cast<size_t>(rows));
       std::vector<double> y_parallel(static_cast<size_t>(rows));
       Shape gemv_shape{rows, d, 0};
-      RunCase("gemv_columns", gemv_shape, 2.0 * static_cast<double>(rows * d),
-              {{"scalar",
-                [&]() { kernels::ref::GemvColumns(cols.data(), rows, d,
-                                                  shiftv.data(),
-                                                  weights.data(), 0.5,
-                                                  y_ref.data()); },
-                &y_ref},
-               {"blocked",
-                [&]() { kernels::blocked::GemvColumns(cols.data(), rows, d,
-                                                      shiftv.data(),
-                                                      weights.data(), 0.5,
-                                                      y_blocked.data()); },
-                &y_blocked},
-               {"parallel8",
-                [&]() { kernels::GemvColumns(cols.data(), rows, d,
+      std::vector<Variant> variants = {
+          {"scalar",
+           [&]() { kernels::ref::GemvColumns(cols.data(), rows, d,
                                              shiftv.data(), weights.data(),
-                                             0.5, y_parallel.data(),
-                                             &parallel_opts); },
-                &y_parallel}},
-              1e-10 * static_cast<double>(d), table, json);
+                                             0.5, y_ref.data()); },
+           &y_ref},
+          {"blocked",
+           [&]() { kernels::blocked::GemvColumns(cols.data(), rows, d,
+                                                 shiftv.data(),
+                                                 weights.data(), 0.5,
+                                                 y_blocked.data()); },
+           &y_blocked},
+          {"parallel8",
+           [&]() { kernels::GemvColumns(cols.data(), rows, d, shiftv.data(),
+                                        weights.data(), 0.5,
+                                        y_parallel.data(), &parallel_opts); },
+           &y_parallel}};
+      if (simd_on) {
+        variants.push_back(
+            {"simd",
+             [&]() { kernels::simd::GemvColumns(cols.data(), rows, d,
+                                                shiftv.data(),
+                                                weights.data(), 0.5,
+                                                y_simd.data()); },
+             &y_simd});
+        variants.push_back(
+            {"simd_parallel8",
+             [&]() { kernels::GemvColumns(cols.data(), rows, d,
+                                          shiftv.data(), weights.data(), 0.5,
+                                          y_parallel.data(),
+                                          &simd_parallel_opts); },
+             &y_parallel});
+      }
+      RunCase("gemv_columns", gemv_shape, 2.0 * static_cast<double>(rows * d),
+              variants, 1e-10 * static_cast<double>(d), table, json);
+      const std::string shape_str =
+          std::to_string(rows) + "x" + std::to_string(d);
+      const auto dispatch_gemv = [&](const kernels::KernelOptions* o) {
+        kernels::GemvColumns(cols.data(), rows, d, shiftv.data(),
+                             weights.data(), 0.5, y_parallel.data(), o);
+      };
+      CheckDispatchBitwise("gemv_columns/" + shape_str + "/blocked",
+                           parallel_opts, dispatch_gemv, &y_parallel);
+      if (simd_on) {
+        CheckDispatchBitwise("gemv_columns/" + shape_str + "/simd",
+                             simd_parallel_opts, dispatch_gemv, &y_parallel);
+      }
     }
 
     {
       std::vector<double> g_ref(static_cast<size_t>(d * d));
       std::vector<double> g_blocked(static_cast<size_t>(d * d));
+      std::vector<double> g_simd(static_cast<size_t>(d * d));
       std::vector<double> g_parallel(static_cast<size_t>(d * d));
       Shape gram_shape{rows, d, 0};
-      RunCase("covariance", gram_shape,
-              static_cast<double>(rows * d * (d + 1)),
-              {{"scalar",
-                [&]() { kernels::ref::GramColumns(cols.data(), rows, d,
-                                                  shiftv.data(), nullptr,
-                                                  g_ref.data()); },
-                &g_ref},
-               {"blocked",
-                [&]() { kernels::blocked::GramColumns(cols.data(), rows, d,
-                                                      shiftv.data(), nullptr,
-                                                      g_blocked.data()); },
-                &g_blocked},
-               {"parallel8",
-                [&]() { kernels::GramColumns(cols.data(), rows, d,
+      std::vector<Variant> variants = {
+          {"scalar",
+           [&]() { kernels::ref::GramColumns(cols.data(), rows, d,
                                              shiftv.data(), nullptr,
-                                             g_parallel.data(),
-                                             &parallel_opts); },
-                &g_parallel}},
+                                             g_ref.data()); },
+           &g_ref},
+          {"blocked",
+           [&]() { kernels::blocked::GramColumns(cols.data(), rows, d,
+                                                 shiftv.data(), nullptr,
+                                                 g_blocked.data()); },
+           &g_blocked},
+          {"parallel8",
+           [&]() { kernels::GramColumns(cols.data(), rows, d, shiftv.data(),
+                                        nullptr, g_parallel.data(),
+                                        &parallel_opts); },
+           &g_parallel}};
+      if (simd_on) {
+        variants.push_back(
+            {"simd",
+             [&]() { kernels::simd::GramColumns(cols.data(), rows, d,
+                                                shiftv.data(), nullptr,
+                                                g_simd.data()); },
+             &g_simd});
+        variants.push_back(
+            {"simd_parallel8",
+             [&]() { kernels::GramColumns(cols.data(), rows, d,
+                                          shiftv.data(), nullptr,
+                                          g_parallel.data(),
+                                          &simd_parallel_opts); },
+             &g_parallel});
+      }
+      RunCase("covariance", gram_shape,
+              static_cast<double>(rows * d * (d + 1)), variants,
               1e-9 * static_cast<double>(rows), table, json);
+      const std::string shape_str =
+          std::to_string(rows) + "x" + std::to_string(d);
+      const auto dispatch_gram = [&](const kernels::KernelOptions* o) {
+        kernels::GramColumns(cols.data(), rows, d, shiftv.data(), nullptr,
+                             g_parallel.data(), o);
+      };
+      CheckDispatchBitwise("covariance/" + shape_str + "/blocked",
+                           parallel_opts, dispatch_gram, &g_parallel);
+      if (simd_on) {
+        CheckDispatchBitwise("covariance/" + shape_str + "/simd",
+                             simd_parallel_opts, dispatch_gram, &g_parallel);
+      }
     }
 
     {
       std::vector<double> dist_ref(static_cast<size_t>(rows * k));
       std::vector<double> dist_blocked(static_cast<size_t>(rows * k));
+      std::vector<double> dist_simd(static_cast<size_t>(rows * k));
       std::vector<double> dist_parallel(static_cast<size_t>(rows * k));
+      std::vector<Variant> variants = {
+          {"scalar",
+           [&]() { kernels::ref::PairwiseSquaredDistances(
+                       cols.data(), rows, d, centers.data(), k,
+                       dist_ref.data()); },
+           &dist_ref},
+          {"blocked",
+           [&]() { kernels::blocked::PairwiseSquaredDistancesRows(
+                       cols.data(), rows, d, centers.data(), k,
+                       dist_blocked.data(), 0, rows); },
+           &dist_blocked},
+          {"parallel8",
+           [&]() { kernels::PairwiseSquaredDistances(
+                       cols.data(), rows, d, centers.data(), k,
+                       dist_parallel.data(), &parallel_opts); },
+           &dist_parallel}};
+      if (simd_on) {
+        variants.push_back(
+            {"simd",
+             [&]() { kernels::simd::PairwiseSquaredDistances(
+                         cols.data(), rows, d, centers.data(), k,
+                         dist_simd.data()); },
+             &dist_simd});
+        variants.push_back(
+            {"simd_parallel8",
+             [&]() { kernels::PairwiseSquaredDistances(
+                         cols.data(), rows, d, centers.data(), k,
+                         dist_parallel.data(), &simd_parallel_opts); },
+             &dist_parallel});
+      }
       RunCase("distances", shape, 3.0 * static_cast<double>(rows * d * k),
-              {{"scalar",
-                [&]() { kernels::ref::PairwiseSquaredDistances(
-                            cols.data(), rows, d, centers.data(), k,
-                            dist_ref.data()); },
-                &dist_ref},
-               {"blocked",
-                [&]() { kernels::blocked::PairwiseSquaredDistancesRows(
-                            cols.data(), rows, d, centers.data(), k,
-                            dist_blocked.data(), 0, rows); },
-                &dist_blocked},
-               {"parallel8",
-                [&]() { kernels::PairwiseSquaredDistances(
-                            cols.data(), rows, d, centers.data(), k,
-                            dist_parallel.data(), &parallel_opts); },
-                &dist_parallel}},
-              1e-10 * static_cast<double>(d), table, json);
+              variants, 1e-10 * static_cast<double>(d), table, json);
+      const std::string shape_str = std::to_string(rows) + "x" +
+                                    std::to_string(d) + "x" +
+                                    std::to_string(k);
+      const auto dispatch_dist = [&](const kernels::KernelOptions* o) {
+        kernels::PairwiseSquaredDistances(cols.data(), rows, d,
+                                          centers.data(), k,
+                                          dist_parallel.data(), o);
+      };
+      CheckDispatchBitwise("distances/" + shape_str + "/blocked",
+                           parallel_opts, dispatch_dist, &dist_parallel);
+      if (simd_on) {
+        CheckDispatchBitwise("distances/" + shape_str + "/simd",
+                             simd_parallel_opts, dispatch_dist,
+                             &dist_parallel);
+      }
     }
   }
 
   table.Print();
   std::printf(
-      "\nExpected: blocked >= 3x scalar on the 512-cube GEMM "
-      "(single-thread);\nparallel8 adds scaling when cores are available "
-      "and degrades to the\nblocked path (identical bits) when they are "
-      "not.\n");
+      "\nExpected: blocked >= 3x scalar and simd >= 2x blocked on the "
+      "512-cube GEMM\n(single-thread, AVX2 hardware); the parallel "
+      "columns add scaling when cores\nare available and degrade to the "
+      "serial tier (identical bits) when they are\nnot.\n");
+  if (gemm512_blocked_gflops > 0.0 && gemm512_simd_gflops > 0.0) {
+    std::printf("gemm 512^3: blocked %.2f GFLOP/s, simd %.2f GFLOP/s "
+                "(%.2fx)\n",
+                gemm512_blocked_gflops, gemm512_simd_gflops,
+                gemm512_simd_gflops / gemm512_blocked_gflops);
+  }
   const std::string json_path = ResolveJsonPath(args, "BENCH_kernels.json");
   if (!json.WriteTo(json_path)) {
     return 1;

@@ -1,42 +1,15 @@
 #include "analysis/json_diagnostics.h"
 
-#include <cstdio>
 #include <sstream>
+
+#include "common/string_util.h"
 
 namespace hyppo::analysis {
 
 std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (const char raw : s) {
-    const unsigned char c = static_cast<unsigned char>(raw);
-    switch (raw) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += raw;
-        }
-    }
-  }
-  return out;
+  // Delegates to the shared escaper so the bench writer and the
+  // diagnostics emitter cannot drift apart.
+  return hyppo::JsonEscape(s);
 }
 
 std::string ReportToJson(const AnalysisReport& report,

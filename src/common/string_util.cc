@@ -100,4 +100,44 @@ std::string FormatSeconds(double seconds) {
   return FormatDouble(seconds, 3) + " s";
 }
 
+std::string JsonEscape(std::string_view input) {
+  std::string out;
+  out.reserve(input.size() + 2);
+  for (const char raw : input) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (raw) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace hyppo

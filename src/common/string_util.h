@@ -37,6 +37,15 @@ std::string FormatBytes(double bytes);
 /// ("12.3 ms", "4.56 s").
 std::string FormatSeconds(double seconds);
 
+/// Escapes `input` for embedding inside a JSON string literal: `"` and
+/// `\` get backslash escapes, the control characters with JSON
+/// shorthands use them (\b \f \n \r \t), and every other byte below
+/// 0x20 becomes \u00XX — so no control character can produce invalid
+/// JSON. Bytes >= 0x20 (including UTF-8 multibyte sequences) pass
+/// through untouched. Shared by the bench JSON writer and the analysis
+/// diagnostics emitter.
+std::string JsonEscape(std::string_view input);
+
 }  // namespace hyppo
 
 #endif  // HYPPO_COMMON_STRING_UTIL_H_

@@ -77,6 +77,16 @@ struct RuntimeOptions {
   /// reloads the previous session's history + materialized set on
   /// construction — check Runtime::session_status() before use.
   std::string store_dir;
+  /// Calibrate formula-based cost estimates against the machine's actual
+  /// kernel throughput: at construction the runtime times a small GEMM
+  /// through the kernel dispatcher (ml::kernels::MeasureGemmGflops) and
+  /// installs measured/baseline as the estimator's throughput scale, so
+  /// CostHint-based plan costs track the active kernel tier (simd vs
+  /// blocked) instead of assuming the blocked-tier plateau the formulas
+  /// were tuned on. Off by default: the probe costs tens of milliseconds
+  /// and makes plan costs machine-dependent, which deterministic tests
+  /// and simulations do not want.
+  bool calibrate_kernel_costs = false;
 };
 
 /// \brief Shared execution state: catalog (dictionary + history), cost

@@ -1,0 +1,574 @@
+// The simd:: kernel tier. This is the ONLY translation unit in the
+// library compiled with ISA flags (see HYPPO_SIMD_ISA in
+// src/ml/CMakeLists.txt), and it is compiled with -ffp-contract=off:
+// every fused multiply-add below is *explicit* (Vec8::Fma / std::fma),
+// never a compiler contraction, so the tier's numeric behavior is fixed
+// by this source file alone.
+//
+// Backend selection (compile time):
+//   1. AVX2/FMA intrinsics when the TU is compiled with __AVX2__ &&
+//      __FMA__. Intrinsics are preferred over std::experimental::simd
+//      here because GCC's fixed_size_simd ABI passes vectors through
+//      memory and costs ~3x on the GEMM micro-kernel (measured: 3.5 vs
+//      9.9 GFLOPS at 512^3, identical bits).
+//   2. std::experimental::simd when the header exists (GCC >= 11,
+//      recent Clang) — the portable vector backend for generic builds.
+//   3. a scalar 8-lane bank otherwise (the everywhere-compiles fallback;
+//      std::fma keeps its numerics identical to the vector backends).
+// HYPPO_SIMD_SCALAR_ONLY (the HYPPO_SIMD_ISA=off build) forces 3.
+//
+// Determinism: every kernel fixes its per-output-element operation
+// sequence — matrix kernels accumulate in ascending reduction-index
+// order with fused multiply-adds, reductions use a fixed 8-lane bank
+// folded by a fixed binary tree plus a scalar tail. A vector lane and
+// the scalar tail execute the *same* per-element fma chain, so results
+// do not depend on where chunk boundaries fall — which is what makes the
+// parallel row split (dispatch(1) == dispatch(N)) bitwise safe at any
+// partition. All three backends produce identical bits for identical
+// inputs.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "ml/kernels/kernels.h"
+
+#if !defined(HYPPO_SIMD_SCALAR_ONLY) && defined(__AVX2__) && defined(__FMA__)
+#define HYPPO_SIMD_BACKEND_AVX2 1
+#include <immintrin.h>
+#endif
+#if !defined(HYPPO_SIMD_BACKEND_AVX2) && \
+    !defined(HYPPO_SIMD_SCALAR_ONLY) && defined(__has_include)
+#if __has_include(<experimental/simd>)
+#define HYPPO_SIMD_BACKEND_STDSIMD 1
+#include <experimental/simd>
+#endif
+#endif
+
+namespace hyppo::ml::kernels::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Vec8: a fixed 8-lane double vector. The lane count is a tier constant,
+// not the native register width — AVX2 builds use two 256-bit registers,
+// AVX-512 builds one 512-bit register, scalar builds an array — so the
+// accumulation order (and therefore the bits) never depends on which
+// backend or ISA the build selected.
+
+#if defined(HYPPO_SIMD_BACKEND_STDSIMD)
+
+namespace stdx = std::experimental;
+
+struct Vec8 {
+  stdx::fixed_size_simd<double, 8> v;
+
+  static Vec8 Zero() { return {stdx::fixed_size_simd<double, 8>(0.0)}; }
+  static Vec8 Broadcast(double s) {
+    return {stdx::fixed_size_simd<double, 8>(s)};
+  }
+  static Vec8 Load(const double* p) {
+    return {stdx::fixed_size_simd<double, 8>(p, stdx::element_aligned)};
+  }
+  void Store(double* p) const { v.copy_to(p, stdx::element_aligned); }
+  double Lane(int i) const { return v[i]; }
+  static Vec8 Add(const Vec8& a, const Vec8& b) { return {a.v + b.v}; }
+  static Vec8 Sub(const Vec8& a, const Vec8& b) { return {a.v - b.v}; }
+  static Vec8 Mul(const Vec8& a, const Vec8& b) { return {a.v * b.v}; }
+  /// a * b + c, fused (single rounding) in every lane.
+  static Vec8 Fma(const Vec8& a, const Vec8& b, const Vec8& c) {
+    return {stdx::fma(a.v, b.v, c.v)};
+  }
+};
+
+constexpr const char* kBackendName = "stdsimd";
+
+#elif defined(HYPPO_SIMD_BACKEND_AVX2)
+
+struct Vec8 {
+  __m256d lo;
+  __m256d hi;
+
+  static Vec8 Zero() {
+    return {_mm256_setzero_pd(), _mm256_setzero_pd()};
+  }
+  static Vec8 Broadcast(double s) {
+    return {_mm256_set1_pd(s), _mm256_set1_pd(s)};
+  }
+  static Vec8 Load(const double* p) {
+    return {_mm256_loadu_pd(p), _mm256_loadu_pd(p + 4)};
+  }
+  void Store(double* p) const {
+    _mm256_storeu_pd(p, lo);
+    _mm256_storeu_pd(p + 4, hi);
+  }
+  double Lane(int i) const {
+    alignas(32) double tmp[8];
+    Store(tmp);
+    return tmp[i];
+  }
+  static Vec8 Add(const Vec8& a, const Vec8& b) {
+    return {_mm256_add_pd(a.lo, b.lo), _mm256_add_pd(a.hi, b.hi)};
+  }
+  static Vec8 Sub(const Vec8& a, const Vec8& b) {
+    return {_mm256_sub_pd(a.lo, b.lo), _mm256_sub_pd(a.hi, b.hi)};
+  }
+  static Vec8 Mul(const Vec8& a, const Vec8& b) {
+    return {_mm256_mul_pd(a.lo, b.lo), _mm256_mul_pd(a.hi, b.hi)};
+  }
+  static Vec8 Fma(const Vec8& a, const Vec8& b, const Vec8& c) {
+    return {_mm256_fmadd_pd(a.lo, b.lo, c.lo),
+            _mm256_fmadd_pd(a.hi, b.hi, c.hi)};
+  }
+};
+
+constexpr const char* kBackendName = "avx2-intrinsics";
+
+#else  // scalar-banked fallback
+
+struct Vec8 {
+  double lane[8];
+
+  static Vec8 Zero() { return Broadcast(0.0); }
+  static Vec8 Broadcast(double s) {
+    Vec8 out;
+    for (double& l : out.lane) {
+      l = s;
+    }
+    return out;
+  }
+  static Vec8 Load(const double* p) {
+    Vec8 out;
+    for (int i = 0; i < 8; ++i) {
+      out.lane[i] = p[i];
+    }
+    return out;
+  }
+  void Store(double* p) const {
+    for (int i = 0; i < 8; ++i) {
+      p[i] = lane[i];
+    }
+  }
+  double Lane(int i) const { return lane[i]; }
+  static Vec8 Add(const Vec8& a, const Vec8& b) {
+    Vec8 out;
+    for (int i = 0; i < 8; ++i) {
+      out.lane[i] = a.lane[i] + b.lane[i];
+    }
+    return out;
+  }
+  static Vec8 Sub(const Vec8& a, const Vec8& b) {
+    Vec8 out;
+    for (int i = 0; i < 8; ++i) {
+      out.lane[i] = a.lane[i] - b.lane[i];
+    }
+    return out;
+  }
+  static Vec8 Mul(const Vec8& a, const Vec8& b) {
+    Vec8 out;
+    for (int i = 0; i < 8; ++i) {
+      out.lane[i] = a.lane[i] * b.lane[i];
+    }
+    return out;
+  }
+  static Vec8 Fma(const Vec8& a, const Vec8& b, const Vec8& c) {
+    Vec8 out;
+    for (int i = 0; i < 8; ++i) {
+      out.lane[i] = std::fma(a.lane[i], b.lane[i], c.lane[i]);
+    }
+    return out;
+  }
+};
+
+constexpr const char* kBackendName = "scalar-banked";
+
+#endif
+
+/// Fixed-order horizontal sum: (((l0+l1)+(l2+l3))+((l4+l5)+(l6+l7))).
+inline double ReduceTree(const Vec8& v) {
+  return ((v.Lane(0) + v.Lane(1)) + (v.Lane(2) + v.Lane(3))) +
+         ((v.Lane(4) + v.Lane(5)) + (v.Lane(6) + v.Lane(7)));
+}
+
+/// 8-lane banked fused dot product: ReduceTree(banks) + fma'd tail.
+inline double Dot8(const double* a, const double* b, int64_t n) {
+  Vec8 acc = Vec8::Zero();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = Vec8::Fma(Vec8::Load(a + i), Vec8::Load(b + i), acc);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    tail = std::fma(a[i], b[i], tail);
+  }
+  return ReduceTree(acc) + tail;
+}
+
+// GEMM blocking: the reduction dimension is panelled so the B strip a
+// micro-tile streams stays cache-resident; the micro-tile is 6 C rows by
+// one Vec8 of C columns held in registers across the panel (12 of the 16
+// AVX2 ymm registers as accumulators). The micro-tile height only groups
+// work — each C element's fma chain is the same at any height, so MR has
+// no numeric effect.
+constexpr int64_t kGemmKBlock = 256;
+constexpr int64_t kGemmRowTile = 6;
+
+// One MRx8 micro-tile update over p in [k0, k1): accumulators are loaded
+// from C (which carries the partial sums of earlier k panels) and
+// written back, so each C element sees one fma per p, p ascending. MR is
+// a template parameter so the accumulators live in registers — a runtime
+// row count would force the array to the stack and throttle the whole
+// kernel on accumulator spills.
+template <int MR>
+inline void GemmMicro(const double* a, const double* b, double* c,
+                      int64_t k, int64_t n, int64_t i, int64_t j0,
+                      int64_t k0, int64_t k1) {
+  Vec8 acc[MR];
+  for (int r = 0; r < MR; ++r) {
+    acc[r] = Vec8::Load(c + (i + r) * n + j0);
+  }
+  for (int64_t p = k0; p < k1; ++p) {
+    const Vec8 bv = Vec8::Load(b + p * n + j0);
+    for (int r = 0; r < MR; ++r) {
+      acc[r] = Vec8::Fma(Vec8::Broadcast(a[(i + r) * k + p]), bv, acc[r]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    acc[r].Store(c + (i + r) * n + j0);
+  }
+}
+
+}  // namespace
+
+const char* BackendName() { return kBackendName; }
+
+void GemmRows(const double* a, const double* b, double* c, int64_t m,
+              int64_t k, int64_t n, int64_t row_begin, int64_t row_end) {
+  row_end = std::min(row_end, m);
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    double* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      crow[j] = 0.0;
+    }
+  }
+  const int64_t j_vec = n - n % 8;
+  for (int64_t k0 = 0; k0 < k; k0 += kGemmKBlock) {
+    const int64_t k1 = std::min(k, k0 + kGemmKBlock);
+    for (int64_t j0 = 0; j0 < j_vec; j0 += 8) {
+      int64_t i = row_begin;
+      for (; i + kGemmRowTile <= row_end; i += kGemmRowTile) {
+        GemmMicro<kGemmRowTile>(a, b, c, k, n, i, j0, k0, k1);
+      }
+      switch (row_end - i) {
+        case 5:
+          GemmMicro<5>(a, b, c, k, n, i, j0, k0, k1);
+          break;
+        case 4:
+          GemmMicro<4>(a, b, c, k, n, i, j0, k0, k1);
+          break;
+        case 3:
+          GemmMicro<3>(a, b, c, k, n, i, j0, k0, k1);
+          break;
+        case 2:
+          GemmMicro<2>(a, b, c, k, n, i, j0, k0, k1);
+          break;
+        case 1:
+          GemmMicro<1>(a, b, c, k, n, i, j0, k0, k1);
+          break;
+        default:
+          break;
+      }
+    }
+    // Column tail: same ascending-p fma chain, scalar.
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const double* arow = a + i * k;
+      double* crow = c + i * n;
+      for (int64_t j = j_vec; j < n; ++j) {
+        double sum = crow[j];
+        for (int64_t p = k0; p < k1; ++p) {
+          sum = std::fma(arow[p], b[p * n + j], sum);
+        }
+        crow[j] = sum;
+      }
+    }
+  }
+}
+
+void Gemm(const double* a, const double* b, double* c, int64_t m, int64_t k,
+          int64_t n) {
+  GemmRows(a, b, c, m, k, n, 0, m);
+}
+
+void GemvRows(const double* m, int64_t rows, int64_t cols, const double* x,
+              double* y, int64_t row_begin, int64_t row_end) {
+  row_end = std::min(row_end, rows);
+  for (int64_t r = row_begin; r < row_end; ++r) {
+    y[r] = Dot8(m + r * cols, x, cols);
+  }
+}
+
+void Gemv(const double* m, int64_t rows, int64_t cols, const double* x,
+          double* y) {
+  GemvRows(m, rows, cols, x, y, 0, rows);
+}
+
+// out[r] = bias + sum_c w[c] * (cols[c][r] - shift[c]); ascending-c fma
+// chain per output row. Vector rows and scalar-tail rows run the same
+// per-element chain, so results are independent of chunk boundaries.
+void GemvColumnsRows(const double* const* cols, int64_t rows,
+                     int64_t num_cols, const double* shift, const double* w,
+                     double bias, double* out, int64_t row_begin,
+                     int64_t row_end) {
+  row_end = std::min(row_end, rows);
+  int64_t r = row_begin;
+  for (; r + 8 <= row_end; r += 8) {
+    Vec8 acc = Vec8::Broadcast(bias);
+    for (int64_t c = 0; c < num_cols; ++c) {
+      const Vec8 col = Vec8::Load(cols[c] + r);
+      const Vec8 centered =
+          shift ? Vec8::Sub(col, Vec8::Broadcast(shift[c])) : col;
+      acc = Vec8::Fma(Vec8::Broadcast(w[c]), centered, acc);
+    }
+    acc.Store(out + r);
+  }
+  for (; r < row_end; ++r) {
+    double sum = bias;
+    for (int64_t c = 0; c < num_cols; ++c) {
+      const double v = shift ? cols[c][r] - shift[c] : cols[c][r];
+      sum = std::fma(w[c], v, sum);
+    }
+    out[r] = sum;
+  }
+}
+
+void GemvColumns(const double* const* cols, int64_t rows, int64_t num_cols,
+                 const double* shift, const double* w, double bias,
+                 double* out) {
+  GemvColumnsRows(cols, rows, num_cols, shift, w, bias, out, 0, rows);
+}
+
+namespace {
+
+constexpr int64_t kGramTile = 16;
+
+// One Gram entry: 8-lane banked row reduction. The weighted form
+// multiplies weight*(ci-si) first, then fma's with (cj-sj) — the same
+// left-to-right association as the reference.
+inline double GramPair8(const double* ci, double si, const double* cj,
+                        double sj, const double* weight, int64_t rows) {
+  const Vec8 bsi = Vec8::Broadcast(si);
+  const Vec8 bsj = Vec8::Broadcast(sj);
+  Vec8 acc = Vec8::Zero();
+  int64_t r = 0;
+  if (weight == nullptr) {
+    for (; r + 8 <= rows; r += 8) {
+      acc = Vec8::Fma(Vec8::Sub(Vec8::Load(ci + r), bsi),
+                      Vec8::Sub(Vec8::Load(cj + r), bsj), acc);
+    }
+    double tail = 0.0;
+    for (; r < rows; ++r) {
+      tail = std::fma(ci[r] - si, cj[r] - sj, tail);
+    }
+    return ReduceTree(acc) + tail;
+  }
+  for (; r + 8 <= rows; r += 8) {
+    const Vec8 wi =
+        Vec8::Mul(Vec8::Load(weight + r), Vec8::Sub(Vec8::Load(ci + r), bsi));
+    acc = Vec8::Fma(wi, Vec8::Sub(Vec8::Load(cj + r), bsj), acc);
+  }
+  double tail = 0.0;
+  for (; r < rows; ++r) {
+    tail = std::fma(weight[r] * (ci[r] - si), cj[r] - sj, tail);
+  }
+  return ReduceTree(acc) + tail;
+}
+
+}  // namespace
+
+// Upper-triangle tiles for i in [i_begin, i_end), mirrored into the lower
+// triangle — the same ownership rule as the blocked tier, so the parallel
+// row partition never writes an element twice.
+void GramColumnsRows(const double* const* cols, int64_t rows,
+                     int64_t num_cols, const double* shift,
+                     const double* weight, double* out, int64_t i_begin,
+                     int64_t i_end) {
+  i_end = std::min(i_end, num_cols);
+  for (int64_t i0 = i_begin; i0 < i_end; i0 += kGramTile) {
+    const int64_t i1 = std::min(i_end, i0 + kGramTile);
+    for (int64_t j0 = i0; j0 < num_cols; j0 += kGramTile) {
+      const int64_t j1 = std::min(num_cols, j0 + kGramTile);
+      for (int64_t i = i0; i < i1; ++i) {
+        const double si = shift ? shift[i] : 0.0;
+        for (int64_t j = std::max(i, j0); j < j1; ++j) {
+          const double sj = shift ? shift[j] : 0.0;
+          const double v = GramPair8(cols[i], si, cols[j], sj, weight, rows);
+          out[i * num_cols + j] = v;
+          out[j * num_cols + i] = v;
+        }
+      }
+    }
+  }
+}
+
+void GramColumns(const double* const* cols, int64_t rows, int64_t num_cols,
+                 const double* shift, const double* weight, double* out) {
+  GramColumnsRows(cols, rows, num_cols, shift, weight, out, 0, num_cols);
+}
+
+// Distances: ascending-dimension fused accumulation per (row, center)
+// element; rows vectorized 8 at a time with per-lane independence, so
+// vector chunks and the scalar row tail agree bitwise.
+void PairwiseSquaredDistancesRows(const double* const* cols, int64_t rows,
+                                  int64_t dims, const double* centers,
+                                  int64_t k, double* out, int64_t row_begin,
+                                  int64_t row_end) {
+  row_end = std::min(row_end, rows);
+  int64_t r = row_begin;
+  for (; r + 8 <= row_end; r += 8) {
+    for (int64_t i = 0; i < k; ++i) {
+      const double* center = centers + i * dims;
+      Vec8 acc = Vec8::Zero();
+      for (int64_t c = 0; c < dims; ++c) {
+        const Vec8 diff =
+            Vec8::Sub(Vec8::Load(cols[c] + r), Vec8::Broadcast(center[c]));
+        acc = Vec8::Fma(diff, diff, acc);
+      }
+      alignas(64) double lanes[8];
+      acc.Store(lanes);
+      for (int64_t t = 0; t < 8; ++t) {
+        out[(r + t) * k + i] = lanes[t];
+      }
+    }
+  }
+  for (; r < row_end; ++r) {
+    for (int64_t i = 0; i < k; ++i) {
+      const double* center = centers + i * dims;
+      double sq = 0.0;
+      for (int64_t c = 0; c < dims; ++c) {
+        const double diff = cols[c][r] - center[c];
+        sq = std::fma(diff, diff, sq);
+      }
+      out[r * k + i] = sq;
+    }
+  }
+}
+
+void PairwiseSquaredDistances(const double* const* cols, int64_t rows,
+                              int64_t dims, const double* centers, int64_t k,
+                              double* out) {
+  PairwiseSquaredDistancesRows(cols, rows, dims, centers, k, out, 0, rows);
+}
+
+// ---------------------------------------------------------------------------
+// Fused vector kernels.
+
+double Dot(const double* a, const double* b, int64_t n) {
+  return Dot8(a, b, n);
+}
+
+double ShiftedDot(const double* x, double shift, const double* y, int64_t n) {
+  const Vec8 bshift = Vec8::Broadcast(shift);
+  Vec8 acc = Vec8::Zero();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = Vec8::Fma(Vec8::Sub(Vec8::Load(x + i), bshift), Vec8::Load(y + i),
+                    acc);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    tail = std::fma(x[i] - shift, y[i], tail);
+  }
+  return ReduceTree(acc) + tail;
+}
+
+// The elementwise ops below intentionally use separate multiply and add
+// (no fma): each output element is the exact operation sequence of the
+// reference, so Axpy/ShiftedAxpy/Multiply stay bitwise identical across
+// every tier. (-ffp-contract=off on this TU guarantees the compiler does
+// not fuse them behind our back.)
+
+void Axpy(double alpha, const double* x, double* y, int64_t n) {
+  const Vec8 balpha = Vec8::Broadcast(alpha);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    Vec8::Add(Vec8::Load(y + i), Vec8::Mul(balpha, Vec8::Load(x + i)))
+        .Store(y + i);
+  }
+  for (; i < n; ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+void ShiftedAxpy(double alpha, const double* x, double shift, double* y,
+                 int64_t n) {
+  const Vec8 balpha = Vec8::Broadcast(alpha);
+  const Vec8 bshift = Vec8::Broadcast(shift);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const Vec8 centered = Vec8::Sub(Vec8::Load(x + i), bshift);
+    Vec8::Add(Vec8::Load(y + i), Vec8::Mul(balpha, centered)).Store(y + i);
+  }
+  for (; i < n; ++i) {
+    y[i] += alpha * (x[i] - shift);
+  }
+}
+
+void Multiply(const double* a, const double* b, double* out, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    Vec8::Mul(Vec8::Load(a + i), Vec8::Load(b + i)).Store(out + i);
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] * b[i];
+  }
+}
+
+double Sum(const double* x, int64_t n) {
+  Vec8 acc = Vec8::Zero();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = Vec8::Add(acc, Vec8::Load(x + i));
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    tail += x[i];
+  }
+  return ReduceTree(acc) + tail;
+}
+
+double ShiftedSumSq(const double* x, double shift, int64_t n) {
+  const Vec8 bshift = Vec8::Broadcast(shift);
+  Vec8 acc = Vec8::Zero();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const Vec8 d = Vec8::Sub(Vec8::Load(x + i), bshift);
+    acc = Vec8::Fma(d, d, acc);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = x[i] - shift;
+    tail = std::fma(d, d, tail);
+  }
+  return ReduceTree(acc) + tail;
+}
+
+void SumAndSumSq(const double* x, int64_t n, double* sum, double* sum_sq) {
+  Vec8 acc_s = Vec8::Zero();
+  Vec8 acc_q = Vec8::Zero();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const Vec8 v = Vec8::Load(x + i);
+    acc_s = Vec8::Add(acc_s, v);
+    acc_q = Vec8::Fma(v, v, acc_q);
+  }
+  double tail_s = 0.0;
+  double tail_q = 0.0;
+  for (; i < n; ++i) {
+    tail_s += x[i];
+    tail_q = std::fma(x[i], x[i], tail_q);
+  }
+  *sum = ReduceTree(acc_s) + tail_s;
+  *sum_sq = ReduceTree(acc_q) + tail_q;
+}
+
+}  // namespace hyppo::ml::kernels::simd

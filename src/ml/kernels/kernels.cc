@@ -1,12 +1,16 @@
 #include "ml/kernels/kernels.h"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/thread_pool.h"
 
 namespace hyppo::ml::kernels {
@@ -14,6 +18,84 @@ namespace hyppo::ml::kernels {
 namespace {
 
 thread_local KernelOptions g_options;
+
+// ---------------------------------------------------------------------------
+// SIMD tier configuration. The build ISA comes from CMake
+// (HYPPO_SIMD_ISA → HYPPO_SIMD_REQ_* definitions on this target); the
+// runtime probe asks the CPU once whether it can execute that ISA; the
+// HYPPO_SIMD environment override caps or disables the tier. Everything
+// is cached — dispatch reads one relaxed atomic.
+
+// ISA ranks for the HYPPO_SIMD cap: baseline/"sse2" = 1, avx2 = 2,
+// avx512 = 3. "off" maps to 0 (below every build), "on"/"native"/unset
+// to a rank above every build.
+#if defined(HYPPO_SIMD_REQ_AVX512)
+constexpr const char* kSimdBuildIsa = "avx512";
+constexpr int kSimdBuildRank = 3;
+#elif defined(HYPPO_SIMD_REQ_AVX2)
+constexpr const char* kSimdBuildIsa = "avx2";
+constexpr int kSimdBuildRank = 2;
+#else
+constexpr const char* kSimdBuildIsa = "generic";
+constexpr int kSimdBuildRank = 1;
+#endif
+
+bool ProbeSimdRuntimeSupport() {
+#if defined(HYPPO_SIMD_REQ_AVX512)
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx512f") != 0;
+#else
+  return false;
+#endif
+#elif defined(HYPPO_SIMD_REQ_AVX2)
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0 &&
+         __builtin_cpu_supports("fma") != 0;
+#else
+  return false;
+#endif
+#else
+  // Generic builds carry no ISA flags beyond the baseline: always safe.
+  return true;
+#endif
+}
+
+int HyppoSimdEnvRank() {
+  const char* env = std::getenv("HYPPO_SIMD");
+  if (env == nullptr || env[0] == '\0') {
+    return 1 << 10;  // unset: defer to the cpuid probe
+  }
+  if (std::strcmp(env, "off") == 0) {
+    return 0;
+  }
+  if (std::strcmp(env, "sse2") == 0) {
+    return 1;
+  }
+  if (std::strcmp(env, "avx2") == 0) {
+    return 2;
+  }
+  if (std::strcmp(env, "avx512") == 0) {
+    return 3;
+  }
+  // "on", "native", and anything unrecognized: no cap.
+  return 1 << 10;
+}
+
+bool ComputeSimdEnabled() {
+  static const bool runtime_supported = ProbeSimdRuntimeSupport();
+  return runtime_supported && HyppoSimdEnvRank() >= kSimdBuildRank;
+}
+
+std::atomic<bool> g_simd_enabled{ComputeSimdEnabled()};
+
+// True when dispatch may select the simd tier for this call: enabled
+// process-wide and not opted out per call.
+inline bool UseSimdTier(const KernelOptions* opts) {
+  return g_simd_enabled.load(std::memory_order_relaxed) &&
+         (opts != nullptr ? *opts : g_options).allow_simd;
+}
 
 // Work thresholds (flop estimates). Path selection depends only on the
 // problem shape — never on thread count or nesting — so a given call
@@ -94,8 +176,25 @@ bool ParallelismSuppressed(const KernelOptions* opts) {
   return ThreadPool::InAnyPoolWorker() || EffectiveThreads(opts) <= 1;
 }
 
+const char* SimdBuildIsa() { return kSimdBuildIsa; }
+
+bool SimdRuntimeSupported() {
+  static const bool supported = ProbeSimdRuntimeSupport();
+  return supported;
+}
+
+bool SimdEnabled() {
+  return g_simd_enabled.load(std::memory_order_relaxed);
+}
+
+void RefreshSimdConfig() {
+  g_simd_enabled.store(ComputeSimdEnabled(), std::memory_order_relaxed);
+}
+
 // ---------------------------------------------------------------------------
-// Dispatching entry points.
+// Dispatching entry points. Order: shape threshold (tiny problems take
+// the scalar reference regardless of tier) → ISA probe / HYPPO_SIMD
+// override (simd vs blocked tier) → parallel split of the chosen tier.
 
 void Gemm(const double* a, const double* b, double* c, int64_t m, int64_t k,
           int64_t n, const KernelOptions* opts) {
@@ -105,13 +204,16 @@ void Gemm(const double* a, const double* b, double* c, int64_t m, int64_t k,
     ref::Gemm(a, b, c, m, k, n);
     return;
   }
+  const bool use_simd = UseSimdTier(opts);
   if (work < kParallelMinWork || ParallelismSuppressed(opts)) {
-    blocked::Gemm(a, b, c, m, k, n);
+    use_simd ? simd::Gemm(a, b, c, m, k, n)
+             : blocked::Gemm(a, b, c, m, k, n);
     return;
   }
   RunParallel(m, EffectiveThreads(opts),
               [&](int64_t begin, int64_t end) {
-                blocked::GemmRows(a, b, c, m, k, n, begin, end);
+                use_simd ? simd::GemmRows(a, b, c, m, k, n, begin, end)
+                         : blocked::GemmRows(a, b, c, m, k, n, begin, end);
               });
 }
 
@@ -123,13 +225,17 @@ void Gemv(const double* m, int64_t rows, int64_t cols, const double* x,
     ref::Gemv(m, rows, cols, x, y);
     return;
   }
+  const bool use_simd = UseSimdTier(opts);
   if (work < kParallelMinWork || ParallelismSuppressed(opts)) {
-    blocked::Gemv(m, rows, cols, x, y);
+    use_simd ? simd::Gemv(m, rows, cols, x, y)
+             : blocked::Gemv(m, rows, cols, x, y);
     return;
   }
   RunParallel(rows, EffectiveThreads(opts),
               [&](int64_t begin, int64_t end) {
-                blocked::GemvRows(m, rows, cols, x, y, begin, end);
+                use_simd ? simd::GemvRows(m, rows, cols, x, y, begin, end)
+                         : blocked::GemvRows(m, rows, cols, x, y, begin,
+                                             end);
               });
 }
 
@@ -138,21 +244,26 @@ void GemvColumns(const double* const* cols, int64_t rows, int64_t num_cols,
                  double* out, const KernelOptions* opts) {
   const double work =
       2.0 * static_cast<double>(rows) * static_cast<double>(num_cols);
-  // The blocked path accumulates in the same order as the reference
-  // (ascending columns per output element); the split is purely about
-  // loop structure, so any threshold is numerically safe.
+  // Both non-reference tiers accumulate in the same order regardless of
+  // how rows are later partitioned, so any threshold is numerically safe.
   if (work < kBlockedMinWork) {
     ref::GemvColumns(cols, rows, num_cols, shift, w, bias, out);
     return;
   }
+  const bool use_simd = UseSimdTier(opts);
   if (work < kParallelMinWork || ParallelismSuppressed(opts)) {
-    blocked::GemvColumns(cols, rows, num_cols, shift, w, bias, out);
+    use_simd ? simd::GemvColumns(cols, rows, num_cols, shift, w, bias, out)
+             : blocked::GemvColumns(cols, rows, num_cols, shift, w, bias,
+                                    out);
     return;
   }
   RunParallel(rows, EffectiveThreads(opts),
               [&](int64_t begin, int64_t end) {
-                blocked::GemvColumnsRows(cols, rows, num_cols, shift, w,
-                                         bias, out, begin, end);
+                use_simd ? simd::GemvColumnsRows(cols, rows, num_cols, shift,
+                                                 w, bias, out, begin, end)
+                         : blocked::GemvColumnsRows(cols, rows, num_cols,
+                                                    shift, w, bias, out,
+                                                    begin, end);
               });
 }
 
@@ -166,14 +277,20 @@ void GramColumns(const double* const* cols, int64_t rows, int64_t num_cols,
     ref::GramColumns(cols, rows, num_cols, shift, weight, out);
     return;
   }
+  const bool use_simd = UseSimdTier(opts);
   if (work < kParallelMinWork || ParallelismSuppressed(opts)) {
-    blocked::GramColumns(cols, rows, num_cols, shift, weight, out);
+    use_simd ? simd::GramColumns(cols, rows, num_cols, shift, weight, out)
+             : blocked::GramColumns(cols, rows, num_cols, shift, weight,
+                                    out);
     return;
   }
   RunParallel(num_cols, EffectiveThreads(opts),
               [&](int64_t begin, int64_t end) {
-                blocked::GramColumnsRows(cols, rows, num_cols, shift, weight,
-                                         out, begin, end);
+                use_simd ? simd::GramColumnsRows(cols, rows, num_cols, shift,
+                                                 weight, out, begin, end)
+                         : blocked::GramColumnsRows(cols, rows, num_cols,
+                                                    shift, weight, out,
+                                                    begin, end);
               });
 }
 
@@ -186,15 +303,23 @@ void PairwiseSquaredDistances(const double* const* cols, int64_t rows,
     ref::PairwiseSquaredDistances(cols, rows, dims, centers, k, out);
     return;
   }
+  const bool use_simd = UseSimdTier(opts);
   if (work < kParallelMinWork || ParallelismSuppressed(opts)) {
-    blocked::PairwiseSquaredDistances(cols, rows, dims, centers, k, out);
+    use_simd ? simd::PairwiseSquaredDistances(cols, rows, dims, centers, k,
+                                              out)
+             : blocked::PairwiseSquaredDistances(cols, rows, dims, centers,
+                                                 k, out);
     return;
   }
   RunParallel(rows, EffectiveThreads(opts),
               [&](int64_t begin, int64_t end) {
-                blocked::PairwiseSquaredDistancesRows(cols, rows, dims,
-                                                      centers, k, out, begin,
-                                                      end);
+                use_simd
+                    ? simd::PairwiseSquaredDistancesRows(cols, rows, dims,
+                                                         centers, k, out,
+                                                         begin, end)
+                    : blocked::PairwiseSquaredDistancesRows(cols, rows, dims,
+                                                            centers, k, out,
+                                                            begin, end);
               });
 }
 
@@ -273,15 +398,22 @@ void NearestCentroids(const double* const* cols, int64_t rows, int64_t dims,
 }
 
 // ---------------------------------------------------------------------------
-// Fused vector kernels. Serial (memory-bound); reductions use fixed 4-way
-// accumulator banks so they vectorize under strict FP semantics while
-// staying deterministic.
+// Fused vector kernels. Serial (memory-bound). When the simd tier is
+// enabled they route to the 8-lane-banked implementations; otherwise to
+// the 4-bank blocked-tier order below. Either way a given process sees a
+// fixed accumulation order for every call, independent of thread count.
+// The elementwise ops (Axpy/ShiftedAxpy/Multiply) are bitwise identical
+// in every tier (plain mul-then-add per element), so their routing is
+// purely a speed choice.
 
 double Dot(const double* a, const double* b, int64_t n) {
-  return blocked::Dot(a, b, n);
+  return UseSimdTier(nullptr) ? simd::Dot(a, b, n) : blocked::Dot(a, b, n);
 }
 
 double ShiftedDot(const double* x, double shift, const double* y, int64_t n) {
+  if (UseSimdTier(nullptr)) {
+    return simd::ShiftedDot(x, shift, y, n);
+  }
   double s0 = 0.0;
   double s1 = 0.0;
   double s2 = 0.0;
@@ -301,6 +433,10 @@ double ShiftedDot(const double* x, double shift, const double* y, int64_t n) {
 }
 
 void Axpy(double alpha, const double* x, double* y, int64_t n) {
+  if (UseSimdTier(nullptr)) {
+    simd::Axpy(alpha, x, y, n);
+    return;
+  }
   for (int64_t i = 0; i < n; ++i) {
     y[i] += alpha * x[i];
   }
@@ -308,18 +444,29 @@ void Axpy(double alpha, const double* x, double* y, int64_t n) {
 
 void ShiftedAxpy(double alpha, const double* x, double shift, double* y,
                  int64_t n) {
+  if (UseSimdTier(nullptr)) {
+    simd::ShiftedAxpy(alpha, x, shift, y, n);
+    return;
+  }
   for (int64_t i = 0; i < n; ++i) {
     y[i] += alpha * (x[i] - shift);
   }
 }
 
 void Multiply(const double* a, const double* b, double* out, int64_t n) {
+  if (UseSimdTier(nullptr)) {
+    simd::Multiply(a, b, out, n);
+    return;
+  }
   for (int64_t i = 0; i < n; ++i) {
     out[i] = a[i] * b[i];
   }
 }
 
 double Sum(const double* x, int64_t n) {
+  if (UseSimdTier(nullptr)) {
+    return simd::Sum(x, n);
+  }
   double s0 = 0.0;
   double s1 = 0.0;
   double s2 = 0.0;
@@ -339,6 +486,9 @@ double Sum(const double* x, int64_t n) {
 }
 
 double ShiftedSumSq(const double* x, double shift, int64_t n) {
+  if (UseSimdTier(nullptr)) {
+    return simd::ShiftedSumSq(x, shift, n);
+  }
   double s0 = 0.0;
   double s1 = 0.0;
   double s2 = 0.0;
@@ -363,6 +513,10 @@ double ShiftedSumSq(const double* x, double shift, int64_t n) {
 }
 
 void SumAndSumSq(const double* x, int64_t n, double* sum, double* sum_sq) {
+  if (UseSimdTier(nullptr)) {
+    simd::SumAndSumSq(x, n, sum, sum_sq);
+    return;
+  }
   double a0 = 0.0;
   double a1 = 0.0;
   double a2 = 0.0;
@@ -390,6 +544,45 @@ void SumAndSumSq(const double* x, int64_t n, double* sum, double* sum_sq) {
   }
   *sum = ((a0 + a1) + (a2 + a3)) + at;
   *sum_sq = ((q0 + q1) + (q2 + q3)) + qt;
+}
+
+// ---------------------------------------------------------------------------
+// Throughput calibration. Times a square GEMM through the normal
+// dispatcher (so it exercises whichever tier dispatch would pick for real
+// workloads) and returns the sustained GFLOPS. Deterministic inputs;
+// repeats until enough wall time has accumulated for a stable reading.
+
+double MeasureGemmGflops(int64_t size, const KernelOptions* opts) {
+  if (size < 8) {
+    size = 8;
+  }
+  const size_t cells = static_cast<size_t>(size * size);
+  std::vector<double> a(cells);
+  std::vector<double> b(cells);
+  std::vector<double> c(cells);
+  for (size_t i = 0; i < cells; ++i) {
+    a[i] = 0.25 + 0.5 * static_cast<double>(i % 17);
+    b[i] = -0.75 + 0.25 * static_cast<double>(i % 13);
+  }
+  const double flops_per_rep = 2.0 * static_cast<double>(size) *
+                               static_cast<double>(size) *
+                               static_cast<double>(size);
+  // Warm-up (page-in + icache) outside the timed region.
+  Gemm(a.data(), b.data(), c.data(), size, size, size, opts);
+  constexpr double kMinSeconds = 0.02;
+  const WallClock clock;
+  double elapsed = 0.0;
+  int64_t reps = 0;
+  const double start = clock.Now();
+  do {
+    Gemm(a.data(), b.data(), c.data(), size, size, size, opts);
+    ++reps;
+    elapsed = clock.Now() - start;
+  } while (elapsed < kMinSeconds && reps < 1024);
+  if (elapsed <= 0.0) {
+    return kCalibrationBaselineGflops;
+  }
+  return flops_per_rep * static_cast<double>(reps) / elapsed / 1e9;
 }
 
 }  // namespace hyppo::ml::kernels

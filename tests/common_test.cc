@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <ios>
 #include <set>
 #include <string>
 #include <thread>
@@ -11,7 +13,6 @@
 #include "common/object_pool.h"
 #include "common/result.h"
 #include "common/rng.h"
-#include "common/sharded_table.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -202,6 +203,58 @@ TEST(StringUtilTest, Formatting) {
   EXPECT_EQ(FormatSeconds(2.5), "2.5 s");
 }
 
+TEST(StringUtilTest, JsonEscapeBasics) {
+  EXPECT_EQ(JsonEscape("plain ascii 123"), "plain ascii 123");
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonEscape("a\nb\tc\rd\be\ff"), "a\\nb\\tc\\rd\\be\\ff");
+  EXPECT_EQ(JsonEscape(""), "");
+  // Bytes >= 0x20 pass through, including UTF-8 multibyte sequences.
+  EXPECT_EQ(JsonEscape("naïve — ünïcode"), "naïve — ünïcode");
+}
+
+// Every control character below 0x20 must be escaped — a raw one inside
+// a JSON string literal makes the whole document unparseable. The named
+// shorthands are used where JSON defines them, \u00XX elsewhere.
+TEST(StringUtilTest, JsonEscapeFullControlRange) {
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string in(1, static_cast<char>(c));
+    const std::string out = JsonEscape(in);
+    // No raw control byte survives.
+    for (const char ch : out) {
+      EXPECT_GE(static_cast<unsigned char>(ch), 0x20u)
+          << "raw control byte in escape of 0x" << std::hex << c;
+    }
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0], '\\') << "control 0x" << std::hex << c;
+    switch (c) {
+      case '\b':
+        EXPECT_EQ(out, "\\b");
+        break;
+      case '\f':
+        EXPECT_EQ(out, "\\f");
+        break;
+      case '\n':
+        EXPECT_EQ(out, "\\n");
+        break;
+      case '\r':
+        EXPECT_EQ(out, "\\r");
+        break;
+      case '\t':
+        EXPECT_EQ(out, "\\t");
+        break;
+      default: {
+        char expected[8];
+        std::snprintf(expected, sizeof(expected), "\\u%04x", c);
+        EXPECT_EQ(out, expected) << "control 0x" << std::hex << c;
+      }
+    }
+  }
+  // DEL (0x7f) and high bytes are not control characters JSON requires
+  // escaping; they pass through.
+  EXPECT_EQ(JsonEscape("\x7f"), "\x7f");
+}
+
 TEST(ClockTest, VirtualClockAdvances) {
   VirtualClock clock;
   EXPECT_EQ(clock.Now(), 0.0);
@@ -237,63 +290,6 @@ TEST(ObjectPoolTest, RecyclesReleasedObjects) {
 TEST(ObjectPoolTest, AcquireOnEmptyDefaultConstructs) {
   ObjectPool<std::string> pool;
   EXPECT_TRUE(pool.Acquire().empty());
-}
-
-TEST(ShardedMinTableTest, ImproveKeepsMinimum) {
-  ShardedMinTable<std::string> table(4);
-  EXPECT_TRUE(table.Improve("a", 3.0));
-  EXPECT_FALSE(table.Improve("a", 3.0));  // equal is dominated
-  EXPECT_FALSE(table.Improve("a", 5.0));
-  EXPECT_TRUE(table.Improve("a", 1.0));
-  EXPECT_EQ(table.GetOr("a", -1.0), 1.0);
-  EXPECT_EQ(table.GetOr("absent", -1.0), -1.0);
-  EXPECT_EQ(table.size(), 1);
-}
-
-TEST(ShardedMinTableTest, ShardCountRoundsUpToPowerOfTwo) {
-  EXPECT_EQ(ShardedMinTable<int>(0).num_shards(), 1);
-  EXPECT_EQ(ShardedMinTable<int>(3).num_shards(), 4);
-  EXPECT_EQ(ShardedMinTable<int>(8).num_shards(), 8);
-}
-
-// Every key hashes to the same bucket: two distinct keys MUST still keep
-// distinct values. This is the dominance-soundness regression for the
-// optimizer, which previously keyed its dominance map on a bare 64-bit
-// state signature — a hash collision between two different
-// (visited, frontier) states could prune a cheaper optimal plan. The
-// sharded table stores full keys, so colliding states stay distinct.
-TEST(ShardedMinTableTest, HashCollisionsDoNotMergeKeys) {
-  struct ConstantHash {
-    size_t operator()(const std::string&) const { return 42; }
-  };
-  ShardedMinTable<std::string, ConstantHash> table(8);
-  EXPECT_TRUE(table.Improve("cheap-state", 1.0));
-  // Same hash, different key: must not be dominated by "cheap-state".
-  EXPECT_TRUE(table.Improve("expensive-state", 9.0));
-  EXPECT_EQ(table.GetOr("cheap-state", -1.0), 1.0);
-  EXPECT_EQ(table.GetOr("expensive-state", -1.0), 9.0);
-  EXPECT_EQ(table.size(), 2);
-}
-
-TEST(ShardedMinTableTest, ConcurrentImprovesKeepGlobalMinimum) {
-  ShardedMinTable<int> table(8);
-  std::vector<std::thread> threads;
-  for (int t = 0; t < 4; ++t) {
-    threads.emplace_back([&table, t]() {
-      for (int i = 0; i < 200; ++i) {
-        table.Improve(i % 10, static_cast<double>((i + t * 50) % 97));
-      }
-    });
-  }
-  for (std::thread& thread : threads) {
-    thread.join();
-  }
-  for (int key = 0; key < 10; ++key) {
-    const double value = table.GetOr(key, -1.0);
-    EXPECT_GE(value, 0.0);
-    // No thread ever offered a value above 96.
-    EXPECT_LE(value, 96.0);
-  }
 }
 
 TEST(BitsetContainsTest, SubsetSemantics) {
@@ -352,6 +348,57 @@ TEST(AntichainTableTest, ShardCountRoundsUpToPowerOfTwo) {
   EXPECT_EQ(ShardedAntichainTable<int>(0).num_shards(), 1);
   EXPECT_EQ(ShardedAntichainTable<int>(3).num_shards(), 4);
   EXPECT_EQ(ShardedAntichainTable<int>(8).num_shards(), 8);
+}
+
+// Every key hashes to the same bucket: two distinct keys MUST still keep
+// distinct antichains. This is the dominance-soundness regression for
+// the optimizer, which once keyed its dominance map on a bare 64-bit
+// state signature — a hash collision between two different
+// (visited, frontier) states could prune a cheaper optimal plan. The
+// sharded table stores full keys, so colliding frontiers stay distinct.
+// (Ported from the retired ShardedMinTable, which this structure
+// replaced in the optimizer.)
+TEST(AntichainTableTest, HashCollisionsDoNotMergeKeys) {
+  struct ConstantHash {
+    size_t operator()(const std::string&) const { return 42; }
+  };
+  ShardedAntichainTable<std::string, ConstantHash> table(8);
+  EXPECT_TRUE(table.Improve("cheap-frontier", {0b1}, 1.0));
+  // Same hash, different key: must not be dominated by "cheap-frontier".
+  EXPECT_TRUE(table.Improve("expensive-frontier", {0b1}, 9.0));
+  EXPECT_DOUBLE_EQ(table.BestDominating("cheap-frontier", {0b1}, 1e18), 1.0);
+  EXPECT_DOUBLE_EQ(table.BestDominating("expensive-frontier", {0b1}, 1e18),
+                   9.0);
+  EXPECT_EQ(table.size(), 2);
+  EXPECT_EQ(table.num_keys(), 2);
+}
+
+// With a fixed bitset per key the antichain degenerates to min-cost
+// semantics: concurrent Improve calls must preserve the global minimum
+// each key ever saw (the ShardedMinTable invariant, now on the live
+// structure).
+TEST(AntichainTableTest, ConcurrentImprovesKeepGlobalMinimum) {
+  ShardedAntichainTable<int> table(8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&table, t]() {
+      for (int i = 0; i < 200; ++i) {
+        table.Improve(i % 10, {0b1},
+                      static_cast<double>((i + t * 50) % 97));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (int key = 0; key < 10; ++key) {
+    const double value = table.BestDominating(key, {0b1}, 1e18);
+    EXPECT_GE(value, 0.0);
+    // No thread ever offered a value above 96.
+    EXPECT_LE(value, 96.0);
+    // Identical bitsets collapse to the single cheapest entry.
+  }
+  EXPECT_EQ(table.size(), 10);
 }
 
 TEST(AntichainTableTest, ConcurrentImprovesKeepAntichainSound) {

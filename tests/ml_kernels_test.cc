@@ -4,6 +4,10 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -403,6 +407,430 @@ TEST(KernelsScope, InstallsAndRestoresThreadLocalOptions) {
     EXPECT_EQ(CurrentOptions().num_threads, 6);
   }
   EXPECT_EQ(CurrentOptions().num_threads, 1);
+}
+
+// --- simd tier --------------------------------------------------------------
+// The simd:: tier fixes its own 8-lane-banked accumulation order, so it may
+// differ from ref:: within a reduction-length tolerance but must be
+// deterministic: the same bits from any row partition, at any thread count.
+// Suites skip when the CPU lacks the ISA this build's simd tier targets
+// (calling into simd:: there would execute unsupported instructions).
+
+// Sets HYPPO_SIMD for the lifetime of a scope and refreshes the cached
+// dispatcher config; restores the previous value (or unset state) on exit.
+class ScopedSimdEnv {
+ public:
+  explicit ScopedSimdEnv(const char* value) {
+    const char* prev = std::getenv("HYPPO_SIMD");
+    had_previous_ = prev != nullptr;
+    if (had_previous_) {
+      saved_ = prev;
+    }
+    if (value == nullptr) {
+      ::unsetenv("HYPPO_SIMD");
+    } else {
+      ::setenv("HYPPO_SIMD", value, 1);
+    }
+    RefreshSimdConfig();
+  }
+  ~ScopedSimdEnv() {
+    if (had_previous_) {
+      ::setenv("HYPPO_SIMD", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("HYPPO_SIMD");
+    }
+    RefreshSimdConfig();
+  }
+  ScopedSimdEnv(const ScopedSimdEnv&) = delete;
+  ScopedSimdEnv& operator=(const ScopedSimdEnv&) = delete;
+
+ private:
+  bool had_previous_ = false;
+  std::string saved_;
+};
+
+class KernelsSimd : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!SimdRuntimeSupported()) {
+      GTEST_SKIP() << "CPU lacks the '" << SimdBuildIsa()
+                   << "' ISA the simd tier of this build targets";
+    }
+  }
+};
+
+TEST_F(KernelsSimd, GemmWithinToleranceOfReference) {
+  Rng rng(20);
+  for (const GemmShape& s : kGemmShapes) {
+    const auto a = RandomVector(static_cast<size_t>(s.m * s.k), rng);
+    const auto b = RandomVector(static_cast<size_t>(s.k * s.n), rng);
+    std::vector<double> c_ref(static_cast<size_t>(s.m * s.n), -1.0);
+    std::vector<double> c_simd(static_cast<size_t>(s.m * s.n), -2.0);
+    ref::Gemm(a.data(), b.data(), c_ref.data(), s.m, s.k, s.n);
+    simd::Gemm(a.data(), b.data(), c_simd.data(), s.m, s.k, s.n);
+    EXPECT_LE(MaxAbsDiff(c_ref, c_simd),
+              1e-12 * static_cast<double>(s.k + 1))
+        << "m=" << s.m << " k=" << s.k << " n=" << s.n;
+  }
+}
+
+TEST_F(KernelsSimd, GemvAndGemvColumnsWithinTolerance) {
+  Rng rng(21);
+  for (int64_t rows : {0, 1, 31, 97, 301}) {
+    for (int64_t cols : {1, 4, 8, 9, 63, 300}) {
+      const auto m = RandomVector(static_cast<size_t>(rows * cols), rng);
+      const auto x = RandomVector(static_cast<size_t>(cols), rng);
+      std::vector<double> y_ref(static_cast<size_t>(rows), -1.0);
+      std::vector<double> y_simd(static_cast<size_t>(rows), -2.0);
+      ref::Gemv(m.data(), rows, cols, x.data(), y_ref.data());
+      simd::Gemv(m.data(), rows, cols, x.data(), y_simd.data());
+      EXPECT_LE(MaxAbsDiff(y_ref, y_simd),
+                1e-12 * static_cast<double>(cols + 1))
+          << "rows=" << rows << " cols=" << cols;
+      const auto values = Columns(m, rows, cols);
+      const auto shift = RandomVector(static_cast<size_t>(cols), rng);
+      ref::GemvColumns(values.data(), rows, cols, shift.data(), x.data(), 0.5,
+                       y_ref.data());
+      simd::GemvColumns(values.data(), rows, cols, shift.data(), x.data(),
+                        0.5, y_simd.data());
+      EXPECT_LE(MaxAbsDiff(y_ref, y_simd),
+                1e-12 * static_cast<double>(cols + 1))
+          << "columns rows=" << rows << " cols=" << cols;
+    }
+  }
+}
+
+TEST_F(KernelsSimd, GramAndDistancesWithinTolerance) {
+  Rng rng(22);
+  for (int64_t rows : {0, 1, 77, 501}) {
+    for (int64_t d : {1, 2, 7, 8, 9, 17}) {
+      const auto values = RandomVector(static_cast<size_t>(rows * d), rng);
+      const auto cols = Columns(values, rows, d);
+      const auto shift = RandomVector(static_cast<size_t>(d), rng);
+      const double bound = 1e-12 * static_cast<double>(rows + 1);
+      std::vector<double> g_ref(static_cast<size_t>(d * d), -1.0);
+      std::vector<double> g_simd(static_cast<size_t>(d * d), -2.0);
+      ref::GramColumns(cols.data(), rows, d, shift.data(), nullptr,
+                       g_ref.data());
+      simd::GramColumns(cols.data(), rows, d, shift.data(), nullptr,
+                        g_simd.data());
+      EXPECT_LE(MaxAbsDiff(g_ref, g_simd), bound)
+          << "gram rows=" << rows << " d=" << d;
+      const int64_t k = 3;
+      const auto centers = RandomVector(static_cast<size_t>(k * d), rng);
+      std::vector<double> sq_ref(static_cast<size_t>(rows * k), -1.0);
+      std::vector<double> sq_simd(static_cast<size_t>(rows * k), -2.0);
+      ref::PairwiseSquaredDistances(cols.data(), rows, d, centers.data(), k,
+                                    sq_ref.data());
+      simd::PairwiseSquaredDistances(cols.data(), rows, d, centers.data(), k,
+                                     sq_simd.data());
+      EXPECT_LE(MaxAbsDiff(sq_ref, sq_simd),
+                1e-12 * static_cast<double>(d + 1))
+          << "distances rows=" << rows << " d=" << d;
+    }
+  }
+}
+
+TEST_F(KernelsSimd, FusedReductionsWithinTolerance) {
+  Rng rng(23);
+  for (int64_t n : {0, 1, 2, 7, 8, 9, 63, 1000}) {
+    const auto x = RandomVector(static_cast<size_t>(n), rng);
+    const auto y = RandomVector(static_cast<size_t>(n), rng);
+    const double bound = 1e-12 * static_cast<double>(n + 1);
+    double dot_naive = 0.0;
+    double sum_naive = 0.0;
+    double sq_naive = 0.0;
+    double shifted_dot_naive = 0.0;
+    double shifted_sq_naive = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      dot_naive += x[static_cast<size_t>(i)] * y[static_cast<size_t>(i)];
+      sum_naive += x[static_cast<size_t>(i)];
+      sq_naive += x[static_cast<size_t>(i)] * x[static_cast<size_t>(i)];
+      shifted_dot_naive +=
+          (x[static_cast<size_t>(i)] - 0.5) * y[static_cast<size_t>(i)];
+      const double dv = x[static_cast<size_t>(i)] - 0.5;
+      shifted_sq_naive += dv * dv;
+    }
+    EXPECT_NEAR(simd::Dot(x.data(), y.data(), n), dot_naive, bound);
+    EXPECT_NEAR(simd::Sum(x.data(), n), sum_naive, bound);
+    EXPECT_NEAR(simd::ShiftedDot(x.data(), 0.5, y.data(), n),
+                shifted_dot_naive, bound);
+    EXPECT_NEAR(simd::ShiftedSumSq(x.data(), 0.5, n), shifted_sq_naive,
+                bound);
+    double sum_out = -1.0;
+    double sq_out = -1.0;
+    simd::SumAndSumSq(x.data(), n, &sum_out, &sq_out);
+    EXPECT_NEAR(sum_out, sum_naive, bound);
+    EXPECT_NEAR(sq_out, sq_naive, bound);
+  }
+}
+
+TEST_F(KernelsSimd, ElementwiseOpsBitwiseMatchNaive) {
+  // Axpy/ShiftedAxpy/Multiply perform exactly the per-element mul-then-add
+  // sequence of the reference (no contraction), so equality is exact.
+  Rng rng(24);
+  const int64_t n = 261;  // 8-lane main loop plus a 5-element tail
+  const auto x = RandomVector(static_cast<size_t>(n), rng);
+  std::vector<double> y_kernel = RandomVector(static_cast<size_t>(n), rng);
+  std::vector<double> y_naive = y_kernel;
+  simd::Axpy(-0.75, x.data(), y_kernel.data(), n);
+  for (int64_t i = 0; i < n; ++i) {
+    y_naive[static_cast<size_t>(i)] += -0.75 * x[static_cast<size_t>(i)];
+  }
+  EXPECT_EQ(y_kernel, y_naive);
+  simd::ShiftedAxpy(0.5, x.data(), 0.25, y_kernel.data(), n);
+  for (int64_t i = 0; i < n; ++i) {
+    y_naive[static_cast<size_t>(i)] +=
+        0.5 * (x[static_cast<size_t>(i)] - 0.25);
+  }
+  EXPECT_EQ(y_kernel, y_naive);
+  std::vector<double> product(static_cast<size_t>(n));
+  simd::Multiply(x.data(), y_kernel.data(), product.data(), n);
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(product[static_cast<size_t>(i)],
+              x[static_cast<size_t>(i)] * y_kernel[static_cast<size_t>(i)]);
+  }
+}
+
+TEST_F(KernelsSimd, RowPartitionInvariantBitwise) {
+  // Chunking GemmRows at arbitrary row boundaries must reproduce the
+  // single-call bits: this is the invariant the parallel driver relies on.
+  Rng rng(25);
+  const int64_t m = 53;
+  const int64_t k = 67;
+  const int64_t n = 41;
+  const auto a = RandomVector(static_cast<size_t>(m * k), rng);
+  const auto b = RandomVector(static_cast<size_t>(k * n), rng);
+  std::vector<double> c_whole(static_cast<size_t>(m * n), -1.0);
+  std::vector<double> c_chunked(static_cast<size_t>(m * n), -2.0);
+  simd::Gemm(a.data(), b.data(), c_whole.data(), m, k, n);
+  const int64_t boundaries[] = {0, 1, 7, 12, 30, 31, 53};
+  for (size_t i = 0; i + 1 < std::size(boundaries); ++i) {
+    simd::GemmRows(a.data(), b.data(), c_chunked.data(), m, k, n,
+                   boundaries[i], boundaries[i + 1]);
+  }
+  EXPECT_EQ(c_whole, c_chunked);
+}
+
+TEST_F(KernelsSimd, DispatchBitwiseEqualAcrossThreadsAndMatchesTier) {
+  // With HYPPO_SIMD forced on, the dispatcher must route to the simd tier
+  // (bits equal to a direct simd:: call) and stay bitwise stable across
+  // thread counts.
+  ScopedSimdEnv env("on");
+  ASSERT_TRUE(SimdEnabled());
+  Rng rng(26);
+  const int64_t m = 131;
+  const int64_t k = 129;
+  const int64_t n = 127;  // above the parallel work threshold
+  const auto a = RandomVector(static_cast<size_t>(m * k), rng);
+  const auto b = RandomVector(static_cast<size_t>(k * n), rng);
+  std::vector<double> c_tier(static_cast<size_t>(m * n));
+  std::vector<double> c_serial(static_cast<size_t>(m * n));
+  std::vector<double> c_parallel(static_cast<size_t>(m * n));
+  simd::Gemm(a.data(), b.data(), c_tier.data(), m, k, n);
+  KernelOptions serial;
+  serial.num_threads = 1;
+  KernelOptions parallel;
+  parallel.num_threads = 8;
+  Gemm(a.data(), b.data(), c_serial.data(), m, k, n, &serial);
+  Gemm(a.data(), b.data(), c_parallel.data(), m, k, n, &parallel);
+  EXPECT_EQ(c_tier, c_serial);
+  EXPECT_EQ(c_serial, c_parallel);
+}
+
+TEST_F(KernelsSimd, AllowSimdFalseForcesBlockedTier) {
+  ScopedSimdEnv env("on");
+  ASSERT_TRUE(SimdEnabled());
+  Rng rng(27);
+  const int64_t m = 131;
+  const int64_t k = 129;
+  const int64_t n = 127;
+  const auto a = RandomVector(static_cast<size_t>(m * k), rng);
+  const auto b = RandomVector(static_cast<size_t>(k * n), rng);
+  std::vector<double> c_blocked(static_cast<size_t>(m * n));
+  std::vector<double> c_serial(static_cast<size_t>(m * n));
+  std::vector<double> c_parallel(static_cast<size_t>(m * n));
+  blocked::Gemm(a.data(), b.data(), c_blocked.data(), m, k, n);
+  KernelOptions serial;
+  serial.num_threads = 1;
+  serial.allow_simd = false;
+  KernelOptions parallel;
+  parallel.num_threads = 8;
+  parallel.allow_simd = false;
+  Gemm(a.data(), b.data(), c_serial.data(), m, k, n, &serial);
+  Gemm(a.data(), b.data(), c_parallel.data(), m, k, n, &parallel);
+  EXPECT_EQ(c_blocked, c_serial);
+  EXPECT_EQ(c_serial, c_parallel);
+}
+
+// --- dispatcher configuration ----------------------------------------------
+
+TEST(KernelsSimdConfig, EveryEnvOverrideValueDispatchesCorrectly) {
+  // Iterate every HYPPO_SIMD value the dispatcher understands so no tier
+  // is silently untested on any machine: each setting must yield an
+  // internally consistent config and a correct dispatch result.
+  Rng rng(28);
+  const int64_t m = 33;
+  const int64_t k = 48;
+  const int64_t n = 17;  // above the blocked work threshold, below parallel
+  const auto a = RandomVector(static_cast<size_t>(m * k), rng);
+  const auto b = RandomVector(static_cast<size_t>(k * n), rng);
+  std::vector<double> c_ref(static_cast<size_t>(m * n), -1.0);
+  ref::Gemm(a.data(), b.data(), c_ref.data(), m, k, n);
+  const char* kValues[] = {"off", "sse2", "avx2", "avx512", "on", nullptr};
+  for (const char* value : kValues) {
+    ScopedSimdEnv env(value);
+    const char* label = value != nullptr ? value : "(unset)";
+    if (SimdEnabled()) {
+      // The dispatcher may only route to simd:: when the CPU supports the
+      // ISA the tier was compiled for.
+      EXPECT_TRUE(SimdRuntimeSupported()) << "HYPPO_SIMD=" << label;
+    }
+    if (value != nullptr && std::strcmp(value, "off") == 0) {
+      EXPECT_FALSE(SimdEnabled()) << "HYPPO_SIMD=off must disable the tier";
+    }
+    std::vector<double> c(static_cast<size_t>(m * n), -2.0);
+    Gemm(a.data(), b.data(), c.data(), m, k, n);
+    EXPECT_LE(MaxAbsDiff(c_ref, c), 1e-12 * static_cast<double>(k + 1))
+        << "HYPPO_SIMD=" << label;
+  }
+}
+
+TEST(KernelsSimdConfig, RefreshRestoresBaselineAfterOverride) {
+  const bool baseline = SimdEnabled();
+  {
+    ScopedSimdEnv env("off");
+    EXPECT_FALSE(SimdEnabled());
+  }
+  EXPECT_EQ(SimdEnabled(), baseline);
+}
+
+// --- degenerate shapes across tiers -----------------------------------------
+// Empty and single-element shapes take the tail paths in every tier; there
+// a reduction has at most one term, so all tiers must agree bitwise.
+
+TEST(KernelsDegenerate, EmptyAndSingleElementShapesAgreeAcrossTiers) {
+  const bool simd_ok = SimdRuntimeSupported();
+  const GemmShape degenerate[] = {{0, 5, 4}, {3, 0, 4}, {3, 7, 0}, {1, 1, 1}};
+  Rng rng(29);
+  for (const GemmShape& s : degenerate) {
+    const auto a = RandomVector(static_cast<size_t>(s.m * s.k), rng);
+    const auto b = RandomVector(static_cast<size_t>(s.k * s.n), rng);
+    std::vector<double> c_ref(static_cast<size_t>(s.m * s.n), -1.0);
+    std::vector<double> c_blocked(static_cast<size_t>(s.m * s.n), -2.0);
+    ref::Gemm(a.data(), b.data(), c_ref.data(), s.m, s.k, s.n);
+    blocked::Gemm(a.data(), b.data(), c_blocked.data(), s.m, s.k, s.n);
+    EXPECT_EQ(c_ref, c_blocked) << "m=" << s.m << " k=" << s.k
+                                << " n=" << s.n;
+    if (simd_ok) {
+      std::vector<double> c_simd(static_cast<size_t>(s.m * s.n), -3.0);
+      simd::Gemm(a.data(), b.data(), c_simd.data(), s.m, s.k, s.n);
+      EXPECT_EQ(c_ref, c_simd)
+          << "simd m=" << s.m << " k=" << s.k << " n=" << s.n;
+    }
+  }
+  // Column-pointer kernels: zero rows and a single cell. Bias stays 0.0
+  // because the simd tier fuses w*v+bias into one fma (a single rounding)
+  // where ref rounds the product first; exactness across tiers only holds
+  // when accumulation starts from zero.
+  for (int64_t rows : {int64_t{0}, int64_t{1}}) {
+    const int64_t d = 1;
+    const auto values = RandomVector(static_cast<size_t>(rows * d), rng);
+    const auto cols = Columns(values, rows, d);
+    const auto w = RandomVector(static_cast<size_t>(d), rng);
+    std::vector<double> y_ref(static_cast<size_t>(rows), -1.0);
+    std::vector<double> y_blocked(static_cast<size_t>(rows), -2.0);
+    ref::GemvColumns(cols.data(), rows, d, nullptr, w.data(), 0.0,
+                     y_ref.data());
+    blocked::GemvColumns(cols.data(), rows, d, nullptr, w.data(), 0.0,
+                         y_blocked.data());
+    EXPECT_EQ(y_ref, y_blocked) << "rows=" << rows;
+    std::vector<double> g_ref(static_cast<size_t>(d * d), -1.0);
+    std::vector<double> g_blocked(static_cast<size_t>(d * d), -2.0);
+    ref::GramColumns(cols.data(), rows, d, nullptr, nullptr, g_ref.data());
+    blocked::GramColumns(cols.data(), rows, d, nullptr, nullptr,
+                         g_blocked.data());
+    EXPECT_EQ(g_ref, g_blocked) << "gram rows=" << rows;
+    if (simd_ok) {
+      std::vector<double> y_simd(static_cast<size_t>(rows), -3.0);
+      simd::GemvColumns(cols.data(), rows, d, nullptr, w.data(), 0.0,
+                        y_simd.data());
+      EXPECT_EQ(y_ref, y_simd) << "simd rows=" << rows;
+      std::vector<double> g_simd(static_cast<size_t>(d * d), -3.0);
+      simd::GramColumns(cols.data(), rows, d, nullptr, nullptr,
+                        g_simd.data());
+      EXPECT_EQ(g_ref, g_simd) << "simd gram rows=" << rows;
+    }
+  }
+}
+
+// --- non-finite propagation -------------------------------------------------
+// A NaN anywhere in a row poisons that row's outputs in every tier; a +inf
+// against strictly positive multiplicands saturates the row to +inf in
+// every tier. Reassociation never changes either classification, so the
+// tiers must agree on exactly which outputs are NaN, +inf, or finite.
+
+TEST(KernelsNonFinite, NaNAndInfPropagateIdenticallyAcrossTiers) {
+  const bool simd_ok = SimdRuntimeSupported();
+  const int64_t m = 9;
+  const int64_t k = 40;
+  const int64_t n = 24;
+  Rng rng(30);
+  auto a = RandomVector(static_cast<size_t>(m * k), rng);
+  std::vector<double> b(static_cast<size_t>(k * n));
+  for (size_t i = 0; i < b.size(); ++i) {
+    b[i] = 0.5 + 0.25 * static_cast<double>(i % 7);  // strictly positive
+  }
+  const int64_t nan_row = 2;
+  const int64_t inf_row = 6;
+  a[static_cast<size_t>(nan_row * k + 5)] =
+      std::numeric_limits<double>::quiet_NaN();
+  a[static_cast<size_t>(inf_row * k + 11)] =
+      std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> results;
+  std::vector<std::string> labels;
+  results.emplace_back(static_cast<size_t>(m * n), -1.0);
+  labels.emplace_back("ref");
+  ref::Gemm(a.data(), b.data(), results.back().data(), m, k, n);
+  results.emplace_back(static_cast<size_t>(m * n), -2.0);
+  labels.emplace_back("blocked");
+  blocked::Gemm(a.data(), b.data(), results.back().data(), m, k, n);
+  if (simd_ok) {
+    results.emplace_back(static_cast<size_t>(m * n), -3.0);
+    labels.emplace_back("simd");
+    simd::Gemm(a.data(), b.data(), results.back().data(), m, k, n);
+  }
+  results.emplace_back(static_cast<size_t>(m * n), -4.0);
+  labels.emplace_back("dispatch");
+  Gemm(a.data(), b.data(), results.back().data(), m, k, n);
+  for (size_t t = 0; t < results.size(); ++t) {
+    const std::vector<double>& c = results[t];
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        const double v = c[static_cast<size_t>(i * n + j)];
+        if (i == nan_row) {
+          EXPECT_TRUE(std::isnan(v))
+              << labels[t] << " row " << i << " col " << j;
+        } else if (i == inf_row) {
+          EXPECT_EQ(v, std::numeric_limits<double>::infinity())
+              << labels[t] << " row " << i << " col " << j;
+        } else {
+          EXPECT_TRUE(std::isfinite(v))
+              << labels[t] << " row " << i << " col " << j;
+        }
+      }
+    }
+  }
+  // Fused reductions propagate NaN identically.
+  std::vector<double> x(64, 1.0);
+  x[17] = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> y(64, 2.0);
+  EXPECT_TRUE(std::isnan(Dot(x.data(), y.data(), 64)));
+  EXPECT_TRUE(std::isnan(Sum(x.data(), 64)));
+  if (simd_ok) {
+    EXPECT_TRUE(std::isnan(simd::Dot(x.data(), y.data(), 64)));
+    EXPECT_TRUE(std::isnan(simd::Sum(x.data(), 64)));
+  }
 }
 
 }  // namespace
