@@ -18,6 +18,7 @@
 #include "core/hyppo.h"
 #include "serving/session_manager.h"
 #include "workload/datagen.h"
+#include "workload/sweep_generator.h"
 
 namespace {
 
@@ -133,10 +134,52 @@ int RunServingDemo(const hyppo::core::HyppoSystem::Options& base,
   return 0;
 }
 
+// Hyperparameter-sweep demo (--sweep N): the canonical model grid from
+// workload::SweepGenerator::DemoSweep — one preprocessing trunk, N model
+// configurations — planned and executed as one merged batch
+// (HyppoSystem::RunBatch, docs/SWEEP.md). The shared trunk runs once;
+// every later member's plan is seeded with it.
+int RunSweepDemo(const hyppo::core::HyppoSystem::Options& base,
+                 int num_configs) {
+  namespace workload = hyppo::workload;
+  constexpr double kScale = 0.005;  // ~400-row dataset: fast demo runs
+  hyppo::core::HyppoSystem system(base);
+  system.runtime().session_status().Abort("open store");
+
+  const workload::UseCase use_case = workload::UseCase::Higgs();
+  system.runtime().RegisterDatasetGenerator(
+      use_case.DatasetId(kScale),
+      [use_case]() { return workload::GenerateUseCase(use_case, kScale, 7); });
+
+  workload::SweepGenerator generator(use_case, kScale, /*seed=*/11);
+  auto sweep = generator.DemoSweep(num_configs, "quickstart-sweep");
+  sweep.status().Abort("generate sweep");
+
+  std::printf("sweeping %d model configurations over one shared trunk\n",
+              num_configs);
+  auto report = system.RunBatch(sweep->pipelines);
+  report.status().Abort("run sweep batch");
+  for (size_t m = 0; m < report->reports.size(); ++m) {
+    const auto& member = report->reports[m];
+    std::printf("  config %zu: %d tasks executed, exec %s\n", m,
+                member.tasks_executed,
+                hyppo::FormatSeconds(member.execute_seconds).c_str());
+  }
+  // Marker line for the CI sweep check.
+  std::printf(
+      "batch-planned %zu sweep configs with %lld merged tasks and "
+      "%lld shared-prefix skips\n",
+      report->reports.size(), static_cast<long long>(report->merged_tasks),
+      static_cast<long long>(report->shared_prefix_skips));
+  std::printf("plan overhead for the whole batch: %s\n",
+              hyppo::FormatSeconds(report->optimize_seconds).c_str());
+  return 0;
+}
+
 }  // namespace
 
 // Usage: quickstart [--parallelism <n|auto>] [--store-dir <dir>]
-//        [--sessions <n>] [catalog-dir]
+//        [--sessions <n>] [--sweep <n>] [catalog-dir]
 //
 // --parallelism sets the worker-thread count for execution and for the
 // optimizer's parallel plan search ("auto" = all hardware threads).
@@ -145,7 +188,10 @@ int RunServingDemo(const hyppo::core::HyppoSystem::Options& base,
 // there, so running quickstart twice with the same --store-dir reuses the
 // first run's artifacts across the process boundary. --sessions N (N > 1)
 // switches to the multi-tenant serving demo: N concurrent sessions share
-// one history/store and reuse each other's materializations. An optional
+// one history/store and reuse each other's materializations. --sweep N
+// switches to the hyperparameter-sweep demo: N model configurations over
+// one shared preprocessing trunk, planned and executed as a single
+// merged batch (docs/SWEEP.md). An optional
 // positional argument names a directory to save the session's catalog
 // into (history + materialized artifacts); `tools/hyppo_lint <dir>` can
 // then verify the saved history's invariants.
@@ -157,6 +203,7 @@ int main(int argc, char** argv) {
 
   const char* catalog_dir = nullptr;
   int sessions = 1;
+  int sweep_configs = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--parallelism") == 0 && i + 1 < argc) {
       const std::string value = argv[++i];
@@ -176,6 +223,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "invalid --sessions value '%s'\n", argv[i]);
         return 1;
       }
+    } else if (std::strcmp(argv[i], "--sweep") == 0 && i + 1 < argc) {
+      sweep_configs = std::atoi(argv[++i]);
+      if (sweep_configs < 2) {
+        std::fprintf(stderr, "invalid --sweep value '%s' (need >= 2)\n",
+                     argv[i]);
+        return 1;
+      }
     } else {
       catalog_dir = argv[i];
     }
@@ -183,6 +237,9 @@ int main(int argc, char** argv) {
 
   if (sessions > 1) {
     return RunServingDemo(options, sessions);
+  }
+  if (sweep_configs > 0) {
+    return RunSweepDemo(options, sweep_configs);
   }
 
   HyppoSystem system(options);

@@ -286,7 +286,9 @@ Result<History::CompactionStats> History::Compact(
   std::vector<NodeId> kept;
   std::vector<NodeId> candidates;
   for (NodeId v = 1; v < graph_.num_artifacts(); ++v) {
-    if (IsSourceData(v) || record(v).materialized) {
+    if (IsSourceData(v) || record(v).materialized ||
+        (options.protect_names != nullptr &&
+         options.protect_names->count(graph_.artifact(v).name) > 0)) {
       kept.push_back(v);
     } else {
       candidates.push_back(v);

@@ -155,6 +155,13 @@ class History {
     /// Compaction target as a fraction of max_nodes (hysteresis: dropping
     /// to exactly max_nodes would re-trigger on the next observation).
     double retain_fraction = 0.75;
+    /// Canonical names retained unconditionally (like sources and
+    /// materialized artifacts). The runtime pins every artifact of an
+    /// in-flight batch plan here: batch plans live across many member
+    /// executions, and compacting their nodes away mid-batch would drop
+    /// the access/compute statistics the end-of-batch materializer
+    /// scores shared prefixes with. Not owned; may be null.
+    const std::set<std::string>* protect_names = nullptr;
   };
 
   struct CompactionStats {

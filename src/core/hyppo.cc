@@ -11,6 +11,19 @@ Result<Method::Planned> Method::PlanRetrieval(
   return Status::NotImplemented(name() + " does not support retrieval plans");
 }
 
+Result<BatchPlanner::Planned> Method::PlanPipelineBatch(
+    const std::vector<Pipeline>& /*pipelines*/) {
+  return Status::NotImplemented(name() + " does not support batch plans");
+}
+
+Status Method::AfterBatchExecution(
+    const std::vector<Pipeline>& /*pipelines*/,
+    const BatchPlanner::Planned& /*planned*/,
+    const Runtime::BatchExecutionRecord& /*record*/) {
+  return Status::NotImplemented(name() +
+                                " does not support batch materialization");
+}
+
 Result<Plan> Method::ReplanAugmentation(const Augmentation& aug) {
   PlanGenerator generator;
   PlanGenerator::Options options;
@@ -111,6 +124,44 @@ Result<Method::Planned> HyppoMethod::PlanRetrieval(
   return planned;
 }
 
+Result<BatchPlanner::Planned> HyppoMethod::PlanPipelineBatch(
+    const std::vector<Pipeline>& pipelines) {
+  const int64_t pruned_before = last_stats_.pruned_by_dominance;
+  BatchPlanner::Options options;
+  options.augment = options_.augment;
+  options.search = options_.search;
+  Result<BatchPlanner::Planned> planned = BatchPlanner::PlanBatch(
+      pipelines, runtime_->history(), runtime_->augmenter(), options,
+      &last_stats_);
+  runtime_->monitor().RecordStatesPruned(last_stats_.pruned_by_dominance -
+                                         pruned_before);
+  if (planned.ok()) {
+    runtime_->monitor().RecordBatchMergedTasks(planned->stats.merged_tasks);
+    runtime_->monitor().RecordBatchPlanSeconds(planned->optimize_seconds);
+  }
+  return planned;
+}
+
+Status HyppoMethod::AfterBatchExecution(
+    const std::vector<Pipeline>& /*pipelines*/,
+    const BatchPlanner::Planned& /*planned*/,
+    const Runtime::BatchExecutionRecord& record) {
+  Materializer::Options options = options_.materialization;
+  options.budget_bytes = runtime_->options().storage_budget_bytes;
+  std::set<std::string> storable;
+  std::map<std::string, ArtifactPayload> available;
+  for (const Runtime::ExecutionRecord& member : record.members) {
+    for (const auto& [name, payload] : member.payloads_by_name) {
+      storable.insert(name);
+      available.emplace(name, payload);
+    }
+  }
+  Materializer::Decision decision =
+      materializer_.Decide(runtime_->history(), storable, options);
+  return materializer_.Apply(runtime_->history(), runtime_->store(), decision,
+                             available);
+}
+
 Status HyppoMethod::AfterExecution(const Pipeline& /*pipeline*/,
                                    const Planned& /*planned*/,
                                    const Runtime::ExecutionRecord& record) {
@@ -173,6 +224,63 @@ Result<HyppoSystem::RunReport> HyppoSystem::RunPipeline(
     }
   }
   return report;
+}
+
+Result<HyppoSystem::BatchRunReport> HyppoSystem::RunBatch(
+    const std::vector<Pipeline>& pipelines) {
+  HYPPO_RETURN_NOT_OK(runtime_->session_status());
+  BatchRunReport batch;
+  if (!runtime_->options().batch_planning || pipelines.size() < 2) {
+    // Sequential fallback: the baseline the sweep bench compares against.
+    batch.reports.reserve(pipelines.size());
+    for (const Pipeline& pipeline : pipelines) {
+      HYPPO_ASSIGN_OR_RETURN(RunReport report, RunPipeline(pipeline));
+      batch.optimize_seconds += report.optimize_seconds;
+      batch.execute_seconds += report.execute_seconds;
+      batch.reports.push_back(std::move(report));
+    }
+    return batch;
+  }
+  HYPPO_ASSIGN_OR_RETURN(BatchPlanner::Planned planned,
+                         method_->PlanPipelineBatch(pipelines));
+  HYPPO_ASSIGN_OR_RETURN(
+      Runtime::BatchExecutionRecord record,
+      runtime_->RunBatch(pipelines, planned.merged, planned.members,
+                         method_->MakeReplanner()));
+  HYPPO_RETURN_NOT_OK(
+      method_->AfterBatchExecution(pipelines, planned, record));
+  HYPPO_RETURN_NOT_OK(runtime_->PersistSession());
+  batch.batched = true;
+  batch.optimize_seconds = planned.optimize_seconds;
+  batch.execute_seconds = record.seconds;
+  batch.merged_tasks = planned.stats.merged_tasks;
+  batch.shared_prefix_hits = planned.stats.shared_prefix_hits;
+  batch.shared_prefix_skips = record.shared_prefix_skips;
+  batch.reports.reserve(pipelines.size());
+  const double amortized =
+      planned.optimize_seconds / static_cast<double>(pipelines.size());
+  for (size_t i = 0; i < pipelines.size(); ++i) {
+    const Pipeline& pipeline = pipelines[i];
+    RunReport report;
+    report.plan = planned.members[i].plan;
+    report.execute_seconds = record.members[i].seconds;
+    report.optimize_seconds = amortized;
+    for (EdgeId e : pipeline.graph.hypergraph().LiveEdges()) {
+      report.baseline_seconds += runtime_->augmenter().EdgeSeconds(
+          pipeline.graph, e, runtime_->history());
+    }
+    report.tasks_executed =
+        static_cast<int32_t>(planned.members[i].plan.edges.size());
+    for (NodeId t : pipeline.targets) {
+      const std::string& name = pipeline.graph.artifact(t).name;
+      const auto it = record.members[i].payloads_by_name.find(name);
+      if (it != record.members[i].payloads_by_name.end()) {
+        report.target_payloads.emplace(name, it->second);
+      }
+    }
+    batch.reports.push_back(std::move(report));
+  }
+  return batch;
 }
 
 Result<HyppoSystem::RunReport> HyppoSystem::RunCode(const std::string& code,

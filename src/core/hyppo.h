@@ -34,6 +34,18 @@ class HyppoMethod final : public Method {
                         const Runtime::ExecutionRecord& record) override;
   Result<Planned> PlanRetrieval(
       const std::vector<std::string>& artifact_names) override;
+  /// Multi-query optimization: folds the batch into one hypergraph,
+  /// augments once, and plans each member against shared lower bounds
+  /// (core/batch_planner.h). Feeds the monitor's batch counters.
+  Result<BatchPlanner::Planned> PlanPipelineBatch(
+      const std::vector<Pipeline>& pipelines) override;
+  /// One materialization decision for the whole batch: shared-prefix
+  /// artifacts carry fan-out-many access counts by now, so the SPF gain
+  /// scores them with their batch-wide benefit.
+  Status AfterBatchExecution(
+      const std::vector<Pipeline>& pipelines,
+      const BatchPlanner::Planned& planned,
+      const Runtime::BatchExecutionRecord& record) override;
   /// Recovery re-planning with the same search strategy (and greedy
   /// fallback) the original plan used.
   Result<Plan> ReplanAugmentation(const Augmentation& aug) override;
@@ -83,6 +95,35 @@ class HyppoSystem {
 
   /// Optimizes, executes, records, and materializes one pipeline.
   Result<RunReport> RunPipeline(const Pipeline& pipeline);
+
+  struct BatchRunReport {
+    /// Per-member reports, in submission order. In batch mode each
+    /// member's optimize_seconds is its amortized share of the one batch
+    /// plan.
+    std::vector<RunReport> reports;
+    /// Planning overhead for the whole batch (one merged augmentation +
+    /// per-member searches in batch mode; summed per-pipeline planning
+    /// in the sequential fallback).
+    double optimize_seconds = 0.0;
+    /// Total charged execution seconds across members.
+    double execute_seconds = 0.0;
+    /// Batch-mode telemetry (all zero in the sequential fallback):
+    /// cross-pipeline task merges, plan edges shared across member
+    /// plans, and tasks execution skipped via cross-member seeding.
+    int64_t merged_tasks = 0;
+    int64_t shared_prefix_hits = 0;
+    int64_t shared_prefix_skips = 0;
+    /// True when the multi-query path ran (batch_planning on, >= 2
+    /// members).
+    bool batched = false;
+  };
+
+  /// Optimizes and executes a set of related pipelines as one batch (a
+  /// hyperparameter sweep): merged plan, seeded execution, one batch-wide
+  /// materialization decision. With RuntimeOptions::batch_planning off or
+  /// fewer than two members, falls back to the sequential RunPipeline
+  /// loop — payloads are byte-identical either way, only cost differs.
+  Result<BatchRunReport> RunBatch(const std::vector<Pipeline>& pipelines);
 
   /// Convenience: parse + run.
   Result<RunReport> RunCode(const std::string& code, const std::string& id);

@@ -49,6 +49,21 @@ class Method {
   virtual Result<Planned> PlanRetrieval(
       const std::vector<std::string>& artifact_names);
 
+  /// Plans a set of related pipelines jointly as one merged hypergraph
+  /// (core/batch_planner.h) — the multi-query path for hyperparameter
+  /// sweeps. Default: NotImplemented; callers fall back to the
+  /// sequential per-pipeline loop, so baselines keep their behavior.
+  virtual Result<BatchPlanner::Planned> PlanPipelineBatch(
+      const std::vector<Pipeline>& pipelines);
+
+  /// Applies the materialization policy ONCE for a whole executed batch,
+  /// with every member's payloads and the batch-wide access statistics
+  /// visible to the decision. Default: NotImplemented.
+  virtual Status AfterBatchExecution(
+      const std::vector<Pipeline>& pipelines,
+      const BatchPlanner::Planned& planned,
+      const Runtime::BatchExecutionRecord& record);
+
   /// Re-plans a degraded augmentation during execution-layer recovery
   /// (the runtime dropped dead load edges after storage faults). Default:
   /// linear-time greedy search — always feasible, no optimality guarantee.

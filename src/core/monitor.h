@@ -89,6 +89,21 @@ class Monitor {
   void RecordCrossSessionLoads(int64_t count) {
     Add(&num_cross_session_loads_, count);
   }
+  /// Batch-planning telemetry (core/batch_planner.h): task edges merged
+  /// away by cross-pipeline signature dedup when a batch's graphs fold
+  /// into one hypergraph, shared-prefix tasks a batch execution skipped
+  /// because an earlier member's payload was seeded in, and wall time
+  /// spent planning batches (stored at microsecond resolution so the
+  /// counter stays a lock-free integer).
+  void RecordBatchMergedTasks(int64_t count) {
+    Add(&num_batch_merged_tasks_, count);
+  }
+  void RecordSharedPrefixHits(int64_t count) {
+    Add(&num_shared_prefix_hits_, count);
+  }
+  void RecordBatchPlanSeconds(double seconds) {
+    Add(&batch_plan_micros_, static_cast<int64_t>(seconds * 1e6));
+  }
 
   const std::map<TaskType, Aggregate>& by_task_type() const {
     return by_task_type_;
@@ -114,6 +129,15 @@ class Monitor {
   int64_t num_reuse_loads() const { return Get(num_reuse_loads_); }
   int64_t num_cross_session_loads() const {
     return Get(num_cross_session_loads_);
+  }
+  int64_t num_batch_merged_tasks() const {
+    return Get(num_batch_merged_tasks_);
+  }
+  int64_t num_shared_prefix_hits() const {
+    return Get(num_shared_prefix_hits_);
+  }
+  double batch_plan_seconds() const {
+    return static_cast<double>(Get(batch_plan_micros_)) * 1e-6;
   }
 
  private:
@@ -142,6 +166,9 @@ class Monitor {
   std::atomic<int64_t> num_history_compacted_{0};
   std::atomic<int64_t> num_reuse_loads_{0};
   std::atomic<int64_t> num_cross_session_loads_{0};
+  std::atomic<int64_t> num_batch_merged_tasks_{0};
+  std::atomic<int64_t> num_shared_prefix_hits_{0};
+  std::atomic<int64_t> batch_plan_micros_{0};
 };
 
 }  // namespace hyppo::core

@@ -157,7 +157,8 @@ Status Runtime::DegradeAfterFailures(
 }
 
 Result<Runtime::ExecutionRecord> Runtime::ExecuteInternal(
-    const Augmentation& aug, const Plan& plan, const Replanner& replan) {
+    const Augmentation& aug, const Plan& plan, const Replanner& replan,
+    std::map<NodeId, ArtifactPayload>* batch_payloads) {
   Executor::Options exec_options;
   exec_options.simulate = options_.simulate;
   exec_options.parallelism = options_.parallelism;
@@ -184,6 +185,14 @@ Result<Runtime::ExecutionRecord> Runtime::ExecuteInternal(
   std::map<NodeId, ArtifactPayload> surviving;
   double total_seconds = 0.0;
 
+  // Batch seeding: earlier members' payloads pre-populate the surviving
+  // map, so the first attempt already skips every task whose outputs a
+  // batch sibling produced (shared prefixes execute once per batch).
+  if (batch_payloads != nullptr && !batch_payloads->empty()) {
+    surviving = *batch_payloads;
+    exec_options.seed_payloads = &surviving;
+  }
+
   // Attempt 0 runs the caller's plan. On failures, recovery degrades a
   // copy of the augmentation (node/edge ids stay stable under edge
   // removal, so payloads and task runs keep referring to `aug`), re-plans,
@@ -204,6 +213,8 @@ Result<Runtime::ExecutionRecord> Runtime::ExecuteInternal(
     if (attempt > 0) {
       record.recovered_tasks += result.reused_tasks;
       monitor_.RecordRecoveredTasks(result.reused_tasks);
+    } else if (batch_payloads != nullptr && !batch_payloads->empty()) {
+      record.seeded_tasks = result.reused_tasks;
     }
     if (result.complete()) {
       break;
@@ -325,12 +336,24 @@ Result<Runtime::ExecutionRecord> Runtime::ExecuteInternal(
   // ids) after this returns, so rebuilding the history here is safe.
   if (options_.history_max_artifacts > 0 &&
       history_.num_artifacts() > options_.history_max_artifacts) {
+    // In-flight batches keep referring to their merged augmentation's
+    // artifacts (and their accumulated statistics) until the batch-wide
+    // materialization decision commits; compaction must not drop them.
+    std::set<std::string> pinned;
+    {
+      std::lock_guard<std::mutex> lock(pinned_mutex_);
+      pinned.insert(pinned_artifacts_.begin(), pinned_artifacts_.end());
+    }
     History::CompactionOptions copts;
     copts.max_nodes = options_.history_max_artifacts;
     copts.retain_fraction = options_.history_retain_fraction;
+    copts.protect_names = pinned.empty() ? nullptr : &pinned;
     HYPPO_ASSIGN_OR_RETURN(History::CompactionStats cstats,
                            history_.Compact(copts, now_seconds()));
     monitor_.RecordHistoryCompacted(cstats.nodes_dropped);
+  }
+  if (batch_payloads != nullptr) {
+    *batch_payloads = std::move(surviving);
   }
   return record;
 }
@@ -399,6 +422,118 @@ Result<Runtime::ExecutionRecord> Runtime::ExecuteAndRecord(
 Result<Runtime::ExecutionRecord> Runtime::ExecutePlanOnly(
     const Augmentation& aug, const Plan& plan, const Replanner& replan) {
   return ExecuteInternal(aug, plan, replan);
+}
+
+void Runtime::PinArtifacts(const std::vector<std::string>& names) {
+  std::lock_guard<std::mutex> lock(pinned_mutex_);
+  for (const std::string& name : names) {
+    pinned_artifacts_.insert(name);
+  }
+}
+
+void Runtime::UnpinArtifacts(const std::vector<std::string>& names) {
+  std::lock_guard<std::mutex> lock(pinned_mutex_);
+  for (const std::string& name : names) {
+    const auto it = pinned_artifacts_.find(name);
+    if (it != pinned_artifacts_.end()) {
+      pinned_artifacts_.erase(it);
+    }
+  }
+}
+
+Result<Runtime::BatchExecutionRecord> Runtime::RunBatch(
+    const std::vector<Pipeline>& pipelines, const Augmentation& merged,
+    const std::vector<BatchPlanner::MemberPlan>& members,
+    const Replanner& replan) {
+  if (pipelines.empty()) {
+    return Status::InvalidArgument("cannot execute an empty batch");
+  }
+  if (pipelines.size() != members.size()) {
+    return Status::InvalidArgument(
+        "batch has " + std::to_string(pipelines.size()) + " pipelines but " +
+        std::to_string(members.size()) + " member plans");
+  }
+  if (options_.static_checks) {
+    analysis::StaticAnalyzerOptions sa_options;
+    sa_options.require_bitwise = fault_injector_ != nullptr;
+    const analysis::StaticAnalyzer analyzer(sa_options);
+    for (const Pipeline& pipeline : pipelines) {
+      const analysis::AnalysisReport report = analyzer.AnalyzePipeline(
+          pipeline.graph, dictionary_, ml::OperatorRegistry::Global());
+      if (!report.ok()) {
+        return Status::InvalidArgument(
+            "static analysis rejected batch member '" + pipeline.id + "' (" +
+            report.Summary() + "):\n" + report.ToString());
+      }
+    }
+  }
+  {
+    // Per-member structure recording is deliberate: each member accesses
+    // its full prefix, so a shared artifact accumulates fan-out-many
+    // access counts before the batch-wide materialization decision.
+    CatalogWriteLock commit(catalog_mutex_);
+    for (const Pipeline& pipeline : pipelines) {
+      HYPPO_RETURN_NOT_OK(RecordPipelineStructure(pipeline));
+    }
+  }
+
+  // Pin the merged augmentation's artifacts against compaction for the
+  // whole batch: member plans and the end-of-batch materializer keep
+  // consuming their statistics long after an individual execution commits,
+  // and a concurrent session's compaction must not drop them mid-batch.
+  std::vector<std::string> pinned_names;
+  pinned_names.reserve(static_cast<size_t>(merged.graph.num_artifacts()));
+  for (NodeId v = 1; v < merged.graph.num_artifacts(); ++v) {
+    pinned_names.push_back(merged.graph.artifact(v).name);
+  }
+  PinArtifacts(pinned_names);
+  struct PinGuard {
+    Runtime* runtime;
+    const std::vector<std::string>* names;
+    ~PinGuard() { runtime->UnpinArtifacts(*names); }
+  } pin_guard{this, &pinned_names};
+
+  BatchExecutionRecord batch;
+  batch.members.reserve(members.size());
+  // Payloads accumulated across members, keyed by merged-graph node id
+  // (every member plan shares that id space).
+  std::map<NodeId, ArtifactPayload> accumulated;
+  for (size_t i = 0; i < members.size(); ++i) {
+    // Member view: same graph and weights (so node/edge ids and the seed
+    // map carry over), but the member's own targets — plan verification
+    // and recovery re-planning must only require THIS member's work.
+    Augmentation view = merged;
+    view.targets = members[i].targets;
+    // Seed only payloads the member's plan actually touches: the commit
+    // phase records an access per surviving payload, and an unrelated
+    // sibling artifact must not inherit this member's access.
+    std::map<NodeId, ArtifactPayload> seed;
+    for (EdgeId e : members[i].plan.edges) {
+      for (NodeId t : view.graph.ordered_tail(e)) {
+        const auto it = accumulated.find(t);
+        if (it != accumulated.end()) {
+          seed.insert(*it);
+        }
+      }
+      for (NodeId h : view.graph.ordered_head(e)) {
+        const auto it = accumulated.find(h);
+        if (it != accumulated.end()) {
+          seed.insert(*it);
+        }
+      }
+    }
+    HYPPO_ASSIGN_OR_RETURN(
+        ExecutionRecord record,
+        ExecuteInternal(view, members[i].plan, replan, &seed));
+    for (auto& [node, payload] : seed) {
+      accumulated[node] = std::move(payload);
+    }
+    batch.seconds += record.seconds;
+    batch.shared_prefix_skips += record.seeded_tasks;
+    batch.members.push_back(std::move(record));
+  }
+  monitor_.RecordSharedPrefixHits(batch.shared_prefix_skips);
+  return batch;
 }
 
 Status Runtime::SaveCatalog(const std::string& directory) const {

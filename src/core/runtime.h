@@ -6,11 +6,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "core/augmenter.h"
+#include "core/batch_planner.h"
 #include "core/cost_model.h"
 #include "core/dictionary.h"
 #include "core/executor.h"
@@ -77,6 +80,14 @@ struct RuntimeOptions {
   /// reloads the previous session's history + materialized set on
   /// construction — check Runtime::session_status() before use.
   std::string store_dir;
+  /// Batch multi-query optimization (core/batch_planner.h): when a set of
+  /// pipelines is submitted together (HyppoSystem::RunBatch, a serving
+  /// sweep request), fold them into one merged hypergraph, augment and
+  /// bound once, and execute members with cross-member payload seeding so
+  /// shared prefixes run once per batch. Off = each member is planned and
+  /// executed independently (the sequential baseline the sweep bench
+  /// compares against).
+  bool batch_planning = true;
   /// Calibrate formula-based cost estimates against the machine's actual
   /// kernel throughput: at construction the runtime times a small GEMM
   /// through the kernel dispatcher (ml::kernels::MeasureGemmGflops) and
@@ -166,6 +177,10 @@ class Runtime {
     int64_t failed_tasks = 0;
     /// Tasks recovery attempts skipped because their payloads survived.
     int64_t recovered_tasks = 0;
+    /// Tasks skipped on the first attempt because a batch seed already
+    /// held their outputs (cross-member shared-prefix reuse; only set by
+    /// RunBatch).
+    int64_t seeded_tasks = 0;
   };
 
   /// Executes `plan` and records everything into the history: artifact
@@ -191,6 +206,32 @@ class Runtime {
   Result<ExecutionRecord> ExecutePlanOnly(const Augmentation& aug,
                                           const Plan& plan,
                                           const Replanner& replan = nullptr);
+
+  struct BatchExecutionRecord {
+    /// Per-member records, in submission order.
+    std::vector<ExecutionRecord> members;
+    /// Total charged seconds across the batch.
+    double seconds = 0.0;
+    /// Tasks skipped because an earlier member of the SAME batch already
+    /// produced their outputs (in-memory shared-prefix reuse; also
+    /// recorded as Monitor::num_shared_prefix_hits).
+    int64_t shared_prefix_skips = 0;
+  };
+
+  /// Executes a batch planned by BatchPlanner::PlanBatch: member plans run
+  /// in submission order over the shared merged augmentation, each seeded
+  /// with every payload earlier members produced, so shared-prefix tasks
+  /// execute exactly once per batch. Every member pipeline's structure is
+  /// recorded up front (per-member access counts are what give shared
+  /// artifacts their batch-wide fan-out in the materializer's scoring),
+  /// and all artifacts of the merged augmentation are pinned against
+  /// History::Compact until the batch commits — a concurrent session's
+  /// compaction must not drop statistics an in-flight batch still needs.
+  /// `pipelines` are the original members, aligned with `members`.
+  Result<BatchExecutionRecord> RunBatch(
+      const std::vector<Pipeline>& pipelines, const Augmentation& merged,
+      const std::vector<BatchPlanner::MemberPlan>& members,
+      const Replanner& replan = nullptr);
 
   /// Cumulative charged seconds so far — the experiment's logical clock
   /// (drives LRU timestamps). Atomic so concurrent sessions can read it
@@ -219,9 +260,20 @@ class Runtime {
   /// are evicted, store entries the history does not claim (or whose
   /// size drifted) are dropped.
   Status RestoreSession();
-  Result<ExecutionRecord> ExecuteInternal(const Augmentation& aug,
-                                          const Plan& plan,
-                                          const Replanner& replan);
+  /// `batch_payloads`, when non-null, is the batch accumulator: its
+  /// entries seed the first attempt (tasks whose outputs are all present
+  /// are skipped and counted into ExecutionRecord::seeded_tasks), and on
+  /// success it is replaced with the union of seed and produced payloads.
+  /// Keys are node ids of `aug`, so every member of a batch must execute
+  /// against the same merged augmentation's id space.
+  Result<ExecutionRecord> ExecuteInternal(
+      const Augmentation& aug, const Plan& plan, const Replanner& replan,
+      std::map<NodeId, ArtifactPayload>* batch_payloads = nullptr);
+  /// Pins canonical artifact names against History::Compact for the
+  /// lifetime of an in-flight batch (multiset: overlapping batches pin
+  /// independently).
+  void PinArtifacts(const std::vector<std::string>& names);
+  void UnpinArtifacts(const std::vector<std::string>& names);
   /// Mirrors the pipeline structure into the history without durations.
   Status RecordPipelineStructure(const Pipeline& pipeline);
   /// Degrades `aug` in place after `failures`: dead materialized-artifact
@@ -252,6 +304,12 @@ class Runtime {
   std::mutex sources_mutex_;
   /// Serving catalog lock (see set_catalog_mutex); null = single-owner.
   std::shared_mutex* catalog_mutex_ = nullptr;
+  /// Artifact names of in-flight batches, protected from history
+  /// compaction (see PinArtifacts). Guarded by pinned_mutex_ because
+  /// concurrent sessions' batches pin/unpin while another session's
+  /// ExecuteInternal snapshots the set for its compaction call.
+  mutable std::mutex pinned_mutex_;
+  std::multiset<std::string> pinned_artifacts_;
   /// Mutated only under the catalog writer lock (when one is installed);
   /// atomic so readers need no lock.
   std::atomic<double> cumulative_seconds_{0.0};

@@ -30,6 +30,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <vector>
 
 #include "ml/kernels/kernels.h"
 
@@ -457,6 +458,79 @@ void PairwiseSquaredDistances(const double* const* cols, int64_t rows,
                               int64_t dims, const double* centers, int64_t k,
                               double* out) {
   PairwiseSquaredDistancesRows(cols, rows, dims, centers, k, out, 0, rows);
+}
+
+// Distances per 8-row group held in a [center][lane] tile (the fma chain
+// of PairwiseSquaredDistancesRows, so a lane and the scalar row tail
+// produce identical bits), then a scalar argmin scan over centers in
+// ascending order with a strict '<' — ties break toward the lowest index
+// exactly like the blocked and reference tiers, which is what keeps the
+// *index* outputs bitwise identical across tiers even though the simd
+// tier's squared distances round differently.
+void NearestCentroidsRows(const double* const* cols, int64_t rows,
+                          int64_t dims, const double* centers, int64_t k,
+                          int64_t* index, double* sq, int64_t row_begin,
+                          int64_t row_end) {
+  row_end = std::min(row_end, rows);
+  std::vector<double> tile(static_cast<size_t>(k) * 8);
+  int64_t r = row_begin;
+  for (; r + 8 <= row_end; r += 8) {
+    for (int64_t i = 0; i < k; ++i) {
+      const double* center = centers + i * dims;
+      Vec8 acc = Vec8::Zero();
+      for (int64_t c = 0; c < dims; ++c) {
+        const Vec8 diff =
+            Vec8::Sub(Vec8::Load(cols[c] + r), Vec8::Broadcast(center[c]));
+        acc = Vec8::Fma(diff, diff, acc);
+      }
+      acc.Store(tile.data() + i * 8);
+    }
+    for (int64_t t = 0; t < 8; ++t) {
+      double best = tile[static_cast<size_t>(t)];
+      int64_t best_i = 0;
+      for (int64_t i = 1; i < k; ++i) {
+        const double d = tile[static_cast<size_t>(i * 8 + t)];
+        if (d < best) {
+          best = d;
+          best_i = i;
+        }
+      }
+      if (index != nullptr) {
+        index[r + t] = best_i;
+      }
+      if (sq != nullptr) {
+        sq[r + t] = best;
+      }
+    }
+  }
+  for (; r < row_end; ++r) {
+    double best = 0.0;
+    int64_t best_i = 0;
+    for (int64_t i = 0; i < k; ++i) {
+      const double* center = centers + i * dims;
+      double d = 0.0;
+      for (int64_t c = 0; c < dims; ++c) {
+        const double diff = cols[c][r] - center[c];
+        d = std::fma(diff, diff, d);
+      }
+      if (i == 0 || d < best) {
+        best = d;
+        best_i = i;
+      }
+    }
+    if (index != nullptr) {
+      index[r] = best_i;
+    }
+    if (sq != nullptr) {
+      sq[r] = best;
+    }
+  }
+}
+
+void NearestCentroids(const double* const* cols, int64_t rows, int64_t dims,
+                      const double* centers, int64_t k, int64_t* index,
+                      double* sq) {
+  NearestCentroidsRows(cols, rows, dims, centers, k, index, sq, 0, rows);
 }
 
 // ---------------------------------------------------------------------------

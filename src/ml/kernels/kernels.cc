@@ -386,14 +386,21 @@ void NearestCentroids(const double* const* cols, int64_t rows, int64_t dims,
   }
   const double work = 3.0 * static_cast<double>(rows) *
                       static_cast<double>(dims) * static_cast<double>(k);
+  const bool use_simd = work >= kBlockedMinWork && UseSimdTier(opts);
   if (work < kParallelMinWork || ParallelismSuppressed(opts)) {
-    NearestCentroidsRows(cols, rows, dims, centers, k, index, sq, 0, rows);
+    use_simd
+        ? simd::NearestCentroids(cols, rows, dims, centers, k, index, sq)
+        : NearestCentroidsRows(cols, rows, dims, centers, k, index, sq, 0,
+                               rows);
     return;
   }
   RunParallel(rows, EffectiveThreads(opts),
               [&](int64_t begin, int64_t end) {
-                NearestCentroidsRows(cols, rows, dims, centers, k, index, sq,
-                                     begin, end);
+                use_simd ? simd::NearestCentroidsRows(cols, rows, dims,
+                                                      centers, k, index, sq,
+                                                      begin, end)
+                         : NearestCentroidsRows(cols, rows, dims, centers, k,
+                                                index, sq, begin, end);
               });
 }
 

@@ -195,6 +195,13 @@ void GramColumns(const double* const* cols, int64_t rows, int64_t num_cols,
 void PairwiseSquaredDistances(const double* const* cols, int64_t rows,
                               int64_t dims, const double* centers, int64_t k,
                               double* out);
+/// Fused distances + argmin. The argmin scan matches the other tiers
+/// exactly (ascending centers, strict '<'), so the index output is
+/// bitwise identical across tiers; the squared distances carry the simd
+/// tier's fma rounding.
+void NearestCentroids(const double* const* cols, int64_t rows, int64_t dims,
+                      const double* centers, int64_t k, int64_t* index,
+                      double* sq);
 
 /// Tile-range variants used by the parallel driver; same partitioning
 /// contract as the blocked:: counterparts.
@@ -214,6 +221,10 @@ void PairwiseSquaredDistancesRows(const double* const* cols, int64_t rows,
                                   int64_t dims, const double* centers,
                                   int64_t k, double* out, int64_t row_begin,
                                   int64_t row_end);
+void NearestCentroidsRows(const double* const* cols, int64_t rows,
+                          int64_t dims, const double* centers, int64_t k,
+                          int64_t* index, double* sq, int64_t row_begin,
+                          int64_t row_end);
 
 // Fused vector kernels (serial). The reductions use the 8-lane banked
 // order; the elementwise ops (Axpy/ShiftedAxpy/Multiply) perform exactly
@@ -304,7 +315,8 @@ void PairwiseSquaredDistances(const double* const* cols, int64_t rows,
 
 /// Nearest center per data row: index[r] = argmin_i out-of-line distance,
 /// sq[r] = the minimum squared distance (either output may be null). Ties
-/// break toward the lowest index. Built on the blocked distance tiles.
+/// break toward the lowest index in every tier. Routes to the simd tier's
+/// fused distances+argmin when enabled, else the blocked distance tiles.
 void NearestCentroids(const double* const* cols, int64_t rows, int64_t dims,
                       const double* centers, int64_t k, int64_t* index,
                       double* sq, const KernelOptions* opts = nullptr);

@@ -64,13 +64,20 @@ void SessionManager::Release() {
 void SessionManager::CountReuseLocked(const core::Method::Planned& planned,
                                       const std::string& session_id,
                                       SessionReport* report) const {
-  for (EdgeId e : planned.plan.edges) {
-    const core::TaskInfo& task = planned.aug.graph.task(e);
+  CountPlanReuseLocked(planned.aug, planned.plan, session_id, report);
+}
+
+void SessionManager::CountPlanReuseLocked(const core::Augmentation& aug,
+                                          const core::Plan& plan,
+                                          const std::string& session_id,
+                                          SessionReport* report) const {
+  for (EdgeId e : plan.edges) {
+    const core::TaskInfo& task = aug.graph.task(e);
     if (task.type != core::TaskType::kLoad) {
       continue;
     }
-    const NodeId head = planned.aug.graph.ordered_head(e)[0];
-    const core::ArtifactInfo& info = planned.aug.graph.artifact(head);
+    const NodeId head = aug.graph.ordered_head(e)[0];
+    const core::ArtifactInfo& info = aug.graph.artifact(head);
     if (info.kind == core::ArtifactKind::kRaw) {
       continue;  // raw dataset loads are sources, not reused work
     }
@@ -97,6 +104,84 @@ void SessionManager::RecordNewMaterializationsLocked(
   }
 }
 
+bool SessionManager::RunSweep(const SessionRequest& request,
+                              core::Method* method, SessionReport* report) {
+  if (!options_.runtime.batch_planning) {
+    return false;
+  }
+  // PLAN the whole sweep under the reader side: one merged augmentation
+  // against a consistent history snapshot. Reuse is counted per member
+  // plan inside the same critical section so the counts and the plans
+  // describe the same catalog state.
+  SessionReport reuse_counts;
+  Result<core::BatchPlanner::Planned> planned = [&] {
+    std::shared_lock<std::shared_mutex> plan_lock(catalog_mutex_);
+    Result<core::BatchPlanner::Planned> p =
+        method->PlanPipelineBatch(request.pipelines);
+    if (p.ok()) {
+      for (const core::BatchPlanner::MemberPlan& member : p->members) {
+        CountPlanReuseLocked(p->merged, member.plan, request.session_id,
+                             &reuse_counts);
+      }
+    }
+    return p;
+  }();
+  if (!planned.ok()) {
+    if (planned.status().IsNotImplemented()) {
+      return false;  // the method has no batch path; run sequentially
+    }
+    report->status = planned.status();
+    return true;
+  }
+  report->reuse_loads += reuse_counts.reuse_loads;
+  report->cross_session_loads += reuse_counts.cross_session_loads;
+  report->optimize_seconds += planned->optimize_seconds;
+  // EXECUTE outside the lock, with cross-member shared-prefix seeding;
+  // the runtime pins the batch's artifact names against concurrent
+  // compaction and takes the writer side around each commit.
+  Result<core::Runtime::BatchExecutionRecord> record = runtime_->RunBatch(
+      request.pipelines, planned->merged, planned->members,
+      method->MakeReplanner());
+  if (!record.ok()) {
+    report->status = record.status();
+    return true;
+  }
+  for (const core::Runtime::ExecutionRecord& member : record->members) {
+    report->per_pipeline_seconds.push_back(member.seconds);
+    report->charged_seconds += member.seconds;
+    report->replans += member.replans;
+    report->failed_tasks += member.failed_tasks;
+    report->recovered_tasks += member.recovered_tasks;
+  }
+  {
+    // MATERIALIZE once for the whole batch under the writer side.
+    std::unique_lock<std::shared_mutex> commit_lock(catalog_mutex_);
+    std::vector<std::string> before;
+    for (NodeId v : runtime_->history().MaterializedArtifacts()) {
+      before.push_back(runtime_->history().graph().artifact(v).name);
+    }
+    const Status materialized =
+        method->AfterBatchExecution(request.pipelines, *planned, *record);
+    if (!materialized.ok()) {
+      report->status = materialized;
+      return true;
+    }
+    RecordNewMaterializationsLocked(before, request.session_id);
+  }
+  for (size_t i = 0; i < request.pipelines.size(); ++i) {
+    const core::Pipeline& pipeline = request.pipelines[i];
+    for (NodeId t : pipeline.targets) {
+      const std::string& name = pipeline.graph.artifact(t).name;
+      auto it = record->members[i].payloads_by_name.find(name);
+      if (it != record->members[i].payloads_by_name.end()) {
+        report->target_payloads[name] = it->second;
+      }
+    }
+    ++report->pipelines_completed;
+  }
+  return true;
+}
+
 SessionReport SessionManager::RunSession(const SessionRequest& request) {
   SessionReport report;
   report.session_id = request.session_id;
@@ -108,7 +193,14 @@ SessionReport SessionManager::RunSession(const SessionRequest& request) {
   }
   Admit(&report);
   std::unique_ptr<core::Method> method = MakeMethod();
+  bool handled = false;
+  if (request.as_sweep && request.pipelines.size() >= 2) {
+    handled = RunSweep(request, method.get(), &report);
+  }
   for (const core::Pipeline& pipeline : request.pipelines) {
+    if (handled) {
+      break;
+    }
     // PLAN under the reader side of the catalog lock: the method sees a
     // consistent history snapshot, concurrently with other planners.
     Result<core::Method::Planned> planned = [&] {

@@ -49,6 +49,13 @@ struct ServingOptions {
 struct SessionRequest {
   std::string session_id;
   std::vector<core::Pipeline> pipelines;
+  /// Submit the pipelines as one hyperparameter sweep: the session plans
+  /// them as a batch (Method::PlanPipelineBatch — merged hypergraph, one
+  /// augmentation, shared lower bounds) and executes with cross-member
+  /// shared-prefix seeding (Runtime::RunBatch). Methods without a batch
+  /// path fall back to the ordered sequential loop; payloads are
+  /// byte-identical either way.
+  bool as_sweep = false;
 };
 
 /// \brief Per-session outcome and telemetry.
@@ -148,11 +155,23 @@ class SessionManager {
   void Admit(SessionReport* report);
   void Release();
   std::unique_ptr<core::Method> MakeMethod();
+  /// Runs an as_sweep request through the batch path (plan under the
+  /// reader lock, RunBatch outside it, one materialization under the
+  /// writer lock). Returns false when the method lacks a batch path or
+  /// batch planning is disabled — the caller falls back to the
+  /// sequential loop with the report untouched.
+  bool RunSweep(const SessionRequest& request, core::Method* method,
+                SessionReport* report);
   /// Counts the plan's materialized-artifact loads and classifies them by
   /// owning session. Caller holds the catalog lock (reader side).
   void CountReuseLocked(const core::Method::Planned& planned,
                         const std::string& session_id,
                         SessionReport* report) const;
+  /// Same, for one member plan of a batch over the merged augmentation.
+  void CountPlanReuseLocked(const core::Augmentation& aug,
+                            const core::Plan& plan,
+                            const std::string& session_id,
+                            SessionReport* report) const;
   /// Diffs the materialized set around a materializer run and assigns
   /// newly materialized names to `session_id`. Caller holds the catalog
   /// lock (writer side).

@@ -1,0 +1,212 @@
+#include "workload/sweep_generator.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace hyppo::workload {
+
+namespace {
+
+// The spec stage an axis mutates; null when the base left it absent.
+StageSpec* AxisStage(PipelineSpec& spec, SweepAxis::Stage stage) {
+  switch (stage) {
+    case SweepAxis::Stage::kImputer:
+      return spec.imputer.present() ? &spec.imputer : nullptr;
+    case SweepAxis::Stage::kScaler:
+      return spec.scaler.present() ? &spec.scaler : nullptr;
+    case SweepAxis::Stage::kFeature:
+      return spec.feature.present() ? &spec.feature : nullptr;
+    case SweepAxis::Stage::kModel:
+      return spec.model.present() ? &spec.model : nullptr;
+  }
+  return nullptr;
+}
+
+const char* StageName(SweepAxis::Stage stage) {
+  switch (stage) {
+    case SweepAxis::Stage::kImputer:
+      return "imputer";
+    case SweepAxis::Stage::kScaler:
+      return "scaler";
+    case SweepAxis::Stage::kFeature:
+      return "feature";
+    case SweepAxis::Stage::kModel:
+      return "model";
+  }
+  return "?";
+}
+
+Result<PipelineSpec> ApplyAssignment(const PipelineSpec& base,
+                                     const std::vector<SweepAxis>& axes,
+                                     const std::vector<size_t>& assignment) {
+  PipelineSpec spec = base;
+  for (size_t a = 0; a < axes.size(); ++a) {
+    StageSpec* stage = AxisStage(spec, axes[a].stage);
+    if (stage == nullptr) {
+      return Status::InvalidArgument(
+          std::string("sweep axis targets absent stage '") +
+          StageName(axes[a].stage) + "'");
+    }
+    stage->config.Set(axes[a].param, axes[a].values[assignment[a]]);
+  }
+  return spec;
+}
+
+}  // namespace
+
+SweepGenerator::SweepGenerator(UseCase use_case, double dataset_multiplier,
+                               uint64_t seed)
+    : use_case_(use_case),
+      multiplier_(dataset_multiplier),
+      seed_(seed),
+      builder_(std::move(use_case), dataset_multiplier, seed) {}
+
+Result<SweepWorkload> SweepGenerator::Generate(
+    const PipelineSpec& base, const std::vector<SweepAxis>& axes,
+    const SweepOptions& options, const std::string& id_prefix) {
+  if (axes.empty()) {
+    return Status::InvalidArgument("a sweep needs at least one axis");
+  }
+  for (const SweepAxis& axis : axes) {
+    if (axis.values.empty()) {
+      return Status::InvalidArgument("sweep axis '" + axis.param +
+                                     "' has no values");
+    }
+  }
+  // Enumerate axis-value assignments: the full grid in lexicographic
+  // order (last axis fastest), or seeded random draws deduplicated by
+  // joint assignment.
+  std::vector<std::vector<size_t>> assignments;
+  if (options.mode == SweepOptions::Mode::kGrid) {
+    std::vector<size_t> odometer(axes.size(), 0);
+    bool wrapped = false;
+    while (!wrapped) {
+      assignments.push_back(odometer);
+      if (options.num_configs > 0 &&
+          static_cast<int>(assignments.size()) >= options.num_configs) {
+        break;
+      }
+      size_t a = axes.size();
+      while (a > 0) {
+        --a;
+        if (++odometer[a] < axes[a].values.size()) {
+          break;
+        }
+        odometer[a] = 0;
+        wrapped = a == 0;  // carried past the first axis: grid exhausted
+      }
+    }
+  } else {
+    if (options.num_configs <= 0) {
+      return Status::InvalidArgument(
+          "random sweeps need an explicit num_configs");
+    }
+    Rng rng(options.seed);
+    std::set<std::vector<size_t>> seen;
+    // The joint space may hold fewer distinct configs than requested;
+    // bounded attempts keep the draw loop finite either way.
+    int64_t attempts = 64ll * options.num_configs;
+    while (static_cast<int>(assignments.size()) < options.num_configs &&
+           attempts-- > 0) {
+      std::vector<size_t> draw(axes.size());
+      for (size_t a = 0; a < axes.size(); ++a) {
+        draw[a] = static_cast<size_t>(
+            rng.NextBelow(static_cast<uint64_t>(axes[a].values.size())));
+      }
+      if (seen.insert(draw).second) {
+        assignments.push_back(std::move(draw));
+      }
+    }
+  }
+
+  SweepWorkload workload;
+  workload.pipelines.reserve(assignments.size());
+  workload.specs.reserve(assignments.size());
+  workload.prefix_signatures.reserve(assignments.size());
+  std::set<std::string> prefixes;
+  std::set<std::string> task_signatures;
+  int64_t total_tasks = 0;
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    HYPPO_ASSIGN_OR_RETURN(const PipelineSpec spec,
+                           ApplyAssignment(base, axes, assignments[i]));
+    HYPPO_ASSIGN_OR_RETURN(
+        core::Pipeline pipeline,
+        builder_.BuildFromSpec(spec, id_prefix + "-c" + std::to_string(i)));
+    workload.prefix_signatures.push_back(spec.PrefixSignature());
+    prefixes.insert(workload.prefix_signatures.back());
+    for (EdgeId e : pipeline.graph.hypergraph().LiveEdges()) {
+      ++total_tasks;
+      task_signatures.insert(pipeline.graph.TaskSignature(e));
+    }
+    workload.specs.push_back(spec);
+    workload.pipelines.push_back(std::move(pipeline));
+  }
+  workload.distinct_prefixes = static_cast<int64_t>(prefixes.size());
+  workload.expected_merged_tasks =
+      total_tasks - static_cast<int64_t>(task_signatures.size());
+  return workload;
+}
+
+PipelineSpec SweepGenerator::DemoBaseSpec() const {
+  PipelineSpec spec;
+  spec.imputer.logical_op = "SimpleImputer";
+  spec.imputer.impl = "skl.SimpleImputer";
+  spec.imputer.config.Set("strategy", "mean");
+  spec.scaler.logical_op = "StandardScaler";
+  spec.scaler.impl = "skl.StandardScaler";
+  if (use_case_.classification) {
+    spec.feature.logical_op = "PCA";
+    spec.feature.impl = "skl.PCA";
+    spec.feature.config.SetInt("n_components", 5);
+    spec.model.logical_op = "RandomForestClassifier";
+    spec.model.impl = "skl.RandomForestClassifier";
+    spec.metric = "accuracy";
+  } else {
+    spec.model.logical_op = "RandomForestRegressor";
+    spec.model.impl = "skl.RandomForestRegressor";
+    spec.metric = "rmse";
+  }
+  spec.model.config.SetInt("n_estimators", 12);
+  spec.model.config.SetInt("max_depth", 6);
+  spec.split_seed = 13;
+  return spec;
+}
+
+std::vector<SweepAxis> SweepGenerator::DemoAxes(int num_configs) const {
+  // Two model axes whose grid covers any requested size: up to 8 depths,
+  // and as many estimator counts as the truncated grid needs.
+  const int depth_count = std::max(1, std::min(8, num_configs));
+  SweepAxis depth;
+  depth.stage = SweepAxis::Stage::kModel;
+  depth.param = "max_depth";
+  for (int i = 0; i < depth_count; ++i) {
+    depth.values.push_back(std::to_string(3 + i));
+  }
+  const int estimator_count =
+      std::max(1, (num_configs + depth_count - 1) / depth_count);
+  SweepAxis estimators;
+  estimators.stage = SweepAxis::Stage::kModel;
+  estimators.param = "n_estimators";
+  for (int i = 0; i < estimator_count; ++i) {
+    estimators.values.push_back(std::to_string(8 + 4 * i));
+  }
+  // Estimators vary slowest so a truncated grid still sweeps every depth.
+  return {std::move(estimators), std::move(depth)};
+}
+
+Result<SweepWorkload> SweepGenerator::DemoSweep(int num_configs,
+                                                const std::string& id_prefix) {
+  if (num_configs <= 0) {
+    return Status::InvalidArgument("a sweep needs at least one config");
+  }
+  SweepOptions options;
+  options.mode = SweepOptions::Mode::kGrid;
+  options.num_configs = num_configs;
+  options.seed = seed_;
+  return Generate(DemoBaseSpec(), DemoAxes(num_configs), options, id_prefix);
+}
+
+}  // namespace hyppo::workload

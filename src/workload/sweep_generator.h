@@ -1,0 +1,92 @@
+#ifndef HYPPO_WORKLOAD_SWEEP_GENERATOR_H_
+#define HYPPO_WORKLOAD_SWEEP_GENERATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workload/pipeline_generator.h"
+
+namespace hyppo::workload {
+
+/// \brief One axis of a hyperparameter sweep: a stage of the pipeline
+/// spec, the config key to vary, and the values it ranges over (canonical
+/// string form, as stored in ml::Config).
+struct SweepAxis {
+  enum class Stage { kImputer, kScaler, kFeature, kModel };
+  Stage stage = Stage::kModel;
+  std::string param;
+  std::vector<std::string> values;
+};
+
+/// \brief How configurations are drawn from the axes.
+struct SweepOptions {
+  enum class Mode { kGrid, kRandom };
+  Mode mode = Mode::kGrid;
+  /// Random mode: number of distinct configurations to draw. Grid mode:
+  /// 0 generates the full cross product; > 0 truncates it (lexicographic
+  /// order, last axis fastest).
+  int num_configs = 0;
+  /// Seeds the random-mode draws; grid mode is deterministic regardless.
+  uint64_t seed = 17;
+};
+
+/// \brief A generated sweep: the member pipelines plus the shared-prefix
+/// ground truth a batch planner's merge statistics can be verified
+/// against (configs varying only the model stage form a stage tree whose
+/// trunk — load, impute, scale, feature, split — every member shares).
+struct SweepWorkload {
+  std::vector<core::Pipeline> pipelines;
+  /// The spec each pipeline was built from, aligned with `pipelines`.
+  std::vector<PipelineSpec> specs;
+  /// PipelineSpec::PrefixSignature per member, aligned with `pipelines`.
+  std::vector<std::string> prefix_signatures;
+  /// Number of distinct preprocessing prefixes across the sweep.
+  int64_t distinct_prefixes = 0;
+  /// Exact number of task edges a signature-dedup merge of the batch
+  /// folds away: total tasks across members minus distinct task
+  /// signatures (BatchPlanner::Stats::merged_tasks must equal this).
+  int64_t expected_merged_tasks = 0;
+};
+
+/// \brief Generates hyperparameter-sweep workloads over a base pipeline
+/// spec: the exploratory traffic shape where a user submits a *set* of
+/// configs at once and the batch planner folds their shared prefixes
+/// (ROADMAP "Batch / hyperparameter-sweep workloads").
+class SweepGenerator {
+ public:
+  SweepGenerator(UseCase use_case, double dataset_multiplier, uint64_t seed);
+
+  /// Expands `axes` over `base` per `options` and builds one pipeline per
+  /// configuration (ids `<id_prefix>-cN`). Deterministic for a fixed
+  /// (base, axes, options, seed).
+  Result<SweepWorkload> Generate(const PipelineSpec& base,
+                                 const std::vector<SweepAxis>& axes,
+                                 const SweepOptions& options,
+                                 const std::string& id_prefix);
+
+  /// The canonical demo sweep used by quickstart and the lint tooling
+  /// (bench_sweep builds its own trunk-heavy spec): a fixed
+  /// preprocessing prefix with a model
+  /// hyperparameter grid (stage-tree shaped — one trunk, `num_configs`
+  /// leaves). Axis values are tiled to cover any requested size.
+  Result<SweepWorkload> DemoSweep(int num_configs,
+                                  const std::string& id_prefix);
+
+  /// The demo sweep's base spec and axes — exposed so tooling (lint) can
+  /// report them.
+  PipelineSpec DemoBaseSpec() const;
+  std::vector<SweepAxis> DemoAxes(int num_configs) const;
+
+ private:
+  UseCase use_case_;
+  double multiplier_;
+  uint64_t seed_;
+  PipelineGenerator builder_;
+};
+
+}  // namespace hyppo::workload
+
+#endif  // HYPPO_WORKLOAD_SWEEP_GENERATOR_H_

@@ -612,6 +612,130 @@ TEST_F(KernelsSimd, RowPartitionInvariantBitwise) {
   EXPECT_EQ(c_whole, c_chunked);
 }
 
+TEST_F(KernelsSimd, NearestCentroidsArgminBitwiseMatchesBlockedTier) {
+  // The simd tier's squared distances round differently (fma), but its
+  // argmin scan fixes the same semantics as every other tier (ascending
+  // centers, strict '<'), so the index outputs must agree exactly. The
+  // shape spans the 8-row vector body plus a scalar tail.
+  Rng rng(30);
+  const int64_t rows = 603;
+  const int64_t d = 5;
+  const int64_t k = 7;
+  const auto values = RandomVector(static_cast<size_t>(rows * d), rng);
+  const auto cols = Columns(values, rows, d);
+  const auto centers = RandomVector(static_cast<size_t>(k * d), rng);
+  KernelOptions no_simd;
+  no_simd.num_threads = 1;
+  no_simd.allow_simd = false;
+  std::vector<int64_t> idx_blocked(static_cast<size_t>(rows), -1);
+  std::vector<int64_t> idx_simd(static_cast<size_t>(rows), -2);
+  std::vector<double> sq_blocked(static_cast<size_t>(rows), -1.0);
+  std::vector<double> sq_simd(static_cast<size_t>(rows), -2.0);
+  NearestCentroids(cols.data(), rows, d, centers.data(), k,
+                   idx_blocked.data(), sq_blocked.data(), &no_simd);
+  simd::NearestCentroids(cols.data(), rows, d, centers.data(), k,
+                         idx_simd.data(), sq_simd.data());
+  EXPECT_EQ(idx_blocked, idx_simd);
+  EXPECT_LE(MaxAbsDiff(sq_blocked, sq_simd),
+            1e-12 * static_cast<double>(d + 1));
+  // The fused kernel's minimum must be bitwise consistent with the simd
+  // tier's own distance matrix.
+  std::vector<double> dist(static_cast<size_t>(rows * k));
+  simd::PairwiseSquaredDistances(cols.data(), rows, d, centers.data(), k,
+                                 dist.data());
+  for (int64_t r = 0; r < rows; ++r) {
+    const size_t row = static_cast<size_t>(r);
+    EXPECT_EQ(sq_simd[row],
+              dist[static_cast<size_t>(r * k + idx_simd[row])])
+        << "row " << r;
+  }
+}
+
+TEST_F(KernelsSimd, NearestCentroidsTiesBreakTowardLowestIndex) {
+  // Duplicated centers produce bitwise-equal distances in every tier, so
+  // the tie must resolve to the lowest index in both the vector body and
+  // the scalar tail.
+  Rng rng(31);
+  const int64_t rows = 603;
+  const int64_t d = 3;
+  std::vector<double> values(static_cast<size_t>(rows * d));
+  for (double& v : values) {
+    v = rng.Gaussian();
+  }
+  const auto cols = Columns(values, rows, d);
+  // centers 0 and 2 are identical; 1 is pushed far away so the duplicate
+  // pair always wins and the tie is exercised on every row.
+  const std::vector<double> centers = {0.25, -0.5, 1.0,  //
+                                       50.0, 50.0, 50.0,  //
+                                       0.25, -0.5, 1.0};
+  std::vector<int64_t> idx(static_cast<size_t>(rows), -1);
+  simd::NearestCentroids(cols.data(), rows, d, centers.data(), 3, idx.data(),
+                         nullptr);
+  for (int64_t r = 0; r < rows; ++r) {
+    EXPECT_EQ(idx[static_cast<size_t>(r)], 0) << "row " << r;
+  }
+}
+
+TEST_F(KernelsSimd, NearestCentroidsRowPartitionInvariantBitwise) {
+  // Chunking at arbitrary row boundaries must reproduce the single-call
+  // bits — the invariant the parallel driver relies on.
+  Rng rng(32);
+  const int64_t rows = 531;
+  const int64_t d = 4;
+  const int64_t k = 5;
+  const auto values = RandomVector(static_cast<size_t>(rows * d), rng);
+  const auto cols = Columns(values, rows, d);
+  const auto centers = RandomVector(static_cast<size_t>(k * d), rng);
+  std::vector<int64_t> idx_whole(static_cast<size_t>(rows), -1);
+  std::vector<int64_t> idx_chunked(static_cast<size_t>(rows), -2);
+  std::vector<double> sq_whole(static_cast<size_t>(rows), -1.0);
+  std::vector<double> sq_chunked(static_cast<size_t>(rows), -2.0);
+  simd::NearestCentroids(cols.data(), rows, d, centers.data(), k,
+                         idx_whole.data(), sq_whole.data());
+  const int64_t boundaries[] = {0, 1, 9, 16, 250, 257, 530, 531};
+  for (size_t i = 0; i + 1 < std::size(boundaries); ++i) {
+    simd::NearestCentroidsRows(cols.data(), rows, d, centers.data(), k,
+                               idx_chunked.data(), sq_chunked.data(),
+                               boundaries[i], boundaries[i + 1]);
+  }
+  EXPECT_EQ(idx_whole, idx_chunked);
+  EXPECT_EQ(sq_whole, sq_chunked);
+}
+
+TEST_F(KernelsSimd, NearestCentroidsDispatchBitwiseEqualAcrossThreads) {
+  // With HYPPO_SIMD forced on, the dispatcher routes to the simd argmin
+  // and must produce the direct-call bits at any thread count.
+  ScopedSimdEnv env("on");
+  ASSERT_TRUE(SimdEnabled());
+  Rng rng(33);
+  const int64_t rows = 60000;
+  const int64_t d = 8;
+  const int64_t k = 3;  // 3*rows*d*k = 4.3M: parallel path engages
+  const auto values = RandomVector(static_cast<size_t>(rows * d), rng);
+  const auto cols = Columns(values, rows, d);
+  const auto centers = RandomVector(static_cast<size_t>(k * d), rng);
+  std::vector<int64_t> idx_tier(static_cast<size_t>(rows));
+  std::vector<double> sq_tier(static_cast<size_t>(rows));
+  simd::NearestCentroids(cols.data(), rows, d, centers.data(), k,
+                         idx_tier.data(), sq_tier.data());
+  KernelOptions serial;
+  serial.num_threads = 1;
+  KernelOptions parallel;
+  parallel.num_threads = 8;
+  std::vector<int64_t> idx_serial(static_cast<size_t>(rows));
+  std::vector<int64_t> idx_parallel(static_cast<size_t>(rows));
+  std::vector<double> sq_serial(static_cast<size_t>(rows));
+  std::vector<double> sq_parallel(static_cast<size_t>(rows));
+  NearestCentroids(cols.data(), rows, d, centers.data(), k,
+                   idx_serial.data(), sq_serial.data(), &serial);
+  NearestCentroids(cols.data(), rows, d, centers.data(), k,
+                   idx_parallel.data(), sq_parallel.data(), &parallel);
+  EXPECT_EQ(idx_tier, idx_serial);
+  EXPECT_EQ(idx_serial, idx_parallel);
+  EXPECT_EQ(sq_tier, sq_serial);
+  EXPECT_EQ(sq_serial, sq_parallel);
+}
+
 TEST_F(KernelsSimd, DispatchBitwiseEqualAcrossThreadsAndMatchesTier) {
   // With HYPPO_SIMD forced on, the dispatcher must route to the simd tier
   // (bits equal to a direct simd:: call) and stay bitwise stable across

@@ -17,9 +17,18 @@
 // determinism lint, and the equivalence soundness audit of the built-in
 // operator catalog — the same passes the Runtime applies at submit time.
 //
+// Sweep mode (--sweep <n>) generates the canonical n-config demo sweep
+// (workload::SweepGenerator::DemoSweep — the grid quickstart --sweep
+// batch-executes) and runs the static analyzer over every member
+// pipeline. Diagnostics identical across members — the ones rooted in
+// the shared preprocessing prefix — are deduplicated and reported once,
+// annotated with the number of affected configs, so a trunk problem
+// reads as one finding instead of n copies.
+//
 // Usage:
 //   hyppo_lint <catalog-dir | history-file> [options]
 //   hyppo_lint --pipeline <dsl-file> [options]
+//   hyppo_lint --sweep <n> [options]
 //     --budget <bytes>   also enforce the storage budget (catalog mode)
 //     --no-roundtrip     skip the serialize/deserialize round-trip check
 //     --quiet            print only the summary line
@@ -36,7 +45,10 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <string>
+#include <tuple>
+#include <vector>
 
 #include "analysis/json_diagnostics.h"
 #include "analysis/static/static_analyzer.h"
@@ -45,6 +57,7 @@
 #include "core/parser.h"
 #include "ml/registry.h"
 #include "storage/disk_store.h"
+#include "workload/sweep_generator.h"
 
 namespace {
 
@@ -55,9 +68,10 @@ int Usage(const char* argv0) {
                "usage: %s <catalog-dir | history-file> "
                "[--budget <bytes>] [--no-roundtrip] [--quiet] [--json]\n"
                "       %s --pipeline <dsl-file> [--quiet] [--json]\n"
+               "       %s --sweep <n> [--quiet] [--json]\n"
                "exit codes: 0 clean (warnings allowed), 1 errors found, "
                "2 usage/IO\n",
-               argv0, argv0);
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -140,6 +154,92 @@ int LintPipeline(const std::string& path, bool quiet, bool json) {
   return Finish(report, path, detail, quiet, json);
 }
 
+// A diagnostic's identity for cross-config dedup: everything except which
+// sweep member produced it. Members share node/edge ids for the common
+// prefix (same builder, same trunk), so a trunk diagnostic is bitwise
+// identical across configs and folds to one entry; a config-specific
+// diagnostic (distinct message or entity) stays separate.
+using DiagnosticKey =
+    std::tuple<hyppo::analysis::Severity, std::string,
+               hyppo::analysis::EntityKind, int64_t, int, int, std::string>;
+
+DiagnosticKey KeyOf(const hyppo::analysis::Diagnostic& d) {
+  return {d.severity, d.check, d.entity, d.entity_id, d.line, d.column,
+          d.message};
+}
+
+int LintSweep(int num_configs, bool quiet, bool json) {
+  namespace workload = hyppo::workload;
+  constexpr double kScale = 0.005;  // static analysis only; never executed
+  workload::SweepGenerator generator(workload::UseCase::Higgs(), kScale,
+                                     /*seed=*/11);
+  hyppo::Result<workload::SweepWorkload> sweep =
+      generator.DemoSweep(num_configs, "lint-sweep");
+  if (!sweep.ok()) {
+    std::fprintf(stderr, "hyppo_lint: cannot generate sweep: %s\n",
+                 sweep.status().ToString().c_str());
+    return 2;
+  }
+  const hyppo::ml::OperatorRegistry& registry =
+      hyppo::ml::OperatorRegistry::Global();
+  const hyppo::core::Dictionary dictionary =
+      hyppo::core::Dictionary::FromRegistry(registry);
+  const hyppo::analysis::StaticAnalyzer analyzer;
+
+  // Analyze every member, folding identical diagnostics (the shared
+  // prefix produces the same finding in every config) into one entry
+  // with an affected-config count.
+  struct Folded {
+    hyppo::analysis::Diagnostic diagnostic;
+    int configs = 0;
+  };
+  std::map<DiagnosticKey, Folded> folded;
+  int64_t raw_diagnostics = 0;
+  for (const hyppo::core::Pipeline& member : sweep->pipelines) {
+    hyppo::analysis::AnalysisReport member_report =
+        analyzer.AnalyzePipeline(member.graph, dictionary, registry);
+    for (const hyppo::analysis::Diagnostic& d : member_report.diagnostics()) {
+      ++raw_diagnostics;
+      Folded& entry = folded[KeyOf(d)];
+      if (entry.configs == 0) {
+        entry.diagnostic = d;
+      }
+      ++entry.configs;
+    }
+  }
+
+  hyppo::analysis::AnalysisReport report;
+  const int total = static_cast<int>(sweep->pipelines.size());
+  for (auto& [key, entry] : folded) {
+    hyppo::analysis::Diagnostic d = std::move(entry.diagnostic);
+    d.message += " [affects " + std::to_string(entry.configs) + "/" +
+                 std::to_string(total) + " sweep configs]";
+    report.Add(std::move(d));
+  }
+  // The catalog audit is config-independent: run it once, not per member.
+  report.Merge(analyzer.CheckCatalog(dictionary, registry));
+
+  if (!quiet && !json) {
+    const workload::PipelineSpec base = generator.DemoBaseSpec();
+    std::printf("sweep: %d configs over base model %s (%lld distinct "
+                "prefixes, %lld mergeable tasks)\n",
+                total, base.model.impl.c_str(),
+                static_cast<long long>(sweep->distinct_prefixes),
+                static_cast<long long>(sweep->expected_merged_tasks));
+    for (const workload::SweepAxis& axis :
+         generator.DemoAxes(num_configs)) {
+      std::printf("  axis %s: %zu values\n", axis.param.c_str(),
+                  axis.values.size());
+    }
+  }
+  const std::string detail =
+      std::to_string(total) + " configs, " +
+      std::to_string(raw_diagnostics) + " raw diagnostics folded to " +
+      std::to_string(folded.size()) + ": ";
+  return Finish(report, "sweep(" + std::to_string(num_configs) + ")", detail,
+                quiet, json);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -148,6 +248,7 @@ int main(int argc, char** argv) {
   }
   std::string target;
   std::string pipeline_path;
+  int sweep_configs = 0;
   int64_t budget_bytes = -1;
   bool roundtrip = true;
   bool quiet = false;
@@ -155,6 +256,13 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--pipeline") == 0 && i + 1 < argc) {
       pipeline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--sweep") == 0 && i + 1 < argc) {
+      sweep_configs = std::atoi(argv[++i]);
+      if (sweep_configs < 1) {
+        std::fprintf(stderr, "hyppo_lint: invalid --sweep value '%s'\n",
+                     argv[i]);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
       budget_bytes = std::strtoll(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--no-roundtrip") == 0) {
@@ -171,11 +279,12 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
-  if (!pipeline_path.empty()) {
-    if (!target.empty()) {
+  if (!pipeline_path.empty() || sweep_configs > 0) {
+    if (!target.empty() || (!pipeline_path.empty() && sweep_configs > 0)) {
       return Usage(argv[0]);
     }
-    return LintPipeline(pipeline_path, quiet, json);
+    return sweep_configs > 0 ? LintSweep(sweep_configs, quiet, json)
+                             : LintPipeline(pipeline_path, quiet, json);
   }
   if (target.empty()) {
     return Usage(argv[0]);
